@@ -1,0 +1,45 @@
+//! Ablation/extension: compressed adjacency snapshot — encode cost and
+//! full-scan decode cost versus the plain CSR scan.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::build_edges;
+use snap_core::compressed::CompressedCsr;
+use snap_core::CsrGraph;
+
+fn bench(c: &mut Criterion) {
+    let scale = 14u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 24);
+    let csr = CsrGraph::from_edges_undirected(n, &edges);
+    let comp = CompressedCsr::from_csr(&csr);
+    let mut g = c.benchmark_group("ablation_compressed");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(csr.num_entries() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| CompressedCsr::from_csr(&csr));
+    });
+    g.bench_function("decode_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for u in 0..n as u32 {
+                comp.for_each_neighbor(u, |v| acc += v as u64);
+            }
+            acc
+        });
+    });
+    g.bench_function("csr_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for u in 0..n as u32 {
+                for &v in csr.neighbors(u) {
+                    acc += v as u64;
+                }
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

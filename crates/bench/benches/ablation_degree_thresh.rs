@@ -1,0 +1,37 @@
+//! Ablation: the hybrid representation's degree threshold (paper value
+//! 32) swept across a 50/50 insert/delete workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snap_bench::build_edges;
+use snap_core::adjacency::CapacityHints;
+use snap_core::{engine, DynGraph, HybridAdj};
+use snap_rmat::StreamBuilder;
+
+fn bench(c: &mut Criterion) {
+    let scale = 13u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 21);
+    let mixed = StreamBuilder::new(&edges, 21).mixed(edges.len() / 5, 0.5);
+    let base = StreamBuilder::new(&edges, 7).construction();
+    let mut g = c.benchmark_group("ablation_degree_thresh");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(mixed.len() as u64));
+    for thresh in [8u32, 32, 128] {
+        let hints = CapacityHints::new(edges.len() * 2).with_degree_thresh(thresh);
+        g.bench_with_input(BenchmarkId::from_parameter(thresh), &hints, |b, h| {
+            b.iter_batched(
+                || {
+                    let graph: DynGraph<HybridAdj> = DynGraph::undirected(n, h);
+                    engine::apply_stream(&graph, &base);
+                    graph
+                },
+                |graph| engine::apply_stream(&graph, &mixed),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

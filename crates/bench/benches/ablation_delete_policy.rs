@@ -1,0 +1,49 @@
+//! Ablation: deletion policy — tombstone scan (Dyn-arr), compacting
+//! swap-remove array (Hybrid with an unreachable threshold), treap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::{build_edges, build_graph};
+use snap_core::adjacency::CapacityHints;
+use snap_core::{engine, DynArr, DynGraph, HybridAdj, TreapAdj};
+use snap_rmat::StreamBuilder;
+
+fn bench(c: &mut Criterion) {
+    let scale = 13u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 23);
+    let dels = StreamBuilder::new(&edges, 23).deletions(edges.len() / 13);
+    let base = StreamBuilder::new(&edges, 7).construction();
+    let mut g = c.benchmark_group("ablation_delete_policy");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(dels.len() as u64));
+    g.bench_function("tombstone_dyn_arr", |b| {
+        b.iter_batched(
+            || build_graph::<DynArr>(n, &edges),
+            |graph| engine::apply_stream(&graph, &dels),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("compacting_array", |b| {
+        let hints = CapacityHints::new(edges.len() * 2).with_degree_thresh(u32::MAX);
+        b.iter_batched(
+            || {
+                let graph: DynGraph<HybridAdj> = DynGraph::undirected(n, &hints);
+                engine::apply_stream(&graph, &base);
+                graph
+            },
+            |graph| engine::apply_stream(&graph, &dels),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("treap", |b| {
+        b.iter_batched(
+            || build_graph::<TreapAdj>(n, &edges),
+            |graph| engine::apply_stream(&graph, &dels),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

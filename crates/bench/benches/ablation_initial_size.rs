@@ -1,0 +1,31 @@
+//! Ablation: Dyn-arr initial capacity factor k (initial per-vertex
+//! capacity k*m/n; the paper settles on k = 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snap_bench::{build_edges, construction_stream};
+use snap_core::adjacency::CapacityHints;
+use snap_core::{engine, DynArr, DynGraph};
+
+fn bench(c: &mut Criterion) {
+    let scale = 14u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 22);
+    let stream = construction_stream(&edges, 22);
+    let mut g = c.benchmark_group("ablation_initial_size");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for k in [0usize, 1, 2, 4] {
+        let hints = CapacityHints::new(stream.len() * 2).with_initial_capacity_factor(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &hints, |b, h| {
+            b.iter_batched(
+                || DynGraph::<DynArr>::undirected(n, h),
+                |graph| engine::apply_stream(&graph, &stream),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 1: Dyn-arr-nr insertion throughput as the problem size grows
+//! (R-MAT, m = 10n). Criterion reports time per full construction; the
+//! throughput line is updates/second (MUPS x 10^6). Thread sweeps live in
+//! the `experiments` binary; criterion benches use the global pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snap_bench::{build_edges, build_fixed_graph, construction_stream};
+use snap_core::engine;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_dyn_arr_nr_size_sweep");
+    g.sample_size(10);
+    for scale in [12u32, 14, 16] {
+        let edges = build_edges(scale, 10, 1);
+        let stream = construction_stream(&edges, 1);
+        let n = 1usize << scale;
+        g.throughput(Throughput::Elements(stream.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &stream, |b, s| {
+            b.iter_batched(
+                || build_fixed_graph(n, s),
+                |graph| engine::apply_stream(&graph, s),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 2: construction with Dyn-arr (initial capacity 16, doubling
+//! growth) versus the no-resize oracle Dyn-arr-nr.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::{build_edges, build_fixed_graph, construction_stream};
+use snap_core::adjacency::CapacityHints;
+use snap_core::{engine, DynArr, DynGraph};
+
+fn bench(c: &mut Criterion) {
+    let scale = 14u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 2);
+    let stream = construction_stream(&edges, 2);
+    let mut g = c.benchmark_group("fig02_resize_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    // Paper setting for this figure: every vertex starts at capacity 16.
+    let hints = CapacityHints {
+        expected_edges: 16 * n,
+        initial_capacity_factor: 1,
+        ..CapacityHints::new(16 * n)
+    };
+    g.bench_function("dyn_arr", |b| {
+        b.iter_batched(
+            || DynGraph::<DynArr>::undirected(n, &hints),
+            |graph| engine::apply_stream(&graph, &stream),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("dyn_arr_nr", |b| {
+        b.iter_batched(
+            || build_fixed_graph(n, &stream),
+            |graph| engine::apply_stream(&graph, &stream),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

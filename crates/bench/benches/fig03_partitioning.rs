@@ -1,0 +1,55 @@
+//! Figure 3: insert-only updates — direct Dyn-arr streaming versus the
+//! semi-sort lower bound of batched processing versus the Vpart and Epart
+//! partitioned strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::{build_edges, construction_stream};
+use snap_core::adjacency::CapacityHints;
+use snap_core::{engine, DynArr, DynGraph};
+
+fn bench(c: &mut Criterion) {
+    let scale = 14u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 3);
+    let stream = construction_stream(&edges, 3);
+    let hints = CapacityHints::new(stream.len() * 2);
+    let workers = rayon::current_num_threads().max(1);
+    let mut g = c.benchmark_group("fig03_partitioning");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("dyn_arr_stream", |b| {
+        b.iter_batched(
+            || DynGraph::<DynArr>::undirected(n, &hints),
+            |graph| engine::apply_stream(&graph, &stream),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("semi_sort_bound", |b| {
+        b.iter(|| engine::semi_sort_bound(&stream, n, false));
+    });
+    g.bench_function("vpart", |b| {
+        b.iter_batched(
+            || DynGraph::<DynArr>::undirected(n, &hints),
+            |graph| engine::apply_vpart(&graph, &stream, workers),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("epart", |b| {
+        b.iter_batched(
+            || DynGraph::<DynArr>::undirected(n, &hints),
+            |graph| engine::apply_epart(&graph, &stream, workers),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("batched", |b| {
+        b.iter_batched(
+            || DynGraph::<DynArr>::undirected(n, &hints),
+            |graph| engine::apply_batched(&graph, &stream),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 4: graph construction (a series of insertions) across the three
+//! adjacency representations: Dyn-arr, Treaps, Hybrid-arr-treap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::{build_edges, construction_stream};
+use snap_core::adjacency::CapacityHints;
+use snap_core::{engine, DynArr, DynGraph, HybridAdj, TreapAdj};
+
+fn bench(c: &mut Criterion) {
+    let scale = 14u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 4);
+    let stream = construction_stream(&edges, 4);
+    let hints = CapacityHints::new(stream.len() * 2);
+    let mut g = c.benchmark_group("fig04_construction_by_repr");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("dyn_arr", |b| {
+        b.iter_batched(
+            || DynGraph::<DynArr>::undirected(n, &hints),
+            |graph| engine::apply_stream(&graph, &stream),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("treaps", |b| {
+        b.iter_batched(
+            || DynGraph::<TreapAdj>::undirected(n, &hints),
+            |graph| engine::apply_stream(&graph, &stream),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("hybrid", |b| {
+        b.iter_batched(
+            || DynGraph::<HybridAdj>::undirected(n, &hints),
+            |graph| engine::apply_stream(&graph, &stream),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 5: deletion throughput across the three representations. The
+//! graph is pre-built (untimed); the measured phase deletes ~7.5% of m
+//! random existing edges, mirroring the paper's 20M deletions on a
+//! 268M-edge network.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::{build_edges, build_graph};
+use snap_core::{engine, DynArr, HybridAdj, TreapAdj};
+use snap_rmat::StreamBuilder;
+
+fn bench(c: &mut Criterion) {
+    let scale = 13u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 5);
+    let dels = StreamBuilder::new(&edges, 5).deletions(edges.len() / 13);
+    let mut g = c.benchmark_group("fig05_deletions_by_repr");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(dels.len() as u64));
+    g.bench_function("dyn_arr", |b| {
+        b.iter_batched(
+            || build_graph::<DynArr>(n, &edges),
+            |graph| engine::apply_stream(&graph, &dels),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("treaps", |b| {
+        b.iter_batched(
+            || build_graph::<TreapAdj>(n, &edges),
+            |graph| engine::apply_stream(&graph, &dels),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("hybrid", |b| {
+        b.iter_batched(
+            || build_graph::<HybridAdj>(n, &edges),
+            |graph| engine::apply_stream(&graph, &dels),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 6: mixed workload (75% insertions / 25% deletions, ~19% of m
+//! updates as in the paper's 50M on 268M edges) across representations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::{build_edges, build_graph};
+use snap_core::{engine, DynArr, HybridAdj, TreapAdj};
+use snap_rmat::StreamBuilder;
+
+fn bench(c: &mut Criterion) {
+    let scale = 13u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 6);
+    let mixed = StreamBuilder::new(&edges, 6).mixed(edges.len() / 5, 0.75);
+    let mut g = c.benchmark_group("fig06_mixed_by_repr");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(mixed.len() as u64));
+    g.bench_function("dyn_arr", |b| {
+        b.iter_batched(
+            || build_graph::<DynArr>(n, &edges),
+            |graph| engine::apply_stream(&graph, &mixed),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("treaps", |b| {
+        b.iter_batched(
+            || build_graph::<TreapAdj>(n, &edges),
+            |graph| engine::apply_stream(&graph, &mixed),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("hybrid", |b| {
+        b.iter_batched(
+            || build_graph::<HybridAdj>(n, &edges),
+            |graph| engine::apply_stream(&graph, &mixed),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 7: link-cut forest construction (parallel BFS + component
+//! sweep) from an R-MAT snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snap_bench::build_edges;
+use snap_core::CsrGraph;
+use snap_kernels::LinkCutForest;
+
+fn bench(c: &mut Criterion) {
+    let scale = 15u32;
+    let edges = build_edges(scale, 8, 7);
+    let csr = CsrGraph::from_edges_undirected(1 << scale, &edges);
+    let mut g = c.benchmark_group("fig07_lct_build");
+    g.sample_size(10);
+    g.bench_function("from_csr", |b| {
+        b.iter(|| LinkCutForest::from_csr(&csr));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

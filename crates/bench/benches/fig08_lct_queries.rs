@@ -1,0 +1,30 @@
+//! Figure 8: batched connectivity queries (two findroots each) on the
+//! link-cut forest.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::build_edges;
+use snap_core::CsrGraph;
+use snap_kernels::LinkCutForest;
+use snap_util::rng::XorShift64;
+
+fn bench(c: &mut Criterion) {
+    let scale = 15u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 8);
+    let csr = CsrGraph::from_edges_undirected(n, &edges);
+    let forest = LinkCutForest::from_csr(&csr);
+    let mut rng = XorShift64::new(8);
+    let queries: Vec<(u32, u32)> = (0..1_000_000)
+        .map(|_| (rng.next_bounded(n as u64) as u32, rng.next_bounded(n as u64) as u32))
+        .collect();
+    let mut g = c.benchmark_group("fig08_lct_queries");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("connected_batch_1M", |b| {
+        b.iter(|| forest.connected_batch(&queries));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 9: the temporal induced-subgraph kernel — parallel mark pass
+//! plus new-graph construction for time interval (20, 70) of labels
+//! 1..=100, and the in-place deletion alternative.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::{build_edges, build_graph};
+use snap_core::{DynArr, DynGraph};
+use snap_kernels::subgraph::{induced_subgraph_csr, restrict_in_place, TimeWindow};
+
+fn bench(c: &mut Criterion) {
+    let scale = 14u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 10, 9);
+    let w = TimeWindow::open(20, 70);
+    let mut g = c.benchmark_group("fig09_induced_subgraph");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(edges.len() as u64));
+    g.bench_function("extract_and_build", |b| {
+        b.iter(|| induced_subgraph_csr(n, &edges, w));
+    });
+    g.bench_function("restrict_in_place", |b| {
+        b.iter_batched(
+            || build_graph::<DynArr>(n, &edges),
+            |graph: DynGraph<DynArr>| restrict_in_place(&graph, w),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 10: level-synchronous BFS with a timestamp check on the largest
+//! instance, from the max-degree vertex of the giant component.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::build_edges;
+use snap_core::CsrGraph;
+use snap_kernels::temporal_bfs;
+
+fn bench(c: &mut Criterion) {
+    let scale = 16u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 10);
+    let csr = CsrGraph::from_edges_undirected(n, &edges);
+    let src = (0..n as u32).max_by_key(|&u| csr.out_degree(u)).unwrap_or(0);
+    let mut g = c.benchmark_group("fig10_temporal_bfs");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(csr.num_entries() as u64));
+    g.bench_function("timestamp_checked_bfs", |b| {
+        b.iter(|| temporal_bfs(&csr, src, |ts| ts >= 1));
+    });
+    g.bench_function("window_filtered_bfs", |b| {
+        b.iter(|| temporal_bfs(&csr, src, |ts| ts > 20 && ts < 70));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

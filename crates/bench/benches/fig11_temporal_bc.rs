@@ -1,0 +1,33 @@
+//! Figure 11: approximate temporal betweenness centrality — traversal
+//! from sampled sources with temporal-path edge filtering, then
+//! extrapolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snap_bench::build_edges;
+use snap_core::CsrGraph;
+use snap_kernels::bc::sample_sources;
+use snap_kernels::{betweenness_approx, temporal_betweenness_approx};
+
+fn bench(c: &mut Criterion) {
+    let scale = 13u32;
+    let n = 1usize << scale;
+    let mut edges = build_edges(scale, 8, 11);
+    // Paper: time labels in [0, 20] for this experiment.
+    for e in &mut edges {
+        e.timestamp %= 21;
+    }
+    let csr = CsrGraph::from_edges_undirected(n, &edges);
+    let sources = sample_sources(n, 64, 11);
+    let mut g = c.benchmark_group("fig11_temporal_bc");
+    g.sample_size(10);
+    g.bench_function("temporal_approx_64src", |b| {
+        b.iter(|| temporal_betweenness_approx(&csr, &sources));
+    });
+    g.bench_function("static_approx_64src", |b| {
+        b.iter(|| betweenness_approx(&csr, &sources));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Benchmark support library: workload construction and measurement
+//! helpers shared by the `experiments` binary and the criterion benches.
+//!
+//! Every figure of the paper has two regeneration paths:
+//! - `cargo run -p snap-bench --release --bin experiments -- figN`
+//!   prints the figure's series as a table (used to fill EXPERIMENTS.md);
+//! - `cargo bench -p snap-bench --bench figNN_*` runs the statistical
+//!   criterion version of the same measurement.
+//!
+//! Instance sizes are scaled-down replicas of the paper's (Section 1.2)
+//! R-MAT configurations; `SNAP_SCALE` raises `log2(n)` globally.
+
+pub mod common;
+
+pub use common::*;

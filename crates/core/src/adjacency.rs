@@ -1,0 +1,164 @@
+//! The dynamic adjacency abstraction shared by all representations.
+
+/// Reserved neighbor id marking a tombstoned (deleted) slot in array
+/// representations. Real vertex ids must stay below this value.
+pub const TOMBSTONE: u32 = u32::MAX;
+
+/// One adjacency tuple: the neighbor and the edge's time label λ(e).
+///
+/// The paper's edges also carry a positive integer weight; unweighted
+/// graphs use w(e) = 1, and none of the evaluated kernels need more, so the
+/// slot stays two words for cache density.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AdjEntry {
+    pub nbr: u32,
+    pub ts: u32,
+}
+
+impl AdjEntry {
+    pub fn new(nbr: u32, ts: u32) -> Self {
+        debug_assert_ne!(nbr, TOMBSTONE, "vertex id collides with tombstone sentinel");
+        Self { nbr, ts }
+    }
+}
+
+/// Sizing knobs shared by the representations.
+#[derive(Clone, Copy, Debug)]
+pub struct CapacityHints {
+    /// Expected total edge count (directed slot count); drives the initial
+    /// per-vertex capacity `k * m / n` from Section 2.1.1.
+    pub expected_edges: usize,
+    /// The paper's `k`: initial capacity multiplier over the mean degree.
+    /// `k = 2` "performs reasonably well" on R-MAT instances.
+    pub initial_capacity_factor: usize,
+    /// Degree threshold at which the hybrid representation switches a
+    /// vertex from array to treap. The paper settles on 32.
+    pub degree_thresh: u32,
+    /// Slot capacity of each slab in the backing pool.
+    pub pool_slab_slots: usize,
+}
+
+impl CapacityHints {
+    /// Paper defaults for an instance expected to reach `expected_edges`
+    /// directed adjacency slots.
+    pub fn new(expected_edges: usize) -> Self {
+        Self {
+            expected_edges,
+            initial_capacity_factor: 2,
+            degree_thresh: 32,
+            pool_slab_slots: snap_arena::DEFAULT_SLAB_SLOTS,
+        }
+    }
+
+    /// Initial per-vertex capacity for `n` vertices: `max(4, k*m/n)`,
+    /// rounded up.
+    pub fn initial_capacity(&self, n: usize) -> u32 {
+        let mean = self.expected_edges.div_ceil(n.max(1));
+        (self.initial_capacity_factor * mean).max(4) as u32
+    }
+
+    pub fn with_degree_thresh(mut self, t: u32) -> Self {
+        self.degree_thresh = t.max(1);
+        self
+    }
+
+    pub fn with_initial_capacity_factor(mut self, k: usize) -> Self {
+        self.initial_capacity_factor = k;
+        self
+    }
+}
+
+impl Default for CapacityHints {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// A dynamic adjacency structure: per-vertex neighbor sets under concurrent
+/// structural updates.
+///
+/// All methods take `&self`; implementations provide their own per-vertex
+/// synchronization (spinlocks, mutexes, or atomic slot reservation).
+pub trait DynamicAdjacency: Send + Sync {
+    /// Creates a structure for vertices `0..n`.
+    fn new(n: usize, hints: &CapacityHints) -> Self
+    where
+        Self: Sized;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Appends/inserts `e` into `u`'s adjacency. Array representations
+    /// append blindly (the paper's constant-time insertion does no
+    /// membership check and may store duplicates); tree representations
+    /// dedup on the neighbor key. Returns `true` if a new entry was stored.
+    fn insert(&self, u: u32, e: AdjEntry) -> bool;
+
+    /// Deletes one occurrence of neighbor `v` from `u`'s adjacency.
+    /// Returns `true` if an entry was removed.
+    fn delete(&self, u: u32, v: u32) -> bool;
+
+    /// True if `u`'s adjacency currently holds `v`.
+    fn contains(&self, u: u32, v: u32) -> bool;
+
+    /// Number of live (non-deleted) entries in `u`'s adjacency.
+    fn degree(&self, u: u32) -> usize;
+
+    /// Invokes `f` on every live entry of `u`'s adjacency.
+    fn for_each(&self, u: u32, f: &mut dyn FnMut(AdjEntry));
+
+    /// Removes every live entry of `u` for which `keep` returns `false`,
+    /// returning the number removed. Unlike repeated [`Self::delete`]
+    /// calls, this discriminates entries with equal neighbors but
+    /// different timestamps (needed by the in-place induced-subgraph
+    /// kernel).
+    fn retain(&self, u: u32, keep: &mut dyn FnMut(AdjEntry) -> bool) -> usize;
+
+    /// Collects `u`'s live entries (convenience over [`Self::for_each`]).
+    fn neighbors(&self, u: u32) -> Vec<AdjEntry> {
+        let mut out = Vec::with_capacity(self.degree(u));
+        self.for_each(u, &mut |e| out.push(e));
+        out
+    }
+
+    /// Total live entries across all vertices (O(n) unless overridden).
+    fn total_entries(&self) -> usize {
+        (0..self.num_vertices() as u32).map(|u| self.degree(u)).sum()
+    }
+
+    /// Approximate resident bytes, for the paper's footprint comparisons.
+    fn memory_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_capacity_follows_k_m_over_n() {
+        let h = CapacityHints::new(1000).with_initial_capacity_factor(2);
+        // mean degree 10 for n=100 -> capacity 20
+        assert_eq!(h.initial_capacity(100), 20);
+    }
+
+    #[test]
+    fn initial_capacity_has_floor() {
+        let h = CapacityHints::new(0);
+        assert_eq!(h.initial_capacity(100), 4);
+        let h2 = CapacityHints::new(10); // mean degree < 1
+        assert_eq!(h2.initial_capacity(1000), 4);
+    }
+
+    #[test]
+    fn degree_thresh_never_zero() {
+        let h = CapacityHints::new(0).with_degree_thresh(0);
+        assert_eq!(h.degree_thresh, 1);
+    }
+
+    #[test]
+    fn adj_entry_construction() {
+        let e = AdjEntry::new(5, 17);
+        assert_eq!(e.nbr, 5);
+        assert_eq!(e.ts, 17);
+    }
+}

@@ -1,0 +1,314 @@
+//! Static CSR (compressed sparse row) snapshots.
+//!
+//! The analysis kernels of Section 3 run on a frozen view of the dynamic
+//! graph: cache-friendly adjacency arrays, the representation prior work
+//! showed dominates linked structures for static traversal. A snapshot is
+//! built in parallel either from an edge list or from any
+//! [`DynamicAdjacency`] state.
+
+use crate::adjacency::DynamicAdjacency;
+use rayon::prelude::*;
+use snap_rmat::TimedEdge;
+use snap_util::prefix::par_exclusive_scan;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A static timestamped graph in CSR form.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    /// `offsets[u]..offsets[u+1]` delimits `u`'s adjacency.
+    offsets: Vec<usize>,
+    nbrs: Vec<u32>,
+    ts: Vec<u32>,
+}
+
+/// Raw pointer wrapper for provably disjoint parallel scatters.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl CsrGraph {
+    /// Builds a directed CSR from an edge list.
+    pub fn from_edges_directed(n: usize, edges: &[TimedEdge]) -> Self {
+        Self::build(n, edges, false)
+    }
+
+    /// Builds an undirected CSR (both orientations stored).
+    pub fn from_edges_undirected(n: usize, edges: &[TimedEdge]) -> Self {
+        Self::build(n, edges, true)
+    }
+
+    fn build(n: usize, edges: &[TimedEdge], symmetric: bool) -> Self {
+        // Pass 1: degrees (atomic histogram; contention is amortized by the
+        // power-law skew being spread over n counters).
+        let degrees: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        edges.par_iter().for_each(|e| {
+            degrees[e.u as usize].fetch_add(1, Ordering::Relaxed);
+            if symmetric && e.u != e.v {
+                degrees[e.v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let mut offsets: Vec<usize> = degrees.into_iter().map(|d| d.into_inner()).collect();
+        offsets.push(0);
+        let total = par_exclusive_scan(&mut offsets);
+        // `offsets` is now exclusive prefix; the pushed 0 became `total`?
+        // No: the scan wrote prefix sums in place, so the final slot holds
+        // the sum of all but the last original element. Fix it explicitly.
+        *offsets.last_mut().expect("offsets non-empty") = total;
+
+        // Pass 2: scatter through per-vertex atomic cursors.
+        let cursors: Vec<AtomicUsize> =
+            offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
+        let mut nbrs: Vec<u32> = Vec::with_capacity(total);
+        let mut ts: Vec<u32> = Vec::with_capacity(total);
+        // SAFETY: each slot is written exactly once via the cursor protocol.
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            nbrs.set_len(total);
+            ts.set_len(total);
+        }
+        let nbrs_ptr = SendPtr(nbrs.as_mut_ptr());
+        let ts_ptr = SendPtr(ts.as_mut_ptr());
+        edges.par_iter().for_each(|e| {
+            let nbrs_ptr = &nbrs_ptr;
+            let ts_ptr = &ts_ptr;
+            let i = cursors[e.u as usize].fetch_add(1, Ordering::Relaxed);
+            // SAFETY: cursor grants slot i exclusively; i < offsets[u+1].
+            unsafe {
+                *nbrs_ptr.0.add(i) = e.v;
+                *ts_ptr.0.add(i) = e.timestamp;
+            }
+            if symmetric && e.u != e.v {
+                let j = cursors[e.v as usize].fetch_add(1, Ordering::Relaxed);
+                // SAFETY: as above for vertex v.
+                unsafe {
+                    *nbrs_ptr.0.add(j) = e.u;
+                    *ts_ptr.0.add(j) = e.timestamp;
+                }
+            }
+        });
+        Self { offsets, nbrs, ts }
+    }
+
+    /// Snapshots the live entries of a dynamic adjacency structure.
+    pub fn from_dynamic<A: DynamicAdjacency>(adj: &A) -> Self {
+        let n = adj.num_vertices();
+        let mut offsets: Vec<usize> = (0..n as u32)
+            .into_par_iter()
+            .map(|u| adj.degree(u))
+            .collect();
+        offsets.push(0);
+        let total = par_exclusive_scan(&mut offsets);
+        *offsets.last_mut().expect("offsets non-empty") = total;
+        let mut nbrs: Vec<u32> = Vec::with_capacity(total);
+        let mut ts: Vec<u32> = Vec::with_capacity(total);
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            nbrs.set_len(total);
+            ts.set_len(total);
+        }
+        let nbrs_ptr = SendPtr(nbrs.as_mut_ptr());
+        let ts_ptr = SendPtr(ts.as_mut_ptr());
+        let offsets_ref = &offsets;
+        (0..n as u32).into_par_iter().for_each(|u| {
+            let nbrs_ptr = &nbrs_ptr;
+            let ts_ptr = &ts_ptr;
+            let mut cursor = offsets_ref[u as usize];
+            let end = offsets_ref[u as usize + 1];
+            adj.for_each(u, &mut |e| {
+                // A concurrent mutation between the degree pass and this
+                // scatter would break the slot budget; snapshots follow the
+                // bulk-synchronous phase discipline, so degree is stable.
+                assert!(cursor < end, "adjacency mutated during snapshot");
+                // SAFETY: each vertex owns offsets[u]..offsets[u+1]
+                // exclusively.
+                unsafe {
+                    *nbrs_ptr.0.add(cursor) = e.nbr;
+                    *ts_ptr.0.add(cursor) = e.ts;
+                }
+                cursor += 1;
+            });
+            assert_eq!(cursor, end, "degree changed during snapshot");
+        });
+        Self { offsets, nbrs, ts }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored adjacency entries (directed count).
+    pub fn num_entries(&self) -> usize {
+        self.nbrs.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: u32) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// `u`'s neighbors.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.nbrs[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Timestamps parallel to [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn timestamps(&self, u: u32) -> &[u32] {
+        &self.ts[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// The raw offsets array (length `n + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as u32)
+            .into_par_iter()
+            .map(|u| self.out_degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates all `(u, v, ts)` entries.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        (0..self.num_vertices() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .zip(self.timestamps(u))
+                .map(move |(&v, &t)| (u, v, t))
+        })
+    }
+
+    /// Resident bytes of the snapshot.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.nbrs.len() * 4 + self.ts.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::CapacityHints;
+    use crate::dynarr::DynArr;
+    use crate::graph::DynGraph;
+
+    fn edges() -> Vec<TimedEdge> {
+        vec![
+            TimedEdge::new(0, 1, 10),
+            TimedEdge::new(0, 2, 20),
+            TimedEdge::new(1, 2, 30),
+            TimedEdge::new(3, 0, 40),
+        ]
+    }
+
+    #[test]
+    fn directed_build_has_expected_degrees() {
+        let g = CsrGraph::from_edges_directed(4, &edges());
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_entries(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.out_degree(3), 1);
+        let mut n0 = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    fn undirected_build_symmetrizes() {
+        let g = CsrGraph::from_edges_undirected(4, &edges());
+        assert_eq!(g.num_entries(), 8);
+        assert_eq!(g.out_degree(0), 3); // 1, 2, 3
+        assert_eq!(g.out_degree(2), 2); // 0, 1
+        assert!(g.neighbors(2).contains(&0));
+        assert!(g.neighbors(2).contains(&1));
+    }
+
+    #[test]
+    fn self_loop_counted_once_in_undirected() {
+        let e = vec![TimedEdge::new(1, 1, 5)];
+        let g = CsrGraph::from_edges_undirected(3, &e);
+        assert_eq!(g.num_entries(), 1);
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+
+    #[test]
+    fn timestamps_travel_with_neighbors() {
+        let g = CsrGraph::from_edges_directed(4, &edges());
+        let ns = g.neighbors(0);
+        let ts = g.timestamps(0);
+        for (v, t) in ns.iter().zip(ts) {
+            match v {
+                1 => assert_eq!(*t, 10),
+                2 => assert_eq!(*t, 20),
+                _ => panic!("unexpected neighbor"),
+            }
+        }
+    }
+
+    #[test]
+    fn from_dynamic_round_trips() {
+        let hints = CapacityHints::new(16);
+        let g: DynGraph<DynArr> = DynGraph::undirected(4, &hints);
+        for e in edges() {
+            g.insert_edge(e);
+        }
+        g.delete_edge(0, 2);
+        let csr = g.to_csr();
+        assert_eq!(csr.num_entries(), 6); // 4 edges * 2 - deleted * 2
+        let mut n0 = csr.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges_directed(5, &[]);
+        assert_eq!(g.num_entries(), 0);
+        assert_eq!(g.max_degree(), 0);
+        for u in 0..5u32 {
+            assert!(g.neighbors(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn iter_entries_covers_everything() {
+        let g = CsrGraph::from_edges_directed(4, &edges());
+        let mut got: Vec<(u32, u32, u32)> = g.iter_entries().collect();
+        got.sort_unstable();
+        let mut want: Vec<(u32, u32, u32)> =
+            edges().iter().map(|e| (e.u, e.v, e.timestamp)).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn large_parallel_build_matches_sequential_reference() {
+        use snap_rmat::{Rmat, RmatParams};
+        let r = Rmat::new(RmatParams::paper(10, 8), 77);
+        let edges = r.edges();
+        let n = 1 << 10;
+        let g = CsrGraph::from_edges_directed(n, &edges);
+        // Reference degrees.
+        let mut deg = vec![0usize; n];
+        for e in &edges {
+            deg[e.u as usize] += 1;
+        }
+        for u in 0..n as u32 {
+            assert_eq!(g.out_degree(u), deg[u as usize]);
+        }
+        assert_eq!(g.num_entries(), edges.len());
+        // Every edge present exactly where it should be.
+        let mut got: Vec<(u32, u32)> = g.iter_entries().map(|(u, v, _)| (u, v)).collect();
+        let mut want: Vec<(u32, u32)> = edges.iter().map(|e| (e.u, e.v)).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

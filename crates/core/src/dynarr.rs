@@ -1,0 +1,567 @@
+//! Resizable dynamic adjacency arrays (`Dyn-arr`) and the no-resize oracle
+//! variant (`Dyn-arr-nr`), Section 2.1.1 of the paper.
+//!
+//! `Dyn-arr` stores each vertex's adjacency as a contiguous block inside a
+//! [`SlabPool`]. Insertion appends (no membership check — constant time,
+//! duplicates allowed, exactly the paper's semantics); when the block is
+//! full its capacity doubles and the old block is abandoned to the pool.
+//! Deletion scans the block for the neighbor and *tombstones* the slot
+//! ("we just mark a memory location as deleted for Dyn-arr") — this is
+//! precisely why deletions on high-degree vertices are expensive and why
+//! the hybrid representation exists.
+//!
+//! Synchronization: one word-sized spinlock per vertex. The paper's C code
+//! uses a bare atomic fetch-and-add on the length; that is only sound when
+//! no concurrent resize can happen, which is the [`FixedDynArr`] case below
+//! — there insertion really is a single lock-free `fetch_add` plus two
+//! atomic stores. For the resizable variant, any memory-safe scheme must
+//! exclude writers during a grow, and an uncontended per-vertex spinlock
+//! (one CAS) is the cheapest such exclusion.
+
+use crate::adjacency::{AdjEntry, CapacityHints, DynamicAdjacency, TOMBSTONE};
+use snap_arena::SlabPool;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Per-vertex adjacency block descriptor. Mutated only under the cell lock.
+#[derive(Clone, Copy)]
+struct VertexList {
+    /// Block base, or null before the first insertion.
+    ptr: *mut AdjEntry,
+    cap: u32,
+    /// Slots used, tombstones included.
+    len: u32,
+    /// Live (non-tombstoned) entries.
+    live: u32,
+}
+
+impl VertexList {
+    const EMPTY: Self = Self { ptr: std::ptr::null_mut(), cap: 0, len: 0, live: 0 };
+}
+
+/// A vertex cell: spinlock word + its list descriptor.
+struct Cell {
+    lock: AtomicU32,
+    list: UnsafeCell<VertexList>,
+}
+
+/// RAII spinlock guard over a cell (unlocks on drop, panic-safe).
+struct CellGuard<'a> {
+    cell: &'a Cell,
+}
+
+impl<'a> CellGuard<'a> {
+    #[inline]
+    fn acquire(cell: &'a Cell) -> Self {
+        while cell
+            .lock
+            .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        Self { cell }
+    }
+
+    #[inline]
+    fn list(&mut self) -> &mut VertexList {
+        // SAFETY: the spinlock serializes all access to the descriptor and
+        // the block it points to.
+        unsafe { &mut *self.cell.list.get() }
+    }
+}
+
+impl Drop for CellGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.cell.lock.store(0, Ordering::Release);
+    }
+}
+
+/// `Dyn-arr`: resizable adjacency arrays over a slab pool.
+pub struct DynArr {
+    cells: Box<[Cell]>,
+    pool: SlabPool<AdjEntry>,
+    initial_cap: u32,
+    /// Number of grow operations performed (resize-overhead reporting,
+    /// Figure 2).
+    resizes: AtomicUsize,
+}
+
+impl DynArr {
+    /// Number of capacity-doubling events so far.
+    pub fn resize_count(&self) -> usize {
+        self.resizes.load(Ordering::Relaxed)
+    }
+
+    /// Underlying pool statistics (footprint reporting).
+    pub fn pool(&self) -> &SlabPool<AdjEntry> {
+        &self.pool
+    }
+
+    #[inline]
+    fn cell(&self, u: u32) -> &Cell {
+        &self.cells[u as usize]
+    }
+
+    /// Grows `list` to at least `min_cap`, copying live contents.
+    fn grow(&self, list: &mut VertexList, min_cap: u32) {
+        let new_cap = list.cap.max(2).next_power_of_two().max(min_cap.next_power_of_two());
+        let new_cap = if new_cap <= list.cap { list.cap * 2 } else { new_cap };
+        let new_ptr = self.pool.alloc(new_cap as usize).as_ptr();
+        if !list.ptr.is_null() && list.len > 0 {
+            // SAFETY: source block holds `len` initialized slots; the
+            // destination was freshly reserved with capacity >= len.
+            unsafe {
+                std::ptr::copy_nonoverlapping(list.ptr, new_ptr, list.len as usize);
+            }
+        }
+        list.ptr = new_ptr;
+        list.cap = new_cap;
+        self.resizes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: every access to a cell's descriptor/block is serialized by that
+// cell's spinlock; the pool is internally synchronized.
+unsafe impl Send for DynArr {}
+unsafe impl Sync for DynArr {}
+
+impl DynamicAdjacency for DynArr {
+    fn new(n: usize, hints: &CapacityHints) -> Self {
+        let cells = (0..n)
+            .map(|_| Cell { lock: AtomicU32::new(0), list: UnsafeCell::new(VertexList::EMPTY) })
+            .collect();
+        Self {
+            cells,
+            pool: SlabPool::with_slab_slots(hints.pool_slab_slots),
+            initial_cap: hints.initial_capacity(n),
+            resizes: AtomicUsize::new(0),
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn insert(&self, u: u32, e: AdjEntry) -> bool {
+        let mut guard = CellGuard::acquire(self.cell(u));
+        let initial = self.initial_cap;
+        let list = guard.list();
+        if list.ptr.is_null() {
+            let cap = initial;
+            list.ptr = self.pool.alloc(cap as usize).as_ptr();
+            list.cap = cap;
+        } else if list.len == list.cap {
+            self.grow(list, list.cap + 1);
+        }
+        // SAFETY: len < cap after the branch above; slot owned exclusively
+        // under the lock.
+        unsafe {
+            list.ptr.add(list.len as usize).write(e);
+        }
+        list.len += 1;
+        list.live += 1;
+        true
+    }
+
+    fn delete(&self, u: u32, v: u32) -> bool {
+        let mut guard = CellGuard::acquire(self.cell(u));
+        let list = guard.list();
+        for i in 0..list.len as usize {
+            // SAFETY: i < len, slots 0..len are initialized.
+            let slot = unsafe { &mut *list.ptr.add(i) };
+            if slot.nbr == v {
+                slot.nbr = TOMBSTONE;
+                list.live -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn contains(&self, u: u32, v: u32) -> bool {
+        let mut guard = CellGuard::acquire(self.cell(u));
+        let list = guard.list();
+        (0..list.len as usize).any(|i| {
+            // SAFETY: i < len.
+            unsafe { (*list.ptr.add(i)).nbr == v }
+        })
+    }
+
+    fn degree(&self, u: u32) -> usize {
+        let mut guard = CellGuard::acquire(self.cell(u));
+        guard.list().live as usize
+    }
+
+    fn for_each(&self, u: u32, f: &mut dyn FnMut(AdjEntry)) {
+        let mut guard = CellGuard::acquire(self.cell(u));
+        let list = *guard.list();
+        for i in 0..list.len as usize {
+            // SAFETY: i < len.
+            let e = unsafe { *list.ptr.add(i) };
+            if e.nbr != TOMBSTONE {
+                f(e);
+            }
+        }
+    }
+
+    fn retain(&self, u: u32, keep: &mut dyn FnMut(AdjEntry) -> bool) -> usize {
+        let mut guard = CellGuard::acquire(self.cell(u));
+        let list = guard.list();
+        let mut removed = 0;
+        for i in 0..list.len as usize {
+            // SAFETY: i < len.
+            let slot = unsafe { &mut *list.ptr.add(i) };
+            if slot.nbr != TOMBSTONE && !keep(*slot) {
+                slot.nbr = TOMBSTONE;
+                removed += 1;
+            }
+        }
+        list.live -= removed as u32;
+        removed
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<Cell>() + self.pool.reserved_bytes()
+    }
+}
+
+/// `Dyn-arr-nr`: fixed-capacity adjacency arrays with the exact per-vertex
+/// sizes known a priori ("assumes that one knows the size of the adjacency
+/// arrays for each vertex before-hand, and thus incurs no resizing
+/// overhead"). Insertion is genuinely lock-free and touches exactly two
+/// cache lines: one `fetch_add` reserves a slot, one `Release` store
+/// publishes the packed `(neighbor, timestamp)` word.
+pub struct FixedDynArr {
+    /// Slot range of vertex `u` is `offsets[u]..offsets[u+1]`.
+    offsets: Vec<usize>,
+    /// Slots used per vertex (reservation cursor).
+    lens: Vec<AtomicU32>,
+    /// Tombstoned entries per vertex (degree = len - deleted); only the
+    /// deletion path pays for this counter.
+    deleted: Vec<AtomicU32>,
+    /// Packed slots: `nbr` in the high 32 bits, `ts` in the low 32.
+    /// `EMPTY_SLOT` marks unpublished/deleted slots.
+    slots: Vec<AtomicU64>,
+}
+
+/// Packed slot sentinel: tombstone neighbor, zero timestamp.
+const EMPTY_SLOT: u64 = (TOMBSTONE as u64) << 32;
+
+#[inline]
+fn pack(e: AdjEntry) -> u64 {
+    ((e.nbr as u64) << 32) | e.ts as u64
+}
+
+#[inline]
+fn slot_nbr(s: u64) -> u32 {
+    (s >> 32) as u32
+}
+
+#[inline]
+fn slot_ts(s: u64) -> u32 {
+    s as u32
+}
+
+impl FixedDynArr {
+    /// Builds the structure from exact per-vertex slot capacities.
+    pub fn with_capacities(caps: &[u32]) -> Self {
+        let n = caps.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        for &c in caps {
+            offsets.push(acc);
+            acc += c as usize;
+        }
+        offsets.push(acc);
+        Self {
+            offsets,
+            lens: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            deleted: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            slots: (0..acc).map(|_| AtomicU64::new(EMPTY_SLOT)).collect(),
+        }
+    }
+
+    /// Computes the exact capacities an update stream needs (one slot per
+    /// insertion of each source vertex) — the oracle the paper grants
+    /// `Dyn-arr-nr`.
+    pub fn capacities_for_inserts(n: usize, sources: impl IntoIterator<Item = u32>) -> Vec<u32> {
+        let mut caps = vec![0u32; n];
+        for u in sources {
+            caps[u as usize] += 1;
+        }
+        caps
+    }
+
+    #[inline]
+    fn range(&self, u: u32) -> (usize, usize) {
+        (self.offsets[u as usize], self.offsets[u as usize + 1])
+    }
+
+    /// Capacity of vertex `u`.
+    pub fn capacity(&self, u: u32) -> usize {
+        let (lo, hi) = self.range(u);
+        hi - lo
+    }
+}
+
+impl DynamicAdjacency for FixedDynArr {
+    /// Uniform-capacity construction (`initial_capacity` slots per vertex).
+    /// Real experiments use [`FixedDynArr::with_capacities`] with the exact
+    /// oracle sizes; this exists to satisfy generic construction in tests.
+    fn new(n: usize, hints: &CapacityHints) -> Self {
+        Self::with_capacities(&vec![hints.initial_capacity(n); n])
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.lens.len()
+    }
+
+    fn insert(&self, u: u32, e: AdjEntry) -> bool {
+        let (lo, hi) = self.range(u);
+        let i = self.lens[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
+        assert!(
+            lo + i < hi,
+            "FixedDynArr capacity oracle violated for vertex {u} (cap {})",
+            hi - lo
+        );
+        // One Release store publishes the whole entry; a concurrent scanner
+        // sees either EMPTY_SLOT or the complete packed word.
+        self.slots[lo + i].store(pack(e), Ordering::Release);
+        true
+    }
+
+    fn delete(&self, u: u32, v: u32) -> bool {
+        let (lo, _) = self.range(u);
+        let len = (self.lens[u as usize].load(Ordering::Acquire) as usize).min(self.capacity(u));
+        for i in 0..len {
+            let s = self.slots[lo + i].load(Ordering::Acquire);
+            if slot_nbr(s) == v
+                && self.slots[lo + i]
+                    .compare_exchange(s, EMPTY_SLOT, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.deleted[u as usize].fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn contains(&self, u: u32, v: u32) -> bool {
+        let (lo, _) = self.range(u);
+        let len = (self.lens[u as usize].load(Ordering::Acquire) as usize).min(self.capacity(u));
+        (0..len).any(|i| slot_nbr(self.slots[lo + i].load(Ordering::Acquire)) == v)
+    }
+
+    fn degree(&self, u: u32) -> usize {
+        let len = (self.lens[u as usize].load(Ordering::Relaxed) as usize).min(self.capacity(u));
+        len - self.deleted[u as usize].load(Ordering::Relaxed) as usize
+    }
+
+    fn for_each(&self, u: u32, f: &mut dyn FnMut(AdjEntry)) {
+        let (lo, _) = self.range(u);
+        let len = (self.lens[u as usize].load(Ordering::Acquire) as usize).min(self.capacity(u));
+        for i in 0..len {
+            let s = self.slots[lo + i].load(Ordering::Acquire);
+            if slot_nbr(s) != TOMBSTONE {
+                f(AdjEntry { nbr: slot_nbr(s), ts: slot_ts(s) });
+            }
+        }
+    }
+
+    fn retain(&self, u: u32, keep: &mut dyn FnMut(AdjEntry) -> bool) -> usize {
+        let (lo, _) = self.range(u);
+        let len = (self.lens[u as usize].load(Ordering::Acquire) as usize).min(self.capacity(u));
+        let mut removed = 0;
+        for i in 0..len {
+            let s = self.slots[lo + i].load(Ordering::Acquire);
+            if slot_nbr(s) == TOMBSTONE {
+                continue;
+            }
+            if !keep(AdjEntry { nbr: slot_nbr(s), ts: slot_ts(s) })
+                && self.slots[lo + i]
+                    .compare_exchange(s, EMPTY_SLOT, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.deleted[u as usize].fetch_add(1, Ordering::Relaxed);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 8
+            + (self.lens.len() + self.deleted.len()) * 4
+            + self.slots.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    fn hints() -> CapacityHints {
+        CapacityHints::new(64).with_initial_capacity_factor(2)
+    }
+
+    #[test]
+    fn dynarr_insert_and_read_back() {
+        let a = DynArr::new(8, &hints());
+        a.insert(3, AdjEntry::new(5, 10));
+        a.insert(3, AdjEntry::new(6, 11));
+        assert_eq!(a.degree(3), 2);
+        assert!(a.contains(3, 5));
+        assert!(!a.contains(3, 7));
+        let mut got = a.neighbors(3);
+        got.sort_by_key(|e| e.nbr);
+        assert_eq!(got, vec![AdjEntry::new(5, 10), AdjEntry::new(6, 11)]);
+    }
+
+    #[test]
+    fn dynarr_delete_tombstones_one_occurrence() {
+        let a = DynArr::new(4, &hints());
+        a.insert(0, AdjEntry::new(1, 1));
+        a.insert(0, AdjEntry::new(1, 2)); // duplicate allowed
+        a.insert(0, AdjEntry::new(2, 3));
+        assert_eq!(a.degree(0), 3);
+        assert!(a.delete(0, 1));
+        assert_eq!(a.degree(0), 2);
+        assert!(a.contains(0, 1), "second occurrence must survive");
+        assert!(a.delete(0, 1));
+        assert!(!a.contains(0, 1));
+        assert!(!a.delete(0, 1), "no third occurrence");
+    }
+
+    #[test]
+    fn dynarr_growth_preserves_entries() {
+        let a = DynArr::new(2, &CapacityHints::new(0)); // initial cap 4
+        for k in 0..100u32 {
+            a.insert(0, AdjEntry::new(k, k));
+        }
+        assert_eq!(a.degree(0), 100);
+        assert!(a.resize_count() >= 4, "doubling from 4 to 128 needs >= 5 grows");
+        for k in 0..100u32 {
+            assert!(a.contains(0, k), "lost neighbor {k} across resizes");
+        }
+    }
+
+    #[test]
+    fn dynarr_concurrent_inserts_keep_all_entries() {
+        let a = DynArr::new(64, &hints());
+        (0..10_000u32).into_par_iter().for_each(|i| {
+            a.insert(i % 64, AdjEntry::new(i, 0));
+        });
+        let total: usize = (0..64u32).map(|u| a.degree(u)).sum();
+        assert_eq!(total, 10_000);
+        // Hot-vertex case: everything on one vertex.
+        let b = DynArr::new(1, &hints());
+        (0..5_000u32).into_par_iter().for_each(|i| {
+            b.insert(0, AdjEntry::new(i, 0));
+        });
+        assert_eq!(b.degree(0), 5_000);
+        let mut seen = vec![false; 5_000];
+        b.for_each(0, &mut |e| seen[e.nbr as usize] = true);
+        assert!(seen.iter().all(|&s| s), "an insert was lost under contention");
+    }
+
+    #[test]
+    fn dynarr_concurrent_mixed_inserts_and_deletes_balance() {
+        let a = DynArr::new(16, &hints());
+        for u in 0..16u32 {
+            for k in 0..50u32 {
+                a.insert(u, AdjEntry::new(k, 0));
+            }
+        }
+        // Delete all 50 neighbors of every vertex concurrently.
+        (0..16u32 * 50).into_par_iter().for_each(|i| {
+            let u = i / 50;
+            let k = i % 50;
+            assert!(a.delete(u, k));
+        });
+        assert_eq!(a.total_entries(), 0);
+    }
+
+    #[test]
+    fn dynarr_empty_vertex_behaviour() {
+        let a = DynArr::new(4, &hints());
+        assert_eq!(a.degree(2), 0);
+        assert!(!a.contains(2, 0));
+        assert!(!a.delete(2, 0));
+        assert!(a.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn fixed_capacity_oracle_from_stream() {
+        let caps = FixedDynArr::capacities_for_inserts(4, [0u32, 0, 1, 3, 3, 3]);
+        assert_eq!(caps, vec![2, 1, 0, 3]);
+    }
+
+    #[test]
+    fn fixed_insert_delete_roundtrip() {
+        let a = FixedDynArr::with_capacities(&[3, 2]);
+        a.insert(0, AdjEntry::new(9, 1));
+        a.insert(0, AdjEntry::new(8, 2));
+        a.insert(1, AdjEntry::new(0, 3));
+        assert_eq!(a.degree(0), 2);
+        assert!(a.contains(0, 9));
+        assert!(a.delete(0, 9));
+        assert!(!a.contains(0, 9));
+        assert_eq!(a.degree(0), 1);
+        assert_eq!(a.neighbors(1), vec![AdjEntry::new(0, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity oracle violated")]
+    fn fixed_overflow_panics() {
+        let a = FixedDynArr::with_capacities(&[1]);
+        a.insert(0, AdjEntry::new(1, 0));
+        a.insert(0, AdjEntry::new(2, 0));
+    }
+
+    #[test]
+    fn fixed_concurrent_inserts_lock_free_path() {
+        let caps = vec![10_000u32];
+        let a = FixedDynArr::with_capacities(&caps);
+        (0..10_000u32).into_par_iter().for_each(|i| {
+            a.insert(0, AdjEntry::new(i, i));
+        });
+        assert_eq!(a.degree(0), 10_000);
+        let mut seen = vec![false; 10_000];
+        a.for_each(0, &mut |e| {
+            assert_eq!(e.ts, e.nbr, "slot published incompletely");
+            seen[e.nbr as usize] = true;
+        });
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fixed_concurrent_delete_each_once() {
+        let a = FixedDynArr::with_capacities(&[1000]);
+        for k in 0..1000u32 {
+            a.insert(0, AdjEntry::new(k, 0));
+        }
+        // Two racing deleters per neighbor: exactly one must win.
+        let wins: usize = (0..2000u32)
+            .into_par_iter()
+            .map(|i| usize::from(a.delete(0, i % 1000)))
+            .sum();
+        assert_eq!(wins, 1000);
+        assert_eq!(a.degree(0), 0);
+    }
+
+    #[test]
+    fn memory_accounting_is_nonzero_and_monotone() {
+        let a = DynArr::new(100, &hints());
+        let before = a.memory_bytes();
+        for k in 0..10_000u32 {
+            a.insert(k % 100, AdjEntry::new(k, 0));
+        }
+        assert!(a.memory_bytes() >= before);
+        let f = FixedDynArr::with_capacities(&vec![10; 100]);
+        assert!(f.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,325 @@
+//! `Hybrid-arr-treap` (Section 2.1.5): the paper's headline representation.
+//!
+//! Low-degree vertices — the overwhelming majority under a power-law
+//! distribution — keep a plain contiguous array: constant-time insertion
+//! and cheap scans. Once a vertex's degree crosses `degree-thresh`
+//! (paper value: 32), its adjacency converts to a treap, making deletions
+//! on the few high-degree vertices logarithmic instead of linear. The
+//! result is `Dyn-arr`-class insertion speed with `Treaps`-class deletion
+//! speed (Figures 4–6).
+//!
+//! Hysteresis: a treap vertex whose degree falls below `degree_thresh / 4`
+//! converts back to an array, so a vertex oscillating around the threshold
+//! does not thrash representations.
+
+use crate::adjacency::{AdjEntry, CapacityHints, DynamicAdjacency};
+use parking_lot::Mutex;
+use snap_treap::Treap;
+
+/// One vertex's adjacency: array while small, treap once hot.
+enum Repr {
+    Arr(Vec<AdjEntry>),
+    Treap(Treap),
+}
+
+/// The hybrid array/treap representation.
+pub struct HybridAdj {
+    adj: Vec<Mutex<Repr>>,
+    degree_thresh: u32,
+    /// Convert treap back to array below this degree.
+    shrink_thresh: u32,
+}
+
+impl HybridAdj {
+    /// The configured promotion threshold.
+    pub fn degree_thresh(&self) -> u32 {
+        self.degree_thresh
+    }
+
+    /// True if vertex `u` is currently treap-represented (test/metrics
+    /// introspection).
+    pub fn is_treap(&self, u: u32) -> bool {
+        matches!(&*self.adj[u as usize].lock(), Repr::Treap(_))
+    }
+
+    /// Number of vertices currently in treap form.
+    pub fn treap_vertex_count(&self) -> usize {
+        self.adj
+            .iter()
+            .filter(|m| matches!(&*m.lock(), Repr::Treap(_)))
+            .count()
+    }
+
+    fn treap_seed(u: u32) -> u64 {
+        0x42b1d ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Converts an array to a treap, deduplicating on the neighbor key
+    /// (later stream positions win, matching treap insert-overwrite
+    /// semantics). Sort + dedup + O(n) bulk build beats n log n
+    /// re-insertion on the promotion path, which power-law hubs hit often.
+    fn promote(u: u32, arr: &[AdjEntry]) -> Treap {
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(arr.len());
+        // Later occurrences overwrite earlier ones: stable sort on the key
+        // keeps stream order within a key, so the last of each run wins.
+        pairs.extend(arr.iter().map(|e| (e.nbr, e.ts)));
+        pairs.sort_by_key(|p| p.0);
+        let mut dedup: Vec<(u32, u32)> = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            match dedup.last_mut() {
+                Some(last) if last.0 == p.0 => *last = p,
+                _ => dedup.push(p),
+            }
+        }
+        Treap::from_sorted(&dedup, Self::treap_seed(u))
+    }
+
+    /// Converts a treap back to an array.
+    fn demote(t: &Treap) -> Vec<AdjEntry> {
+        t.to_sorted_vec()
+            .into_iter()
+            .map(|(nbr, ts)| AdjEntry { nbr, ts })
+            .collect()
+    }
+}
+
+impl DynamicAdjacency for HybridAdj {
+    fn new(n: usize, hints: &CapacityHints) -> Self {
+        let adj = (0..n).map(|_| Mutex::new(Repr::Arr(Vec::new()))).collect();
+        Self {
+            adj,
+            degree_thresh: hints.degree_thresh,
+            shrink_thresh: (hints.degree_thresh / 4).max(1),
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn insert(&self, u: u32, e: AdjEntry) -> bool {
+        let mut cell = self.adj[u as usize].lock();
+        match &mut *cell {
+            Repr::Arr(arr) => {
+                arr.push(e);
+                if arr.len() as u32 >= self.degree_thresh {
+                    *cell = Repr::Treap(Self::promote(u, arr));
+                }
+                true
+            }
+            Repr::Treap(t) => t.insert(e.nbr, e.ts),
+        }
+    }
+
+    fn delete(&self, u: u32, v: u32) -> bool {
+        let mut cell = self.adj[u as usize].lock();
+        match &mut *cell {
+            Repr::Arr(arr) => {
+                // Low degree: a scan is cheap; swap_remove keeps it compact
+                // (no tombstones needed below the threshold).
+                if let Some(pos) = arr.iter().position(|e| e.nbr == v) {
+                    arr.swap_remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            Repr::Treap(t) => {
+                let removed = t.delete(v).is_some();
+                if removed && (t.len() as u32) < self.shrink_thresh {
+                    *cell = Repr::Arr(Self::demote(t));
+                }
+                removed
+            }
+        }
+    }
+
+    fn contains(&self, u: u32, v: u32) -> bool {
+        let cell = self.adj[u as usize].lock();
+        match &*cell {
+            Repr::Arr(arr) => arr.iter().any(|e| e.nbr == v),
+            Repr::Treap(t) => t.contains(v),
+        }
+    }
+
+    fn degree(&self, u: u32) -> usize {
+        let cell = self.adj[u as usize].lock();
+        match &*cell {
+            Repr::Arr(arr) => arr.len(),
+            Repr::Treap(t) => t.len(),
+        }
+    }
+
+    fn for_each(&self, u: u32, f: &mut dyn FnMut(AdjEntry)) {
+        let cell = self.adj[u as usize].lock();
+        match &*cell {
+            Repr::Arr(arr) => {
+                for e in arr {
+                    f(*e);
+                }
+            }
+            Repr::Treap(t) => t.for_each(|nbr, ts| f(AdjEntry { nbr, ts })),
+        }
+    }
+
+    fn retain(&self, u: u32, keep: &mut dyn FnMut(AdjEntry) -> bool) -> usize {
+        let mut cell = self.adj[u as usize].lock();
+        match &mut *cell {
+            Repr::Arr(arr) => {
+                let before = arr.len();
+                arr.retain(|e| keep(*e));
+                before - arr.len()
+            }
+            Repr::Treap(t) => {
+                let mut doomed = Vec::new();
+                t.for_each(|nbr, ts| {
+                    if !keep(AdjEntry { nbr, ts }) {
+                        doomed.push(nbr);
+                    }
+                });
+                for k in &doomed {
+                    t.delete(*k);
+                }
+                if (t.len() as u32) < self.shrink_thresh {
+                    *cell = Repr::Arr(Self::demote(t));
+                }
+                doomed.len()
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.adj.len() * std::mem::size_of::<Mutex<Repr>>()
+            + self
+                .adj
+                .iter()
+                .map(|m| match &*m.lock() {
+                    Repr::Arr(a) => a.capacity() * std::mem::size_of::<AdjEntry>(),
+                    Repr::Treap(t) => t.reserved_bytes(),
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    fn hints() -> CapacityHints {
+        CapacityHints::new(0).with_degree_thresh(32)
+    }
+
+    #[test]
+    fn stays_array_below_threshold() {
+        let a = HybridAdj::new(2, &hints());
+        for k in 0..31u32 {
+            a.insert(0, AdjEntry::new(k, k));
+        }
+        assert!(!a.is_treap(0));
+        assert_eq!(a.degree(0), 31);
+    }
+
+    #[test]
+    fn promotes_at_threshold() {
+        let a = HybridAdj::new(2, &hints());
+        for k in 0..32u32 {
+            a.insert(0, AdjEntry::new(k, k));
+        }
+        assert!(a.is_treap(0));
+        assert_eq!(a.degree(0), 32);
+        for k in 0..32u32 {
+            assert!(a.contains(0, k), "neighbor {k} lost across promotion");
+        }
+        assert!(!a.is_treap(1), "other vertices unaffected");
+    }
+
+    #[test]
+    fn promotion_dedups_duplicates() {
+        let a = HybridAdj::new(1, &hints());
+        // 16 distinct neighbors inserted twice: array holds 32 slots, treap
+        // collapses to 16 keys.
+        for pass in 0..2 {
+            for k in 0..16u32 {
+                a.insert(0, AdjEntry::new(k, pass));
+            }
+        }
+        assert!(a.is_treap(0));
+        assert_eq!(a.degree(0), 16);
+    }
+
+    #[test]
+    fn demotes_with_hysteresis() {
+        let a = HybridAdj::new(1, &hints());
+        for k in 0..40u32 {
+            a.insert(0, AdjEntry::new(k, k));
+        }
+        assert!(a.is_treap(0));
+        // Deleting down to >= shrink threshold (8) keeps the treap...
+        for k in 0..31u32 {
+            assert!(a.delete(0, k));
+        }
+        assert!(a.is_treap(0), "degree 9 >= 8: still treap");
+        // ...one more crosses below and demotes.
+        assert!(a.delete(0, 31));
+        assert!(a.delete(0, 32));
+        assert!(!a.is_treap(0));
+        assert_eq!(a.degree(0), 7);
+        for k in 33..40u32 {
+            assert!(a.contains(0, k), "neighbor {k} lost across demotion");
+        }
+    }
+
+    #[test]
+    fn delete_in_array_form() {
+        let a = HybridAdj::new(1, &hints());
+        a.insert(0, AdjEntry::new(1, 0));
+        a.insert(0, AdjEntry::new(2, 0));
+        assert!(a.delete(0, 1));
+        assert!(!a.delete(0, 1));
+        assert_eq!(a.degree(0), 1);
+        assert!(a.contains(0, 2));
+    }
+
+    #[test]
+    fn concurrent_power_law_like_storm() {
+        // One hot vertex receives most inserts (promotes), the rest stay
+        // cold arrays — the exact scenario the hybrid targets.
+        let a = HybridAdj::new(64, &hints());
+        (0..20_000u32).into_par_iter().for_each(|i| {
+            if i % 2 == 0 {
+                a.insert(0, AdjEntry::new(i, 0)); // hot vertex
+            } else {
+                a.insert(1 + (i % 63), AdjEntry::new(i, 0));
+            }
+        });
+        assert!(a.is_treap(0));
+        assert_eq!(a.degree(0), 10_000);
+        assert_eq!(a.treap_vertex_count() >= 1, true);
+        let total = a.total_entries();
+        assert_eq!(total, 20_000);
+    }
+
+    #[test]
+    fn threshold_of_one_promotes_immediately() {
+        let a = HybridAdj::new(1, &CapacityHints::new(0).with_degree_thresh(1));
+        a.insert(0, AdjEntry::new(5, 0));
+        assert!(a.is_treap(0));
+    }
+
+    #[test]
+    fn iteration_covers_both_forms() {
+        let a = HybridAdj::new(2, &hints());
+        for k in 0..5u32 {
+            a.insert(0, AdjEntry::new(k, k));
+        }
+        for k in 0..50u32 {
+            a.insert(1, AdjEntry::new(k, k));
+        }
+        let mut cold: Vec<u32> = a.neighbors(0).iter().map(|e| e.nbr).collect();
+        cold.sort_unstable();
+        assert_eq!(cold, (0..5).collect::<Vec<_>>());
+        let hot: Vec<u32> = a.neighbors(1).iter().map(|e| e.nbr).collect();
+        assert_eq!(hot, (0..50).collect::<Vec<_>>(), "treap iteration is sorted");
+    }
+}

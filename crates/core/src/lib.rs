@@ -1,0 +1,50 @@
+//! Dynamic graph representations for massive small-world networks.
+//!
+//! This crate is the paper's primary contribution (Section 2): data
+//! structures that ingest parallel streams of edge insertions and deletions
+//! on power-law graphs, and the execution strategies that drive them.
+//!
+//! # Representations
+//!
+//! | Type | Insert | Delete | Notes |
+//! |---|---|---|---|
+//! | [`DynArr`] | O(1) amortized | O(d) scan + tombstone | resizable adjacency arrays in a slab pool |
+//! | [`FixedDynArr`] | O(1) lock-free | O(d) scan + tombstone | `Dyn-arr-nr`: capacities known a priori |
+//! | [`TreapAdj`] | O(log d) | O(log d), real removal | every adjacency is a treap |
+//! | [`HybridAdj`] | O(1)/O(log d) | O(d≤thresh)/O(log d) | arrays below `degree-thresh`, treaps above |
+//!
+//! # Execution strategies (Section 2.1.2–2.1.3)
+//!
+//! [`engine`] implements the streaming applier plus the `Vpart`
+//! (vertex-partitioned), `Epart` (edge-partitioned) and batched
+//! (semi-sorted) strategies the paper compares in Figure 3.
+//!
+//! # Phase discipline
+//!
+//! Mutation methods take `&self` and are safe to call from many threads.
+//! Read methods ([`DynamicAdjacency::degree`], traversal, CSR snapshots)
+//! are also thread-safe, but the MUPS experiments follow the paper's
+//! bulk-synchronous pattern: apply a batch in parallel, then read.
+
+pub mod adjacency;
+pub mod compressed;
+pub mod csr;
+pub mod dynarr;
+pub mod engine;
+pub mod graph;
+pub mod hybrid;
+pub mod reorder;
+pub mod slices;
+pub mod treapadj;
+pub mod vlabels;
+
+pub use adjacency::{AdjEntry, CapacityHints, DynamicAdjacency, TOMBSTONE};
+pub use csr::CsrGraph;
+pub use dynarr::{DynArr, FixedDynArr};
+pub use graph::DynGraph;
+pub use hybrid::HybridAdj;
+pub use treapadj::TreapAdj;
+pub use vlabels::VertexLabels;
+
+// Re-export the shared workload types so downstream users need one import.
+pub use snap_rmat::{TimedEdge, Update, UpdateKind};

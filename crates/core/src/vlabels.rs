@@ -1,0 +1,152 @@
+//! Vertex time labels ξ(v) (Section 2): "we can similarly define time
+//! labels ξ(v) for vertices v ∈ V, capturing, for instance, the time when
+//! the entity was added or removed."
+//!
+//! [`VertexLabels`] stores a creation label and an optional removal label
+//! per vertex, and answers the liveness queries the temporal kernels
+//! need: which vertices existed at an instant or throughout a window.
+
+use rayon::prelude::*;
+
+/// Removal sentinel: the vertex was never removed.
+const NEVER: u32 = u32::MAX;
+
+/// Per-vertex creation/removal time labels.
+#[derive(Clone, Debug)]
+pub struct VertexLabels {
+    created: Vec<u32>,
+    removed: Vec<u32>,
+}
+
+impl VertexLabels {
+    /// All `n` vertices created at time 0, never removed.
+    pub fn new(n: usize) -> Self {
+        Self { created: vec![0; n], removed: vec![NEVER; n] }
+    }
+
+    /// Builds labels from explicit creation times (never removed).
+    pub fn with_creation_times(created: Vec<u32>) -> Self {
+        let n = created.len();
+        Self { created, removed: vec![NEVER; n] }
+    }
+
+    /// Number of labelled vertices.
+    pub fn len(&self) -> usize {
+        self.created.len()
+    }
+
+    /// True if no vertices are labelled.
+    pub fn is_empty(&self) -> bool {
+        self.created.is_empty()
+    }
+
+    /// Sets the creation label of `v`.
+    pub fn set_created(&mut self, v: u32, t: u32) {
+        self.created[v as usize] = t;
+    }
+
+    /// Marks `v` removed at time `t`.
+    ///
+    /// # Panics
+    /// If `t` precedes `v`'s creation label.
+    pub fn set_removed(&mut self, v: u32, t: u32) {
+        assert!(
+            t >= self.created[v as usize],
+            "vertex {v} removed at {t} before creation at {}",
+            self.created[v as usize]
+        );
+        self.removed[v as usize] = t;
+    }
+
+    /// Clears a removal label (the entity re-appeared).
+    pub fn clear_removed(&mut self, v: u32) {
+        self.removed[v as usize] = NEVER;
+    }
+
+    /// Creation label of `v`.
+    pub fn created(&self, v: u32) -> u32 {
+        self.created[v as usize]
+    }
+
+    /// Removal label of `v`, if any.
+    pub fn removed(&self, v: u32) -> Option<u32> {
+        let r = self.removed[v as usize];
+        (r != NEVER).then_some(r)
+    }
+
+    /// True if `v` exists at instant `t` (created at or before, not yet
+    /// removed: removal at `t` means gone at `t`).
+    #[inline]
+    pub fn alive_at(&self, v: u32, t: u32) -> bool {
+        self.created[v as usize] <= t && t < self.removed[v as usize]
+    }
+
+    /// True if `v` exists throughout the closed interval `[lo, hi]`.
+    #[inline]
+    pub fn alive_throughout(&self, v: u32, lo: u32, hi: u32) -> bool {
+        self.created[v as usize] <= lo && hi < self.removed[v as usize]
+    }
+
+    /// All vertices alive at instant `t` (parallel scan).
+    pub fn alive_set(&self, t: u32) -> Vec<u32> {
+        (0..self.len() as u32)
+            .into_par_iter()
+            .filter(|&v| self.alive_at(v, t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_labels_are_always_alive() {
+        let l = VertexLabels::new(4);
+        assert!(l.alive_at(0, 0));
+        assert!(l.alive_at(3, 1_000_000));
+        assert!(l.alive_throughout(2, 0, u32::MAX - 1));
+        assert_eq!(l.removed(1), None);
+    }
+
+    #[test]
+    fn lifecycle_window() {
+        let mut l = VertexLabels::new(2);
+        l.set_created(0, 10);
+        l.set_removed(0, 20);
+        assert!(!l.alive_at(0, 9));
+        assert!(l.alive_at(0, 10));
+        assert!(l.alive_at(0, 19));
+        assert!(!l.alive_at(0, 20), "removal instant is exclusive");
+        assert!(l.alive_throughout(0, 10, 19));
+        assert!(!l.alive_throughout(0, 10, 20));
+        assert!(!l.alive_throughout(0, 5, 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "before creation")]
+    fn removal_before_creation_rejected() {
+        let mut l = VertexLabels::new(1);
+        l.set_created(0, 50);
+        l.set_removed(0, 40);
+    }
+
+    #[test]
+    fn clear_removed_resurrects() {
+        let mut l = VertexLabels::new(1);
+        l.set_removed(0, 5);
+        assert!(!l.alive_at(0, 10));
+        l.clear_removed(0);
+        assert!(l.alive_at(0, 10));
+    }
+
+    #[test]
+    fn alive_set_filters() {
+        let mut l = VertexLabels::with_creation_times(vec![0, 5, 10, 15]);
+        l.set_removed(0, 12);
+        assert_eq!(l.alive_set(11), vec![0, 1, 2], "0 is removed only at 12");
+        assert_eq!(l.alive_set(12), vec![1, 2]);
+        assert_eq!(l.alive_set(0), vec![0]);
+        assert_eq!(l.alive_set(20), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Closeness centrality, exact and sampled (Eppstein–Wang style).
+//!
+//! The paper names closeness alongside stress and betweenness as the
+//! standard centrality indices (Section 3.4). Closeness of `v` is the
+//! inverse of its average distance to the vertices it can reach; on
+//! disconnected graphs we use the Wasserman–Faust component correction
+//! `c(v) = (r-1)^2 / ((n-1) * sum_d)` where `r` is the size of `v`'s
+//! reachable set.
+//!
+//! Exact computation is one BFS per vertex (parallelized over sources);
+//! the sampled estimator averages distances *from* `k` sampled sources,
+//! which on (near-)undirected graphs estimates every vertex's average
+//! distance in `O(k * m)`.
+
+use crate::bfs::{serial_bfs, UNREACHED};
+use rayon::prelude::*;
+use snap_core::CsrGraph;
+
+/// Exact closeness for every vertex (one BFS per vertex — quadratic; use
+/// on moderate snapshots or prefer [`closeness_approx`]).
+pub fn closeness_exact(csr: &CsrGraph) -> Vec<f64> {
+    let n = csr.num_vertices();
+    (0..n as u32)
+        .into_par_iter()
+        .map(|s| {
+            let d = serial_bfs(csr, s);
+            let mut sum = 0u64;
+            let mut reach = 0u64;
+            for &dist in &d.dist {
+                if dist != UNREACHED {
+                    sum += dist as u64;
+                    reach += 1;
+                }
+            }
+            // reach includes s itself (distance 0).
+            if reach <= 1 || sum == 0 {
+                return 0.0;
+            }
+            let r = reach as f64;
+            ((r - 1.0) * (r - 1.0)) / ((n as f64 - 1.0) * sum as f64)
+        })
+        .collect()
+}
+
+/// Sampled closeness: estimates every vertex's total distance from `k`
+/// sampled sources, extrapolated by `n / k`. On undirected graphs
+/// `d(s, v) = d(v, s)`, so source-side BFS trees estimate all vertices at
+/// once. Vertices unreached by every sample get closeness 0.
+pub fn closeness_approx(csr: &CsrGraph, sources: &[u32]) -> Vec<f64> {
+    let n = csr.num_vertices();
+    if sources.is_empty() {
+        return vec![0.0; n];
+    }
+    // Per-source distance accumulation (sum and count), reduced pairwise.
+    let (sums, counts) = sources
+        .par_iter()
+        .fold(
+            || (vec![0u64; n], vec![0u32; n]),
+            |(mut sums, mut counts), &s| {
+                let d = serial_bfs(csr, s);
+                for v in 0..n {
+                    // Skip the source itself (distance 0): the estimator
+                    // targets the mean distance to *other* vertices.
+                    if d.dist[v] != UNREACHED && d.dist[v] > 0 {
+                        sums[v] += d.dist[v] as u64;
+                        counts[v] += 1;
+                    }
+                }
+                (sums, counts)
+            },
+        )
+        .reduce(
+            || (vec![0u64; n], vec![0u32; n]),
+            |(mut a, mut ac), (b, bc)| {
+                for i in 0..n {
+                    a[i] += b[i];
+                    ac[i] += bc[i];
+                }
+                (a, ac)
+            },
+        );
+    let k = sources.len() as f64;
+    (0..n)
+        .map(|v| {
+            if counts[v] == 0 || sums[v] == 0 {
+                return 0.0;
+            }
+            // counts/k estimates (r-1)/n where r is v's reachable-set
+            // size; the sampled mean extrapolates to the total distance.
+            let est_r_minus_1 = counts[v] as f64 / k * n as f64;
+            let est_sum = sums[v] as f64 / counts[v] as f64 * est_r_minus_1;
+            (est_r_minus_1 * est_r_minus_1) / ((n as f64 - 1.0) * est_sum)
+        })
+        .collect()
+}
+
+/// Harmonic centrality: `sum over reachable t of 1 / d(v, t)` — the
+/// variant that needs no component correction.
+pub fn harmonic_exact(csr: &CsrGraph) -> Vec<f64> {
+    let n = csr.num_vertices();
+    (0..n as u32)
+        .into_par_iter()
+        .map(|s| {
+            let d = serial_bfs(csr, s);
+            d.dist
+                .iter()
+                .filter(|&&x| x != UNREACHED && x > 0)
+                .map(|&x| 1.0 / x as f64)
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_rmat::{Rmat, RmatParams, TimedEdge};
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let e: Vec<TimedEdge> = edges.iter().map(|&(u, v)| TimedEdge::new(u, v, 1)).collect();
+        CsrGraph::from_edges_undirected(n, &e)
+    }
+
+    #[test]
+    fn star_center_has_highest_closeness() {
+        let g = undirected(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let c = closeness_exact(&g);
+        for v in 1..5 {
+            assert!(c[0] > c[v], "center must dominate leaf {v}");
+        }
+        // Center: sum = 4, r = 5 -> (4*4)/(4*4) = 1.0 (maximal).
+        assert!((c[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_ends_have_lowest_closeness() {
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let c = closeness_exact(&g);
+        assert!(c[2] > c[1] && c[2] > c[3]);
+        assert!(c[1] > c[0] && c[3] > c[4]);
+        assert!((c[0] - c[4]).abs() < 1e-12, "symmetric ends");
+    }
+
+    #[test]
+    fn isolated_vertex_zero() {
+        let g = undirected(3, &[(0, 1)]);
+        let c = closeness_exact(&g);
+        assert_eq!(c[2], 0.0);
+    }
+
+    #[test]
+    fn component_correction_penalizes_small_components() {
+        // Two components: K3 and K2. K3 members reach 2 others at dist 1;
+        // K2 members reach 1 other at dist 1.
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let c = closeness_exact(&g);
+        // K3: (2*2)/(4*2) = 0.5 ; K2: (1*1)/(4*1) = 0.25.
+        assert!((c[0] - 0.5).abs() < 1e-9);
+        assert!((c[3] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approx_with_all_sources_matches_exact_on_connected_graph() {
+        // A connected small-world instance: take the giant component only
+        // by linking everything into a ring first.
+        let mut edges: Vec<(u32, u32)> = (0..64).map(|i| (i, (i + 1) % 64)).collect();
+        edges.extend([(0, 32), (16, 48), (8, 40)]);
+        let g = undirected(64, &edges);
+        let exact = closeness_exact(&g);
+        let all: Vec<u32> = (0..64).collect();
+        let approx = closeness_approx(&g, &all);
+        for v in 0..64 {
+            assert!(
+                (exact[v] - approx[v]).abs() < 1e-9,
+                "v {v}: exact {} vs approx {}",
+                exact[v],
+                approx[v]
+            );
+        }
+    }
+
+    #[test]
+    fn approx_ranks_hub_first_on_rmat() {
+        let rm = Rmat::new(RmatParams::paper(9, 8), 3);
+        let g = CsrGraph::from_edges_undirected(1 << 9, &rm.edges());
+        let exact = closeness_exact(&g);
+        let sources: Vec<u32> = (0..(1 << 9)).step_by(4).collect();
+        let approx = closeness_approx(&g, &sources);
+        let top_exact = (0..1usize << 9).max_by(|&a, &b| exact[a].total_cmp(&exact[b])).unwrap();
+        let better = (0..1usize << 9).filter(|&v| approx[v] > approx[top_exact]).count();
+        assert!(better <= 10, "exact top vertex ranked {better} by approx");
+    }
+
+    #[test]
+    fn harmonic_on_path() {
+        let g = undirected(3, &[(0, 1), (1, 2)]);
+        let h = harmonic_exact(&g);
+        assert!((h[1] - 2.0).abs() < 1e-9); // 1/1 + 1/1
+        assert!((h[0] - 1.5).abs() < 1e-9); // 1/1 + 1/2
+    }
+
+    #[test]
+    fn empty_sources_yield_zeroes() {
+        let g = undirected(4, &[(0, 1)]);
+        assert_eq!(closeness_approx(&g, &[]), vec![0.0; 4]);
+    }
+}

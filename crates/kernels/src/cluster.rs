@@ -1,0 +1,178 @@
+//! Triangle counting and clustering coefficients.
+//!
+//! The paper motivates SNAP with topology analysis — "analyzing
+//! topological characteristics of the network, such as the vertex degree
+//! distribution, centrality and community structure". The local
+//! clustering coefficient (triangles over wedges per vertex) is the
+//! standard community-structure primitive; we implement the sorted
+//! merge-intersection algorithm, parallel over vertices.
+
+use rayon::prelude::*;
+use snap_core::CsrGraph;
+
+/// Per-vertex sorted, dedup'd, self-loop-free neighbor lists — the shape
+/// intersection counting wants.
+fn sorted_neighborhoods(csr: &CsrGraph) -> Vec<Vec<u32>> {
+    (0..csr.num_vertices() as u32)
+        .into_par_iter()
+        .map(|u| {
+            let mut ns: Vec<u32> =
+                csr.neighbors(u).iter().copied().filter(|&v| v != u).collect();
+            ns.sort_unstable();
+            ns.dedup();
+            ns
+        })
+        .collect()
+}
+
+/// Size of the sorted-list intersection.
+fn intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Number of triangles incident to each vertex (each triangle counted
+/// once per member vertex).
+pub fn triangles_per_vertex(csr: &CsrGraph) -> Vec<u64> {
+    let nbrs = sorted_neighborhoods(csr);
+    (0..csr.num_vertices())
+        .into_par_iter()
+        .map(|u| {
+            let nu = &nbrs[u];
+            let mut t = 0u64;
+            for &v in nu {
+                // Count common neighbors; each triangle {u, v, w} is seen
+                // twice from u (once via v, once via w).
+                t += intersection_count(nu, &nbrs[v as usize]) as u64;
+            }
+            t / 2
+        })
+        .collect()
+}
+
+/// Total number of distinct triangles in the graph.
+pub fn triangle_count(csr: &CsrGraph) -> u64 {
+    triangles_per_vertex(csr).iter().sum::<u64>() / 3
+}
+
+/// Local clustering coefficient per vertex: triangles / wedges, zero for
+/// degree < 2.
+pub fn local_clustering(csr: &CsrGraph) -> Vec<f64> {
+    let nbrs = sorted_neighborhoods(csr);
+    let tri = triangles_per_vertex(csr);
+    (0..csr.num_vertices())
+        .map(|u| {
+            let d = nbrs[u].len() as u64;
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * tri[u] as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .collect()
+}
+
+/// Mean of the local clustering coefficients (the Watts–Strogatz global
+/// clustering measure — the quantity that defines "small-world").
+pub fn average_clustering(csr: &CsrGraph) -> f64 {
+    let lc = local_clustering(csr);
+    if lc.is_empty() {
+        return 0.0;
+    }
+    lc.iter().sum::<f64>() / lc.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_rmat::TimedEdge;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let e: Vec<TimedEdge> = edges.iter().map(|&(u, v)| TimedEdge::new(u, v, 1)).collect();
+        CsrGraph::from_edges_undirected(n, &e)
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = undirected(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(triangles_per_vertex(&g), vec![1, 1, 1]);
+        assert_eq!(local_clustering(&g), vec![1.0, 1.0, 1.0]);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(triangle_count(&g), 0);
+        assert!(local_clustering(&g).iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn k4_counts() {
+        let g = undirected(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(triangle_count(&g), 4);
+        // Every vertex: 3 incident triangles over C(3,2)=3 wedges.
+        assert_eq!(triangles_per_vertex(&g), vec![3, 3, 3, 3]);
+        assert!(local_clustering(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn triangle_plus_pendant() {
+        // Triangle 0-1-2 plus pendant 3 on vertex 0.
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        assert_eq!(triangle_count(&g), 1);
+        let lc = local_clustering(&g);
+        // Vertex 0: degree 3 -> 1 triangle / 3 wedges.
+        assert!((lc[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(lc[3], 0.0, "degree-1 vertex");
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_ignored() {
+        let g = undirected(3, &[(0, 1), (0, 1), (1, 2), (2, 0), (1, 1)]);
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn brute_force_agreement_on_random_graph() {
+        use snap_rmat::{Rmat, RmatParams};
+        let rm = Rmat::new(RmatParams::paper(7, 6), 4);
+        let g = CsrGraph::from_edges_undirected(1 << 7, &rm.edges());
+        let fast = triangle_count(&g);
+        // O(n^3) oracle on the adjacency matrix.
+        let n = g.num_vertices();
+        let mut adj = vec![false; n * n];
+        for (u, v, _) in g.iter_entries() {
+            if u != v {
+                adj[u as usize * n + v as usize] = true;
+                adj[v as usize * n + u as usize] = true;
+            }
+        }
+        let mut slow = 0u64;
+        for a in 0..n {
+            for b in a + 1..n {
+                if !adj[a * n + b] {
+                    continue;
+                }
+                for c in b + 1..n {
+                    if adj[a * n + c] && adj[b * n + c] {
+                        slow += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+}

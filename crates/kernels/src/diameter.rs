@@ -1,0 +1,122 @@
+//! Graph diameter estimation.
+//!
+//! The small-world property — "a low graph diameter" — underpins every
+//! complexity claim in the paper (link-cut queries are O(diameter), BFS
+//! is O(diameter) parallel phases). This module measures it: exact
+//! eccentricity sweeps for small graphs, and the standard double-sweep
+//! lower bound (BFS to the farthest vertex, then BFS back) for large
+//! ones.
+
+use crate::bfs::{bfs, UNREACHED};
+use rayon::prelude::*;
+use snap_core::CsrGraph;
+
+/// Double-sweep lower bound on the diameter of `src`'s component:
+/// BFS from `src`, then BFS from the farthest vertex found.
+pub fn double_sweep_lower_bound(csr: &CsrGraph, src: u32) -> u32 {
+    let first = bfs(csr, src);
+    let far = (0..csr.num_vertices())
+        .filter(|&v| first.dist[v] != UNREACHED)
+        .max_by_key(|&v| first.dist[v])
+        .map(|v| v as u32)
+        .unwrap_or(src);
+    let second = bfs(csr, far);
+    second.max_distance()
+}
+
+/// Exact diameter of the graph's largest component (one BFS per vertex —
+/// use on small or sampled snapshots only). Returns 0 for empty graphs.
+pub fn exact_diameter(csr: &CsrGraph) -> u32 {
+    let n = csr.num_vertices();
+    (0..n as u32)
+        .into_par_iter()
+        .map(|v| bfs(csr, v).max_distance())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Mean finite distance over sampled sources (the "average path length"
+/// half of the Watts–Strogatz small-world signature).
+pub fn mean_distance_sampled(csr: &CsrGraph, sources: &[u32]) -> f64 {
+    if sources.is_empty() {
+        return 0.0;
+    }
+    let (sum, cnt) = sources
+        .par_iter()
+        .map(|&s| {
+            let r = bfs(csr, s);
+            let mut sum = 0u64;
+            let mut cnt = 0u64;
+            for &d in &r.dist {
+                if d != UNREACHED && d > 0 {
+                    sum += d as u64;
+                    cnt += 1;
+                }
+            }
+            (sum, cnt)
+        })
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    if cnt == 0 {
+        0.0
+    } else {
+        sum as f64 / cnt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_rmat::{Rmat, RmatParams, TimedEdge};
+
+    fn path(k: u32) -> CsrGraph {
+        let edges: Vec<TimedEdge> =
+            (0..k - 1).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+        CsrGraph::from_edges_undirected(k as usize, &edges)
+    }
+
+    #[test]
+    fn path_diameter_exact_and_double_sweep() {
+        let g = path(17);
+        assert_eq!(exact_diameter(&g), 16);
+        // On trees the double sweep is exact from any start.
+        for s in [0u32, 8, 16] {
+            assert_eq!(double_sweep_lower_bound(&g, s), 16);
+        }
+    }
+
+    #[test]
+    fn double_sweep_never_exceeds_exact() {
+        let rm = Rmat::new(RmatParams::paper(8, 4), 6);
+        let g = CsrGraph::from_edges_undirected(1 << 8, &rm.edges());
+        let exact = exact_diameter(&g);
+        for s in [0u32, 7, 99] {
+            assert!(double_sweep_lower_bound(&g, s) <= exact);
+        }
+    }
+
+    #[test]
+    fn small_world_instance_has_small_diameter() {
+        // The property the paper's link-cut analysis relies on.
+        let rm = Rmat::new(RmatParams::paper(12, 8), 7);
+        let g = CsrGraph::from_edges_undirected(1 << 12, &rm.edges());
+        let hub = (0..g.num_vertices() as u32).max_by_key(|&u| g.out_degree(u)).unwrap();
+        let lb = double_sweep_lower_bound(&g, hub);
+        assert!(lb <= 12, "R-MAT giant component diameter should be ~log n, got {lb}");
+    }
+
+    #[test]
+    fn mean_distance_on_path() {
+        let g = path(3); // distances from 0: 1, 2 ; from 1: 1, 1 ; from 2: 2, 1
+        let all: Vec<u32> = vec![0, 1, 2];
+        let mean = mean_distance_sampled(&g, &all);
+        assert!((mean - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = CsrGraph::from_edges_undirected(1, &[]);
+        assert_eq!(exact_diameter(&g), 0);
+        assert_eq!(double_sweep_lower_bound(&g, 0), 0);
+        assert_eq!(mean_distance_sampled(&g, &[0]), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Parallel graph-analysis kernels for dynamic networks (Section 3).
+//!
+//! All kernels operate on [`snap_core::CsrGraph`] snapshots, following the
+//! paper's pattern of reformulating dynamic problems on static instances
+//! (via timestamps), plus the link-cut forest that is maintained *across*
+//! updates for connectivity queries.
+//!
+//! - [`bfs`] — lock-free level-synchronous parallel BFS with the
+//!   unbalanced-degree optimization, and its temporal (timestamp-filtered)
+//!   variant (Figure 10).
+//! - [`cc`] — Shiloach–Vishkin parallel connected components.
+//! - [`lcf`] — the parent-pointer link-cut forest: construction via
+//!   parallel BFS, `link`/`cut`/`findroot`, batch connectivity queries
+//!   (Figures 7–8), and replacement-edge search on deletions (extension).
+//! - [`subgraph`] — the temporal induced-subgraph kernel (Figure 9).
+//! - [`bc`] — Brandes-style betweenness centrality, static and temporal,
+//!   exact and source-sampled approximate (Figure 11).
+//! - [`stconn`] — early-exit s-t connectivity.
+
+pub mod bc;
+pub mod bfs;
+pub mod cc;
+pub mod closeness;
+pub mod cluster;
+pub mod diameter;
+pub mod lcf;
+pub mod msf;
+pub mod sssp;
+pub mod stconn;
+pub mod stress;
+pub mod subgraph;
+pub mod temporal_reach;
+
+pub use bc::{betweenness_approx, betweenness_exact, temporal_betweenness_approx};
+pub use bfs::{bfs, serial_bfs, temporal_bfs, BfsResult, UNREACHED};
+pub use cc::{component_count, connected_components};
+pub use closeness::{closeness_approx, closeness_exact, harmonic_exact};
+pub use cluster::{average_clustering, local_clustering, triangle_count};
+pub use diameter::{double_sweep_lower_bound, exact_diameter};
+pub use lcf::LinkCutForest;
+pub use msf::{boruvka_msf, kruskal_msf, Msf};
+pub use sssp::{delta_stepping, dijkstra};
+pub use stconn::st_connectivity;
+pub use stress::{stress_approx, stress_exact};
+pub use subgraph::{induced_subgraph_csr, induced_subgraph_edges, induced_subgraph_vertices, TimeWindow};
+pub use temporal_reach::{earliest_arrival, temporal_reach_count};

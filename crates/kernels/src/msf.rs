@@ -1,0 +1,221 @@
+//! Parallel minimum spanning forest (Borůvka), with a Kruskal oracle.
+//!
+//! The paper's introduction lists minimum spanning trees among the
+//! fundamental kernels its line of work parallelized ([2], Bader & Cong
+//! IPDPS 2004) and on which the dynamic algorithms build. Borůvka is the
+//! textbook parallel MSF: every round, each component selects its
+//! lightest incident edge in parallel, the selected edges merge
+//! components, and pointer jumping flattens the component labels; rounds
+//! halve the component count, so O(log n) rounds suffice.
+//!
+//! Edge weights here are the timestamps (the paper's w(e) for weighted
+//! graphs), with the edge index as a deterministic tie-breaker.
+
+use rayon::prelude::*;
+use snap_rmat::TimedEdge;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An MSF result: the chosen edge indices and the total weight.
+#[derive(Clone, Debug)]
+pub struct Msf {
+    /// Indices into the input edge list, sorted ascending.
+    pub edges: Vec<usize>,
+    /// Sum of selected edge weights.
+    pub total_weight: u64,
+}
+
+/// Packed candidate: weight in the high 32 bits, edge index low — atomic
+/// min over this picks (lightest weight, smallest index).
+const NO_CANDIDATE: u64 = u64::MAX;
+
+/// Computes the minimum spanning forest of the undirected graph given by
+/// `edges` over vertices `0..n`, weighting edge `e` by `e.timestamp`.
+pub fn boruvka_msf(n: usize, edges: &[TimedEdge]) -> Msf {
+    assert!(edges.len() < (1 << 31), "edge index must fit the packing");
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut chosen: Vec<bool> = vec![false; edges.len()];
+    loop {
+        // 1. Lightest incident edge per component (parallel atomic min).
+        let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NO_CANDIDATE)).collect();
+        edges.par_iter().enumerate().for_each(|(i, e)| {
+            let (lu, lv) = (label[e.u as usize], label[e.v as usize]);
+            if lu == lv {
+                return; // intra-component: useless this round
+            }
+            let packed = ((e.timestamp as u64) << 31) | i as u64;
+            atomic_min(&best[lu as usize], packed);
+            atomic_min(&best[lv as usize], packed);
+        });
+        // 2. Adopt the selected edges (sequential: cheap, O(#components)).
+        let mut grew = false;
+        for b in &best {
+            let packed = b.load(Ordering::Relaxed);
+            if packed == NO_CANDIDATE {
+                continue;
+            }
+            let i = (packed & ((1 << 31) - 1)) as usize;
+            let e = &edges[i];
+            let (ru, rv) = (root(&label, e.u), root(&label, e.v));
+            if ru != rv {
+                // Hook the larger root under the smaller (deterministic).
+                let (lo, hi) = (ru.min(rv), ru.max(rv));
+                label[hi as usize] = lo;
+                chosen[i] = true;
+                grew = true;
+            } else if !chosen[i] {
+                // Both endpoints merged earlier this round through other
+                // selections; the edge may still be the component's
+                // candidate but is now redundant.
+            }
+        }
+        if !grew {
+            break;
+        }
+        // 3. Pointer-jump labels to roots for the next round.
+        let flat: Vec<u32> = (0..n as u32).into_par_iter().map(|v| root(&label, v)).collect();
+        label = flat;
+    }
+    let idx: Vec<usize> =
+        chosen.iter().enumerate().filter(|(_, &c)| c).map(|(i, _)| i).collect();
+    let total = idx.iter().map(|&i| edges[i].timestamp as u64).sum();
+    Msf { edges: idx, total_weight: total }
+}
+
+fn root(label: &[u32], mut v: u32) -> u32 {
+    while label[v as usize] != v {
+        v = label[v as usize];
+    }
+    v
+}
+
+fn atomic_min(slot: &AtomicU64, val: u64) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    while val < cur {
+        match slot.compare_exchange_weak(cur, val, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Sequential Kruskal oracle (sorted edges + union-find).
+pub fn kruskal_msf(n: usize, edges: &[TimedEdge]) -> Msf {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_unstable_by_key(|&i| (edges[i].timestamp, i));
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let g = parent[parent[x as usize] as usize];
+            parent[x as usize] = g;
+            x = g;
+        }
+        x
+    }
+    let mut picked = Vec::new();
+    let mut total = 0u64;
+    for i in order {
+        let e = &edges[i];
+        let (ru, rv) = (find(&mut parent, e.u), find(&mut parent, e.v));
+        if ru != rv {
+            parent[ru.max(rv) as usize] = ru.min(rv);
+            picked.push(i);
+            total += e.timestamp as u64;
+        }
+    }
+    picked.sort_unstable();
+    Msf { edges: picked, total_weight: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_rmat::{Rmat, RmatParams};
+    use snap_util::rng::XorShift64;
+
+    fn e(u: u32, v: u32, w: u32) -> TimedEdge {
+        TimedEdge::new(u, v, w)
+    }
+
+    #[test]
+    fn triangle_drops_heaviest() {
+        let edges = vec![e(0, 1, 1), e(1, 2, 2), e(2, 0, 3)];
+        let msf = boruvka_msf(3, &edges);
+        assert_eq!(msf.edges, vec![0, 1]);
+        assert_eq!(msf.total_weight, 3);
+    }
+
+    #[test]
+    fn forest_spans_each_component() {
+        // Two components: a 3-cycle and an edge pair.
+        let edges = vec![e(0, 1, 5), e(1, 2, 1), e(2, 0, 2), e(3, 4, 7), e(4, 5, 9)];
+        let msf = boruvka_msf(6, &edges);
+        assert_eq!(msf.edges.len(), 4, "n - #components = 6 - 2");
+        assert_eq!(msf.total_weight, 1 + 2 + 7 + 9);
+    }
+
+    #[test]
+    fn matches_kruskal_total_weight_on_random_graphs() {
+        // Distinct weights => the MSF edge set is unique; totals and sets
+        // must match exactly.
+        let mut rng = XorShift64::new(3);
+        for trial in 0..10 {
+            let n = 64;
+            let m = 300;
+            let mut used = std::collections::HashSet::new();
+            let edges: Vec<TimedEdge> = (0..m)
+                .map(|_| {
+                    let u = rng.next_bounded(n as u64) as u32;
+                    let v = rng.next_bounded(n as u64) as u32;
+                    let mut w = rng.next_bounded(1 << 20) as u32 + 1;
+                    while !used.insert(w) {
+                        w = rng.next_bounded(1 << 20) as u32 + 1;
+                    }
+                    TimedEdge::new(u, v, w)
+                })
+                .filter(|e| e.u != e.v)
+                .collect();
+            let b = boruvka_msf(n, &edges);
+            let k = kruskal_msf(n, &edges);
+            assert_eq!(b.total_weight, k.total_weight, "trial {trial}");
+            assert_eq!(b.edges, k.edges, "trial {trial}: unique MSF edge sets differ");
+        }
+    }
+
+    #[test]
+    fn duplicate_weights_still_match_totals() {
+        let rm = Rmat::new(RmatParams::paper(8, 4).with_max_timestamp(16), 9);
+        let edges: Vec<TimedEdge> =
+            rm.edges().into_iter().filter(|e| e.u != e.v).collect();
+        let b = boruvka_msf(1 << 8, &edges);
+        let k = kruskal_msf(1 << 8, &edges);
+        // With ties the edge sets may differ, but MSF total weight is
+        // unique, as is the number of edges (n - #components).
+        assert_eq!(b.total_weight, k.total_weight);
+        assert_eq!(b.edges.len(), k.edges.len());
+    }
+
+    #[test]
+    fn msf_edges_form_a_forest_connecting_what_was_connected() {
+        let rm = Rmat::new(RmatParams::paper(8, 4), 10);
+        let edges: Vec<TimedEdge> =
+            rm.edges().into_iter().filter(|e| e.u != e.v).collect();
+        let n = 1 << 8;
+        let msf = boruvka_msf(n, &edges);
+        // Acyclic: |F| = n - #components.
+        let full = crate::cc::union_find_components(n, edges.iter().map(|e| (e.u, e.v)));
+        let comp_full: std::collections::HashSet<u32> = full.iter().copied().collect();
+        assert_eq!(msf.edges.len(), n - comp_full.len());
+        // Same connectivity as the full graph.
+        let forest_edges: Vec<(u32, u32)> =
+            msf.edges.iter().map(|&i| (edges[i].u, edges[i].v)).collect();
+        let forest = crate::cc::union_find_components(n, forest_edges.into_iter());
+        assert_eq!(forest, full);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let msf = boruvka_msf(4, &[]);
+        assert!(msf.edges.is_empty());
+        assert_eq!(msf.total_weight, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Stress centrality: the *count* of shortest paths through a vertex
+//! (betweenness without the `1/sigma_st` normalization) — the third
+//! classical index the paper names in Section 3.4.
+//!
+//! Computed with a Brandes-style two-phase sweep per source: the forward
+//! BFS counts `sigma[v]` (shortest s-v paths); the backward sweep
+//! computes `p[v]` = the number of shortest-path *suffixes* starting at
+//! `v` (`p[v] = sum over DAG successors w of (1 + p[w])`), so the number
+//! of s-t paths through `v`, summed over t, is `sigma[v] * p[v]`.
+
+use crate::bfs::UNREACHED;
+use rayon::prelude::*;
+use snap_core::CsrGraph;
+
+/// Exact stress centrality from every source.
+pub fn stress_exact(csr: &CsrGraph) -> Vec<f64> {
+    let sources: Vec<u32> = (0..csr.num_vertices() as u32).collect();
+    stress_from_sources(csr, &sources, 1.0)
+}
+
+/// Sampled stress centrality, extrapolated by `n / |sources|`.
+pub fn stress_approx(csr: &CsrGraph, sources: &[u32]) -> Vec<f64> {
+    let scale = csr.num_vertices() as f64 / sources.len().max(1) as f64;
+    stress_from_sources(csr, sources, scale)
+}
+
+fn stress_from_sources(csr: &CsrGraph, sources: &[u32], scale: f64) -> Vec<f64> {
+    let n = csr.num_vertices();
+    let mut st = sources
+        .par_iter()
+        .fold(
+            || vec![0.0f64; n],
+            |mut acc, &s| {
+                accumulate_source(csr, s, &mut acc);
+                acc
+            },
+        )
+        .reduce(
+            || vec![0.0f64; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    if scale != 1.0 {
+        st.par_iter_mut().for_each(|x| *x *= scale);
+    }
+    st
+}
+
+fn accumulate_source(csr: &CsrGraph, s: u32, acc: &mut [f64]) {
+    let n = csr.num_vertices();
+    let mut dist = vec![UNREACHED; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut levels: Vec<Vec<u32>> = Vec::new();
+    dist[s as usize] = 0;
+    sigma[s as usize] = 1.0;
+    let mut frontier = vec![s];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in csr.neighbors(v) {
+                if dist[w as usize] == UNREACHED {
+                    dist[w as usize] = level;
+                    sigma[w as usize] = sigma[v as usize];
+                    next.push(w);
+                } else if dist[w as usize] == level {
+                    sigma[w as usize] += sigma[v as usize];
+                }
+            }
+        }
+        levels.push(frontier);
+        frontier = next;
+    }
+    // p[v]: number of shortest-path suffixes starting at v (0 for sinks).
+    let mut p = vec![0.0f64; n];
+    for l in (1..levels.len()).rev() {
+        for &w in &levels[l] {
+            let dw = dist[w as usize];
+            // Scan w's neighbors for predecessors; each (v -> w) DAG edge
+            // contributes (1 + p[w]) suffixes to v, multiplied by the
+            // number of parallel shortest hops (each neighbor occurrence
+            // is a distinct edge, matching sigma accounting above).
+            for &v in csr.neighbors(w) {
+                if dist[v as usize] + 1 == dw {
+                    p[v as usize] += 1.0 + p[w as usize];
+                }
+            }
+        }
+    }
+    for v in 0..n {
+        if v as u32 != s && dist[v] != UNREACHED {
+            acc[v] += sigma[v] * p[v] - /* exclude t = v terminal paths */ 0.0;
+        }
+    }
+    // Note: sigma[v] * p[v] counts paths s..v..t with t strictly below v;
+    // paths terminating AT v are not "through" v and are excluded because
+    // p[v] only counts non-empty suffixes.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_rmat::TimedEdge;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let e: Vec<TimedEdge> = edges.iter().map(|&(u, v)| TimedEdge::new(u, v, 1)).collect();
+        CsrGraph::from_edges_undirected(n, &e)
+    }
+
+    #[test]
+    fn path_graph_counts() {
+        // 0-1-2-3-4: every s-t pair has exactly one shortest path, so
+        // stress equals (unnormalized) betweenness: v1 = 6, v2 = 8.
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let st = stress_exact(&g);
+        assert!((st[1] - 6.0).abs() < 1e-9, "st[1] = {}", st[1]);
+        assert!((st[2] - 8.0).abs() < 1e-9, "st[2] = {}", st[2]);
+        assert_eq!(st[0], 0.0);
+    }
+
+    #[test]
+    fn diamond_counts_paths_not_fractions() {
+        // 0 - {1, 2} - 3: two shortest 0-3 paths. Stress of 1 counts the
+        // whole path (1 per direction, 2 total); betweenness would give
+        // 0.5 per direction.
+        let g = undirected(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let st = stress_exact(&g);
+        assert!((st[1] - 2.0).abs() < 1e-9, "st[1] = {}", st[1]);
+        assert!((st[2] - 2.0).abs() < 1e-9);
+        let bc = crate::bc::betweenness_exact(&g);
+        assert!((bc[1] - 1.0).abs() < 1e-9, "betweenness halves the credit");
+    }
+
+    #[test]
+    fn stress_at_least_betweenness_everywhere() {
+        // sigma_st(v) >= sigma_st(v)/sigma_st pointwise, so stress
+        // dominates betweenness on any graph.
+        let edges: Vec<(u32, u32)> =
+            (0..40u32).map(|i| (i % 8, (i * 7 + 3) % 8)).filter(|&(a, b)| a != b).collect();
+        let g = undirected(8, &edges);
+        let st = stress_exact(&g);
+        let bc = crate::bc::betweenness_exact(&g);
+        for v in 0..8 {
+            assert!(st[v] + 1e-9 >= bc[v], "v {v}: stress {} < bc {}", st[v], bc[v]);
+        }
+    }
+
+    #[test]
+    fn approx_with_all_sources_is_exact() {
+        let g = undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let all: Vec<u32> = (0..6).collect();
+        let exact = stress_exact(&g);
+        let approx = stress_approx(&g, &all);
+        for v in 0..6 {
+            assert!((exact[v] - approx[v]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn star_center_stress() {
+        // K1,4: center carries one path per ordered leaf pair = 12.
+        let g = undirected(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let st = stress_exact(&g);
+        assert!((st[0] - 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,222 @@
+//! The temporal induced-subgraph kernel (Section 3.2, Figure 9).
+//!
+//! "Given edge and vertex time labels, we may need to extract vertices and
+//! edges created in a particular time interval, or analyze a snapshot of a
+//! network." Two phases, exactly as the paper describes:
+//!
+//! 1. One parallel pass over the edge list marks affected edges and keeps
+//!    a running count.
+//! 2. Depending on the affected fraction, either a new graph is built from
+//!    the matching edges, or the non-matching edges are deleted from the
+//!    current dynamic graph — "each edge is visited at most twice".
+
+use rayon::prelude::*;
+use snap_core::adjacency::DynamicAdjacency;
+use snap_core::{CsrGraph, DynGraph, VertexLabels};
+use snap_rmat::TimedEdge;
+
+/// An open time interval `(lo, hi)` — the paper extracts "edges inserted
+/// in time interval (20, 70)" of labels drawn from 1..=100.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeWindow {
+    pub lo: u32,
+    pub hi: u32,
+}
+
+impl TimeWindow {
+    /// Open interval `(lo, hi)`.
+    pub fn open(lo: u32, hi: u32) -> Self {
+        assert!(lo < hi, "empty window");
+        Self { lo, hi }
+    }
+
+    /// True if `ts` lies strictly inside the window.
+    #[inline]
+    pub fn contains(&self, ts: u32) -> bool {
+        ts > self.lo && ts < self.hi
+    }
+}
+
+/// Phase 1 + 2a on an edge list: parallel mark/count, then extraction of
+/// the matching edges. Returns `(matching edges, affected count)` — the
+/// count equals the vector length and is exposed for the caller's
+/// build-vs-delete decision.
+pub fn induced_subgraph_edges(edges: &[TimedEdge], w: TimeWindow) -> (Vec<TimedEdge>, usize) {
+    let marked: Vec<TimedEdge> = edges
+        .par_iter()
+        .filter(|e| w.contains(e.timestamp))
+        .copied()
+        .collect();
+    let count = marked.len();
+    (marked, count)
+}
+
+/// Builds the induced-subgraph snapshot directly in CSR form (undirected).
+pub fn induced_subgraph_csr(n: usize, edges: &[TimedEdge], w: TimeWindow) -> CsrGraph {
+    let (matching, _) = induced_subgraph_edges(edges, w);
+    CsrGraph::from_edges_undirected(n, &matching)
+}
+
+/// Phase 2b: deletes all out-of-window edges *in place* from a dynamic
+/// graph (the path the paper takes when most edges survive). Returns the
+/// number of adjacency entries removed.
+pub fn restrict_in_place<A: DynamicAdjacency>(g: &DynGraph<A>, w: TimeWindow) -> usize {
+    let n = g.num_vertices();
+    let adj = g.adjacency();
+    (0..n as u32)
+        .into_par_iter()
+        .map(|u| adj.retain(u, &mut |e| w.contains(e.ts)))
+        .sum()
+}
+
+/// Vertex-induced temporal subgraph: keeps an edge only if its timestamp
+/// is in-window *and* both endpoints are alive at that instant (the
+/// paper's "extract vertices and edges created in a particular time
+/// interval", using the ξ(v) labels).
+pub fn induced_subgraph_vertices(
+    n: usize,
+    edges: &[TimedEdge],
+    labels: &VertexLabels,
+    w: TimeWindow,
+) -> CsrGraph {
+    let matching: Vec<TimedEdge> = edges
+        .par_iter()
+        .filter(|e| {
+            w.contains(e.timestamp)
+                && labels.alive_at(e.u, e.timestamp)
+                && labels.alive_at(e.v, e.timestamp)
+        })
+        .copied()
+        .collect();
+    CsrGraph::from_edges_undirected(n, &matching)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_core::adjacency::CapacityHints;
+    use snap_core::DynArr;
+    use snap_rmat::{Rmat, RmatParams};
+
+    #[test]
+    fn window_is_open_interval() {
+        let w = TimeWindow::open(20, 70);
+        assert!(!w.contains(20));
+        assert!(w.contains(21));
+        assert!(w.contains(69));
+        assert!(!w.contains(70));
+        assert!(!w.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn degenerate_window_rejected() {
+        TimeWindow::open(5, 5);
+    }
+
+    #[test]
+    fn extraction_matches_sequential_filter() {
+        let rm = Rmat::new(RmatParams::paper(10, 8).with_max_timestamp(100), 31);
+        let edges = rm.edges();
+        let w = TimeWindow::open(20, 70);
+        let (got, count) = induced_subgraph_edges(&edges, w);
+        let want: Vec<TimedEdge> = edges
+            .iter()
+            .copied()
+            .filter(|e| e.timestamp > 20 && e.timestamp < 70)
+            .collect();
+        assert_eq!(got, want, "parallel filter must preserve order and content");
+        assert_eq!(count, want.len());
+        // Uniform labels 1..=100, window (20,70) keeps 49/100.
+        let frac = count as f64 / edges.len() as f64;
+        assert!((frac - 0.49).abs() < 0.02, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn csr_subgraph_has_only_window_edges() {
+        let rm = Rmat::new(RmatParams::paper(8, 8).with_max_timestamp(100), 32);
+        let edges = rm.edges();
+        let w = TimeWindow::open(20, 70);
+        let sub = induced_subgraph_csr(1 << 8, &edges, w);
+        for u in 0..sub.num_vertices() as u32 {
+            for &t in sub.timestamps(u) {
+                assert!(w.contains(t), "timestamp {t} escaped the window");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_restriction_matches_extraction() {
+        let rm = Rmat::new(RmatParams::paper(9, 8).with_max_timestamp(100), 33);
+        let edges = rm.edges();
+        let n = 1 << 9;
+        let w = TimeWindow::open(20, 70);
+        let hints = CapacityHints::new(edges.len());
+        let g: DynGraph<DynArr> = DynGraph::directed(n, &hints);
+        for e in &edges {
+            g.insert_edge(*e);
+        }
+        let before = g.total_entries();
+        let removed = restrict_in_place(&g, w);
+        let (matching, count) = induced_subgraph_edges(&edges, w);
+        let _ = matching;
+        assert_eq!(before - removed, count);
+        assert_eq!(g.total_entries(), count);
+        // Every surviving entry is in-window.
+        for u in 0..n as u32 {
+            g.for_each_neighbor(u, &mut |e| assert!(w.contains(e.ts)));
+        }
+    }
+
+    #[test]
+    fn full_window_keeps_everything() {
+        let rm = Rmat::new(RmatParams::paper(8, 4).with_max_timestamp(50), 34);
+        let edges = rm.edges();
+        let (kept, count) = induced_subgraph_edges(&edges, TimeWindow::open(0, 51));
+        assert_eq!(count, edges.len());
+        assert_eq!(kept, edges);
+    }
+
+    #[test]
+    fn vertex_liveness_filters_edges() {
+        // Edge (0,1,ts=30) survives only while both endpoints are alive.
+        let edges = vec![
+            TimedEdge::new(0, 1, 30),
+            TimedEdge::new(1, 2, 40),
+            TimedEdge::new(2, 3, 50),
+        ];
+        let w = TimeWindow::open(0, 100);
+        let mut labels = VertexLabels::new(4);
+        labels.set_removed(2, 45); // vertex 2 disappears before ts 50
+        let sub = induced_subgraph_vertices(4, &edges, &labels, w);
+        assert_eq!(sub.num_entries(), 4, "edges (0,1) and (1,2) survive");
+        assert!(sub.neighbors(3).is_empty(), "edge (2,3) dropped: 2 dead at 50");
+        assert!(sub.neighbors(1).contains(&2), "edge (1,2) alive at 40 < 45");
+    }
+
+    #[test]
+    fn vertex_filter_composes_with_window() {
+        let edges = vec![TimedEdge::new(0, 1, 10), TimedEdge::new(0, 1, 80)];
+        let labels = VertexLabels::new(2);
+        let sub = induced_subgraph_vertices(2, &edges, &labels, TimeWindow::open(5, 50));
+        assert_eq!(sub.num_entries(), 2, "only the ts=10 copy is in-window");
+        assert_eq!(sub.timestamps(0), &[10]);
+    }
+
+    #[test]
+    fn vertex_created_late_excludes_early_edges() {
+        let edges = vec![TimedEdge::new(0, 1, 10)];
+        let labels = VertexLabels::with_creation_times(vec![0, 20]);
+        let sub =
+            induced_subgraph_vertices(2, &edges, &labels, TimeWindow::open(0, 100));
+        assert_eq!(sub.num_entries(), 0, "vertex 1 did not exist at ts 10");
+    }
+
+    #[test]
+    fn empty_result_window() {
+        let rm = Rmat::new(RmatParams::paper(8, 4).with_max_timestamp(50), 35);
+        let (kept, count) = induced_subgraph_edges(&rm.edges(), TimeWindow::open(200, 300));
+        assert!(kept.is_empty());
+        assert_eq!(count, 0);
+    }
+}

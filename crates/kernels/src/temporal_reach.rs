@@ -1,0 +1,160 @@
+//! Exact earliest-arrival temporal reachability (Kempe et al. semantics).
+//!
+//! A temporal path requires strictly increasing edge time labels. The
+//! greedy level-synchronous filter used by the BFS/BC kernels (the
+//! paper's formulation) under-approximates this relation; this module
+//! computes it *exactly* by sweeping edges in ascending timestamp order:
+//! within one timestamp bucket no chaining is possible (labels must
+//! strictly increase), so each bucket relaxes in parallel with an atomic
+//! min on the arrival label.
+//!
+//! `arrival[v]` = the earliest last-edge timestamp over all temporal
+//! paths from the source (0 for the source itself, `u32::MAX` if no
+//! time-respecting path exists).
+
+use rayon::prelude::*;
+use snap_core::CsrGraph;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// No time-respecting path from the source.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Exact earliest-arrival labels from `src`.
+pub fn earliest_arrival(csr: &CsrGraph, src: u32) -> Vec<u32> {
+    let n = csr.num_vertices();
+    assert!((src as usize) < n, "source out of range");
+    // Bucket directed entries by timestamp.
+    let mut entries: Vec<(u32, u32, u32)> = csr.iter_entries().collect(); // (u, v, ts)
+    entries.par_sort_unstable_by_key(|&(_, _, t)| t);
+    let arrival: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
+    arrival[src as usize].store(0, Ordering::Relaxed);
+    let mut i = 0;
+    while i < entries.len() {
+        let t = entries[i].2;
+        let mut j = i;
+        while j < entries.len() && entries[j].2 == t {
+            j += 1;
+        }
+        // One bucket: all edges labelled t relax against arrivals < t.
+        entries[i..j].par_iter().for_each(|&(u, v, ts)| {
+            if arrival[u as usize].load(Ordering::Relaxed) < ts {
+                // v can now be reached with last-edge label ts.
+                atomic_min(&arrival[v as usize], ts);
+            }
+        });
+        i = j;
+    }
+    arrival.into_iter().map(|a| a.into_inner()).collect()
+}
+
+fn atomic_min(slot: &AtomicU32, val: u32) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    while val < cur {
+        match slot.compare_exchange_weak(cur, val, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Number of vertices with a time-respecting path from `src` (including
+/// the source).
+pub fn temporal_reach_count(csr: &CsrGraph, src: u32) -> usize {
+    earliest_arrival(csr, src)
+        .iter()
+        .filter(|&&a| a != UNREACHABLE)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{temporal_bfs, UNREACHED};
+    use snap_rmat::{Rmat, RmatParams, TimedEdge};
+
+    fn undirected(n: usize, edges: &[(u32, u32, u32)]) -> CsrGraph {
+        let e: Vec<TimedEdge> =
+            edges.iter().map(|&(u, v, t)| TimedEdge::new(u, v, t)).collect();
+        CsrGraph::from_edges_undirected(n, &e)
+    }
+
+    #[test]
+    fn strictly_increasing_chain_is_reachable() {
+        let g = undirected(4, &[(0, 1, 1), (1, 2, 5), (2, 3, 9)]);
+        let a = earliest_arrival(&g, 0);
+        assert_eq!(a, vec![0, 1, 5, 9]);
+    }
+
+    #[test]
+    fn decreasing_chain_is_blocked() {
+        let g = undirected(3, &[(0, 1, 9), (1, 2, 3)]);
+        let a = earliest_arrival(&g, 0);
+        assert_eq!(a[1], 9);
+        assert_eq!(a[2], UNREACHABLE, "3 after 9 violates strict increase");
+        // From the other end the chain ascends.
+        let b = earliest_arrival(&g, 2);
+        assert_eq!(b, vec![9, 3, 0]);
+    }
+
+    #[test]
+    fn equal_timestamps_cannot_chain() {
+        let g = undirected(3, &[(0, 1, 5), (1, 2, 5)]);
+        let a = earliest_arrival(&g, 0);
+        assert_eq!(a[1], 5);
+        assert_eq!(a[2], UNREACHABLE, "strictly increasing forbids 5 -> 5");
+    }
+
+    #[test]
+    fn exact_finds_paths_the_greedy_filter_misses() {
+        // Two routes to 1: cheap-late (ts 9) and expensive-early via 2
+        // (ts 1 then 2). Continuing to 3 needs ts 4 > arrival(1).
+        // Earliest arrival at 1 is 2 (via 2), so 3 is reachable at 4.
+        let g = undirected(
+            4,
+            &[(0, 1, 9), (0, 2, 1), (2, 1, 2), (1, 3, 4)],
+        );
+        let a = earliest_arrival(&g, 0);
+        assert_eq!(a[1], 2);
+        assert_eq!(a[3], 4);
+    }
+
+    #[test]
+    fn greedy_temporal_bfs_reach_is_a_subset_of_exact() {
+        let rm = Rmat::new(RmatParams::paper(9, 8).with_max_timestamp(30), 5);
+        let g = CsrGraph::from_edges_undirected(1 << 9, &rm.edges());
+        let src = 0u32;
+        let exact = earliest_arrival(&g, src);
+        // Containment sanity: every temporally reachable vertex must at
+        // least be statically reachable (temporal paths are paths).
+        let full = temporal_bfs(&g, src, |_| true);
+        for v in 0..g.num_vertices() {
+            if exact[v] != UNREACHABLE {
+                assert_ne!(full.dist[v], UNREACHED, "temporal implies static reach");
+            }
+        }
+    }
+
+    #[test]
+    fn source_arrival_is_zero_even_isolated() {
+        let g = undirected(2, &[]);
+        let a = earliest_arrival(&g, 1);
+        assert_eq!(a, vec![UNREACHABLE, 0]);
+        assert_eq!(temporal_reach_count(&g, 1), 1);
+    }
+
+    #[test]
+    fn multiple_parallel_edges_use_the_best() {
+        let g = undirected(3, &[(0, 1, 7), (0, 1, 2), (1, 2, 5)]);
+        let a = earliest_arrival(&g, 0);
+        assert_eq!(a[1], 2, "earliest parallel edge wins");
+        assert_eq!(a[2], 5);
+    }
+
+    #[test]
+    fn bucket_order_is_respected_on_shuffled_input() {
+        // Build deliberately unsorted edges; sweep must sort internally.
+        let g = undirected(5, &[(3, 4, 9), (0, 1, 1), (2, 3, 7), (1, 2, 4)]);
+        let a = earliest_arrival(&g, 0);
+        assert_eq!(a, vec![0, 1, 4, 7, 9]);
+    }
+}

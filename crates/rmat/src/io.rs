@@ -1,0 +1,198 @@
+//! Plain-text edge-list I/O.
+//!
+//! Real deployments feed SNAP-style tools from edge-list files, so the
+//! workload crate can read and write the de-facto standard format: one
+//! `u v [timestamp]` triple per line, `#`-prefixed comment lines, blank
+//! lines ignored. A missing timestamp column defaults to 0.
+
+use crate::TimedEdge;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// A malformed line with its 1-based line number.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "edge list line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Everything that can go wrong while loading.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses an edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<TimedEdge>, IoError> {
+    let buf = BufReader::new(reader);
+    let mut edges = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<u32, IoError> {
+            let tok = tok.ok_or_else(|| {
+                IoError::Parse(ParseError {
+                    line: idx + 1,
+                    message: format!("missing {what}"),
+                })
+            })?;
+            tok.parse::<u32>().map_err(|_| {
+                IoError::Parse(ParseError {
+                    line: idx + 1,
+                    message: format!("invalid {what}: {tok:?}"),
+                })
+            })
+        };
+        let u = parse(parts.next(), "source vertex")?;
+        let v = parse(parts.next(), "target vertex")?;
+        let ts = match parts.next() {
+            Some(tok) => tok.parse::<u32>().map_err(|_| {
+                IoError::Parse(ParseError {
+                    line: idx + 1,
+                    message: format!("invalid timestamp: {tok:?}"),
+                })
+            })?,
+            None => 0,
+        };
+        if let Some(extra) = parts.next() {
+            return Err(IoError::Parse(ParseError {
+                line: idx + 1,
+                message: format!("unexpected trailing token: {extra:?}"),
+            }));
+        }
+        edges.push(TimedEdge::new(u, v, ts));
+    }
+    Ok(edges)
+}
+
+/// Loads an edge list from a file path.
+pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Vec<TimedEdge>, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(f)
+}
+
+/// Writes an edge list to any writer, with a header comment.
+pub fn write_edge_list<W: Write>(writer: W, edges: &[TimedEdge]) -> std::io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# snap-dynamic edge list: u v timestamp ({} edges)", edges.len())?;
+    for e in edges {
+        writeln!(out, "{} {} {}", e.u, e.v, e.timestamp)?;
+    }
+    out.flush()
+}
+
+/// Saves an edge list to a file path.
+pub fn save_edge_list(path: impl AsRef<Path>, edges: &[TimedEdge]) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_edge_list(f, edges)
+}
+
+/// Smallest vertex-count bound covering every endpoint (`max id + 1`).
+pub fn vertex_bound(edges: &[TimedEdge]) -> usize {
+    edges
+        .iter()
+        .map(|e| e.u.max(e.v) as usize + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Rmat, RmatParams};
+
+    #[test]
+    fn round_trip_through_memory() {
+        let edges = Rmat::new(RmatParams::paper(8, 4), 3).edges();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &edges).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let edges = Rmat::new(RmatParams::paper(7, 4), 4).edges();
+        let path = std::env::temp_dir().join("snap_io_roundtrip.txt");
+        save_edge_list(&path, &edges).unwrap();
+        let back = load_edge_list(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn comments_blanks_and_default_timestamps() {
+        let text = "# a comment\n\n0 1 5\n2 3\n  # indented comment\n4 5 9\n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(
+            edges,
+            vec![
+                TimedEdge::new(0, 1, 5),
+                TimedEdge::new(2, 3, 0),
+                TimedEdge::new(4, 5, 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let text = "0 1 2\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse(p) => {
+                assert_eq!(p.line, 2);
+                assert!(p.message.contains("source vertex"), "{}", p.message);
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_target_and_trailing_garbage() {
+        assert!(matches!(
+            read_edge_list("5\n".as_bytes()).unwrap_err(),
+            IoError::Parse(_)
+        ));
+        assert!(matches!(
+            read_edge_list("1 2 3 4\n".as_bytes()).unwrap_err(),
+            IoError::Parse(_)
+        ));
+    }
+
+    #[test]
+    fn vertex_bound_covers_endpoints() {
+        let edges = vec![TimedEdge::new(3, 9, 0), TimedEdge::new(1, 2, 0)];
+        assert_eq!(vertex_bound(&edges), 10);
+        assert_eq!(vertex_bound(&[]), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! R-MAT synthetic graph generation and structural-update streams.
+//!
+//! The paper's experimental setup (Section 1.2): R-MAT (Chakrabarti, Zhan,
+//! Faloutsos, SDM 2004) with shaping parameters `a, b, c, d = 0.60, 0.15,
+//! 0.15, 0.10`, producing power-law graphs whose most-connected vertex has
+//! out-degree `O(n^0.6)`; `n = 2^scale` vertices; uniform random integer
+//! timestamps on edges. All MUPS experiments consume the resulting edge list
+//! as a stream of insertions, deletions, or mixes thereof.
+
+pub mod generator;
+pub mod io;
+pub mod stream;
+
+pub use generator::{Rmat, RmatParams};
+pub use stream::{StreamBuilder, Update, UpdateKind};
+
+/// A timestamped edge: endpoints plus the paper's time label λ(e).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimedEdge {
+    pub u: u32,
+    pub v: u32,
+    pub timestamp: u32,
+}
+
+impl TimedEdge {
+    pub fn new(u: u32, v: u32, timestamp: u32) -> Self {
+        Self { u, v, timestamp }
+    }
+}

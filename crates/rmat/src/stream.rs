@@ -1,0 +1,190 @@
+//! Structural-update streams: the workloads of Figures 1–6.
+//!
+//! A stream is a sequence of [`Update`]s (edge insertions / deletions)
+//! derived from an R-MAT edge list. The paper evaluates:
+//! - *construction*: the whole edge list as insertions (Figures 1–4),
+//! - *deletions*: k random existing edges deleted after construction
+//!   (Figure 5),
+//! - *mixed*: a random interleaving with a given insert fraction
+//!   (Figure 6: 75% insertions / 25% deletions),
+//! - *shuffled* streams (de-correlating contiguous updates to one vertex,
+//!   the paper's load-balancing remedy for Dyn-arr), and
+//! - *semi-sorted* streams (batched processing; the sort itself is the
+//!   lower bound measured in Figure 3).
+
+use crate::TimedEdge;
+use snap_util::rng::XorShift64;
+use snap_util::sort::semi_sort_by_key;
+
+/// The kind of structural update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    Insert,
+    Delete,
+}
+
+/// One structural update to the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Update {
+    pub kind: UpdateKind,
+    pub edge: TimedEdge,
+}
+
+impl Update {
+    pub fn insert(edge: TimedEdge) -> Self {
+        Self { kind: UpdateKind::Insert, edge }
+    }
+
+    pub fn delete(edge: TimedEdge) -> Self {
+        Self { kind: UpdateKind::Delete, edge }
+    }
+}
+
+/// Builds update streams from a base edge list.
+pub struct StreamBuilder<'a> {
+    edges: &'a [TimedEdge],
+    seed: u64,
+}
+
+impl<'a> StreamBuilder<'a> {
+    pub fn new(edges: &'a [TimedEdge], seed: u64) -> Self {
+        Self { edges, seed }
+    }
+
+    /// The whole edge list as insertions, in generation order.
+    pub fn construction(&self) -> Vec<Update> {
+        self.edges.iter().copied().map(Update::insert).collect()
+    }
+
+    /// The whole edge list as insertions, randomly shuffled — the paper's
+    /// fix for hot-vertex contention in streaming insertion workloads.
+    pub fn construction_shuffled(&self) -> Vec<Update> {
+        let mut v = self.construction();
+        XorShift64::new(self.seed ^ 0x5AFE).shuffle(&mut v);
+        v
+    }
+
+    /// `count` deletions of randomly chosen existing edges (sampled with
+    /// replacement, as the paper's "20 million random deletions").
+    pub fn deletions(&self, count: usize) -> Vec<Update> {
+        assert!(!self.edges.is_empty(), "cannot delete from an empty edge list");
+        let mut rng = XorShift64::new(self.seed ^ 0xDE1E7E);
+        (0..count)
+            .map(|_| {
+                let i = rng.next_bounded(self.edges.len() as u64) as usize;
+                Update::delete(self.edges[i])
+            })
+            .collect()
+    }
+
+    /// A mixed stream of `count` updates with the given insert fraction.
+    /// Inserts draw fresh edges from the tail of the base list cyclically;
+    /// deletes target random earlier edges. Figure 6 uses
+    /// `insert_fraction = 0.75`.
+    pub fn mixed(&self, count: usize, insert_fraction: f64) -> Vec<Update> {
+        assert!((0.0..=1.0).contains(&insert_fraction));
+        assert!(!self.edges.is_empty());
+        let mut rng = XorShift64::new(self.seed ^ 0x313D);
+        let m = self.edges.len();
+        let mut next_insert = 0usize;
+        (0..count)
+            .map(|_| {
+                if rng.next_bool(insert_fraction) {
+                    let e = self.edges[next_insert % m];
+                    next_insert += 1;
+                    Update::insert(e)
+                } else {
+                    let i = rng.next_bounded(m as u64) as usize;
+                    Update::delete(self.edges[i])
+                }
+            })
+            .collect()
+    }
+
+    /// Semi-sorts a stream in place by source vertex id (batched
+    /// processing). `scale` bounds the key width: vertex ids < 2^scale.
+    pub fn semi_sort(stream: &mut Vec<Update>, scale: u32) {
+        semi_sort_by_key(stream, scale, |u| u.edge.u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Rmat, RmatParams};
+
+    fn base() -> Vec<TimedEdge> {
+        Rmat::new(RmatParams::paper(8, 8), 11).edges()
+    }
+
+    #[test]
+    fn construction_preserves_order_and_count() {
+        let edges = base();
+        let s = StreamBuilder::new(&edges, 1).construction();
+        assert_eq!(s.len(), edges.len());
+        assert!(s.iter().all(|u| u.kind == UpdateKind::Insert));
+        assert_eq!(s[0].edge, edges[0]);
+        assert_eq!(s[s.len() - 1].edge, edges[edges.len() - 1]);
+    }
+
+    #[test]
+    fn shuffled_is_permutation_of_construction() {
+        let edges = base();
+        let b = StreamBuilder::new(&edges, 1);
+        let mut plain: Vec<_> = b.construction().iter().map(|u| u.edge).collect();
+        let mut shuf: Vec<_> = b.construction_shuffled().iter().map(|u| u.edge).collect();
+        assert_ne!(plain, shuf, "shuffle should change order");
+        plain.sort_unstable_by_key(|e| (e.u, e.v, e.timestamp));
+        shuf.sort_unstable_by_key(|e| (e.u, e.v, e.timestamp));
+        assert_eq!(plain, shuf);
+    }
+
+    #[test]
+    fn deletions_reference_existing_edges() {
+        let edges = base();
+        let b = StreamBuilder::new(&edges, 2);
+        let dels = b.deletions(500);
+        assert_eq!(dels.len(), 500);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        for d in &dels {
+            assert_eq!(d.kind, UpdateKind::Delete);
+            assert!(set.contains(&d.edge), "deletion of a non-existent edge");
+        }
+    }
+
+    #[test]
+    fn mixed_fraction_is_respected() {
+        let edges = base();
+        let b = StreamBuilder::new(&edges, 3);
+        let s = b.mixed(20_000, 0.75);
+        let ins = s.iter().filter(|u| u.kind == UpdateKind::Insert).count();
+        let frac = ins as f64 / s.len() as f64;
+        assert!((frac - 0.75).abs() < 0.02, "insert fraction {frac} too far from 0.75");
+    }
+
+    #[test]
+    fn mixed_extremes() {
+        let edges = base();
+        let b = StreamBuilder::new(&edges, 4);
+        assert!(b.mixed(100, 1.0).iter().all(|u| u.kind == UpdateKind::Insert));
+        assert!(b.mixed(100, 0.0).iter().all(|u| u.kind == UpdateKind::Delete));
+    }
+
+    #[test]
+    fn semi_sort_groups_by_source() {
+        let edges = base();
+        let mut s = StreamBuilder::new(&edges, 5).construction_shuffled();
+        StreamBuilder::semi_sort(&mut s, 8);
+        assert!(s.windows(2).all(|w| w[0].edge.u <= w[1].edge.u));
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let edges = base();
+        let a = StreamBuilder::new(&edges, 9).mixed(1000, 0.5);
+        let b = StreamBuilder::new(&edges, 9).mixed(1000, 0.5);
+        let c = StreamBuilder::new(&edges, 10).mixed(1000, 0.5);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,670 @@
+//! A randomized treap (Seidel–Aragon, Algorithmica 1996) over `u32` keys
+//! with `u32` payloads.
+//!
+//! The paper (Section 2.1.4) stores the adjacency lists of high-degree
+//! vertices as treaps: a binary search tree on the neighbor id with
+//! heap-ordered random priorities, giving expected `O(log d)` insertion,
+//! deletion, and search, plus efficient set operations (union,
+//! intersection, difference) useful for batch updates and induced-subgraph
+//! style kernels.
+//!
+//! Nodes live in a flat `Vec` addressed by `u32` indices (cache-friendly,
+//! borrow-checker-friendly, no per-node allocation); deletions recycle
+//! slots through a free list. Set operations come in two flavors:
+//! treap-native split/merge recursion, and parallel merge-on-sorted-extract
+//! (`par_union` & co.) that bulk-builds the result in `O(n)`.
+
+use snap_util::rng::XorShift64;
+
+pub mod setops;
+
+/// Sentinel for "no child".
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    key: u32,
+    val: u32,
+    prio: u32,
+    left: u32,
+    right: u32,
+    /// Subtree size (this node + descendants), maintained by every
+    /// structural operation; powers the order-statistic queries.
+    size: u32,
+}
+
+/// A treap mapping `u32` keys to `u32` values.
+#[derive(Clone, Debug)]
+pub struct Treap {
+    nodes: Vec<Node>,
+    root: u32,
+    free: Vec<u32>,
+    len: usize,
+    rng: XorShift64,
+}
+
+impl Treap {
+    /// Creates an empty treap. `seed` drives priority generation; two treaps
+    /// with the same seed and insertion sequence are structurally identical.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            root: NIL,
+            free: Vec::new(),
+            len: 0,
+            rng: XorShift64::new(seed),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes of node storage currently reserved (footprint reporting).
+    pub fn reserved_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+    }
+
+    fn alloc_node(&mut self, key: u32, val: u32, prio: u32) -> u32 {
+        let node = Node { key, val, prio, left: NIL, right: NIL, size: 1 };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Subtree size of `t` (0 for NIL).
+    #[inline]
+    fn size_of(&self, t: u32) -> u32 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].size
+        }
+    }
+
+    /// Recomputes `t`'s size from its children.
+    #[inline]
+    fn update_size(&mut self, t: u32) {
+        let l = self.nodes[t as usize].left;
+        let r = self.nodes[t as usize].right;
+        self.nodes[t as usize].size = 1 + self.size_of(l) + self.size_of(r);
+    }
+
+    /// Merges subtrees `l` and `r` where every key in `l` < every key in `r`.
+    fn merge(&mut self, l: u32, r: u32) -> u32 {
+        if l == NIL {
+            return r;
+        }
+        if r == NIL {
+            return l;
+        }
+        if self.nodes[l as usize].prio >= self.nodes[r as usize].prio {
+            let lr = self.nodes[l as usize].right;
+            let merged = self.merge(lr, r);
+            self.nodes[l as usize].right = merged;
+            self.update_size(l);
+            l
+        } else {
+            let rl = self.nodes[r as usize].left;
+            let merged = self.merge(l, rl);
+            self.nodes[r as usize].left = merged;
+            self.update_size(r);
+            r
+        }
+    }
+
+    /// Looks up `key`, returning its value.
+    pub fn get(&self, key: u32) -> Option<u32> {
+        let mut cur = self.root;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            cur = match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => n.left,
+                std::cmp::Ordering::Greater => n.right,
+                std::cmp::Ordering::Equal => return Some(n.val),
+            };
+        }
+        None
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: u32) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key -> val`. Returns `true` if the key was new; an existing
+    /// key has its value overwritten and `false` is returned.
+    ///
+    /// Single descending pass with rotations on the way back up (the
+    /// classical Seidel–Aragon insertion) — cheaper than the
+    /// search + split + double-merge formulation because the tree is
+    /// traversed once.
+    pub fn insert(&mut self, key: u32, val: u32) -> bool {
+        let root = self.root;
+        let (new_root, inserted) = self.insert_rec(root, key, val);
+        self.root = new_root;
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    fn insert_rec(&mut self, t: u32, key: u32, val: u32) -> (u32, bool) {
+        if t == NIL {
+            let prio = self.rng.next_u64() as u32;
+            return (self.alloc_node(key, val, prio), true);
+        }
+        let node = self.nodes[t as usize];
+        match key.cmp(&node.key) {
+            std::cmp::Ordering::Equal => {
+                self.nodes[t as usize].val = val;
+                (t, false)
+            }
+            std::cmp::Ordering::Less => {
+                let (nl, ins) = self.insert_rec(node.left, key, val);
+                self.nodes[t as usize].left = nl;
+                self.update_size(t);
+                if self.nodes[nl as usize].prio > self.nodes[t as usize].prio {
+                    (self.rotate_right(t), ins)
+                } else {
+                    (t, ins)
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                let (nr, ins) = self.insert_rec(node.right, key, val);
+                self.nodes[t as usize].right = nr;
+                self.update_size(t);
+                if self.nodes[nr as usize].prio > self.nodes[t as usize].prio {
+                    (self.rotate_left(t), ins)
+                } else {
+                    (t, ins)
+                }
+            }
+        }
+    }
+
+    /// Right rotation: `t`'s left child becomes the subtree root.
+    fn rotate_right(&mut self, t: u32) -> u32 {
+        let l = self.nodes[t as usize].left;
+        self.nodes[t as usize].left = self.nodes[l as usize].right;
+        self.nodes[l as usize].right = t;
+        self.update_size(t);
+        self.update_size(l);
+        l
+    }
+
+    /// Left rotation: `t`'s right child becomes the subtree root.
+    fn rotate_left(&mut self, t: u32) -> u32 {
+        let r = self.nodes[t as usize].right;
+        self.nodes[t as usize].right = self.nodes[r as usize].left;
+        self.nodes[r as usize].left = t;
+        self.update_size(t);
+        self.update_size(r);
+        r
+    }
+
+    /// Removes `key`, returning its value if it was present. The node's
+    /// slot is recycled — deletion genuinely releases storage, the property
+    /// that makes treaps attractive for delete-heavy workloads.
+    pub fn delete(&mut self, key: u32) -> Option<u32> {
+        let root = self.root;
+        let (new_root, removed) = self.delete_rec(root, key);
+        self.root = new_root;
+        if let Some((idx, val)) = removed {
+            self.free.push(idx);
+            self.len -= 1;
+            Some(val)
+        } else {
+            None
+        }
+    }
+
+    fn delete_rec(&mut self, t: u32, key: u32) -> (u32, Option<(u32, u32)>) {
+        if t == NIL {
+            return (NIL, None);
+        }
+        let n = self.nodes[t as usize];
+        match key.cmp(&n.key) {
+            std::cmp::Ordering::Less => {
+                let (nl, rem) = self.delete_rec(n.left, key);
+                self.nodes[t as usize].left = nl;
+                self.update_size(t);
+                (t, rem)
+            }
+            std::cmp::Ordering::Greater => {
+                let (nr, rem) = self.delete_rec(n.right, key);
+                self.nodes[t as usize].right = nr;
+                self.update_size(t);
+                (t, rem)
+            }
+            std::cmp::Ordering::Equal => {
+                let merged = self.merge(n.left, n.right);
+                (merged, Some((t, n.val)))
+            }
+        }
+    }
+
+    /// In-order (ascending key) traversal into a vector of `(key, val)`.
+    pub fn to_sorted_vec(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.len);
+        // Explicit stack: adjacency treaps are usually shallow, but the
+        // public traversal should never be the thing that overflows.
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.nodes[cur as usize].left;
+            }
+            let t = stack.pop().expect("stack non-empty by loop condition");
+            let n = &self.nodes[t as usize];
+            out.push((n.key, n.val));
+            cur = n.right;
+        }
+        out
+    }
+
+    /// Calls `f` for every `(key, val)` in ascending key order.
+    pub fn for_each(&self, mut f: impl FnMut(u32, u32)) {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.nodes[cur as usize].left;
+            }
+            let t = stack.pop().expect("stack non-empty by loop condition");
+            let n = &self.nodes[t as usize];
+            f(n.key, n.val);
+            cur = n.right;
+        }
+    }
+
+    /// Bulk-builds a treap from strictly ascending `(key, val)` pairs in
+    /// `O(n)` using the rightmost-spine (Cartesian tree) construction.
+    ///
+    /// # Panics
+    /// If keys are not strictly ascending.
+    pub fn from_sorted(pairs: &[(u32, u32)], seed: u64) -> Self {
+        let mut t = Treap::new(seed);
+        if pairs.is_empty() {
+            return t;
+        }
+        for w in pairs.windows(2) {
+            assert!(w[0].0 < w[1].0, "from_sorted requires strictly ascending keys");
+        }
+        t.nodes.reserve(pairs.len());
+        // Rightmost spine as a stack; priorities random, heap-fixed on push.
+        let mut spine: Vec<u32> = Vec::new();
+        for &(key, val) in pairs {
+            let prio = t.rng.next_u64() as u32;
+            let node = t.alloc_node(key, val, prio);
+            let mut last_popped = NIL;
+            while let Some(&top) = spine.last() {
+                if t.nodes[top as usize].prio < prio {
+                    last_popped = top;
+                    spine.pop();
+                } else {
+                    break;
+                }
+            }
+            t.nodes[node as usize].left = last_popped;
+            if let Some(&top) = spine.last() {
+                t.nodes[top as usize].right = node;
+            }
+            spine.push(node);
+        }
+        t.root = spine[0];
+        t.len = pairs.len();
+        let root = t.root;
+        t.fix_sizes(root);
+        t
+    }
+
+    /// Post-order size recomputation (used by bulk construction).
+    fn fix_sizes(&mut self, t: u32) -> u32 {
+        if t == NIL {
+            return 0;
+        }
+        let l = self.nodes[t as usize].left;
+        let r = self.nodes[t as usize].right;
+        let size = 1 + self.fix_sizes(l) + self.fix_sizes(r);
+        self.nodes[t as usize].size = size;
+        size
+    }
+
+    /// Number of keys strictly smaller than `key` (the rank a present key
+    /// would have in sorted order).
+    pub fn rank(&self, key: u32) -> usize {
+        let mut cur = self.root;
+        let mut acc = 0usize;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => cur = n.left,
+                std::cmp::Ordering::Greater => {
+                    acc += 1 + self.size_of(n.left) as usize;
+                    cur = n.right;
+                }
+                std::cmp::Ordering::Equal => {
+                    return acc + self.size_of(n.left) as usize;
+                }
+            }
+        }
+        acc
+    }
+
+    /// The `k`-th smallest entry (0-based), or `None` if `k >= len`.
+    pub fn select(&self, mut k: usize) -> Option<(u32, u32)> {
+        if k >= self.len {
+            return None;
+        }
+        let mut cur = self.root;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            let left = self.size_of(n.left) as usize;
+            match k.cmp(&left) {
+                std::cmp::Ordering::Less => cur = n.left,
+                std::cmp::Ordering::Equal => return Some((n.key, n.val)),
+                std::cmp::Ordering::Greater => {
+                    k -= left + 1;
+                    cur = n.right;
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of keys in the half-open range `[lo, hi)`.
+    pub fn range_count(&self, lo: u32, hi: u32) -> usize {
+        if lo >= hi {
+            return 0;
+        }
+        self.rank(hi) - self.rank(lo)
+    }
+
+    /// Verifies the BST-order and heap-order invariants (test support).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn walk(
+            t: &Treap,
+            node: u32,
+            lo: Option<u32>,
+            hi: Option<u32>,
+            count: &mut usize,
+        ) -> Result<(), String> {
+            if node == NIL {
+                return Ok(());
+            }
+            *count += 1;
+            let n = &t.nodes[node as usize];
+            let expect_size = 1 + t.size_of(n.left) + t.size_of(n.right);
+            if n.size != expect_size {
+                return Err(format!(
+                    "size violation at key {}: stored {} vs computed {expect_size}",
+                    n.key, n.size
+                ));
+            }
+            if let Some(lo) = lo {
+                if n.key <= lo {
+                    return Err(format!("BST violation: key {} <= lower bound {lo}", n.key));
+                }
+            }
+            if let Some(hi) = hi {
+                if n.key >= hi {
+                    return Err(format!("BST violation: key {} >= upper bound {hi}", n.key));
+                }
+            }
+            for child in [n.left, n.right] {
+                if child != NIL && t.nodes[child as usize].prio > n.prio {
+                    return Err(format!(
+                        "heap violation at key {}: child priority exceeds parent",
+                        n.key
+                    ));
+                }
+            }
+            walk(t, n.left, lo, Some(n.key), count)?;
+            walk(t, n.right, Some(n.key), hi, count)
+        }
+        let mut count = 0;
+        walk(self, self.root, None, None, &mut count)?;
+        if count != self.len {
+            return Err(format!("len {} != reachable nodes {count}", self.len));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut t = Treap::new(1);
+        assert!(t.insert(5, 50));
+        assert!(t.insert(3, 30));
+        assert!(t.insert(8, 80));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(5), Some(50));
+        assert_eq!(t.get(3), Some(30));
+        assert_eq!(t.get(9), None);
+        assert_eq!(t.delete(3), Some(30));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.delete(3), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_overwrites() {
+        let mut t = Treap::new(2);
+        assert!(t.insert(7, 1));
+        assert!(!t.insert(7, 2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(7), Some(2));
+    }
+
+    #[test]
+    fn sorted_extraction_is_sorted() {
+        let mut t = Treap::new(3);
+        for k in [9u32, 1, 7, 3, 5, 2, 8, 0, 4, 6] {
+            t.insert(k, k * 10);
+        }
+        let v = t.to_sorted_vec();
+        assert_eq!(v.len(), 10);
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(v[0], (0, 0));
+        assert_eq!(v[9], (9, 90));
+    }
+
+    #[test]
+    fn deleted_slots_are_recycled() {
+        let mut t = Treap::new(4);
+        for k in 0..100 {
+            t.insert(k, k);
+        }
+        let slots_before = t.nodes.len();
+        for k in 0..50 {
+            t.delete(k);
+        }
+        for k in 100..150 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.nodes.len(), slots_before, "free list should recycle slots");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_under_churn() {
+        let mut t = Treap::new(5);
+        let mut rng = XorShift64::new(99);
+        let mut model = std::collections::BTreeMap::new();
+        for _ in 0..5000 {
+            let k = rng.next_bounded(256) as u32;
+            if rng.next_bool(0.6) {
+                let v = rng.next_u64() as u32;
+                assert_eq!(t.insert(k, v), model.insert(k, v).is_none());
+            } else {
+                assert_eq!(t.delete(k), model.remove(&k));
+            }
+        }
+        t.check_invariants().unwrap();
+        let pairs: Vec<(u32, u32)> = model.into_iter().collect();
+        assert_eq!(t.to_sorted_vec(), pairs);
+    }
+
+    #[test]
+    fn from_sorted_builds_valid_treap() {
+        let pairs: Vec<(u32, u32)> = (0..1000).map(|k| (k * 2, k)).collect();
+        let t = Treap::from_sorted(&pairs, 6);
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.to_sorted_vec(), pairs);
+        assert_eq!(t.get(500), Some(250));
+        assert_eq!(t.get(501), None);
+    }
+
+    #[test]
+    fn from_sorted_empty() {
+        let t = Treap::from_sorted(&[], 7);
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_sorted_rejects_duplicates() {
+        Treap::from_sorted(&[(1, 0), (1, 1)], 8);
+    }
+
+    #[test]
+    fn expected_logarithmic_depth() {
+        // Random priorities keep depth O(log n) in expectation; with n=4096
+        // a depth beyond 64 (4.6x the ~13.8 expected) indicates broken
+        // priority handling.
+        let mut t = Treap::new(9);
+        for k in 0..4096u32 {
+            t.insert(k, k); // ascending insertion: worst case for a plain BST
+        }
+        fn depth(t: &Treap, node: u32) -> usize {
+            if node == NIL {
+                return 0;
+            }
+            let n = &t.nodes[node as usize];
+            1 + depth(t, n.left).max(depth(t, n.right))
+        }
+        let d = depth(&t, t.root);
+        assert!(d < 64, "depth {d} far above expected O(log n)");
+    }
+
+    #[test]
+    fn for_each_matches_sorted_vec() {
+        let mut t = Treap::new(10);
+        for k in [5u32, 2, 9, 1] {
+            t.insert(k, k + 100);
+        }
+        let mut collected = Vec::new();
+        t.for_each(|k, v| collected.push((k, v)));
+        assert_eq!(collected, t.to_sorted_vec());
+    }
+}
+
+#[cfg(test)]
+mod order_statistics_tests {
+    use super::*;
+
+    #[test]
+    fn rank_and_select_are_inverse_on_dense_keys() {
+        let mut t = Treap::new(21);
+        for k in (0..500u32).rev() {
+            t.insert(k * 2, k);
+        }
+        t.check_invariants().unwrap();
+        for i in 0..500usize {
+            let (k, _) = t.select(i).expect("in range");
+            assert_eq!(k, i as u32 * 2);
+            assert_eq!(t.rank(k), i);
+        }
+        assert_eq!(t.select(500), None);
+    }
+
+    #[test]
+    fn rank_of_absent_keys_counts_smaller() {
+        let mut t = Treap::new(22);
+        for k in [10u32, 20, 30] {
+            t.insert(k, 0);
+        }
+        assert_eq!(t.rank(5), 0);
+        assert_eq!(t.rank(10), 0);
+        assert_eq!(t.rank(15), 1);
+        assert_eq!(t.rank(25), 2);
+        assert_eq!(t.rank(99), 3);
+    }
+
+    #[test]
+    fn range_count_half_open() {
+        let mut t = Treap::new(23);
+        for k in 0..100u32 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.range_count(10, 20), 10);
+        assert_eq!(t.range_count(0, 100), 100);
+        assert_eq!(t.range_count(50, 50), 0);
+        assert_eq!(t.range_count(60, 40), 0);
+        assert_eq!(t.range_count(95, 200), 5);
+    }
+
+    #[test]
+    fn sizes_survive_churn_and_deletion() {
+        let mut t = Treap::new(24);
+        let mut rng = XorShift64::new(7);
+        let mut model = std::collections::BTreeSet::new();
+        for _ in 0..3000 {
+            let k = rng.next_bounded(128) as u32;
+            if rng.next_bool(0.5) {
+                t.insert(k, 0);
+                model.insert(k);
+            } else {
+                t.delete(k);
+                model.remove(&k);
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        t.check_invariants().unwrap();
+        // select sweeps the model in order.
+        for (i, &k) in model.iter().enumerate() {
+            assert_eq!(t.select(i).map(|p| p.0), Some(k));
+        }
+    }
+
+    #[test]
+    fn from_sorted_sizes_are_correct() {
+        let pairs: Vec<(u32, u32)> = (0..777).map(|k| (k * 3, k)).collect();
+        let t = Treap::from_sorted(&pairs, 25);
+        t.check_invariants().unwrap();
+        assert_eq!(t.select(776).map(|p| p.0), Some(776 * 3));
+        assert_eq!(t.rank(777 * 3), 777);
+    }
+
+    #[test]
+    fn select_supports_uniform_neighbor_sampling() {
+        // The use case: pick the k-th neighbor of a treap-backed hub.
+        let mut t = Treap::new(26);
+        for k in [7u32, 3, 99, 42, 15] {
+            t.insert(k, k);
+        }
+        let mut drawn: Vec<u32> = (0..5).map(|i| t.select(i).unwrap().0).collect();
+        drawn.sort_unstable();
+        assert_eq!(drawn, vec![3, 7, 15, 42, 99]);
+    }
+}

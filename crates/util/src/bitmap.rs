@@ -1,0 +1,118 @@
+//! A fixed-size atomic bitmap.
+//!
+//! Level-synchronous BFS needs a "have I claimed this vertex" membership
+//! test that many threads race on. A `Vec<AtomicU64>` bitmap gives one cheap
+//! fetch_or per claim and 64x better cache density than a byte array.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrently settable bitmap over `0..len` bit indices.
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// Creates an all-zero bitmap covering `len` bits.
+    pub fn new(len: usize) -> Self {
+        let words = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Self { words, len }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap addresses zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Atomically sets bit `i`; returns `true` if this call changed it
+    /// (i.e. the caller won the claim race).
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i & 63);
+        let prev = self.words[i >> 6].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i >> 6].load(Ordering::Relaxed) & (1u64 << (i & 63)) != 0
+    }
+
+    /// Clears every bit (not thread-safe with concurrent setters; callers
+    /// clear between parallel phases).
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = AtomicU64::new(0);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn set_then_get() {
+        let bm = AtomicBitmap::new(130);
+        assert!(!bm.get(0));
+        assert!(bm.set(0));
+        assert!(bm.get(0));
+        assert!(bm.set(129));
+        assert!(bm.get(129));
+        assert!(!bm.get(64));
+    }
+
+    #[test]
+    fn set_reports_first_claim_only() {
+        let bm = AtomicBitmap::new(10);
+        assert!(bm.set(3));
+        assert!(!bm.set(3));
+    }
+
+    #[test]
+    fn concurrent_claims_are_exclusive() {
+        let bm = AtomicBitmap::new(1000);
+        // 8 logical claimants per bit; exactly one must win each bit.
+        let wins: usize = (0..8000usize)
+            .into_par_iter()
+            .map(|i| usize::from(bm.set(i % 1000)))
+            .sum();
+        assert_eq!(wins, 1000);
+        assert_eq!(bm.count_ones(), 1000);
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut bm = AtomicBitmap::new(200);
+        for i in (0..200).step_by(3) {
+            bm.set(i);
+        }
+        assert!(bm.count_ones() > 0);
+        bm.clear();
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn zero_length_bitmap() {
+        let bm = AtomicBitmap::new(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_ones(), 0);
+    }
+}

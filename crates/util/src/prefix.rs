@@ -1,0 +1,106 @@
+//! Exclusive prefix sums (scans), sequential and parallel.
+//!
+//! Counting-sort-style kernels — CSR construction, semi-sorting updates,
+//! frontier compaction — all reduce to "count per bucket, scan, scatter".
+//! The parallel scan is the textbook two-pass block algorithm: per-block
+//! sums, sequential scan of the (tiny) block-sum vector, then per-block
+//! local scans offset by the block prefix.
+
+use rayon::prelude::*;
+
+/// Minimum slice length before the parallel scan is worth its overhead.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// In-place exclusive prefix sum. Returns the total (sum of all inputs).
+///
+/// `[3, 1, 4]` becomes `[0, 3, 4]` and `8` is returned.
+pub fn exclusive_scan(data: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for x in data.iter_mut() {
+        let v = *x;
+        *x = acc;
+        acc += v;
+    }
+    acc
+}
+
+/// Parallel in-place exclusive prefix sum. Returns the total.
+///
+/// Falls back to the sequential scan below [`PAR_THRESHOLD`] elements, where
+/// the fork/join overhead exceeds the scan itself.
+pub fn par_exclusive_scan(data: &mut [usize]) -> usize {
+    if data.len() < PAR_THRESHOLD {
+        return exclusive_scan(data);
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let block = data.len().div_ceil(threads * 4).max(1);
+    // Pass 1: per-block totals.
+    let mut block_sums: Vec<usize> = data
+        .par_chunks(block)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    // Scan the block totals sequentially (there are only O(threads) blocks).
+    let total = exclusive_scan(&mut block_sums);
+    // Pass 2: local scan of each block, offset by its block prefix.
+    data.par_chunks_mut(block)
+        .zip(block_sums.par_iter())
+        .for_each(|(chunk, &offset)| {
+            let mut acc = offset;
+            for x in chunk.iter_mut() {
+                let v = *x;
+                *x = acc;
+                acc += v;
+            }
+        });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::XorShift64;
+
+    #[test]
+    fn exclusive_scan_basic() {
+        let mut v = vec![3usize, 1, 4, 1, 5];
+        let total = exclusive_scan(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn exclusive_scan_empty_and_singleton() {
+        let mut e: Vec<usize> = vec![];
+        assert_eq!(exclusive_scan(&mut e), 0);
+        let mut s = vec![7usize];
+        assert_eq!(exclusive_scan(&mut s), 7);
+        assert_eq!(s, vec![0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_large_input() {
+        let mut rng = XorShift64::new(99);
+        let data: Vec<usize> = (0..100_000).map(|_| rng.next_bounded(50) as usize).collect();
+        let mut seq = data.clone();
+        let mut par = data;
+        let ts = exclusive_scan(&mut seq);
+        let tp = par_exclusive_scan(&mut par);
+        assert_eq!(ts, tp);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back() {
+        let mut v = vec![1usize, 2, 3];
+        let total = par_exclusive_scan(&mut v);
+        assert_eq!(v, vec![0, 1, 3]);
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn scan_of_zeros_is_zeros() {
+        let mut v = vec![0usize; 100_000];
+        assert_eq!(par_exclusive_scan(&mut v), 0);
+        assert!(v.iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal deterministic random number generators.
+//!
+//! Workload generation (R-MAT edges, timestamps, update shuffles) must be
+//! reproducible from a single seed, cheap enough that the generator never
+//! dominates a MUPS measurement, and *splittable* so that parallel
+//! generation with rayon stays deterministic regardless of thread count.
+//! `SplitMix64` seeds independent per-chunk `XorShift64` streams, which is
+//! the standard construction for that.
+
+/// SplitMix64: a fast, high-quality 64-bit stream used here for seeding.
+///
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014). Each `next` output is suitable as an
+/// independent seed for another generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from an arbitrary seed (any value is fine).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xorshift64*: the workhorse generator for workload construction.
+///
+/// Three shifts, one multiply; passes the statistical bar needed for
+/// synthetic graph generation while staying a handful of cycles per call.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator; a zero seed is remapped (xorshift requires a
+    /// nonzero state).
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        // Mix the seed through SplitMix64 so that consecutive small seeds
+        // (0, 1, 2, ...) still produce uncorrelated streams.
+        let mut sm = SplitMix64::new(seed);
+        let mut state = sm.next();
+        if state == 0 {
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { state }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// Uses the widening-multiply trick (Lemire); the tiny modulo bias of the
+    /// plain variant is irrelevant for workload generation but this is just
+    /// as fast.
+    #[inline]
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffles `data` in place.
+    pub fn shuffle<T>(&mut self, data: &mut [T]) {
+        for i in (1..data.len()).rev() {
+            let j = self.next_bounded(i as u64 + 1) as usize;
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        // Must not get stuck at zero.
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        let mut r = XorShift64::new(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.next_bounded(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_hits_every_residue_of_small_bound() {
+        let mut r = XorShift64::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.next_bounded(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = XorShift64::new(3);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = XorShift64::new(5);
+        let mut v: Vec<u32> = (0..1000).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+        // Overwhelmingly likely not identity.
+        assert_ne!(v, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn splitmix_seeds_are_distinct() {
+        let mut sm = SplitMix64::new(0);
+        let seeds: Vec<u64> = (0..100).map(|_| sm.next()).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+}

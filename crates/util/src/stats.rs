@@ -1,0 +1,99 @@
+//! Summary statistics for experiment reporting.
+
+/// Mean, min, max, and standard deviation of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub stddev: f64,
+}
+
+/// Computes a [`Summary`] of `xs`. Returns `None` for an empty sample.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut var = 0.0;
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+        var += (x - mean) * (x - mean);
+    }
+    let stddev = if n > 1 { (var / (n - 1) as f64).sqrt() } else { 0.0 };
+    Some(Summary { n, mean, min, max, stddev })
+}
+
+/// Parallel speedup of `base_time` over `time` (both in seconds).
+pub fn speedup(base_time: f64, time: f64) -> f64 {
+    if time <= 0.0 {
+        return 0.0;
+    }
+    base_time / time
+}
+
+/// A degree histogram in power-of-two buckets: bucket `i` counts degrees in
+/// `[2^i, 2^(i+1))`, with bucket 0 counting degrees 0 and 1.
+pub fn log2_histogram(degrees: impl IntoIterator<Item = usize>) -> Vec<usize> {
+    let mut buckets = vec![0usize; 1];
+    for d in degrees {
+        let b = if d <= 1 { 0 } else { (usize::BITS - (d as usize).leading_zeros()) as usize - 1 };
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_known_values() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Sample stddev of 1..4 = sqrt(5/3).
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn summarize_singleton_has_zero_stddev() {
+        let s = summarize(&[7.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert!((speedup(10.0, 2.0) - 5.0).abs() < 1e-12);
+        assert_eq!(speedup(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // degrees: 0,1 -> b0; 2,3 -> b1; 4..7 -> b2; 8..15 -> b3
+        let h = log2_histogram([0usize, 1, 2, 3, 4, 7, 8, 15]);
+        assert_eq!(h, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = log2_histogram(std::iter::empty());
+        assert_eq!(h, vec![0]);
+    }
+}

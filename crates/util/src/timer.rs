@@ -1,0 +1,81 @@
+//! Wall-clock timing and the MUPS metric.
+//!
+//! The paper reports structural-update throughput as MUPS: millions of
+//! updates (insertions or deletions) per second — the number of updates
+//! divided by execution time in seconds, divided by 10^6.
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Elapsed time since `start`.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Millions of updates per second for `updates` operations over `elapsed`.
+///
+/// Returns 0.0 for a zero duration (degenerate timing of empty work).
+pub fn mups(updates: usize, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    updates as f64 / secs / 1e6
+}
+
+/// Runs `f` and returns `(f's result, elapsed)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Timer::start();
+    let out = f();
+    (out, t.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mups_basic_arithmetic() {
+        let rate = mups(25_000_000, Duration::from_secs(1));
+        assert!((rate - 25.0).abs() < 1e-9);
+        let rate = mups(1_000_000, Duration::from_millis(500));
+        assert!((rate - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mups_zero_duration_is_zero() {
+        assert_eq!(mups(100, Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn timer_measures_something() {
+        let (v, d) = time(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,92 @@
+//! Dynamic connectivity service: maintain a link-cut forest across edge
+//! insertions and deletions while answering connectivity queries — the
+//! paper's Section 3.1 scenario (e.g. "are these two accounts in the same
+//! interaction cluster right now?").
+//!
+//! ```text
+//! cargo run --release --example connectivity_queries
+//! ```
+
+use snap::prelude::*;
+use snap::util::rng::XorShift64;
+use std::time::Instant;
+
+fn main() {
+    let scale = 14u32;
+    let n = 1usize << scale;
+    let rmat = Rmat::new(RmatParams::paper(scale, 8), 99);
+    let mut live = rmat.edges();
+
+    // Build the snapshot and its spanning forest.
+    let csr = CsrGraph::from_edges_undirected(n, &live);
+    let mut forest = LinkCutForest::from_csr(&csr);
+    let labels = connected_components(&csr);
+    println!(
+        "initial graph: n = {n}, m = {}, components = {}",
+        live.len(),
+        snap::kernels::component_count(&labels)
+    );
+
+    // Query throughput on the static forest (Figure 8's workload).
+    let mut rng = XorShift64::new(5);
+    let queries: Vec<(u32, u32)> = (0..500_000)
+        .map(|_| (rng.next_bounded(n as u64) as u32, rng.next_bounded(n as u64) as u32))
+        .collect();
+    let t = Instant::now();
+    let answers = forest.connected_batch(&queries);
+    let secs = t.elapsed().as_secs_f64();
+    let connected = answers.iter().filter(|&&b| b).count();
+    println!(
+        "{} queries in {:.3} s = {:.2} M queries/s ({:.1}% connected)",
+        queries.len(),
+        secs,
+        queries.len() as f64 / secs / 1e6,
+        100.0 * connected as f64 / queries.len() as f64,
+    );
+
+    // Incremental maintenance: insertions just link components...
+    let fresh = Rmat::new(RmatParams::paper(scale, 1), 123).edges();
+    let mut tree_edges = 0;
+    for e in &fresh {
+        if e.u != e.v && forest.link_edge(e.u, e.v) {
+            tree_edges += 1;
+        }
+    }
+    live.extend_from_slice(&fresh);
+    println!(
+        "inserted {} edges: {} became tree edges (merged components)",
+        fresh.len(),
+        tree_edges
+    );
+
+    // ...deletions cut and search for a replacement (extension).
+    let mut reconnected = 0;
+    let mut split = 0;
+    for _ in 0..50 {
+        let i = rng.next_bounded(live.len() as u64) as usize;
+        let e = live.swap_remove(i);
+        let updated = CsrGraph::from_edges_undirected(n, &live);
+        if forest.cut_with_replacement(&updated, e.u, e.v) {
+            reconnected += 1;
+        } else {
+            split += 1;
+        }
+    }
+    println!("deleted 50 edges: {reconnected} reconnected via replacement, {split} splits");
+
+    // The forest must still agree with ground-truth components.
+    let final_csr = CsrGraph::from_edges_undirected(n, &live);
+    let truth = connected_components(&final_csr);
+    let mut checked = 0;
+    let mut ok = 0;
+    for i in (0..n as u32).step_by(97) {
+        for j in (0..n as u32).step_by(101) {
+            checked += 1;
+            if forest.connected(i, j) == (truth[i as usize] == truth[j as usize]) {
+                ok += 1;
+            }
+        }
+    }
+    println!("verification: {ok}/{checked} sampled pairs agree with recomputed components");
+    assert_eq!(ok, checked, "forest diverged from ground truth");
+}

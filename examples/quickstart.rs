@@ -1,0 +1,63 @@
+//! Quickstart: generate a small-world network, ingest it as a parallel
+//! update stream, snapshot it, and run the basic kernels.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use snap::prelude::*;
+
+fn main() {
+    // 1. Workload: the paper's R-MAT configuration (a,b,c,d =
+    //    0.6/0.15/0.15/0.10), n = 2^14 vertices, m = 8n edges, uniform
+    //    random timestamps in 1..=100.
+    let scale = 14u32;
+    let n = 1usize << scale;
+    let rmat = Rmat::new(RmatParams::paper(scale, 8), 42);
+    let edges = rmat.edges();
+    println!("generated R-MAT: n = {n}, m = {}", edges.len());
+
+    // 2. Ingest: the hybrid array/treap representation, shuffled stream,
+    //    applied by every rayon worker concurrently.
+    let hints = CapacityHints::new(edges.len() * 2);
+    let graph: DynGraph<HybridAdj> = DynGraph::undirected(n, &hints);
+    let stream = StreamBuilder::new(&edges, 1).construction_shuffled();
+    let elapsed = engine::apply_stream_timed(&graph, &stream);
+    println!(
+        "ingested {} insertions in {:.3} s ({:.2} MUPS); {} vertices promoted to treaps",
+        stream.len(),
+        elapsed.as_secs_f64(),
+        stream.len() as f64 / elapsed.as_secs_f64() / 1e6,
+        graph.adjacency().treap_vertex_count(),
+    );
+
+    // 3. Mutate: delete a slice of random existing edges.
+    let deletions = StreamBuilder::new(&edges, 2).deletions(edges.len() / 20);
+    engine::apply_stream(&graph, &deletions);
+    println!("applied {} deletions; {} live entries", deletions.len(), graph.total_entries());
+
+    // 4. Snapshot and analyze.
+    let csr = graph.to_csr();
+    let labels = connected_components(&csr);
+    let components = snap::kernels::component_count(&labels);
+    let hub = (0..n as u32).max_by_key(|&u| csr.out_degree(u)).expect("non-empty");
+    let traversal = bfs(&csr, hub);
+    println!(
+        "snapshot: {} entries, {} components, hub {} reaches {} vertices (ecc {})",
+        csr.num_entries(),
+        components,
+        hub,
+        traversal.reached(),
+        traversal.max_distance(),
+    );
+
+    // 5. Connectivity queries via the link-cut forest: O(diameter) each.
+    let forest = LinkCutForest::from_csr(&csr);
+    let (mean_depth, max_depth) = forest.depth_stats();
+    let sample: Vec<(u32, u32)> = (0..8u32).map(|i| (i, hub)).collect();
+    let answers = forest.connected_batch(&sample);
+    println!("forest depths: mean {mean_depth:.2}, max {max_depth}");
+    for ((u, v), c) in sample.iter().zip(&answers) {
+        println!("  connected({u}, {v}) = {c}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Streaming ingestion benchmark in miniature: compares how the three
+//! dynamic representations absorb a live mix of insertions and deletions,
+//! the scenario motivating the paper's hybrid structure (think: a social
+//! network's edge stream, where friendships form and dissolve
+//! continuously).
+//!
+//! ```text
+//! cargo run --release --example streaming_updates [scale]
+//! ```
+
+use snap::prelude::*;
+use std::time::Instant;
+
+fn ingest<A: DynamicAdjacency>(
+    name: &str,
+    n: usize,
+    base: &[Update],
+    batches: &[Vec<Update>],
+) {
+    let hints = CapacityHints::new(base.len() * 3);
+    let graph: DynGraph<A> = DynGraph::undirected(n, &hints);
+    engine::apply_stream(&graph, base);
+    let t = Instant::now();
+    let mut applied = 0usize;
+    for batch in batches {
+        engine::apply_stream(&graph, batch);
+        applied += batch.len();
+    }
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "{name:>8}: {applied} updates in {secs:.3} s = {:.2} MUPS, {} live entries, {:.1} MB",
+        applied as f64 / secs / 1e6,
+        graph.total_entries(),
+        graph.adjacency().memory_bytes() as f64 / (1 << 20) as f64,
+    );
+}
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14);
+    let n = 1usize << scale;
+    let rmat = Rmat::new(RmatParams::paper(scale, 8), 7);
+    let edges = rmat.edges();
+    let builder = StreamBuilder::new(&edges, 7);
+    let base = builder.construction_shuffled();
+
+    // Ten arriving batches, each 75% insertions / 25% deletions — the
+    // Figure 6 mix, delivered incrementally as a stream would be.
+    let batches: Vec<Vec<Update>> = (0..10)
+        .map(|i| StreamBuilder::new(&edges, 100 + i).mixed(edges.len() / 50, 0.75))
+        .collect();
+
+    println!(
+        "stream scenario: n = {n}, base graph m = {}, {} batches of {} updates",
+        edges.len(),
+        batches.len(),
+        batches[0].len()
+    );
+    ingest::<DynArr>("Dyn-arr", n, &base, &batches);
+    ingest::<TreapAdj>("Treaps", n, &base, &batches);
+    ingest::<HybridAdj>("Hybrid", n, &base, &batches);
+}

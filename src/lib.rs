@@ -1,0 +1,66 @@
+//! # snap-dynamic
+//!
+//! A Rust reproduction of *"Compact Graph Representations and Parallel
+//! Connectivity Algorithms for Massive Dynamic Network Analysis"*
+//! (Madduri & Bader, IPDPS 2009): dynamic adjacency structures for
+//! power-law graphs under parallel streams of edge insertions/deletions,
+//! plus the connectivity, traversal, and centrality kernels built on them.
+//!
+//! This facade crate re-exports the workspace so applications need one
+//! dependency:
+//!
+//! - [`rmat`] — R-MAT workload generation and update streams,
+//! - [`arena`] — the chunked slab allocator,
+//! - [`treap`] — the randomized treap and its set operations,
+//! - [`core`] — the dynamic graph representations and engines,
+//! - [`kernels`] — BFS, connected components, link-cut forest, induced
+//!   subgraphs, betweenness centrality.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use snap::prelude::*;
+//!
+//! // A small-world workload: n = 2^12 vertices, m = 8n timestamped edges.
+//! let rmat = Rmat::new(RmatParams::paper(12, 8), 42);
+//! let edges = rmat.edges();
+//!
+//! // Ingest it as a parallel insertion stream into the hybrid structure.
+//! let hints = CapacityHints::new(edges.len() * 2);
+//! let graph: DynGraph<HybridAdj> = DynGraph::undirected(1 << 12, &hints);
+//! let stream = StreamBuilder::new(&edges, 1).construction_shuffled();
+//! engine::apply_stream(&graph, &stream);
+//!
+//! // Snapshot and analyze.
+//! let csr = graph.to_csr();
+//! let forest = LinkCutForest::from_csr(&csr);
+//! let hub = (0..csr.num_vertices() as u32)
+//!     .max_by_key(|&u| csr.out_degree(u))
+//!     .unwrap();
+//! assert!(forest.connected(hub, forest.findroot(hub)));
+//! ```
+
+pub use snap_arena as arena;
+pub use snap_core as core;
+pub use snap_kernels as kernels;
+pub use snap_rmat as rmat;
+pub use snap_treap as treap;
+pub use snap_util as util;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use snap_core::adjacency::{AdjEntry, CapacityHints, DynamicAdjacency};
+    pub use snap_core::engine;
+    pub use snap_core::{
+        CsrGraph, DynArr, DynGraph, FixedDynArr, HybridAdj, TimedEdge, TreapAdj, Update,
+        UpdateKind,
+    };
+    pub use snap_kernels::{
+        average_clustering, betweenness_approx, betweenness_exact, bfs, boruvka_msf,
+        closeness_approx, closeness_exact, connected_components, delta_stepping,
+        double_sweep_lower_bound, earliest_arrival, induced_subgraph_csr,
+        induced_subgraph_vertices, st_connectivity, stress_approx, stress_exact,
+        temporal_betweenness_approx, temporal_bfs, triangle_count, LinkCutForest, TimeWindow,
+    };
+    pub use snap_rmat::{Rmat, RmatParams, StreamBuilder};
+}

@@ -1,0 +1,162 @@
+//! Concurrency validation: parallel application of commuting update
+//! streams must produce exactly the state sequential application does,
+//! for every representation and every engine strategy.
+
+use snap::prelude::*;
+use std::collections::HashSet;
+
+const SCALE: u32 = 9;
+const N: usize = 1 << SCALE;
+
+fn edges() -> Vec<TimedEdge> {
+    Rmat::new(RmatParams::paper(SCALE, 8), 77).edges()
+}
+
+fn live_set<A: DynamicAdjacency>(g: &DynGraph<A>) -> HashSet<(u32, u32)> {
+    let mut s = HashSet::new();
+    for u in 0..g.num_vertices() as u32 {
+        g.for_each_neighbor(u, &mut |e| {
+            s.insert((u, e.nbr));
+        });
+    }
+    s
+}
+
+fn sequential_reference(stream: &[Update]) -> HashSet<(u32, u32)> {
+    let g: DynGraph<DynArr> = DynGraph::undirected(N, &CapacityHints::new(stream.len() * 2));
+    for u in stream {
+        g.apply(u);
+    }
+    live_set(&g)
+}
+
+/// Insert-only streams commute: any parallel interleaving must match
+/// sequential application.
+fn check_parallel_insertions<A: DynamicAdjacency>() {
+    let e = edges();
+    let stream = StreamBuilder::new(&e, 1).construction_shuffled();
+    let want = sequential_reference(&stream);
+    for threads in [1usize, 2, 4] {
+        let g: DynGraph<A> = DynGraph::undirected(N, &CapacityHints::new(stream.len() * 2));
+        snap::util::thread_pool(threads).install(|| engine::apply_stream(&g, &stream));
+        assert_eq!(live_set(&g), want, "{threads}-thread insert run diverged");
+        assert_eq!(
+            g.total_entries() > 0,
+            true,
+            "graph unexpectedly empty after parallel build"
+        );
+    }
+}
+
+#[test]
+fn parallel_insertions_dynarr() {
+    check_parallel_insertions::<DynArr>();
+}
+
+#[test]
+fn parallel_insertions_treap() {
+    check_parallel_insertions::<TreapAdj>();
+}
+
+#[test]
+fn parallel_insertions_hybrid() {
+    check_parallel_insertions::<HybridAdj>();
+}
+
+/// Mixed streams where every delete targets a *distinct pre-existing*
+/// edge and no edge is touched twice also commute.
+fn commuting_mixed_stream() -> (Vec<TimedEdge>, Vec<Update>) {
+    let base = edges();
+    let mut seen = HashSet::new();
+    let mut unique: Vec<TimedEdge> = Vec::new();
+    for e in &base {
+        let k = (e.u.min(e.v), e.u.max(e.v));
+        if e.u != e.v && seen.insert(k) {
+            unique.push(*e);
+        }
+    }
+    // First half of the unique edges stay; the second half gets deleted.
+    let half = unique.len() / 2;
+    let dels: Vec<Update> = unique[half..].iter().map(|e| Update::delete(*e)).collect();
+    (unique, dels)
+}
+
+fn check_parallel_mixed<A: DynamicAdjacency>() {
+    let (unique, dels) = commuting_mixed_stream();
+    let build: Vec<Update> = unique.iter().copied().map(Update::insert).collect();
+    // Sequential reference.
+    let seq: DynGraph<A> = DynGraph::undirected(N, &CapacityHints::new(unique.len() * 2));
+    for u in build.iter().chain(&dels) {
+        seq.apply(u);
+    }
+    let want = live_set(&seq);
+    for threads in [2usize, 4] {
+        let g: DynGraph<A> = DynGraph::undirected(N, &CapacityHints::new(unique.len() * 2));
+        snap::util::thread_pool(threads).install(|| {
+            engine::apply_stream(&g, &build);
+            engine::apply_stream(&g, &dels);
+        });
+        assert_eq!(live_set(&g), want, "{threads}-thread mixed run diverged");
+    }
+}
+
+#[test]
+fn parallel_mixed_dynarr() {
+    check_parallel_mixed::<DynArr>();
+}
+
+#[test]
+fn parallel_mixed_treap() {
+    check_parallel_mixed::<TreapAdj>();
+}
+
+#[test]
+fn parallel_mixed_hybrid() {
+    check_parallel_mixed::<HybridAdj>();
+}
+
+/// All four engine strategies must produce the same final state.
+#[test]
+fn engine_strategies_agree() {
+    let e = edges();
+    let stream = StreamBuilder::new(&e, 5).construction_shuffled();
+    let hints = CapacityHints::new(stream.len() * 2);
+    let want = sequential_reference(&stream);
+
+    let g1: DynGraph<DynArr> = DynGraph::undirected(N, &hints);
+    engine::apply_stream(&g1, &stream);
+    assert_eq!(live_set(&g1), want, "apply_stream");
+
+    let g2: DynGraph<DynArr> = DynGraph::undirected(N, &hints);
+    engine::apply_vpart(&g2, &stream, 4);
+    assert_eq!(live_set(&g2), want, "apply_vpart");
+
+    let g3: DynGraph<DynArr> = DynGraph::undirected(N, &hints);
+    engine::apply_epart(&g3, &stream, 4);
+    assert_eq!(live_set(&g3), want, "apply_epart");
+
+    let g4: DynGraph<DynArr> = DynGraph::undirected(N, &hints);
+    engine::apply_batched(&g4, &stream);
+    assert_eq!(live_set(&g4), want, "apply_batched");
+
+    // Entry counts (multiset cardinality) must match too.
+    assert_eq!(g1.total_entries(), g2.total_entries());
+    assert_eq!(g1.total_entries(), g3.total_entries());
+    assert_eq!(g1.total_entries(), g4.total_entries());
+}
+
+/// Concurrent connectivity queries during no mutation are safe and
+/// consistent (read-only phase discipline).
+#[test]
+fn parallel_queries_are_stable() {
+    let e = edges();
+    let csr = CsrGraph::from_edges_undirected(N, &e);
+    let forest = LinkCutForest::from_csr(&csr);
+    let pairs: Vec<(u32, u32)> = (0..2000u32)
+        .map(|i| ((i * 37) % N as u32, (i * 101) % N as u32))
+        .collect();
+    let first = forest.connected_batch(&pairs);
+    for _ in 0..3 {
+        assert_eq!(forest.connected_batch(&pairs), first);
+    }
+}

@@ -1,0 +1,225 @@
+//! Cross-crate integration tests for the extended kernel set: centrality
+//! family coherence, spanning structure vs connectivity, temporal
+//! reachability vs traversal, and topology statistics on generated
+//! workloads.
+
+use snap::kernels::{
+    average_clustering, boruvka_msf, closeness_approx, closeness_exact,
+    double_sweep_lower_bound, earliest_arrival, exact_diameter, harmonic_exact, kruskal_msf,
+    stress_exact, temporal_reach_count, triangle_count, UNREACHED,
+};
+use snap::kernels::bc::sample_sources;
+use snap::prelude::*;
+
+fn rmat_csr(scale: u32, ef: usize, seed: u64) -> CsrGraph {
+    let edges = Rmat::new(RmatParams::paper(scale, ef), seed).edges();
+    CsrGraph::from_edges_undirected(1 << scale, &edges)
+}
+
+#[test]
+fn centrality_family_agrees_on_the_hub() {
+    // On a hub-dominated R-MAT instance, all three indices must rank the
+    // max-degree vertex at (or near) the top.
+    let csr = rmat_csr(9, 8, 41);
+    let n = csr.num_vertices();
+    let hub = (0..n as u32).max_by_key(|&u| csr.out_degree(u)).unwrap();
+    let bc = betweenness_exact(&csr);
+    let st = stress_exact(&csr);
+    let cl = closeness_exact(&csr);
+    for (name, scores) in [("betweenness", &bc), ("stress", &st), ("closeness", &cl)] {
+        let better = (0..n).filter(|&v| scores[v] > scores[hub as usize]).count();
+        assert!(better <= 3, "{name}: hub outranked by {better} vertices");
+    }
+}
+
+#[test]
+fn stress_dominates_betweenness_on_rmat() {
+    let csr = rmat_csr(8, 6, 42);
+    let bc = betweenness_exact(&csr);
+    let st = stress_exact(&csr);
+    for v in 0..csr.num_vertices() {
+        assert!(st[v] + 1e-6 >= bc[v], "v {v}: stress {} < bc {}", st[v], bc[v]);
+    }
+}
+
+#[test]
+fn closeness_sampling_converges_with_sample_size() {
+    let csr = rmat_csr(9, 8, 43);
+    let n = csr.num_vertices();
+    let exact = closeness_exact(&csr);
+    let err = |approx: &[f64]| -> f64 {
+        (0..n).map(|v| (approx[v] - exact[v]).abs()).sum::<f64>() / n as f64
+    };
+    let small = closeness_approx(&csr, &sample_sources(n, 16, 1));
+    let large = closeness_approx(&csr, &sample_sources(n, 256, 1));
+    assert!(
+        err(&large) <= err(&small) * 1.05,
+        "larger sample should not be meaningfully worse: {} vs {}",
+        err(&large),
+        err(&small)
+    );
+}
+
+#[test]
+fn harmonic_and_closeness_rank_paths_consistently() {
+    // On a path, both indices order center > inner > end.
+    let edges: Vec<TimedEdge> = (0..8u32).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+    let csr = CsrGraph::from_edges_undirected(9, &edges);
+    let c = closeness_exact(&csr);
+    let h = harmonic_exact(&csr);
+    assert!(c[4] > c[1] && c[1] > c[0]);
+    assert!(h[4] > h[1] && h[1] > h[0]);
+}
+
+#[test]
+fn msf_weight_is_invariant_across_algorithms_on_workloads() {
+    for seed in [1u64, 2, 3] {
+        let edges: Vec<TimedEdge> = Rmat::new(RmatParams::paper(9, 6), seed)
+            .edges()
+            .into_iter()
+            .filter(|e| e.u != e.v)
+            .collect();
+        let b = boruvka_msf(1 << 9, &edges);
+        let k = kruskal_msf(1 << 9, &edges);
+        assert_eq!(b.total_weight, k.total_weight, "seed {seed}");
+        assert_eq!(b.edges.len(), k.edges.len(), "seed {seed}");
+    }
+}
+
+#[test]
+fn msf_connects_exactly_the_components() {
+    let edges: Vec<TimedEdge> = Rmat::new(RmatParams::paper(9, 4), 4)
+        .edges()
+        .into_iter()
+        .filter(|e| e.u != e.v)
+        .collect();
+    let n = 1 << 9;
+    let csr = CsrGraph::from_edges_undirected(n, &edges);
+    let labels = connected_components(&csr);
+    let msf = boruvka_msf(n, &edges);
+    let forest_edges: Vec<TimedEdge> = msf.edges.iter().map(|&i| edges[i]).collect();
+    let forest_csr = CsrGraph::from_edges_undirected(n, &forest_edges);
+    let forest_labels = connected_components(&forest_csr);
+    assert_eq!(labels, forest_labels, "forest must preserve connectivity exactly");
+    // And the forest is acyclic: |F| = n - #components.
+    assert_eq!(msf.edges.len(), n - snap::kernels::component_count(&labels));
+}
+
+#[test]
+fn temporal_reach_is_between_one_and_static_reach() {
+    let csr = rmat_csr(10, 8, 44);
+    let hub = (0..csr.num_vertices() as u32).max_by_key(|&u| csr.out_degree(u)).unwrap();
+    let static_reach = bfs(&csr, hub).reached();
+    let temporal = temporal_reach_count(&csr, hub);
+    assert!(temporal >= 1);
+    assert!(
+        temporal <= static_reach,
+        "temporal {temporal} cannot exceed static {static_reach}"
+    );
+    // With uniform labels 1..=100 and a low diameter, most statically
+    // reachable vertices should have some time-respecting path.
+    assert!(
+        temporal * 2 >= static_reach,
+        "suspiciously low temporal reach {temporal} of {static_reach}"
+    );
+}
+
+#[test]
+fn earliest_arrival_labels_are_sound_witnesses() {
+    // Every finite arrival label must be witnessed by an in-edge from a
+    // vertex with a strictly smaller arrival.
+    let csr = rmat_csr(9, 6, 45);
+    let src = 0u32;
+    let arr = earliest_arrival(&csr, src);
+    for v in 0..csr.num_vertices() as u32 {
+        let a = arr[v as usize];
+        if a == u32::MAX || v == src {
+            continue;
+        }
+        let witnessed = csr.iter_entries().any(|(u, w, t)| {
+            w == v && t == a && arr[u as usize] < t
+        });
+        assert!(witnessed, "arrival {a} at {v} has no witnessing edge");
+    }
+}
+
+#[test]
+fn diameter_bound_consistent_with_bfs_eccentricities() {
+    let csr = rmat_csr(8, 6, 46);
+    let exact = exact_diameter(&csr);
+    let hub = (0..csr.num_vertices() as u32).max_by_key(|&u| csr.out_degree(u)).unwrap();
+    let lb = double_sweep_lower_bound(&csr, hub);
+    assert!(lb <= exact);
+    // Exact diameter is the max eccentricity; verify against a few BFS.
+    for s in [0u32, 17, 101] {
+        assert!(bfs(&csr, s).max_distance() <= exact);
+    }
+}
+
+#[test]
+fn clustering_and_triangles_on_generated_graph() {
+    let csr = rmat_csr(8, 8, 47);
+    let tri = triangle_count(&csr);
+    let avg = average_clustering(&csr);
+    // R-MAT with the paper's skew produces triangles around hubs.
+    assert!(tri > 0, "expected triangles in a dense R-MAT instance");
+    assert!((0.0..=1.0).contains(&avg));
+}
+
+#[test]
+fn temporal_pipeline_with_vertex_labels() {
+    // Full pipeline: generate -> assign vertex lifecycles -> vertex-induced
+    // temporal subgraph -> kernel answers shrink monotonically.
+    use snap::core::VertexLabels;
+    use snap::kernels::induced_subgraph_vertices;
+    let scale = 9u32;
+    let n = 1usize << scale;
+    let edges = Rmat::new(RmatParams::paper(scale, 8), 48).edges();
+    let w = TimeWindow::open(10, 90);
+    let all_alive = VertexLabels::new(n);
+    let full = induced_subgraph_vertices(n, &edges, &all_alive, w);
+    // Kill half the vertices at time 50.
+    let mut labels = VertexLabels::new(n);
+    for v in (0..n as u32).step_by(2) {
+        labels.set_removed(v, 50);
+    }
+    let culled = induced_subgraph_vertices(n, &edges, &labels, w);
+    assert!(culled.num_entries() < full.num_entries());
+    // Every surviving edge respects the lifecycle.
+    for (u, v, t) in culled.iter_entries() {
+        assert!(labels.alive_at(u, t) && labels.alive_at(v, t));
+    }
+}
+
+#[test]
+fn edge_list_io_round_trips_a_workload() {
+    use snap::rmat::io;
+    let edges = Rmat::new(RmatParams::paper(9, 4), 49).edges();
+    let path = std::env::temp_dir().join("snap_integration_io.txt");
+    io::save_edge_list(&path, &edges).unwrap();
+    let back = io::load_edge_list(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back, edges);
+    assert_eq!(io::vertex_bound(&back), io::vertex_bound(&edges));
+    // And the loaded graph is structurally identical.
+    let a = CsrGraph::from_edges_undirected(1 << 9, &edges);
+    let b = CsrGraph::from_edges_undirected(1 << 9, &back);
+    assert_eq!(a.num_entries(), b.num_entries());
+}
+
+#[test]
+fn bfs_distance_reductions_are_everywhere_sound() {
+    // dist labels from parallel BFS satisfy the triangle property:
+    // adjacent vertices differ by at most 1.
+    let csr = rmat_csr(10, 8, 50);
+    let hub = (0..csr.num_vertices() as u32).max_by_key(|&u| csr.out_degree(u)).unwrap();
+    let r = bfs(&csr, hub);
+    for (u, v, _) in csr.iter_entries() {
+        let (du, dv) = (r.dist[u as usize], r.dist[v as usize]);
+        if du != UNREACHED && dv != UNREACHED {
+            assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): dist {du} vs {dv}");
+        } else {
+            assert_eq!(du, dv, "edge endpoints must share reachability");
+        }
+    }
+}

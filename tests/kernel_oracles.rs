@@ -1,0 +1,165 @@
+//! Kernel correctness against independent oracles on workloads that cross
+//! crate boundaries (generator -> dynamic graph -> snapshot -> kernel).
+
+use proptest::prelude::*;
+use snap::kernels::cc::union_find_components;
+use snap::kernels::{component_count, serial_bfs, UNREACHED};
+use snap::prelude::*;
+
+/// Arbitrary small edge lists (possibly with self-loops and duplicates).
+fn edge_list(n: u32) -> impl Strategy<Value = Vec<TimedEdge>> {
+    prop::collection::vec((0..n, 0..n, 1u32..50), 0..200)
+        .prop_map(|v| v.into_iter().map(|(u, w, t)| TimedEdge::new(u, w, t)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_bfs_equals_serial_bfs(edges in edge_list(48), src in 0u32..48) {
+        let csr = CsrGraph::from_edges_undirected(48, &edges);
+        let p = bfs(&csr, src);
+        let s = serial_bfs(&csr, src);
+        prop_assert_eq!(p.dist, s.dist);
+    }
+
+    #[test]
+    fn components_equal_union_find(edges in edge_list(48)) {
+        let csr = CsrGraph::from_edges_undirected(48, &edges);
+        let labels = connected_components(&csr);
+        let oracle = union_find_components(48, edges.iter().map(|e| (e.u, e.v)));
+        prop_assert_eq!(labels, oracle);
+    }
+
+    #[test]
+    fn forest_connectivity_equals_components(edges in edge_list(48)) {
+        let csr = CsrGraph::from_edges_undirected(48, &edges);
+        let labels = connected_components(&csr);
+        let forest = LinkCutForest::from_csr(&csr);
+        for u in 0..48u32 {
+            for v in 0..48u32 {
+                prop_assert_eq!(
+                    forest.connected(u, v),
+                    labels[u as usize] == labels[v as usize],
+                    "({}, {})", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forest_roots_count_components(edges in edge_list(48)) {
+        let csr = CsrGraph::from_edges_undirected(48, &edges);
+        let labels = connected_components(&csr);
+        let forest = LinkCutForest::from_csr(&csr);
+        let roots = (0..48u32).filter(|&v| forest.parent(v) == snap::kernels::lcf::ROOT).count();
+        prop_assert_eq!(roots, component_count(&labels));
+    }
+
+    #[test]
+    fn st_connectivity_equals_bfs_distance(edges in edge_list(48), s in 0u32..48, t in 0u32..48) {
+        let csr = CsrGraph::from_edges_undirected(48, &edges);
+        let d = serial_bfs(&csr, s);
+        let got = st_connectivity(&csr, s, t);
+        if d.dist[t as usize] == UNREACHED {
+            prop_assert_eq!(got, None);
+        } else {
+            prop_assert_eq!(got, Some(d.dist[t as usize]));
+        }
+    }
+
+    #[test]
+    fn temporal_bfs_is_a_restriction_of_bfs(edges in edge_list(48), src in 0u32..48, lo in 0u32..40) {
+        let csr = CsrGraph::from_edges_undirected(48, &edges);
+        let hi = lo + 10;
+        let filtered = temporal_bfs(&csr, src, |ts| ts > lo && ts < hi);
+        let full = bfs(&csr, src);
+        for v in 0..48usize {
+            if filtered.dist[v] != UNREACHED {
+                prop_assert!(full.dist[v] != UNREACHED);
+                prop_assert!(filtered.dist[v] >= full.dist[v]);
+            }
+        }
+        // And it must be exact on the explicitly filtered edge list.
+        let kept: Vec<TimedEdge> = edges
+            .iter()
+            .copied()
+            .filter(|e| e.timestamp > lo && e.timestamp < hi)
+            .collect();
+        let sub = CsrGraph::from_edges_undirected(48, &kept);
+        let oracle = serial_bfs(&sub, src);
+        prop_assert_eq!(filtered.dist, oracle.dist);
+    }
+
+    #[test]
+    fn static_bc_nonnegative_and_zero_on_leaves(edges in edge_list(32)) {
+        let csr = CsrGraph::from_edges_undirected(32, &edges);
+        let bc = betweenness_exact(&csr);
+        for v in 0..32u32 {
+            prop_assert!(bc[v as usize] >= -1e-9);
+            // A vertex with at most one distinct neighbor lies on no
+            // shortest path interior.
+            let mut ns: Vec<u32> = csr.neighbors(v).iter().copied().filter(|&w| w != v).collect();
+            ns.sort_unstable();
+            ns.dedup();
+            if ns.len() <= 1 {
+                prop_assert!(bc[v as usize].abs() < 1e-9, "leaf {} has bc {}", v, bc[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_extraction_is_exact(edges in edge_list(48), lo in 0u32..40) {
+        let hi = lo + 8;
+        if lo + 1 >= hi { return Ok(()); }
+        let w = TimeWindow::open(lo, hi);
+        let (kept, count) = snap::kernels::induced_subgraph_edges(&edges, w);
+        prop_assert_eq!(count, kept.len());
+        let expect: Vec<TimedEdge> = edges
+            .iter()
+            .copied()
+            .filter(|e| e.timestamp > lo && e.timestamp < hi)
+            .collect();
+        prop_assert_eq!(kept, expect);
+    }
+}
+
+/// Link-cut maintenance fuzz: random link_edge/cut_with_replacement
+/// sequences tracked against recomputed components.
+#[test]
+fn forest_maintenance_matches_recomputation() {
+    let mut rng = snap::util::rng::XorShift64::new(42);
+    let n = 64usize;
+    let mut live: Vec<TimedEdge> = Vec::new();
+    let mut forest = LinkCutForest::new(n);
+    for step in 0..300 {
+        if live.is_empty() || rng.next_bool(0.65) {
+            // Insert a random edge.
+            let u = rng.next_bounded(n as u64) as u32;
+            let v = rng.next_bounded(n as u64) as u32;
+            if u == v {
+                continue;
+            }
+            live.push(TimedEdge::new(u, v, 1));
+            forest.link_edge(u, v);
+        } else {
+            // Delete a random live edge.
+            let i = rng.next_bounded(live.len() as u64) as usize;
+            let e = live.swap_remove(i);
+            let csr = CsrGraph::from_edges_undirected(n, &live);
+            forest.cut_with_replacement(&csr, e.u, e.v);
+        }
+        // Invariant: forest connectivity == recomputed components.
+        let csr = CsrGraph::from_edges_undirected(n, &live);
+        let labels = connected_components(&csr);
+        for a in (0..n as u32).step_by(7) {
+            for b in (0..n as u32).step_by(11) {
+                assert_eq!(
+                    forest.connected(a, b),
+                    labels[a as usize] == labels[b as usize],
+                    "step {step}: pair ({a},{b}) diverged"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests: every dynamic representation must behave like a
+//! reference set model under arbitrary (sequential) update sequences, and
+//! like each other under parallel application of commuting updates.
+
+use proptest::prelude::*;
+use snap::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+const N: usize = 64;
+
+/// A scripted operation on a small vertex universe.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u32, u32, u32),
+    Delete(u32, u32),
+    CheckContains(u32, u32),
+    CheckDegree(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let v = 0..N as u32;
+    prop_oneof![
+        4 => (v.clone(), v.clone(), 1u32..100).prop_map(|(a, b, t)| Op::Insert(a, b, t)),
+        2 => (v.clone(), v.clone()).prop_map(|(a, b)| Op::Delete(a, b)),
+        1 => (v.clone(), v.clone()).prop_map(|(a, b)| Op::CheckContains(a, b)),
+        1 => v.prop_map(Op::CheckDegree),
+    ]
+}
+
+/// Runs the script against a representation and a model simultaneously.
+/// The model is a map vertex -> multiset of neighbors; only dedup-free
+/// scripts are generated for Treap/Hybrid comparisons (see below), so a
+/// set suffices there.
+fn run_script<A: DynamicAdjacency>(adj: &A, ops: &[Op], dedup: bool) {
+    // Model: neighbor multiset per vertex (Vec with counts).
+    let mut model: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(u, v, t) => {
+                let stored_new = adj.insert(u, AdjEntry::new(v, t));
+                let slot = model.entry(u).or_default().entry(v).or_insert(0);
+                if dedup {
+                    let was_new = *slot == 0;
+                    *slot = 1;
+                    assert_eq!(stored_new, was_new, "insert({u},{v}) newness mismatch");
+                } else {
+                    *slot += 1;
+                    assert!(stored_new);
+                }
+            }
+            Op::Delete(u, v) => {
+                let removed = adj.delete(u, v);
+                let slot = model.entry(u).or_default().entry(v).or_insert(0);
+                assert_eq!(removed, *slot > 0, "delete({u},{v}) mismatch");
+                if *slot > 0 {
+                    *slot -= 1;
+                }
+            }
+            Op::CheckContains(u, v) => {
+                let want = model.get(&u).and_then(|m| m.get(&v)).copied().unwrap_or(0) > 0;
+                assert_eq!(adj.contains(u, v), want, "contains({u},{v}) mismatch");
+            }
+            Op::CheckDegree(u) => {
+                let want: usize = model.get(&u).map(|m| m.values().sum()).unwrap_or(0);
+                assert_eq!(adj.degree(u), want, "degree({u}) mismatch");
+            }
+        }
+    }
+    // Final sweep: every vertex's live neighbor set matches the model.
+    for u in 0..N as u32 {
+        let mut got: Vec<u32> = adj.neighbors(u).iter().map(|e| e.nbr).collect();
+        got.sort_unstable();
+        if dedup {
+            got.dedup();
+        }
+        let mut want: Vec<u32> = model
+            .get(&u)
+            .map(|m| {
+                m.iter()
+                    .flat_map(|(&v, &c)| std::iter::repeat(v).take(c))
+                    .collect()
+            })
+            .unwrap_or_default();
+        want.sort_unstable();
+        if dedup {
+            want.dedup();
+        }
+        assert_eq!(got, want, "final neighborhood of {u} mismatch");
+    }
+}
+
+/// Strips duplicate-inserts from a script so set-semantics representations
+/// see only fresh inserts (their `insert` returns false on duplicates,
+/// which the multiset model cannot express).
+fn dedup_script(ops: &[Op]) -> Vec<Op> {
+    let mut present: HashSet<(u32, u32)> = HashSet::new();
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Insert(u, v, _) => {
+                if present.insert((u, v)) {
+                    out.push(op.clone());
+                }
+            }
+            Op::Delete(u, v) => {
+                present.remove(&(u, v));
+                out.push(op.clone());
+            }
+            _ => out.push(op.clone()),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dynarr_matches_multiset_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let adj = DynArr::new(N, &CapacityHints::new(128));
+        run_script(&adj, &ops, false);
+    }
+
+    #[test]
+    fn fixed_dynarr_matches_multiset_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        // Worst case: every op inserts at the same vertex.
+        let caps = vec![300u32; N];
+        let adj = FixedDynArr::with_capacities(&caps);
+        run_script(&adj, &ops, false);
+    }
+
+    #[test]
+    fn treap_adj_matches_set_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let adj = TreapAdj::new(N, &CapacityHints::new(128));
+        run_script(&adj, &dedup_script(&ops), true);
+    }
+
+    #[test]
+    fn hybrid_matches_set_model_across_thresholds(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+        thresh in 1u32..64,
+    ) {
+        let adj = HybridAdj::new(N, &CapacityHints::new(128).with_degree_thresh(thresh));
+        run_script(&adj, &dedup_script(&ops), true);
+    }
+
+    #[test]
+    fn representations_agree_pairwise(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let script = dedup_script(&ops);
+        let a = DynArr::new(N, &CapacityHints::new(128));
+        let t = TreapAdj::new(N, &CapacityHints::new(128));
+        let h = HybridAdj::new(N, &CapacityHints::new(128).with_degree_thresh(8));
+        for op in &script {
+            match *op {
+                Op::Insert(u, v, ts) => {
+                    a.insert(u, AdjEntry::new(v, ts));
+                    t.insert(u, AdjEntry::new(v, ts));
+                    h.insert(u, AdjEntry::new(v, ts));
+                }
+                Op::Delete(u, v) => {
+                    a.delete(u, v);
+                    t.delete(u, v);
+                    h.delete(u, v);
+                }
+                _ => {}
+            }
+        }
+        for u in 0..N as u32 {
+            let norm = |adj: &dyn DynamicAdjacency| {
+                let mut ns: Vec<u32> = adj.neighbors(u).iter().map(|e| e.nbr).collect();
+                ns.sort_unstable();
+                ns.dedup();
+                ns
+            };
+            let (na, nt, nh) = (norm(&a), norm(&t), norm(&h));
+            prop_assert_eq!(&na, &nt, "DynArr vs Treap at {}", u);
+            prop_assert_eq!(&na, &nh, "DynArr vs Hybrid at {}", u);
+        }
+    }
+}
