@@ -96,11 +96,16 @@ impl<T: Copy> SlabPool<T> {
     /// zero-sized.
     pub fn with_slab_slots(slab_slots: usize) -> Self {
         assert!(slab_slots > 0, "slab capacity must be positive");
-        assert!((slab_slots as u64) < OFFSET_MASK, "slab capacity too large to pack");
-        assert!(std::mem::size_of::<T>() > 0, "zero-sized slot types are unsupported");
+        assert!(
+            (slab_slots as u64) < OFFSET_MASK,
+            "slab capacity too large to pack"
+        );
+        assert!(
+            std::mem::size_of::<T>() > 0,
+            "zero-sized slot types are unsupported"
+        );
         let first = Slab::new(slab_slots);
-        let bases: Box<[AtomicUsize]> =
-            (0..MAX_SLABS).map(|_| AtomicUsize::new(0)).collect();
+        let bases: Box<[AtomicUsize]> = (0..MAX_SLABS).map(|_| AtomicUsize::new(0)).collect();
         bases[0].store(first.ptr.as_ptr() as usize, Ordering::Release);
         Self {
             slabs: Mutex::new(vec![first]),
@@ -162,9 +167,14 @@ impl<T: Copy> SlabPool<T> {
                 continue;
             }
             let new_slab_idx = slab + 1;
-            assert!(new_slab_idx < MAX_SLABS, "slab pool exceeded MAX_SLABS slabs");
-            self.wasted
-                .fetch_add(self.slab_slots - ((cur2 & OFFSET_MASK) as usize).min(self.slab_slots), Ordering::Relaxed);
+            assert!(
+                new_slab_idx < MAX_SLABS,
+                "slab pool exceeded MAX_SLABS slabs"
+            );
+            self.wasted.fetch_add(
+                self.slab_slots - ((cur2 & OFFSET_MASK) as usize).min(self.slab_slots),
+                Ordering::Relaxed,
+            );
             let new = Slab::new(self.slab_slots);
             self.bases[new_slab_idx].store(new.ptr.as_ptr() as usize, Ordering::Release);
             slabs.push(new);
@@ -317,7 +327,10 @@ mod tests {
                 usize::from(intact)
             })
             .sum();
-        assert_eq!(ok, n_tasks, "some block was clobbered by a racing allocation");
+        assert_eq!(
+            ok, n_tasks,
+            "some block was clobbered by a racing allocation"
+        );
         let expected: usize = (0..n_tasks).map(|id| (id % 5) + 1).sum();
         assert_eq!(pool.allocated_slots(), expected);
     }
@@ -354,18 +367,36 @@ mod tests {
 #[cfg(test)]
 mod property_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Tiny deterministic xorshift (local copy: this crate sits below
+    /// snap-util in the dependency graph, and no external
+    /// property-testing crate is reachable in this build environment).
+    struct Rng(u64);
 
-        /// Any sequence of allocation sizes yields non-overlapping, stable
-        /// blocks whose contents survive all later allocations.
-        #[test]
-        fn random_allocation_sequences_are_disjoint(
-            sizes in prop::collection::vec(1usize..64, 1..200),
-            slab_slots in 64usize..512,
-        ) {
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn bounded(&mut self, bound: u64) -> u64 {
+            self.next() % bound.max(1)
+        }
+    }
+
+    /// Any sequence of allocation sizes yields non-overlapping, stable
+    /// blocks whose contents survive all later allocations.
+    #[test]
+    fn random_allocation_sequences_are_disjoint() {
+        for case in 0..32u64 {
+            let mut rng = Rng(0xA1_10C0 ^ (case + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let slab_slots = rng.bounded(448) as usize + 64;
+            let count = rng.bounded(199) as usize + 1;
+            let sizes: Vec<usize> = (0..count).map(|_| rng.bounded(63) as usize + 1).collect();
             let pool: SlabPool<u64> = SlabPool::with_slab_slots(slab_slots);
             let blocks: Vec<(NonNull<u64>, usize, u64)> = sizes
                 .iter()
@@ -378,20 +409,26 @@ mod property_tests {
             for (p, len, stamp) in &blocks {
                 for k in 0..*len {
                     let got = unsafe { *p.as_ptr().add(k) };
-                    prop_assert_eq!(got, *stamp, "block stamped {} corrupted", stamp);
+                    assert_eq!(got, *stamp, "case {case}: block stamped {stamp} corrupted");
                 }
             }
             let total: usize = sizes.iter().sum();
-            prop_assert_eq!(pool.allocated_slots(), total);
+            assert_eq!(pool.allocated_slots(), total, "case {case}");
             // Waste can never exceed one slab tail per allocated slab.
-            prop_assert!(pool.wasted_slots() < pool.slab_count() * slab_slots);
+            assert!(
+                pool.wasted_slots() < pool.slab_count() * slab_slots,
+                "case {case}"
+            );
         }
+    }
 
-        /// Address ranges of all live blocks are pairwise disjoint.
-        #[test]
-        fn address_ranges_never_overlap(
-            sizes in prop::collection::vec(1usize..32, 2..100),
-        ) {
+    /// Address ranges of all live blocks are pairwise disjoint.
+    #[test]
+    fn address_ranges_never_overlap() {
+        for case in 0..32u64 {
+            let mut rng = Rng(0xD15_0177 ^ (case + 1).wrapping_mul(0x2545_F491_4F6C_DD1D));
+            let count = rng.bounded(98) as usize + 2;
+            let sizes: Vec<usize> = (0..count).map(|_| rng.bounded(31) as usize + 1).collect();
             let pool: SlabPool<u32> = SlabPool::with_slab_slots(128);
             let mut ranges: Vec<(usize, usize)> = Vec::new();
             for &len in &sizes {
@@ -400,7 +437,12 @@ mod property_tests {
             }
             ranges.sort_unstable();
             for w in ranges.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0, "overlapping blocks {:?} {:?}", w[0], w[1]);
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "case {case}: overlapping blocks {:?} {:?}",
+                    w[0],
+                    w[1]
+                );
             }
         }
     }

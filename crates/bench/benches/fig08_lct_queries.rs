@@ -15,7 +15,12 @@ fn bench(c: &mut Criterion) {
     let forest = LinkCutForest::from_csr(&csr);
     let mut rng = XorShift64::new(8);
     let queries: Vec<(u32, u32)> = (0..1_000_000)
-        .map(|_| (rng.next_bounded(n as u64) as u32, rng.next_bounded(n as u64) as u32))
+        .map(|_| {
+            (
+                rng.next_bounded(n as u64) as u32,
+                rng.next_bounded(n as u64) as u32,
+            )
+        })
         .collect();
     let mut g = c.benchmark_group("fig08_lct_queries");
     g.sample_size(10);

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     let n = 1usize << scale;
     let edges = build_edges(scale, 8, 10);
     let csr = CsrGraph::from_edges_undirected(n, &edges);
-    let src = (0..n as u32).max_by_key(|&u| csr.out_degree(u)).unwrap_or(0);
+    let src = (0..n as u32)
+        .max_by_key(|&u| csr.out_degree(u))
+        .unwrap_or(0);
     let mut g = c.benchmark_group("fig10_temporal_bfs");
     g.sample_size(10);
     g.throughput(Throughput::Elements(csr.num_entries() as u64));

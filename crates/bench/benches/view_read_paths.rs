@@ -1,0 +1,72 @@
+//! Read-path comparison for the `GraphView` abstraction: the same BFS
+//! kernel over (a) the frozen CSR snapshot, (b) the live dynamic graph,
+//! and (c) the `SnapshotManager` serving pattern — rebuild-per-query vs
+//! epoch-cached reuse. The last pair is the measurement that motivates
+//! the manager: between update batches, cached reuse pays the rebuild
+//! once instead of per query.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snap_bench::{build_edges, construction_stream};
+use snap_core::adjacency::CapacityHints;
+use snap_core::{engine, DynGraph, HybridAdj, SnapshotManager};
+use snap_kernels::bfs;
+
+fn bench(c: &mut Criterion) {
+    let scale = 13u32;
+    let n = 1usize << scale;
+    let edges = build_edges(scale, 8, 21);
+    let stream = construction_stream(&edges, 21);
+    let hints = CapacityHints::new(stream.len() * 2);
+    let graph: DynGraph<HybridAdj> = DynGraph::undirected(n, &hints);
+    engine::apply_stream(&graph, &stream);
+    let csr = graph.to_csr();
+    let hub = (0..n as u32)
+        .max_by_key(|&u| csr.out_degree(u))
+        .unwrap_or(0);
+
+    let mut g = c.benchmark_group("view_read_paths");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(csr.num_entries() as u64));
+    g.bench_function("bfs_snapshot", |b| {
+        b.iter(|| bfs(&csr, hub));
+    });
+    g.bench_function("bfs_live_view", |b| {
+        b.iter(|| bfs(&graph, hub));
+    });
+    g.finish();
+
+    // Serving pattern: an update batch lands, then a burst of 16
+    // snapshot-consuming queries.
+    let burst = 16usize;
+    let batch = construction_stream(&edges[..1024], 7);
+    let mut g = c.benchmark_group("snapshot_per_burst");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(burst as u64));
+    g.bench_function("rebuild_per_query", |b| {
+        let graph: DynGraph<HybridAdj> = DynGraph::undirected(n, &hints);
+        engine::apply_stream(&graph, &stream);
+        b.iter(|| {
+            engine::apply_stream(&graph, &batch);
+            for _ in 0..burst {
+                let snap = graph.to_csr(); // what kernels forced pre-refactor
+                std::hint::black_box(bfs(&snap, hub));
+            }
+        });
+    });
+    g.bench_function("epoch_cached", |b| {
+        let graph: DynGraph<HybridAdj> = DynGraph::undirected(n, &hints);
+        engine::apply_stream(&graph, &stream);
+        let mgr = SnapshotManager::new(graph);
+        b.iter(|| {
+            mgr.apply_batch(&batch);
+            for _ in 0..burst {
+                let snap = mgr.snapshot(); // one rebuild, then cache hits
+                std::hint::black_box(bfs(&*snap, hub));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -26,8 +26,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "fig11", "ablations", "extensions",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablations",
+            "extensions",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -313,12 +324,13 @@ fn fig10(cfg: &Config) {
     let edges = build_edges(scale, cfg.edge_factor, cfg.seed ^ 10);
     let n = 1usize << scale;
     let csr = CsrGraph::from_edges_undirected(n, &edges);
-    let src = (0..n as u32).max_by_key(|&u| csr.out_degree(u)).unwrap_or(0);
+    let src = (0..n as u32)
+        .max_by_key(|&u| csr.out_degree(u))
+        .unwrap_or(0);
     let mut base = 0.0;
     let mut t = Table::new(&["threads", "BFS time (s)", "speedup", "MTEPS", "reached"]);
     for &th in &cfg.threads {
-        let (res, secs) =
-            seconds(|| in_pool(th, || temporal_bfs(&csr, src, |ts| ts >= 1)));
+        let (res, secs) = seconds(|| in_pool(th, || temporal_bfs(&csr, src, |ts| ts >= 1)));
         if base == 0.0 {
             base = secs;
         }
@@ -330,7 +342,10 @@ fn fig10(cfg: &Config) {
             res.reached().to_string(),
         ]);
     }
-    t.print(&format!("Figure 10: temporal BFS (n = 2^{scale}, m = {})", edges.len()));
+    t.print(&format!(
+        "Figure 10: temporal BFS (n = 2^{scale}, m = {})",
+        edges.len()
+    ));
 }
 
 /// Figure 11: approximate temporal betweenness, 256 sampled sources.
@@ -341,7 +356,7 @@ fn fig11(cfg: &Config) {
     let edges: Vec<_> = edges
         .into_iter()
         .map(|mut e| {
-            e.timestamp = e.timestamp % 21;
+            e.timestamp %= 21;
             e
         })
         .collect();
@@ -351,7 +366,9 @@ fn fig11(cfg: &Config) {
     let mut t = Table::new(&["threads", "BC time (s)", "speedup"]);
     for &th in &cfg.threads {
         let (bc, secs) = seconds(|| {
-            in_pool(th, || snap_kernels::temporal_betweenness_approx(&csr, &sources))
+            in_pool(th, || {
+                snap_kernels::temporal_betweenness_approx(&csr, &sources)
+            })
         });
         std::hint::black_box(&bc);
         if base == 0.0 {
@@ -442,8 +459,14 @@ fn extension_compressed(cfg: &Config) {
     });
     std::hint::black_box(sum);
     let mut t = Table::new(&["metric", "value"]);
-    t.row(vec!["CSR neighbor bytes".into(), (csr.num_entries() * 4).to_string()]);
-    t.row(vec!["compressed payload bytes".into(), comp.payload_bytes().to_string()]);
+    t.row(vec![
+        "CSR neighbor bytes".into(),
+        (csr.num_entries() * 4).to_string(),
+    ]);
+    t.row(vec![
+        "compressed payload bytes".into(),
+        comp.payload_bytes().to_string(),
+    ]);
     t.row(vec!["compression ratio".into(), f3(comp.ratio_vs_csr())]);
     t.row(vec!["encode time (s)".into(), f3(build_s)]);
     t.row(vec!["full decode scan (s)".into(), f3(scan_s)]);
@@ -458,7 +481,9 @@ fn extension_reorder(cfg: &Config) {
     let rl = Relabeling::by_degree_desc(&csr);
     let relabeled = rl.relabel_csr(&csr);
     let th = *cfg.threads.last().expect("thread list non-empty");
-    let src = (0..n as u32).max_by_key(|&u| csr.out_degree(u)).unwrap_or(0);
+    let src = (0..n as u32)
+        .max_by_key(|&u| csr.out_degree(u))
+        .unwrap_or(0);
     let (_, orig) = seconds(|| in_pool(th, || bfs(&csr, src)));
     let (_, reord) = seconds(|| in_pool(th, || bfs(&relabeled, rl.perm[src as usize])));
     let mut t = Table::new(&["layout", "BFS time (s)"]);

@@ -43,7 +43,12 @@ impl Config {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(0xC0FFEE);
-        Self { scale, edge_factor: 8, threads, seed }
+        Self {
+            scale,
+            edge_factor: 8,
+            threads,
+            seed,
+        }
     }
 
     pub fn vertices(&self) -> usize {
@@ -69,11 +74,7 @@ pub fn in_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
 
 /// Times the parallel application of `updates` to a fresh graph of
 /// representation `A`, returning achieved MUPS.
-pub fn construction_mups<A: DynamicAdjacency>(
-    n: usize,
-    updates: &[Update],
-    threads: usize,
-) -> f64 {
+pub fn construction_mups<A: DynamicAdjacency>(n: usize, updates: &[Update], threads: usize) -> f64 {
     let hints = CapacityHints::new(updates.len() * 2);
     let g: DynGraph<A> = DynGraph::undirected(n, &hints);
     let d = in_pool(threads, || engine::apply_stream_timed(&g, updates));
@@ -121,11 +122,7 @@ pub fn build_graph<A: DynamicAdjacency>(n: usize, edges: &[TimedEdge]) -> DynGra
 }
 
 /// Times application of a pre-built stream to a pre-built graph.
-pub fn apply_mups<A: DynamicAdjacency>(
-    g: &DynGraph<A>,
-    updates: &[Update],
-    threads: usize,
-) -> f64 {
+pub fn apply_mups<A: DynamicAdjacency>(g: &DynGraph<A>, updates: &[Update], threads: usize) -> f64 {
     let d = in_pool(threads, || engine::apply_stream_timed(g, updates));
     mups(updates.len(), d)
 }
@@ -138,7 +135,10 @@ pub fn seconds<R>(f: impl FnOnce() -> R) -> (R, f64) {
 
 /// Counts insertions in a stream (MUPS denominators).
 pub fn insert_count(updates: &[Update]) -> usize {
-    updates.iter().filter(|u| u.kind == UpdateKind::Insert).count()
+    updates
+        .iter()
+        .filter(|u| u.kind == UpdateKind::Insert)
+        .count()
 }
 
 /// Markdown-ish table printer for the experiments binary.

@@ -16,8 +16,18 @@ pub struct AdjEntry {
 }
 
 impl AdjEntry {
+    /// Creates an adjacency entry.
+    ///
+    /// # Panics
+    ///
+    /// If `nbr == `[`TOMBSTONE`]. This is a hard invariant, enforced in
+    /// release builds too: the array representations mark deleted slots
+    /// by writing [`TOMBSTONE`] into the neighbor word, so an entry
+    /// carrying that id would be silently skipped by every traversal and
+    /// corrupt live-entry counts. Rejecting it at construction keeps the
+    /// corruption impossible rather than merely unlikely.
     pub fn new(nbr: u32, ts: u32) -> Self {
-        debug_assert_ne!(nbr, TOMBSTONE, "vertex id collides with tombstone sentinel");
+        assert_ne!(nbr, TOMBSTONE, "vertex id collides with tombstone sentinel");
         Self { nbr, ts }
     }
 }
@@ -123,7 +133,9 @@ pub trait DynamicAdjacency: Send + Sync {
 
     /// Total live entries across all vertices (O(n) unless overridden).
     fn total_entries(&self) -> usize {
-        (0..self.num_vertices() as u32).map(|u| self.degree(u)).sum()
+        (0..self.num_vertices() as u32)
+            .map(|u| self.degree(u))
+            .sum()
     }
 
     /// Approximate resident bytes, for the paper's footprint comparisons.
@@ -160,5 +172,19 @@ mod tests {
         let e = AdjEntry::new(5, 17);
         assert_eq!(e.nbr, 5);
         assert_eq!(e.ts, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with tombstone sentinel")]
+    fn adj_entry_rejects_tombstone_id_in_release_builds_too() {
+        // assert_ne!, not debug_assert_ne!: this must fire under
+        // --release as well (the test suite runs in both profiles).
+        let _ = AdjEntry::new(TOMBSTONE, 0);
+    }
+
+    #[test]
+    fn max_real_vertex_id_is_accepted() {
+        let e = AdjEntry::new(TOMBSTONE - 1, 3);
+        assert_eq!(e.nbr, u32::MAX - 1);
     }
 }

@@ -94,11 +94,8 @@ impl CompressedCsr {
         *offsets.last_mut().expect("offsets non-empty") = total;
         // Pass 2: encode into the final buffer, per-vertex regions disjoint.
         let mut bytes = vec![0u8; total];
-        let chunks: Vec<(usize, &Vec<u32>)> = offsets[..n]
-            .iter()
-            .copied()
-            .zip(sorted.iter())
-            .collect();
+        let chunks: Vec<(usize, &Vec<u32>)> =
+            offsets[..n].iter().copied().zip(sorted.iter()).collect();
         // Sequential encode per vertex, parallel over vertices via split_at
         // ranges — simplest is indexing into a locally encoded buffer.
         let encoded: Vec<(usize, Vec<u8>)> = chunks
@@ -118,7 +115,11 @@ impl CompressedCsr {
             bytes[off..off + buf.len()].copy_from_slice(&buf);
         }
         let degrees = (0..n as u32).map(|u| csr.out_degree(u) as u32).collect();
-        Self { offsets, bytes, degrees }
+        Self {
+            offsets,
+            bytes,
+            degrees,
+        }
     }
 
     /// Number of vertices.

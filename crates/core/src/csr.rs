@@ -19,6 +19,9 @@ pub struct CsrGraph {
     offsets: Vec<usize>,
     nbrs: Vec<u32>,
     ts: Vec<u32>,
+    /// Edge semantics of the snapshot (undirected snapshots store both
+    /// orientations); carried so [`crate::view::GraphView`] can report it.
+    directed: bool,
 }
 
 /// Raw pointer wrapper for provably disjoint parallel scatters.
@@ -35,6 +38,17 @@ impl CsrGraph {
     /// Builds an undirected CSR (both orientations stored).
     pub fn from_edges_undirected(n: usize, edges: &[TimedEdge]) -> Self {
         Self::build(n, edges, true)
+    }
+
+    /// Builds a CSR from *pre-oriented* entries — a list that already
+    /// contains both orientations when the source was undirected (e.g.
+    /// the output of [`crate::view::GraphView::collect_entries`]) — and
+    /// records the given edge semantics. No symmetrization is applied.
+    pub fn from_entries(n: usize, entries: &[TimedEdge], directed: bool) -> Self {
+        Self {
+            directed,
+            ..Self::build(n, entries, false)
+        }
     }
 
     fn build(n: usize, edges: &[TimedEdge], symmetric: bool) -> Self {
@@ -56,8 +70,7 @@ impl CsrGraph {
         *offsets.last_mut().expect("offsets non-empty") = total;
 
         // Pass 2: scatter through per-vertex atomic cursors.
-        let cursors: Vec<AtomicUsize> =
-            offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
+        let cursors: Vec<AtomicUsize> = offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
         let mut nbrs: Vec<u32> = Vec::with_capacity(total);
         let mut ts: Vec<u32> = Vec::with_capacity(total);
         // SAFETY: each slot is written exactly once via the cursor protocol.
@@ -86,11 +99,19 @@ impl CsrGraph {
                 }
             }
         });
-        Self { offsets, nbrs, ts }
+        Self {
+            offsets,
+            nbrs,
+            ts,
+            directed: !symmetric,
+        }
     }
 
     /// Snapshots the live entries of a dynamic adjacency structure.
-    pub fn from_dynamic<A: DynamicAdjacency>(adj: &A) -> Self {
+    /// `directed` records the edge semantics of the source graph (an
+    /// undirected dynamic graph already stores both orientations, so the
+    /// entries are copied verbatim either way).
+    pub fn from_dynamic<A: DynamicAdjacency>(adj: &A, directed: bool) -> Self {
         let n = adj.num_vertices();
         let mut offsets: Vec<usize> = (0..n as u32)
             .into_par_iter()
@@ -129,12 +150,22 @@ impl CsrGraph {
             });
             assert_eq!(cursor, end, "degree changed during snapshot");
         });
-        Self { offsets, nbrs, ts }
+        Self {
+            offsets,
+            nbrs,
+            ts,
+            directed,
+        }
     }
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.offsets.len() - 1
+    }
+
+    /// True for directed edge semantics (see the `directed` field).
+    pub fn is_directed(&self) -> bool {
+        self.directed
     }
 
     /// Number of stored adjacency entries (directed count).

@@ -36,7 +36,12 @@ struct VertexList {
 }
 
 impl VertexList {
-    const EMPTY: Self = Self { ptr: std::ptr::null_mut(), cap: 0, len: 0, live: 0 };
+    const EMPTY: Self = Self {
+        ptr: std::ptr::null_mut(),
+        cap: 0,
+        len: 0,
+        live: 0,
+    };
 }
 
 /// A vertex cell: spinlock word + its list descriptor.
@@ -106,8 +111,16 @@ impl DynArr {
 
     /// Grows `list` to at least `min_cap`, copying live contents.
     fn grow(&self, list: &mut VertexList, min_cap: u32) {
-        let new_cap = list.cap.max(2).next_power_of_two().max(min_cap.next_power_of_two());
-        let new_cap = if new_cap <= list.cap { list.cap * 2 } else { new_cap };
+        let new_cap = list
+            .cap
+            .max(2)
+            .next_power_of_two()
+            .max(min_cap.next_power_of_two());
+        let new_cap = if new_cap <= list.cap {
+            list.cap * 2
+        } else {
+            new_cap
+        };
         let new_ptr = self.pool.alloc(new_cap as usize).as_ptr();
         if !list.ptr.is_null() && list.len > 0 {
             // SAFETY: source block holds `len` initialized slots; the
@@ -130,7 +143,10 @@ unsafe impl Sync for DynArr {}
 impl DynamicAdjacency for DynArr {
     fn new(n: usize, hints: &CapacityHints) -> Self {
         let cells = (0..n)
-            .map(|_| Cell { lock: AtomicU32::new(0), list: UnsafeCell::new(VertexList::EMPTY) })
+            .map(|_| Cell {
+                lock: AtomicU32::new(0),
+                list: UnsafeCell::new(VertexList::EMPTY),
+            })
             .collect();
         Self {
             cells,
@@ -366,7 +382,10 @@ impl DynamicAdjacency for FixedDynArr {
         for i in 0..len {
             let s = self.slots[lo + i].load(Ordering::Acquire);
             if slot_nbr(s) != TOMBSTONE {
-                f(AdjEntry { nbr: slot_nbr(s), ts: slot_ts(s) });
+                f(AdjEntry {
+                    nbr: slot_nbr(s),
+                    ts: slot_ts(s),
+                });
             }
         }
     }
@@ -380,10 +399,12 @@ impl DynamicAdjacency for FixedDynArr {
             if slot_nbr(s) == TOMBSTONE {
                 continue;
             }
-            if !keep(AdjEntry { nbr: slot_nbr(s), ts: slot_ts(s) })
-                && self.slots[lo + i]
-                    .compare_exchange(s, EMPTY_SLOT, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
+            if !keep(AdjEntry {
+                nbr: slot_nbr(s),
+                ts: slot_ts(s),
+            }) && self.slots[lo + i]
+                .compare_exchange(s, EMPTY_SLOT, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
             {
                 self.deleted[u as usize].fetch_add(1, Ordering::Relaxed);
                 removed += 1;
@@ -393,9 +414,7 @@ impl DynamicAdjacency for FixedDynArr {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.offsets.len() * 8
-            + (self.lens.len() + self.deleted.len()) * 4
-            + self.slots.len() * 8
+        self.offsets.len() * 8 + (self.lens.len() + self.deleted.len()) * 4 + self.slots.len() * 8
     }
 }
 
@@ -443,7 +462,10 @@ mod tests {
             a.insert(0, AdjEntry::new(k, k));
         }
         assert_eq!(a.degree(0), 100);
-        assert!(a.resize_count() >= 4, "doubling from 4 to 128 needs >= 5 grows");
+        assert!(
+            a.resize_count() >= 4,
+            "doubling from 4 to 128 needs >= 5 grows"
+        );
         for k in 0..100u32 {
             assert!(a.contains(0, k), "lost neighbor {k} across resizes");
         }
@@ -465,7 +487,10 @@ mod tests {
         assert_eq!(b.degree(0), 5_000);
         let mut seen = vec![false; 5_000];
         b.for_each(0, &mut |e| seen[e.nbr as usize] = true);
-        assert!(seen.iter().all(|&s| s), "an insert was lost under contention");
+        assert!(
+            seen.iter().all(|&s| s),
+            "an insert was lost under contention"
+        );
     }
 
     #[test]

@@ -21,11 +21,15 @@
 //!   the paper's upper bound on any batched scheme's MUPS.
 
 use crate::adjacency::{AdjEntry, DynamicAdjacency};
+use crate::csr::CsrGraph;
 use crate::graph::DynGraph;
+use parking_lot::Mutex;
 use rayon::prelude::*;
-use snap_rmat::{Update, UpdateKind};
+use snap_rmat::{TimedEdge, Update, UpdateKind};
 use snap_util::partition_ranges;
 use snap_util::sort::semi_sort_by_key;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Applies every update via a parallel iterator (the streaming default).
@@ -36,10 +40,7 @@ pub fn apply_stream<A: DynamicAdjacency>(g: &DynGraph<A>, updates: &[Update]) {
 }
 
 /// [`apply_stream`] with wall-clock timing.
-pub fn apply_stream_timed<A: DynamicAdjacency>(
-    g: &DynGraph<A>,
-    updates: &[Update],
-) -> Duration {
+pub fn apply_stream_timed<A: DynamicAdjacency>(g: &DynGraph<A>, updates: &[Update]) -> Duration {
     let (_, d) = snap_util::timer::time(|| apply_stream(g, updates));
     d
 }
@@ -56,7 +57,11 @@ struct HalfUpdate {
 /// undirected graphs), so that partitioned strategies can assign each half
 /// to the worker owning its source vertex.
 fn expand_half_updates(updates: &[Update], directed: bool) -> Vec<HalfUpdate> {
-    let mut out = Vec::with_capacity(if directed { updates.len() } else { updates.len() * 2 });
+    let mut out = Vec::with_capacity(if directed {
+        updates.len()
+    } else {
+        updates.len() * 2
+    });
     for u in updates {
         let e = u.edge;
         out.push(HalfUpdate {
@@ -190,6 +195,158 @@ pub fn semi_sort_bound(updates: &[Update], n: usize, directed: bool) -> Duration
         std::hint::black_box(&halves);
     });
     d
+}
+
+/// Epoch-tagged snapshot cache over a dynamic graph.
+///
+/// The paper's kernels run on CSR snapshots; rebuilding one costs
+/// O(n + m). A serving workload interleaves update batches with *bursts*
+/// of queries, so paying that rebuild per query (or even per batch when
+/// no query arrives) is pure waste. `SnapshotManager` makes the rebuild
+/// lazy and amortized:
+///
+/// - every mutation (single update or batch) bumps a monotone *epoch*;
+/// - [`SnapshotManager::snapshot`] returns a cached [`Arc<CsrGraph>`]
+///   and rebuilds only when the epoch moved since the cached build —
+///   a burst of traversal-heavy queries between batches pays for at
+///   most one rebuild;
+/// - cheap queries skip CSR entirely by reading the
+///   [live view](crate::view::GraphView) via [`SnapshotManager::live`].
+///
+/// # Consistency
+///
+/// Mutations take `&self` and are thread-safe, like the underlying
+/// representations. `snapshot()` follows the paper's bulk-synchronous
+/// discipline: call it between batches, not concurrently with them (a
+/// racing writer can make the degree pass and the copy pass of the CSR
+/// builder disagree, which the builder detects and panics on).
+pub struct SnapshotManager<A: DynamicAdjacency> {
+    graph: DynGraph<A>,
+    /// Monotone mutation counter; `snapshot` compares it to the cached
+    /// build's epoch to decide whether a rebuild is due.
+    epoch: AtomicU64,
+    cache: Mutex<SnapshotCache>,
+    rebuilds: AtomicUsize,
+}
+
+struct SnapshotCache {
+    epoch: u64,
+    csr: Option<Arc<CsrGraph>>,
+}
+
+impl<A: DynamicAdjacency> SnapshotManager<A> {
+    /// Wraps a dynamic graph. The first [`SnapshotManager::snapshot`]
+    /// call builds the initial CSR.
+    pub fn new(graph: DynGraph<A>) -> Self {
+        Self {
+            graph,
+            epoch: AtomicU64::new(0),
+            cache: Mutex::new(SnapshotCache {
+                epoch: 0,
+                csr: None,
+            }),
+            rebuilds: AtomicUsize::new(0),
+        }
+    }
+
+    /// The live graph, for direct queries through
+    /// [`crate::view::GraphView`] with zero snapshot cost.
+    pub fn live(&self) -> &DynGraph<A> {
+        &self.graph
+    }
+
+    /// Consumes the manager, returning the wrapped graph.
+    pub fn into_inner(self) -> DynGraph<A> {
+        self.graph
+    }
+
+    /// Current mutation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// True when the cached snapshot (if any) reflects every applied
+    /// update — i.e. the next [`SnapshotManager::snapshot`] is free.
+    pub fn is_clean(&self) -> bool {
+        let cache = self.cache.lock();
+        cache.csr.is_some() && cache.epoch == self.epoch()
+    }
+
+    /// Number of CSR rebuilds performed so far (the quantity the epoch
+    /// cache exists to minimize).
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Marks the graph dirty without going through the manager's update
+    /// methods (escape hatch for callers mutating `live()` directly).
+    pub fn mark_dirty(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Inserts a timestamped edge, bumping the epoch only if an entry
+    /// was actually stored (a deduplicated re-insert leaves the cached
+    /// snapshot valid). Thread-safe.
+    pub fn insert_edge(&self, e: TimedEdge) -> bool {
+        let r = self.graph.insert_edge(e);
+        if r {
+            self.mark_dirty();
+        }
+        r
+    }
+
+    /// Deletes one occurrence of `(u, v)`, bumping the epoch only if an
+    /// entry was actually removed (deleting an absent edge leaves the
+    /// cached snapshot valid). Thread-safe.
+    pub fn delete_edge(&self, u: u32, v: u32) -> bool {
+        let r = self.graph.delete_edge(u, v);
+        if r {
+            self.mark_dirty();
+        }
+        r
+    }
+
+    /// Applies a single structural update, bumping the epoch only if it
+    /// changed the graph. Thread-safe.
+    pub fn apply(&self, upd: &Update) -> bool {
+        let r = self.graph.apply(upd);
+        if r {
+            self.mark_dirty();
+        }
+        r
+    }
+
+    /// Applies a whole batch via [`apply_stream`], bumping the epoch
+    /// once — the paper's bulk-synchronous pattern.
+    pub fn apply_batch(&self, updates: &[Update]) {
+        if updates.is_empty() {
+            return;
+        }
+        apply_stream(&self.graph, updates);
+        self.mark_dirty();
+    }
+
+    /// The CSR snapshot of the current state. Returns the cached build
+    /// when the epoch has not moved; otherwise rebuilds, caches, and
+    /// returns the fresh snapshot. The `Arc` keeps earlier snapshots
+    /// alive for readers that are still traversing them.
+    pub fn snapshot(&self) -> Arc<CsrGraph> {
+        let mut cache = self.cache.lock();
+        // Read the epoch under the lock: a concurrent mutation between an
+        // earlier read and the build would otherwise stamp the fresh CSR
+        // with a stale tag and force a spurious rebuild later.
+        let target = self.epoch();
+        if let Some(csr) = &cache.csr {
+            if cache.epoch == target {
+                return Arc::clone(csr);
+            }
+        }
+        let csr = Arc::new(self.graph.to_csr());
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        cache.epoch = target;
+        cache.csr = Some(Arc::clone(&csr));
+        csr
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +492,78 @@ mod tests {
         let (n, s) = workload();
         let d = semi_sort_bound(&s, n, false);
         assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn snapshot_manager_caches_until_epoch_moves() {
+        let (n, s) = workload();
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(n, &CapacityHints::new(s.len() * 2));
+        let mgr = SnapshotManager::new(g);
+        assert!(!mgr.is_clean(), "no snapshot built yet");
+        mgr.apply_batch(&s);
+        assert_eq!(mgr.rebuild_count(), 0, "updates alone must not rebuild");
+        let s1 = mgr.snapshot();
+        assert_eq!(mgr.rebuild_count(), 1);
+        assert!(mgr.is_clean());
+        // A burst of queries between batches: all hit the cache.
+        for _ in 0..32 {
+            let again = mgr.snapshot();
+            assert!(
+                Arc::ptr_eq(&s1, &again),
+                "clean epoch must reuse the cached Arc"
+            );
+        }
+        assert_eq!(mgr.rebuild_count(), 1, "zero rebuilds across the burst");
+        // One more batch dirties the epoch; the next snapshot rebuilds once.
+        mgr.apply_batch(&s[..4]);
+        assert!(!mgr.is_clean());
+        let s2 = mgr.snapshot();
+        assert!(!Arc::ptr_eq(&s1, &s2));
+        assert_eq!(mgr.rebuild_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_manager_single_updates_dirty_the_cache() {
+        let g: DynGraph<DynArr> = DynGraph::undirected(8, &CapacityHints::new(16));
+        let mgr = SnapshotManager::new(g);
+        assert!(mgr.insert_edge(snap_rmat::TimedEdge::new(0, 1, 5)));
+        let s1 = mgr.snapshot();
+        assert_eq!(s1.num_entries(), 2);
+        assert!(mgr.delete_edge(0, 1));
+        let s2 = mgr.snapshot();
+        assert_eq!(s2.num_entries(), 0);
+        // The old Arc is still alive and unchanged for in-flight readers.
+        assert_eq!(s1.num_entries(), 2);
+        assert_eq!(mgr.rebuild_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_manager_noop_mutations_keep_cache_clean() {
+        let g: DynGraph<TreapAdj> = DynGraph::undirected(4, &CapacityHints::new(8));
+        let mgr = SnapshotManager::new(g);
+        mgr.insert_edge(snap_rmat::TimedEdge::new(0, 1, 3));
+        let s1 = mgr.snapshot();
+        // Deleting an absent edge and re-inserting a deduplicated one
+        // change nothing, so the cached snapshot must survive both.
+        assert!(!mgr.delete_edge(2, 3));
+        assert!(!mgr.insert_edge(snap_rmat::TimedEdge::new(0, 1, 3)));
+        assert!(mgr.is_clean());
+        let s2 = mgr.snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2), "no-op mutations must not invalidate");
+        assert_eq!(mgr.rebuild_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_manager_mark_dirty_forces_rebuild() {
+        let g: DynGraph<TreapAdj> = DynGraph::undirected(4, &CapacityHints::new(8));
+        let mgr = SnapshotManager::new(g);
+        let _ = mgr.snapshot();
+        // Mutate through the live graph, bypassing the manager.
+        mgr.live().insert_edge(snap_rmat::TimedEdge::new(1, 2, 3));
+        mgr.mark_dirty();
+        let s = mgr.snapshot();
+        assert_eq!(s.num_entries(), 2);
+        assert_eq!(mgr.rebuild_count(), 2);
     }
 
     #[test]

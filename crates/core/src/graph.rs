@@ -18,12 +18,18 @@ pub struct DynGraph<A: DynamicAdjacency> {
 impl<A: DynamicAdjacency> DynGraph<A> {
     /// Creates an empty directed graph with `n` vertices.
     pub fn directed(n: usize, hints: &CapacityHints) -> Self {
-        Self { adj: A::new(n, hints), directed: true }
+        Self {
+            adj: A::new(n, hints),
+            directed: true,
+        }
     }
 
     /// Creates an empty undirected graph with `n` vertices.
     pub fn undirected(n: usize, hints: &CapacityHints) -> Self {
-        Self { adj: A::new(n, hints), directed: false }
+        Self {
+            adj: A::new(n, hints),
+            directed: false,
+        }
     }
 
     /// Wraps a pre-built adjacency structure (used for [`crate::FixedDynArr`],
@@ -49,20 +55,33 @@ impl<A: DynamicAdjacency> DynGraph<A> {
 
     /// Inserts a timestamped edge (both orientations when undirected).
     /// Thread-safe.
+    ///
+    /// Returns `true` if *either* orientation stored a new entry. On a
+    /// consistent undirected graph the two orientations agree; they can
+    /// diverge only if the adjacency was mutated asymmetrically through
+    /// [`DynGraph::adjacency`], and reporting the OR keeps such repairs
+    /// visible instead of silently dropping the second orientation's
+    /// outcome.
     pub fn insert_edge(&self, e: TimedEdge) -> bool {
         let a = self.adj.insert(e.u, AdjEntry::new(e.v, e.timestamp));
         if !self.directed && e.u != e.v {
-            self.adj.insert(e.v, AdjEntry::new(e.u, e.timestamp));
+            let b = self.adj.insert(e.v, AdjEntry::new(e.u, e.timestamp));
+            return a | b;
         }
         a
     }
 
     /// Deletes one occurrence of edge `(u, v)` (both orientations when
     /// undirected). Thread-safe.
+    ///
+    /// Returns `true` if *either* orientation removed an entry (see
+    /// [`DynGraph::insert_edge`] for why the second orientation's outcome
+    /// participates).
     pub fn delete_edge(&self, u: u32, v: u32) -> bool {
         let a = self.adj.delete(u, v);
         if !self.directed && u != v {
-            self.adj.delete(v, u);
+            let b = self.adj.delete(v, u);
+            return a | b;
         }
         a
     }
@@ -98,7 +117,7 @@ impl<A: DynamicAdjacency> DynGraph<A> {
     /// Snapshots the live adjacency into a static CSR for the analysis
     /// kernels (Section 3 reformulates dynamic problems on snapshots).
     pub fn to_csr(&self) -> CsrGraph {
-        CsrGraph::from_dynamic(&self.adj)
+        CsrGraph::from_dynamic(&self.adj, self.directed)
     }
 }
 
@@ -157,6 +176,25 @@ mod tests {
         assert!(g.has_edge(0, 1));
         g.apply(&Update::delete(e));
         assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn asymmetric_states_report_both_orientations() {
+        // Mutate one orientation behind the graph's back; the undirected
+        // wrappers must still report that *something* changed.
+        let g: DynGraph<TreapAdj> = DynGraph::undirected(4, &hints());
+        g.adjacency().insert(0, AdjEntry::new(1, 7));
+        assert!(
+            g.delete_edge(0, 1),
+            "half-present edge: the stored orientation's removal must surface"
+        );
+        assert!(!g.has_edge(0, 1));
+        // Same for insertion: (2,3) present only as 3->2, so inserting the
+        // full edge stores a new 2->3 entry and must say so.
+        g.adjacency().insert(3, AdjEntry::new(2, 9));
+        assert!(g.insert_edge(TimedEdge::new(2, 3, 9)));
+        assert!(g.has_edge(2, 3));
+        assert!(g.has_edge(3, 2));
     }
 
     #[test]

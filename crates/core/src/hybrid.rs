@@ -295,7 +295,7 @@ mod tests {
         });
         assert!(a.is_treap(0));
         assert_eq!(a.degree(0), 10_000);
-        assert_eq!(a.treap_vertex_count() >= 1, true);
+        assert!(a.treap_vertex_count() >= 1);
         let total = a.total_entries();
         assert_eq!(total, 20_000);
     }
@@ -320,6 +320,10 @@ mod tests {
         cold.sort_unstable();
         assert_eq!(cold, (0..5).collect::<Vec<_>>());
         let hot: Vec<u32> = a.neighbors(1).iter().map(|e| e.nbr).collect();
-        assert_eq!(hot, (0..50).collect::<Vec<_>>(), "treap iteration is sorted");
+        assert_eq!(
+            hot,
+            (0..50).collect::<Vec<_>>(),
+            "treap iteration is sorted"
+        );
     }
 }

@@ -13,6 +13,23 @@
 //! | [`TreapAdj`] | O(log d) | O(log d), real removal | every adjacency is a treap |
 //! | [`HybridAdj`] | O(1)/O(log d) | O(d≤thresh)/O(log d) | arrays below `degree-thresh`, treaps above |
 //!
+//! # Read paths: snapshot vs live view
+//!
+//! Every kernel consumes a [`view::GraphView`], which two read paths
+//! implement with opposite trade-offs:
+//!
+//! | Read path | Setup cost | Per-edge cost | Consistency |
+//! |---|---|---|---|
+//! | [`CsrGraph`] snapshot | O(n + m) rebuild | contiguous slice scan (fastest) | frozen at build time |
+//! | [`DynGraph`] live view | zero | per-vertex lock + pointer chase | tracks updates instantly |
+//!
+//! Rule of thumb: traversal-heavy analytics (BC, diameter, repeated BFS
+//! bursts) want the snapshot; cheap point queries (degree probes, one
+//! s-t check) and freshness-critical reads want the live view. The
+//! [`engine::SnapshotManager`] automates the choice's bookkeeping: it
+//! tracks a dirty epoch and rebuilds the cached snapshot lazily, so a
+//! burst of queries between update batches pays for one rebuild.
+//!
 //! # Execution strategies (Section 2.1.2–2.1.3)
 //!
 //! [`engine`] implements the streaming applier plus the `Vpart`
@@ -36,14 +53,17 @@ pub mod hybrid;
 pub mod reorder;
 pub mod slices;
 pub mod treapadj;
+pub mod view;
 pub mod vlabels;
 
 pub use adjacency::{AdjEntry, CapacityHints, DynamicAdjacency, TOMBSTONE};
 pub use csr::CsrGraph;
 pub use dynarr::{DynArr, FixedDynArr};
+pub use engine::SnapshotManager;
 pub use graph::DynGraph;
 pub use hybrid::HybridAdj;
 pub use treapadj::TreapAdj;
+pub use view::GraphView;
 pub use vlabels::VertexLabels;
 
 // Re-export the shared workload types so downstream users need one import.

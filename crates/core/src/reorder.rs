@@ -42,7 +42,10 @@ impl Relabeling {
             .collect()
     }
 
-    /// Rebuilds a directed CSR under the relabeling.
+    /// Rebuilds a CSR under the relabeling. The entry list already
+    /// contains both orientations when the source was undirected, so the
+    /// rebuild goes through the directed path and the recorded edge
+    /// semantics are carried over from the source.
     pub fn relabel_csr(&self, csr: &CsrGraph) -> CsrGraph {
         let edges: Vec<TimedEdge> = csr
             .iter_entries()
@@ -52,7 +55,7 @@ impl Relabeling {
                 timestamp: t,
             })
             .collect();
-        CsrGraph::from_edges_directed(csr.num_vertices(), &edges)
+        CsrGraph::from_entries(csr.num_vertices(), &edges, csr.is_directed())
     }
 }
 
@@ -83,9 +86,13 @@ mod tests {
         let csr = CsrGraph::from_edges_directed(1 << 10, &r.edges());
         let rl = Relabeling::by_degree_desc(&csr);
         let relabeled = rl.relabel_csr(&csr);
-        let degs: Vec<usize> =
-            (0..relabeled.num_vertices() as u32).map(|u| relabeled.out_degree(u)).collect();
-        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "degrees must be sorted desc");
+        let degs: Vec<usize> = (0..relabeled.num_vertices() as u32)
+            .map(|u| relabeled.out_degree(u))
+            .collect();
+        assert!(
+            degs.windows(2).all(|w| w[0] >= w[1]),
+            "degrees must be sorted desc"
+        );
         assert_eq!(relabeled.num_entries(), csr.num_entries());
     }
 
@@ -102,8 +109,7 @@ mod tests {
             .iter_entries()
             .map(|(u, v, t)| (rl.inv[u as usize], rl.inv[v as usize], t))
             .collect();
-        let mut orig: Vec<(u32, u32, u32)> =
-            csr.iter_entries().collect();
+        let mut orig: Vec<(u32, u32, u32)> = csr.iter_entries().collect();
         back.sort_unstable();
         orig.sort_unstable();
         assert_eq!(back, orig);

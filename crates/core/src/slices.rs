@@ -102,7 +102,9 @@ mod tests {
     use super::*;
 
     fn edges() -> Vec<TimedEdge> {
-        (0..100u32).map(|i| TimedEdge::new(i % 10, (i + 1) % 10, i)).collect()
+        (0..100u32)
+            .map(|i| TimedEdge::new(i % 10, (i + 1) % 10, i))
+            .collect()
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! The read abstraction shared by every analysis kernel.
+//!
+//! The paper's kernels (Section 3) reformulate dynamic problems on static
+//! CSR snapshots. That is the right call for traversal-heavy analytics —
+//! but forcing *every* read through a snapshot means a single update batch
+//! invalidates O(n + m) of rebuild work even for a one-vertex degree
+//! probe. [`GraphView`] decouples the kernels from the storage: a view is
+//! anything that can report the vertex count, per-vertex degrees, and
+//! enumerate live (neighbor, timestamp) pairs.
+//!
+//! Two implementations ship here:
+//!
+//! - [`CsrGraph`] — the frozen snapshot: contiguous adjacency slices,
+//!   the fastest iteration, and stability under concurrent updates to
+//!   the dynamic graph it was taken from.
+//! - [`DynGraph<A>`] — the *live view*: kernels traverse the dynamic
+//!   representation in place (tombstone-skipping for the array
+//!   representations, in-order walks for treaps), paying per-vertex lock
+//!   acquisition and pointer chasing but **zero** snapshot cost.
+//!
+//! The intended pattern (see [`crate::engine::SnapshotManager`]): serve
+//! cheap or latency-critical queries from the live view; amortize one
+//! CSR rebuild across bursts of traversal-heavy queries via the epoch
+//! cache.
+//!
+//! # Phase discipline
+//!
+//! Like snapshot construction, live-view traversal follows the paper's
+//! bulk-synchronous pattern: apply a batch, then read. Per-vertex
+//! synchronization inside the representations keeps concurrent reads
+//! memory-safe, but a kernel racing a writer may observe a mix of old and
+//! new entries across vertices.
+
+use crate::adjacency::{AdjEntry, DynamicAdjacency};
+use crate::csr::CsrGraph;
+use crate::graph::DynGraph;
+
+/// A read-only graph: the input type of every kernel in `snap-kernels`.
+///
+/// `Sync` is a supertrait because the kernels traverse views from many
+/// threads; `&V` must be shareable.
+pub trait GraphView: Sync {
+    /// Number of vertices (ids are `0..num_vertices()`).
+    fn num_vertices(&self) -> usize;
+
+    /// True for directed edge semantics. Undirected views store both
+    /// orientations of every edge, so symmetric traversal needs no
+    /// special casing.
+    fn is_directed(&self) -> bool;
+
+    /// Number of live out-entries of `u`.
+    fn degree(&self, u: u32) -> usize;
+
+    /// Invokes `f` with `(neighbor, timestamp)` for every live out-edge
+    /// of `u`. Tombstoned slots are skipped.
+    fn for_each_edge<F: FnMut(u32, u32)>(&self, u: u32, f: F);
+
+    /// Collects `u`'s live out-edges. Kernels use this where they need a
+    /// materialized slice (e.g. chunked parallel scans of a hub's
+    /// adjacency); contiguous views override it to a cheap copy.
+    fn edges_of(&self, u: u32) -> Vec<AdjEntry> {
+        let mut out = Vec::with_capacity(self.degree(u));
+        self.for_each_edge(u, |nbr, ts| out.push(AdjEntry { nbr, ts }));
+        out
+    }
+
+    /// Total live entries (each undirected edge counts twice).
+    fn num_entries(&self) -> usize {
+        (0..self.num_vertices() as u32)
+            .map(|u| self.degree(u))
+            .sum()
+    }
+
+    /// Maximum out-degree over all vertices.
+    fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as u32)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Materializes every `(u, v, ts)` entry (used by kernels that sweep
+    /// edges globally, e.g. earliest-arrival reachability).
+    fn collect_entries(&self) -> Vec<(u32, u32, u32)> {
+        let mut out = Vec::with_capacity(self.num_entries());
+        for u in 0..self.num_vertices() as u32 {
+            self.for_each_edge(u, |v, ts| out.push((u, v, ts)));
+        }
+        out
+    }
+
+    /// Downcast hook: views backed by a CSR snapshot expose it so the
+    /// hottest kernels (BFS-family inner loops) can take a
+    /// zero-allocation slice path instead of callback iteration. Live
+    /// views return `None` and go through [`GraphView::for_each_edge`].
+    fn as_csr(&self) -> Option<&CsrGraph> {
+        None
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        CsrGraph::is_directed(self)
+    }
+
+    #[inline]
+    fn degree(&self, u: u32) -> usize {
+        self.out_degree(u)
+    }
+
+    #[inline]
+    fn for_each_edge<F: FnMut(u32, u32)>(&self, u: u32, mut f: F) {
+        for (&w, &t) in self.neighbors(u).iter().zip(self.timestamps(u)) {
+            f(w, t);
+        }
+    }
+
+    fn edges_of(&self, u: u32) -> Vec<AdjEntry> {
+        self.neighbors(u)
+            .iter()
+            .zip(self.timestamps(u))
+            .map(|(&nbr, &ts)| AdjEntry { nbr, ts })
+            .collect()
+    }
+
+    #[inline]
+    fn num_entries(&self) -> usize {
+        CsrGraph::num_entries(self)
+    }
+
+    fn max_degree(&self) -> usize {
+        CsrGraph::max_degree(self)
+    }
+
+    fn collect_entries(&self) -> Vec<(u32, u32, u32)> {
+        self.iter_entries().collect()
+    }
+
+    #[inline]
+    fn as_csr(&self) -> Option<&CsrGraph> {
+        Some(self)
+    }
+}
+
+/// The live view: traverse the dynamic representation in place, skipping
+/// tombstones, with no snapshot cost. See the module docs for the
+/// consistency contract under concurrent mutation.
+impl<A: DynamicAdjacency> GraphView for DynGraph<A> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        DynGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        DynGraph::is_directed(self)
+    }
+
+    #[inline]
+    fn degree(&self, u: u32) -> usize {
+        DynGraph::degree(self, u)
+    }
+
+    #[inline]
+    fn for_each_edge<F: FnMut(u32, u32)>(&self, u: u32, mut f: F) {
+        self.adjacency()
+            .for_each(u, &mut |e: AdjEntry| f(e.nbr, e.ts));
+    }
+
+    fn edges_of(&self, u: u32) -> Vec<AdjEntry> {
+        self.adjacency().neighbors(u)
+    }
+
+    #[inline]
+    fn num_entries(&self) -> usize {
+        self.total_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::CapacityHints;
+    use crate::dynarr::DynArr;
+    use crate::hybrid::HybridAdj;
+    use crate::treapadj::TreapAdj;
+    use snap_rmat::TimedEdge;
+
+    fn edges() -> Vec<TimedEdge> {
+        vec![
+            TimedEdge::new(0, 1, 10),
+            TimedEdge::new(0, 2, 20),
+            TimedEdge::new(1, 2, 30),
+            TimedEdge::new(3, 0, 40),
+        ]
+    }
+
+    /// Sorted (nbr, ts) pairs of one vertex under any view.
+    fn sorted_edges<V: GraphView>(v: &V, u: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        v.for_each_edge(u, |w, t| out.push((w, t)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn csr_view_matches_inherent_accessors() {
+        let csr = CsrGraph::from_edges_undirected(4, &edges());
+        assert_eq!(GraphView::num_vertices(&csr), 4);
+        assert_eq!(GraphView::num_entries(&csr), 8);
+        assert!(!GraphView::is_directed(&csr));
+        for u in 0..4u32 {
+            assert_eq!(GraphView::degree(&csr, u), csr.out_degree(u));
+            let via_trait = sorted_edges(&csr, u);
+            let mut via_slices: Vec<(u32, u32)> = csr
+                .neighbors(u)
+                .iter()
+                .copied()
+                .zip(csr.timestamps(u).iter().copied())
+                .collect();
+            via_slices.sort_unstable();
+            assert_eq!(via_trait, via_slices);
+        }
+    }
+
+    fn live_matches_snapshot<A: DynamicAdjacency>() {
+        let hints = CapacityHints::new(32).with_degree_thresh(2);
+        let g: DynGraph<A> = DynGraph::undirected(4, &hints);
+        for e in edges() {
+            g.insert_edge(e);
+        }
+        g.delete_edge(0, 2);
+        let csr = g.to_csr();
+        assert_eq!(GraphView::num_vertices(&g), GraphView::num_vertices(&csr));
+        assert_eq!(GraphView::num_entries(&g), GraphView::num_entries(&csr));
+        assert_eq!(GraphView::max_degree(&g), GraphView::max_degree(&csr));
+        for u in 0..4u32 {
+            assert_eq!(sorted_edges(&g, u), sorted_edges(&csr, u), "vertex {u}");
+            assert_eq!(
+                g.adjacency().neighbors(u).len(),
+                GraphView::edges_of(&g, u).len()
+            );
+        }
+        let mut live: Vec<_> = g.collect_entries();
+        let mut snap: Vec<_> = csr.collect_entries();
+        live.sort_unstable();
+        snap.sort_unstable();
+        assert_eq!(live, snap);
+    }
+
+    #[test]
+    fn live_view_equals_snapshot_after_deletions_dynarr() {
+        live_matches_snapshot::<DynArr>();
+    }
+
+    #[test]
+    fn live_view_equals_snapshot_after_deletions_treap() {
+        live_matches_snapshot::<TreapAdj>();
+    }
+
+    #[test]
+    fn live_view_equals_snapshot_after_deletions_hybrid() {
+        // degree_thresh 2 forces treap promotion, covering both arms.
+        live_matches_snapshot::<HybridAdj>();
+    }
+
+    #[test]
+    fn directedness_flows_through_views() {
+        let hints = CapacityHints::new(8);
+        let g: DynGraph<DynArr> = DynGraph::directed(3, &hints);
+        g.insert_edge(TimedEdge::new(0, 1, 1));
+        assert!(GraphView::is_directed(&g));
+        assert!(GraphView::is_directed(&g.to_csr()));
+        let u: DynGraph<DynArr> = DynGraph::undirected(3, &hints);
+        u.insert_edge(TimedEdge::new(0, 1, 1));
+        assert!(!GraphView::is_directed(&u));
+        assert!(!GraphView::is_directed(&u.to_csr()));
+    }
+
+    #[test]
+    fn default_collect_entries_covers_all_orientations() {
+        let hints = CapacityHints::new(8);
+        let g: DynGraph<DynArr> = DynGraph::undirected(3, &hints);
+        g.insert_edge(TimedEdge::new(0, 1, 7));
+        let mut got = g.collect_entries();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1, 7), (1, 0, 7)]);
+    }
+}

@@ -21,13 +21,19 @@ pub struct VertexLabels {
 impl VertexLabels {
     /// All `n` vertices created at time 0, never removed.
     pub fn new(n: usize) -> Self {
-        Self { created: vec![0; n], removed: vec![NEVER; n] }
+        Self {
+            created: vec![0; n],
+            removed: vec![NEVER; n],
+        }
     }
 
     /// Builds labels from explicit creation times (never removed).
     pub fn with_creation_times(created: Vec<u32>) -> Self {
         let n = created.len();
-        Self { created, removed: vec![NEVER; n] }
+        Self {
+            created,
+            removed: vec![NEVER; n],
+        }
     }
 
     /// Number of labelled vertices.

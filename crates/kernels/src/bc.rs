@@ -24,35 +24,35 @@
 //! smaller timestamp forbids.
 
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 use snap_util::rng::XorShift64;
 
 use crate::bfs::UNREACHED;
 
 /// Exact betweenness: Brandes from every vertex.
-pub fn betweenness_exact(csr: &CsrGraph) -> Vec<f64> {
-    let sources: Vec<u32> = (0..csr.num_vertices() as u32).collect();
-    bc_from_sources(csr, &sources, false, 1.0)
+pub fn betweenness_exact<V: GraphView>(view: &V) -> Vec<f64> {
+    let sources: Vec<u32> = (0..view.num_vertices() as u32).collect();
+    bc_from_sources(view, &sources, false, 1.0)
 }
 
 /// Approximate betweenness from the given sources, extrapolated by
 /// `n / |sources|`.
-pub fn betweenness_approx(csr: &CsrGraph, sources: &[u32]) -> Vec<f64> {
-    let scale = csr.num_vertices() as f64 / sources.len().max(1) as f64;
-    bc_from_sources(csr, sources, false, scale)
+pub fn betweenness_approx<V: GraphView>(view: &V, sources: &[u32]) -> Vec<f64> {
+    let scale = view.num_vertices() as f64 / sources.len().max(1) as f64;
+    bc_from_sources(view, sources, false, scale)
 }
 
 /// Exact temporal betweenness (all sources) under the filtered-BFS
 /// semantics described in the module docs.
-pub fn temporal_betweenness_exact(csr: &CsrGraph) -> Vec<f64> {
-    let sources: Vec<u32> = (0..csr.num_vertices() as u32).collect();
-    bc_from_sources(csr, &sources, true, 1.0)
+pub fn temporal_betweenness_exact<V: GraphView>(view: &V) -> Vec<f64> {
+    let sources: Vec<u32> = (0..view.num_vertices() as u32).collect();
+    bc_from_sources(view, &sources, true, 1.0)
 }
 
 /// Approximate temporal betweenness (the Figure 11 kernel).
-pub fn temporal_betweenness_approx(csr: &CsrGraph, sources: &[u32]) -> Vec<f64> {
-    let scale = csr.num_vertices() as f64 / sources.len().max(1) as f64;
-    bc_from_sources(csr, sources, true, scale)
+pub fn temporal_betweenness_approx<V: GraphView>(view: &V, sources: &[u32]) -> Vec<f64> {
+    let scale = view.num_vertices() as f64 / sources.len().max(1) as f64;
+    bc_from_sources(view, sources, true, scale)
 }
 
 /// Samples `k` distinct source vertices uniformly.
@@ -64,14 +64,19 @@ pub fn sample_sources(n: usize, k: usize, seed: u64) -> Vec<u32> {
     all
 }
 
-fn bc_from_sources(csr: &CsrGraph, sources: &[u32], temporal: bool, scale: f64) -> Vec<f64> {
-    let n = csr.num_vertices();
+fn bc_from_sources<V: GraphView>(
+    view: &V,
+    sources: &[u32],
+    temporal: bool,
+    scale: f64,
+) -> Vec<f64> {
+    let n = view.num_vertices();
     let mut bc = sources
         .par_iter()
         .fold(
             || vec![0.0f64; n],
             |mut acc, &s| {
-                accumulate_source(csr, s, temporal, &mut acc);
+                accumulate_source(view, s, temporal, &mut acc);
                 acc
             },
         )
@@ -92,8 +97,8 @@ fn bc_from_sources(csr: &CsrGraph, sources: &[u32], temporal: bool, scale: f64) 
 
 /// One Brandes source: forward phase builds the (temporal) BFS DAG with
 /// path counts, backward phase accumulates dependencies into `acc`.
-fn accumulate_source(csr: &CsrGraph, s: u32, temporal: bool, acc: &mut [f64]) {
-    let n = csr.num_vertices();
+fn accumulate_source<V: GraphView>(view: &V, s: u32, temporal: bool, acc: &mut [f64]) {
+    let n = view.num_vertices();
     let mut dist = vec![UNREACHED; n];
     let mut sigma = vec![0.0f64; n];
     // Minimum last-edge timestamp at which each vertex was reached; the
@@ -110,9 +115,9 @@ fn accumulate_source(csr: &CsrGraph, s: u32, temporal: bool, acc: &mut [f64]) {
         let mut next = Vec::new();
         for &v in &frontier {
             let lv = lastmin[v as usize];
-            for (&w, &t) in csr.neighbors(v).iter().zip(csr.timestamps(v)) {
+            view.for_each_edge(v, |w, t| {
                 if temporal && t <= lv {
-                    continue;
+                    return;
                 }
                 if dist[w as usize] == UNREACHED {
                     dist[w as usize] = level;
@@ -125,7 +130,7 @@ fn accumulate_source(csr: &CsrGraph, s: u32, temporal: bool, acc: &mut [f64]) {
                         lastmin[w as usize] = t;
                     }
                 }
-            }
+            });
         }
         levels.push(frontier);
         frontier = next;
@@ -138,15 +143,15 @@ fn accumulate_source(csr: &CsrGraph, s: u32, temporal: bool, acc: &mut [f64]) {
         for &w in &levels[l] {
             let coeff = (1.0 + delta[w as usize]) / sigma[w as usize];
             let dw = dist[w as usize];
-            for (&v, &t) in csr.neighbors(w).iter().zip(csr.timestamps(w)) {
+            view.for_each_edge(w, |v, t| {
                 if dist[v as usize] != dw - 1 {
-                    continue;
+                    return;
                 }
                 if temporal && t <= lastmin[v as usize] {
-                    continue;
+                    return;
                 }
                 delta[v as usize] += sigma[v as usize] * coeff;
-            }
+            });
         }
     }
     for v in 0..n {
@@ -159,11 +164,14 @@ fn accumulate_source(csr: &CsrGraph, s: u32, temporal: bool, acc: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snap_core::CsrGraph;
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
     fn undirected(n: usize, edges: &[(u32, u32, u32)]) -> CsrGraph {
-        let e: Vec<TimedEdge> =
-            edges.iter().map(|&(u, v, t)| TimedEdge::new(u, v, t)).collect();
+        let e: Vec<TimedEdge> = edges
+            .iter()
+            .map(|&(u, v, t)| TimedEdge::new(u, v, t))
+            .collect();
         CsrGraph::from_edges_undirected(n, &e)
     }
 
@@ -186,8 +194,8 @@ mod tests {
         let g = undirected(5, &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)]);
         let bc = betweenness_exact(&g);
         assert!((bc[0] - 12.0).abs() < 1e-9, "bc[0] = {}", bc[0]);
-        for v in 1..5 {
-            assert!(bc[v].abs() < 1e-9);
+        for (v, score) in bc.iter().enumerate().skip(1) {
+            assert!(score.abs() < 1e-9, "leaf {v} must carry nothing");
         }
     }
 
@@ -197,8 +205,8 @@ mod tests {
         // intermediate carries 1/2 per direction -> BC = 2 * 1/2 = 1.
         let g = undirected(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
         let bc = betweenness_exact(&g);
-        for v in 0..4 {
-            assert!((bc[v] - 1.0).abs() < 1e-9, "bc[{v}] = {}", bc[v]);
+        for (v, score) in bc.iter().enumerate() {
+            assert!((score - 1.0).abs() < 1e-9, "bc[{v}] = {score}");
         }
     }
 
@@ -281,11 +289,14 @@ mod tests {
         let sources = sample_sources(256, 64, 3);
         let approx = betweenness_approx(&g, &sources);
         // The top-ranked hub should agree between exact and approximate.
-        let top_exact = (0..256).max_by(|&a, &b| exact[a].total_cmp(&exact[b])).unwrap();
-        let rank_of_top: usize = (0..256)
-            .filter(|&v| approx[v] > approx[top_exact])
-            .count();
-        assert!(rank_of_top <= 5, "exact top hub ranked {rank_of_top} in approx");
+        let top_exact = (0..256)
+            .max_by(|&a, &b| exact[a].total_cmp(&exact[b]))
+            .unwrap();
+        let rank_of_top: usize = (0..256).filter(|&v| approx[v] > approx[top_exact]).count();
+        assert!(
+            rank_of_top <= 5,
+            "exact top hub ranked {rank_of_top} in approx"
+        );
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //! edge participates only if its timestamp passes the window predicate —
 //! dynamic-graph BFS reformulated on a static snapshot "with no additional
 //! memory".
+//!
+//! All entry points are generic over [`GraphView`], so the same traversal
+//! runs on a frozen [`snap_core::CsrGraph`] snapshot or directly on a live
+//! [`snap_core::DynGraph`] without rebuilding anything.
 
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Distance value for unreached vertices.
@@ -54,20 +58,24 @@ impl BfsResult {
     }
 }
 
-/// Parallel BFS from `src` over all edges.
-pub fn bfs(csr: &CsrGraph, src: u32) -> BfsResult {
-    bfs_filtered(csr, src, |_| true)
+/// Parallel BFS from `src` over all edges of any [`GraphView`].
+pub fn bfs<V: GraphView>(view: &V, src: u32) -> BfsResult {
+    bfs_filtered(view, src, |_| true)
 }
 
 /// Parallel BFS from `src` using only edges whose timestamp satisfies
 /// `pred` — the paper's augmented BFS "with a check for time-stamps".
-pub fn temporal_bfs(csr: &CsrGraph, src: u32, pred: impl Fn(u32) -> bool + Sync) -> BfsResult {
-    bfs_filtered(csr, src, pred)
+pub fn temporal_bfs<V: GraphView>(
+    view: &V,
+    src: u32,
+    pred: impl Fn(u32) -> bool + Sync,
+) -> BfsResult {
+    bfs_filtered(view, src, pred)
 }
 
-fn bfs_filtered(csr: &CsrGraph, src: u32, pred: impl Fn(u32) -> bool + Sync) -> BfsResult {
+fn bfs_filtered<V: GraphView>(view: &V, src: u32, pred: impl Fn(u32) -> bool + Sync) -> BfsResult {
     let pred = &pred;
-    let n = csr.num_vertices();
+    let n = view.num_vertices();
     assert!((src as usize) < n, "source out of range");
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
@@ -79,30 +87,54 @@ fn bfs_filtered(csr: &CsrGraph, src: u32, pred: impl Fn(u32) -> bool + Sync) -> 
         // Unbalanced-degree optimization: split the frontier by degree.
         let (heavy, light): (Vec<u32>, Vec<u32>) = frontier
             .iter()
-            .partition(|&&v| csr.out_degree(v) >= HEAVY_DEGREE);
+            .partition(|&&v| view.degree(v) >= HEAVY_DEGREE);
         // Light vertices: one task per vertex, scanning its whole list.
+        // CSR-backed views take the zero-allocation slice path (this is
+        // the hottest loop of the BFS family); live views buffer claims
+        // per vertex through the callback API.
         let dist_ref = &dist;
         let parent_ref = &parent;
-        let mut next: Vec<u32> = light
-            .par_iter()
-            .flat_map_iter(|&v| {
-                let ns = csr.neighbors(v);
-                let ts = csr.timestamps(v);
-                ns.iter().zip(ts).filter_map(move |(&w, &t)| {
-                    claim(dist_ref, parent_ref, v, w, t, level, pred)
-                })
-            })
-            .collect();
-        // Heavy vertices: their adjacency arrays are themselves the unit of
-        // parallelism.
-        for &v in &heavy {
-            let ns = csr.neighbors(v);
-            let ts = csr.timestamps(v);
-            let claimed: Vec<u32> = ns
+        let mut next: Vec<u32> = if let Some(csr) = view.as_csr() {
+            light
                 .par_iter()
-                .zip(ts.par_iter())
-                .filter_map(|(&w, &t)| claim(&dist, &parent, v, w, t, level, pred))
-                .collect();
+                .flat_map_iter(|&v| {
+                    let ns = csr.neighbors(v);
+                    let ts = csr.timestamps(v);
+                    ns.iter().zip(ts).filter_map(move |(&w, &t)| {
+                        claim(dist_ref, parent_ref, v, w, t, level, pred)
+                    })
+                })
+                .collect()
+        } else {
+            light
+                .par_iter()
+                .flat_map_iter(|&v| {
+                    let mut claimed = Vec::new();
+                    view.for_each_edge(v, |w, t| {
+                        if let Some(w) = claim(dist_ref, parent_ref, v, w, t, level, pred) {
+                            claimed.push(w);
+                        }
+                    });
+                    claimed
+                })
+                .collect()
+        };
+        // Heavy vertices: their adjacency arrays are themselves the unit
+        // of parallelism (CSR hubs scan their slices in place; live-view
+        // hubs materialize once so chunks can be scanned concurrently).
+        for &v in &heavy {
+            let claimed: Vec<u32> = if let Some(csr) = view.as_csr() {
+                csr.neighbors(v)
+                    .par_iter()
+                    .zip(csr.timestamps(v).par_iter())
+                    .filter_map(|(&w, &t)| claim(&dist, &parent, v, w, t, level, pred))
+                    .collect()
+            } else {
+                view.edges_of(v)
+                    .par_iter()
+                    .filter_map(|e| claim(&dist, &parent, v, e.nbr, e.ts, level, pred))
+                    .collect()
+            };
             next.extend(claimed);
         }
         frontier = next;
@@ -143,21 +175,21 @@ fn claim(
 }
 
 /// Sequential reference BFS (oracle for tests and tiny graphs).
-pub fn serial_bfs(csr: &CsrGraph, src: u32) -> BfsResult {
-    let n = csr.num_vertices();
+pub fn serial_bfs<V: GraphView>(view: &V, src: u32) -> BfsResult {
+    let n = view.num_vertices();
     let mut dist = vec![UNREACHED; n];
     let mut parent = vec![UNREACHED; n];
     let mut queue = std::collections::VecDeque::new();
     dist[src as usize] = 0;
     queue.push_back(src);
     while let Some(v) = queue.pop_front() {
-        for &w in csr.neighbors(v) {
+        view.for_each_edge(v, |w, _| {
             if dist[w as usize] == UNREACHED {
                 dist[w as usize] = dist[v as usize] + 1;
                 parent[w as usize] = v;
                 queue.push_back(w);
             }
-        }
+        });
     }
     BfsResult { dist, parent }
 }
@@ -165,11 +197,13 @@ pub fn serial_bfs(csr: &CsrGraph, src: u32) -> BfsResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snap_core::CsrGraph;
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
     fn line_graph(k: u32) -> CsrGraph {
-        let edges: Vec<TimedEdge> =
-            (0..k - 1).map(|i| TimedEdge::new(i, i + 1, i + 1)).collect();
+        let edges: Vec<TimedEdge> = (0..k - 1)
+            .map(|i| TimedEdge::new(i, i + 1, i + 1))
+            .collect();
         CsrGraph::from_edges_undirected(k as usize, &edges)
     }
 
@@ -246,8 +280,7 @@ mod tests {
     fn star_exercises_heavy_vertex_path() {
         // A star bigger than HEAVY_DEGREE forces the chunked-scan phase.
         let hub_deg = super::HEAVY_DEGREE as u32 + 100;
-        let edges: Vec<TimedEdge> =
-            (1..=hub_deg).map(|v| TimedEdge::new(0, v, 1)).collect();
+        let edges: Vec<TimedEdge> = (1..=hub_deg).map(|v| TimedEdge::new(0, v, 1)).collect();
         let g = CsrGraph::from_edges_undirected(hub_deg as usize + 1, &edges);
         let r = bfs(&g, 0);
         assert_eq!(r.reached(), hub_deg as usize + 1);

@@ -6,16 +6,18 @@
 //! smaller-labeled root) and pointer jumping until labels stabilize; on
 //! low-diameter small-world graphs this converges in a handful of rounds.
 //!
-//! The input snapshot must be symmetric (undirected CSR).
+//! The input view must be symmetric (undirected semantics: both
+//! orientations stored), whether it is a CSR snapshot or a live dynamic
+//! graph.
 
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Computes a component label per vertex. Labels are the minimum vertex id
 /// of the component, so they are canonical and comparable across runs.
-pub fn connected_components(csr: &CsrGraph) -> Vec<u32> {
-    let n = csr.num_vertices();
+pub fn connected_components<V: GraphView>(view: &V) -> Vec<u32> {
+    let n = view.num_vertices();
     let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let changed = AtomicBool::new(true);
     while changed.swap(false, Ordering::Relaxed) {
@@ -24,7 +26,7 @@ pub fn connected_components(csr: &CsrGraph) -> Vec<u32> {
         // fixed point, and labels only ever decrease.
         (0..n as u32).into_par_iter().for_each(|u| {
             let lu = label[u as usize].load(Ordering::Relaxed);
-            for &v in csr.neighbors(u) {
+            view.for_each_edge(u, |v, _| {
                 let lv = label[v as usize].load(Ordering::Relaxed);
                 if lv < lu {
                     // Hook u's current root downward.
@@ -34,7 +36,7 @@ pub fn connected_components(csr: &CsrGraph) -> Vec<u32> {
                 } else if lu < lv && try_lower(&label, v, lu) {
                     changed.store(true, Ordering::Relaxed);
                 }
-            }
+            });
         });
         // Shortcut: pointer-jump every label to its root.
         (0..n).into_par_iter().for_each(|u| {
@@ -57,12 +59,8 @@ pub fn connected_components(csr: &CsrGraph) -> Vec<u32> {
 fn try_lower(label: &[AtomicU32], x: u32, to: u32) -> bool {
     let mut cur = label[x as usize].load(Ordering::Relaxed);
     while to < cur {
-        match label[x as usize].compare_exchange_weak(
-            cur,
-            to,
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
+        match label[x as usize].compare_exchange_weak(cur, to, Ordering::Relaxed, Ordering::Relaxed)
+        {
             Ok(_) => return true,
             Err(now) => cur = now,
         }
@@ -106,6 +104,7 @@ pub fn union_find_components(n: usize, edges: impl Iterator<Item = (u32, u32)>) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snap_core::CsrGraph;
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
     #[test]
@@ -137,8 +136,7 @@ mod tests {
     #[test]
     fn long_path_converges() {
         // Worst case for label propagation: a 1000-vertex path.
-        let edges: Vec<TimedEdge> =
-            (0..999).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+        let edges: Vec<TimedEdge> = (0..999).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
         let g = CsrGraph::from_edges_undirected(1000, &edges);
         let labels = connected_components(&g);
         assert!(labels.iter().all(|&l| l == 0));

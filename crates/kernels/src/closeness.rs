@@ -14,16 +14,16 @@
 
 use crate::bfs::{serial_bfs, UNREACHED};
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 
 /// Exact closeness for every vertex (one BFS per vertex — quadratic; use
 /// on moderate snapshots or prefer [`closeness_approx`]).
-pub fn closeness_exact(csr: &CsrGraph) -> Vec<f64> {
-    let n = csr.num_vertices();
+pub fn closeness_exact<V: GraphView>(view: &V) -> Vec<f64> {
+    let n = view.num_vertices();
     (0..n as u32)
         .into_par_iter()
         .map(|s| {
-            let d = serial_bfs(csr, s);
+            let d = serial_bfs(view, s);
             let mut sum = 0u64;
             let mut reach = 0u64;
             for &dist in &d.dist {
@@ -46,8 +46,8 @@ pub fn closeness_exact(csr: &CsrGraph) -> Vec<f64> {
 /// sampled sources, extrapolated by `n / k`. On undirected graphs
 /// `d(s, v) = d(v, s)`, so source-side BFS trees estimate all vertices at
 /// once. Vertices unreached by every sample get closeness 0.
-pub fn closeness_approx(csr: &CsrGraph, sources: &[u32]) -> Vec<f64> {
-    let n = csr.num_vertices();
+pub fn closeness_approx<V: GraphView>(view: &V, sources: &[u32]) -> Vec<f64> {
+    let n = view.num_vertices();
     if sources.is_empty() {
         return vec![0.0; n];
     }
@@ -57,7 +57,7 @@ pub fn closeness_approx(csr: &CsrGraph, sources: &[u32]) -> Vec<f64> {
         .fold(
             || (vec![0u64; n], vec![0u32; n]),
             |(mut sums, mut counts), &s| {
-                let d = serial_bfs(csr, s);
+                let d = serial_bfs(view, s);
                 for v in 0..n {
                     // Skip the source itself (distance 0): the estimator
                     // targets the mean distance to *other* vertices.
@@ -96,12 +96,12 @@ pub fn closeness_approx(csr: &CsrGraph, sources: &[u32]) -> Vec<f64> {
 
 /// Harmonic centrality: `sum over reachable t of 1 / d(v, t)` — the
 /// variant that needs no component correction.
-pub fn harmonic_exact(csr: &CsrGraph) -> Vec<f64> {
-    let n = csr.num_vertices();
+pub fn harmonic_exact<V: GraphView>(view: &V) -> Vec<f64> {
+    let n = view.num_vertices();
     (0..n as u32)
         .into_par_iter()
         .map(|s| {
-            let d = serial_bfs(csr, s);
+            let d = serial_bfs(view, s);
             d.dist
                 .iter()
                 .filter(|&&x| x != UNREACHED && x > 0)
@@ -114,10 +114,14 @@ pub fn harmonic_exact(csr: &CsrGraph) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snap_core::CsrGraph;
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
     fn undirected(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
-        let e: Vec<TimedEdge> = edges.iter().map(|&(u, v)| TimedEdge::new(u, v, 1)).collect();
+        let e: Vec<TimedEdge> = edges
+            .iter()
+            .map(|&(u, v)| TimedEdge::new(u, v, 1))
+            .collect();
         CsrGraph::from_edges_undirected(n, &e)
     }
 
@@ -186,8 +190,12 @@ mod tests {
         let exact = closeness_exact(&g);
         let sources: Vec<u32> = (0..(1 << 9)).step_by(4).collect();
         let approx = closeness_approx(&g, &sources);
-        let top_exact = (0..1usize << 9).max_by(|&a, &b| exact[a].total_cmp(&exact[b])).unwrap();
-        let better = (0..1usize << 9).filter(|&v| approx[v] > approx[top_exact]).count();
+        let top_exact = (0..1usize << 9)
+            .max_by(|&a, &b| exact[a].total_cmp(&exact[b]))
+            .unwrap();
+        let better = (0..1usize << 9)
+            .filter(|&v| approx[v] > approx[top_exact])
+            .count();
         assert!(better <= 10, "exact top vertex ranked {better} by approx");
     }
 

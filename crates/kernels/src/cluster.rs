@@ -8,16 +8,20 @@
 //! merge-intersection algorithm, parallel over vertices.
 
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 
 /// Per-vertex sorted, dedup'd, self-loop-free neighbor lists — the shape
 /// intersection counting wants.
-fn sorted_neighborhoods(csr: &CsrGraph) -> Vec<Vec<u32>> {
-    (0..csr.num_vertices() as u32)
+fn sorted_neighborhoods<V: GraphView>(view: &V) -> Vec<Vec<u32>> {
+    (0..view.num_vertices() as u32)
         .into_par_iter()
         .map(|u| {
-            let mut ns: Vec<u32> =
-                csr.neighbors(u).iter().copied().filter(|&v| v != u).collect();
+            let mut ns: Vec<u32> = Vec::with_capacity(view.degree(u));
+            view.for_each_edge(u, |v, _| {
+                if v != u {
+                    ns.push(v);
+                }
+            });
             ns.sort_unstable();
             ns.dedup();
             ns
@@ -44,9 +48,9 @@ fn intersection_count(a: &[u32], b: &[u32]) -> usize {
 
 /// Number of triangles incident to each vertex (each triangle counted
 /// once per member vertex).
-pub fn triangles_per_vertex(csr: &CsrGraph) -> Vec<u64> {
-    let nbrs = sorted_neighborhoods(csr);
-    (0..csr.num_vertices())
+pub fn triangles_per_vertex<V: GraphView>(view: &V) -> Vec<u64> {
+    let nbrs = sorted_neighborhoods(view);
+    (0..view.num_vertices())
         .into_par_iter()
         .map(|u| {
             let nu = &nbrs[u];
@@ -62,16 +66,16 @@ pub fn triangles_per_vertex(csr: &CsrGraph) -> Vec<u64> {
 }
 
 /// Total number of distinct triangles in the graph.
-pub fn triangle_count(csr: &CsrGraph) -> u64 {
-    triangles_per_vertex(csr).iter().sum::<u64>() / 3
+pub fn triangle_count<V: GraphView>(view: &V) -> u64 {
+    triangles_per_vertex(view).iter().sum::<u64>() / 3
 }
 
 /// Local clustering coefficient per vertex: triangles / wedges, zero for
 /// degree < 2.
-pub fn local_clustering(csr: &CsrGraph) -> Vec<f64> {
-    let nbrs = sorted_neighborhoods(csr);
-    let tri = triangles_per_vertex(csr);
-    (0..csr.num_vertices())
+pub fn local_clustering<V: GraphView>(view: &V) -> Vec<f64> {
+    let nbrs = sorted_neighborhoods(view);
+    let tri = triangles_per_vertex(view);
+    (0..view.num_vertices())
         .map(|u| {
             let d = nbrs[u].len() as u64;
             if d < 2 {
@@ -85,8 +89,8 @@ pub fn local_clustering(csr: &CsrGraph) -> Vec<f64> {
 
 /// Mean of the local clustering coefficients (the Watts–Strogatz global
 /// clustering measure — the quantity that defines "small-world").
-pub fn average_clustering(csr: &CsrGraph) -> f64 {
-    let lc = local_clustering(csr);
+pub fn average_clustering<V: GraphView>(view: &V) -> f64 {
+    let lc = local_clustering(view);
     if lc.is_empty() {
         return 0.0;
     }
@@ -96,10 +100,14 @@ pub fn average_clustering(csr: &CsrGraph) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snap_core::CsrGraph;
     use snap_rmat::TimedEdge;
 
     fn undirected(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
-        let e: Vec<TimedEdge> = edges.iter().map(|&(u, v)| TimedEdge::new(u, v, 1)).collect();
+        let e: Vec<TimedEdge> = edges
+            .iter()
+            .map(|&(u, v)| TimedEdge::new(u, v, 1))
+            .collect();
         CsrGraph::from_edges_undirected(n, &e)
     }
 
@@ -125,7 +133,9 @@ mod tests {
         assert_eq!(triangle_count(&g), 4);
         // Every vertex: 3 incident triangles over C(3,2)=3 wedges.
         assert_eq!(triangles_per_vertex(&g), vec![3, 3, 3, 3]);
-        assert!(local_clustering(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        assert!(local_clustering(&g)
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-12));
     }
 
     #[test]

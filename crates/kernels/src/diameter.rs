@@ -9,42 +9,42 @@
 
 use crate::bfs::{bfs, UNREACHED};
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 
 /// Double-sweep lower bound on the diameter of `src`'s component:
 /// BFS from `src`, then BFS from the farthest vertex found.
-pub fn double_sweep_lower_bound(csr: &CsrGraph, src: u32) -> u32 {
-    let first = bfs(csr, src);
-    let far = (0..csr.num_vertices())
+pub fn double_sweep_lower_bound<V: GraphView>(view: &V, src: u32) -> u32 {
+    let first = bfs(view, src);
+    let far = (0..view.num_vertices())
         .filter(|&v| first.dist[v] != UNREACHED)
         .max_by_key(|&v| first.dist[v])
         .map(|v| v as u32)
         .unwrap_or(src);
-    let second = bfs(csr, far);
+    let second = bfs(view, far);
     second.max_distance()
 }
 
 /// Exact diameter of the graph's largest component (one BFS per vertex —
 /// use on small or sampled snapshots only). Returns 0 for empty graphs.
-pub fn exact_diameter(csr: &CsrGraph) -> u32 {
-    let n = csr.num_vertices();
+pub fn exact_diameter<V: GraphView>(view: &V) -> u32 {
+    let n = view.num_vertices();
     (0..n as u32)
         .into_par_iter()
-        .map(|v| bfs(csr, v).max_distance())
+        .map(|v| bfs(view, v).max_distance())
         .max()
         .unwrap_or(0)
 }
 
 /// Mean finite distance over sampled sources (the "average path length"
 /// half of the Watts–Strogatz small-world signature).
-pub fn mean_distance_sampled(csr: &CsrGraph, sources: &[u32]) -> f64 {
+pub fn mean_distance_sampled<V: GraphView>(view: &V, sources: &[u32]) -> f64 {
     if sources.is_empty() {
         return 0.0;
     }
     let (sum, cnt) = sources
         .par_iter()
         .map(|&s| {
-            let r = bfs(csr, s);
+            let r = bfs(view, s);
             let mut sum = 0u64;
             let mut cnt = 0u64;
             for &d in &r.dist {
@@ -66,11 +66,11 @@ pub fn mean_distance_sampled(csr: &CsrGraph, sources: &[u32]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snap_core::CsrGraph;
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
     fn path(k: u32) -> CsrGraph {
-        let edges: Vec<TimedEdge> =
-            (0..k - 1).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+        let edges: Vec<TimedEdge> = (0..k - 1).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
         CsrGraph::from_edges_undirected(k as usize, &edges)
     }
 
@@ -99,9 +99,14 @@ mod tests {
         // The property the paper's link-cut analysis relies on.
         let rm = Rmat::new(RmatParams::paper(12, 8), 7);
         let g = CsrGraph::from_edges_undirected(1 << 12, &rm.edges());
-        let hub = (0..g.num_vertices() as u32).max_by_key(|&u| g.out_degree(u)).unwrap();
+        let hub = (0..g.num_vertices() as u32)
+            .max_by_key(|&u| g.out_degree(u))
+            .unwrap();
         let lb = double_sweep_lower_bound(&g, hub);
-        assert!(lb <= 12, "R-MAT giant component diameter should be ~log n, got {lb}");
+        assert!(
+            lb <= 12,
+            "R-MAT giant component diameter should be ~log n, got {lb}"
+        );
     }
 
     #[test]

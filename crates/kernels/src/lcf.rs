@@ -18,7 +18,7 @@
 
 use crate::bfs::{self, UNREACHED};
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 
 /// "No parent" marker: the vertex is a tree root.
 pub const ROOT: u32 = u32::MAX;
@@ -32,14 +32,16 @@ pub struct LinkCutForest {
 impl LinkCutForest {
     /// An n-vertex forest of singletons.
     pub fn new(n: usize) -> Self {
-        Self { parent: vec![ROOT; n] }
+        Self {
+            parent: vec![ROOT; n],
+        }
     }
 
-    /// Builds the spanning forest of a snapshot via parallel BFS per
-    /// component (largest components dominate and parallelize well; the
-    /// stragglers are tiny by the small-world degree skew).
-    pub fn from_csr(csr: &CsrGraph) -> Self {
-        let n = csr.num_vertices();
+    /// Builds the spanning forest of any [`GraphView`] via parallel BFS
+    /// per component (largest components dominate and parallelize well;
+    /// the stragglers are tiny by the small-world degree skew).
+    pub fn from_view<V: GraphView>(view: &V) -> Self {
+        let n = view.num_vertices();
         let mut parent = vec![ROOT; n];
         let mut visited = vec![false; n];
         if n == 0 {
@@ -47,8 +49,8 @@ impl LinkCutForest {
         }
         // Giant component first: parallel BFS from the max-degree vertex
         // (on R-MAT graphs that vertex sits in the giant component).
-        let first = (0..n as u32).max_by_key(|&u| csr.out_degree(u)).unwrap_or(0);
-        let res = bfs::bfs(csr, first);
+        let first = (0..n as u32).max_by_key(|&u| view.degree(u)).unwrap_or(0);
+        let res = bfs::bfs(view, first);
         for v in 0..n {
             if res.dist[v] != UNREACHED {
                 visited[v] = true;
@@ -68,16 +70,22 @@ impl LinkCutForest {
             visited[s as usize] = true;
             stack.push(s);
             while let Some(v) = stack.pop() {
-                for &w in csr.neighbors(v) {
+                view.for_each_edge(v, |w, _| {
                     if !visited[w as usize] {
                         visited[w as usize] = true;
                         parent[w as usize] = v;
                         stack.push(w);
                     }
-                }
+                });
             }
         }
         Self { parent }
+    }
+
+    /// [`LinkCutForest::from_view`] under its historical name (every
+    /// snapshot is a view).
+    pub fn from_csr<V: GraphView>(view: &V) -> Self {
+        Self::from_view(view)
     }
 
     /// Number of vertices.
@@ -125,7 +133,10 @@ impl LinkCutForest {
     /// Processes a batch of connectivity queries in parallel (queries only
     /// read, so they need no synchronization) — the Figure 8 workload.
     pub fn connected_batch(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
-        pairs.par_iter().map(|&(u, v)| self.connected(u, v)).collect()
+        pairs
+            .par_iter()
+            .map(|&(u, v)| self.connected(u, v))
+            .collect()
     }
 
     /// Structural `link(v, w)`: makes `w` the parent of root `v`.
@@ -133,7 +144,10 @@ impl LinkCutForest {
     /// # Panics
     /// If `v` is not a root (the Sleator–Tarjan precondition).
     pub fn link(&mut self, v: u32, w: u32) {
-        assert_eq!(self.parent[v as usize], ROOT, "link requires v to be a root");
+        assert_eq!(
+            self.parent[v as usize], ROOT,
+            "link requires v to be a root"
+        );
         self.parent[v as usize] = w;
     }
 
@@ -171,10 +185,11 @@ impl LinkCutForest {
 
     /// Maintains the forest across the deletion of edge `(u, v)`
     /// *(extension beyond the paper)*: if `(u, v)` is a tree edge, cut it
-    /// and search the remaining graph (`csr`, which must already exclude
-    /// the deleted edge) for a replacement edge reconnecting the halves.
-    /// Returns `true` if the components stayed connected.
-    pub fn cut_with_replacement(&mut self, csr: &CsrGraph, u: u32, v: u32) -> bool {
+    /// and search the remaining graph (`view`, which must already exclude
+    /// the deleted edge — a live [`snap_core::DynGraph`] right after the
+    /// delete works directly) for a replacement edge reconnecting the
+    /// halves. Returns `true` if the components stayed connected.
+    pub fn cut_with_replacement<V: GraphView>(&mut self, view: &V, u: u32, v: u32) -> bool {
         let child = if self.parent[u as usize] == v {
             u
         } else if self.parent[v as usize] == u {
@@ -187,8 +202,8 @@ impl LinkCutForest {
         // BFS the child's side of the split in the updated graph; the first
         // edge leaving the side is a replacement.
         let side_root = self.findroot(child);
-        let res = bfs::bfs(csr, child);
-        let n = csr.num_vertices();
+        let res = bfs::bfs(view, child);
+        let n = view.num_vertices();
         let mut replacement = None;
         'outer: for x in 0..n as u32 {
             if res.dist[x as usize] == UNREACHED {
@@ -221,7 +236,10 @@ impl LinkCutForest {
     /// Mean and max depth over all vertices (query-cost diagnostics).
     pub fn depth_stats(&self) -> (f64, u32) {
         let n = self.parent.len();
-        let depths: Vec<u32> = (0..n as u32).into_par_iter().map(|v| self.depth(v)).collect();
+        let depths: Vec<u32> = (0..n as u32)
+            .into_par_iter()
+            .map(|v| self.depth(v))
+            .collect();
         let max = depths.iter().copied().max().unwrap_or(0);
         let mean = depths.iter().map(|&d| d as f64).sum::<f64>() / n.max(1) as f64;
         (mean, max)
@@ -232,11 +250,11 @@ impl LinkCutForest {
 mod tests {
     use super::*;
     use crate::cc::{connected_components, union_find_components};
+    use snap_core::CsrGraph;
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
     fn path_graph(k: u32) -> CsrGraph {
-        let edges: Vec<TimedEdge> =
-            (0..k - 1).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+        let edges: Vec<TimedEdge> = (0..k - 1).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
         CsrGraph::from_edges_undirected(k as usize, &edges)
     }
 
@@ -316,7 +334,10 @@ mod tests {
         let mut f = LinkCutForest::new(4);
         assert!(f.link_edge(0, 1), "first edge joins two singletons");
         assert!(f.link_edge(2, 1));
-        assert!(!f.link_edge(0, 2), "0 and 2 already connected: non-tree edge");
+        assert!(
+            !f.link_edge(0, 2),
+            "0 and 2 already connected: non-tree edge"
+        );
         assert!(f.link_edge(3, 0));
         assert!(f.connected(3, 2));
     }
@@ -365,7 +386,10 @@ mod tests {
             .filter(|e| !((e.u == v && e.v == p) || (e.u == p && e.v == v)))
             .collect();
         let g2 = CsrGraph::from_edges_undirected(4, &remaining);
-        assert!(f.cut_with_replacement(&g2, v, p), "cycle keeps connectivity");
+        assert!(
+            f.cut_with_replacement(&g2, v, p),
+            "cycle keeps connectivity"
+        );
         assert!((0..4u32).all(|x| f.connected(0, x)));
     }
 
@@ -390,8 +414,7 @@ mod tests {
         let rm = Rmat::new(RmatParams::paper(9, 4), 14);
         let g = CsrGraph::from_edges_undirected(1 << 9, &rm.edges());
         let f = LinkCutForest::from_csr(&g);
-        let pairs: Vec<(u32, u32)> =
-            (0..200u32).map(|i| (i * 2 % 512, i * 7 % 512)).collect();
+        let pairs: Vec<(u32, u32)> = (0..200u32).map(|i| (i * 2 % 512, i * 7 % 512)).collect();
         let batch = f.connected_batch(&pairs);
         for (i, &(u, v)) in pairs.iter().enumerate() {
             assert_eq!(batch[i], f.connected(u, v));

@@ -1,9 +1,20 @@
 //! Parallel graph-analysis kernels for dynamic networks (Section 3).
 //!
-//! All kernels operate on [`snap_core::CsrGraph`] snapshots, following the
-//! paper's pattern of reformulating dynamic problems on static instances
-//! (via timestamps), plus the link-cut forest that is maintained *across*
-//! updates for connectivity queries.
+//! Every kernel is generic over [`snap_core::GraphView`], the read
+//! abstraction of the workspace. The same entry point therefore runs on
+//! either read path:
+//!
+//! - a frozen [`snap_core::CsrGraph`] snapshot — the paper's pattern of
+//!   reformulating dynamic problems on static instances (via
+//!   timestamps), fastest for traversal-heavy analytics; or
+//! - a live [`snap_core::DynGraph`] — tombstone-skipping traversal of
+//!   the dynamic representation in place, paying per-vertex locks but no
+//!   snapshot rebuild, right for fresh or one-shot queries.
+//!
+//! `snap_core::engine::SnapshotManager` arbitrates between the two with
+//! an epoch-tagged snapshot cache. The link-cut forest is the exception
+//! that proves the rule: it is maintained *across* updates for O(diameter)
+//! connectivity queries, and only its (re)construction consumes a view.
 //!
 //! - [`bfs`] — lock-free level-synchronous parallel BFS with the
 //!   unbalanced-degree optimization, and its temporal (timestamp-filtered)
@@ -12,10 +23,14 @@
 //! - [`lcf`] — the parent-pointer link-cut forest: construction via
 //!   parallel BFS, `link`/`cut`/`findroot`, batch connectivity queries
 //!   (Figures 7–8), and replacement-edge search on deletions (extension).
-//! - [`subgraph`] — the temporal induced-subgraph kernel (Figure 9).
+//! - [`subgraph`] — the temporal induced-subgraph kernel (Figure 9),
+//!   from edge lists, views, or in place on a dynamic graph.
 //! - [`bc`] — Brandes-style betweenness centrality, static and temporal,
 //!   exact and source-sampled approximate (Figure 11).
 //! - [`stconn`] — early-exit s-t connectivity.
+//! - [`sssp`] / [`msf`] / [`closeness`] / [`cluster`] / [`diameter`] /
+//!   [`stress`] / [`temporal_reach`] — the extended kernel suite, all
+//!   view-generic.
 
 pub mod bc;
 pub mod bfs;
@@ -38,9 +53,12 @@ pub use closeness::{closeness_approx, closeness_exact, harmonic_exact};
 pub use cluster::{average_clustering, local_clustering, triangle_count};
 pub use diameter::{double_sweep_lower_bound, exact_diameter};
 pub use lcf::LinkCutForest;
-pub use msf::{boruvka_msf, kruskal_msf, Msf};
+pub use msf::{boruvka_msf, boruvka_msf_view, kruskal_msf, Msf};
 pub use sssp::{delta_stepping, dijkstra};
 pub use stconn::st_connectivity;
 pub use stress::{stress_approx, stress_exact};
-pub use subgraph::{induced_subgraph_csr, induced_subgraph_edges, induced_subgraph_vertices, TimeWindow};
+pub use subgraph::{
+    induced_subgraph_csr, induced_subgraph_edges, induced_subgraph_vertices, induced_subgraph_view,
+    TimeWindow,
+};
 pub use temporal_reach::{earliest_arrival, temporal_reach_count};

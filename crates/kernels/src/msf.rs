@@ -12,6 +12,7 @@
 //! graphs), with the edge index as a deterministic tie-breaker.
 
 use rayon::prelude::*;
+use snap_core::GraphView;
 use snap_rmat::TimedEdge;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -72,13 +73,45 @@ pub fn boruvka_msf(n: usize, edges: &[TimedEdge]) -> Msf {
             break;
         }
         // 3. Pointer-jump labels to roots for the next round.
-        let flat: Vec<u32> = (0..n as u32).into_par_iter().map(|v| root(&label, v)).collect();
+        let flat: Vec<u32> = (0..n as u32)
+            .into_par_iter()
+            .map(|v| root(&label, v))
+            .collect();
         label = flat;
     }
-    let idx: Vec<usize> =
-        chosen.iter().enumerate().filter(|(_, &c)| c).map(|(i, _)| i).collect();
+    let idx: Vec<usize> = chosen
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .collect();
     let total = idx.iter().map(|&i| edges[i].timestamp as u64).sum();
-    Msf { edges: idx, total_weight: total }
+    Msf {
+        edges: idx,
+        total_weight: total,
+    }
+}
+
+/// [`boruvka_msf`] over any [`GraphView`]: extracts each edge once (for
+/// undirected views, the `u <= v` orientation of every stored pair) and
+/// runs the forest computation. Returned indices refer to that extracted
+/// edge list, which is also returned for the caller's bookkeeping.
+pub fn boruvka_msf_view<V: GraphView>(view: &V) -> (Msf, Vec<TimedEdge>) {
+    let undirected = !view.is_directed();
+    // Undirected views store both orientations but only the u <= v half
+    // is extracted, so halve the reservation.
+    let entries = view.num_entries();
+    let cap = if undirected { entries / 2 + 1 } else { entries };
+    let mut edges: Vec<TimedEdge> = Vec::with_capacity(cap);
+    for u in 0..view.num_vertices() as u32 {
+        view.for_each_edge(u, |v, ts| {
+            if !undirected || u <= v {
+                edges.push(TimedEdge::new(u, v, ts));
+            }
+        });
+    }
+    let msf = boruvka_msf(view.num_vertices(), &edges);
+    (msf, edges)
 }
 
 fn root(label: &[u32], mut v: u32) -> u32 {
@@ -123,7 +156,10 @@ pub fn kruskal_msf(n: usize, edges: &[TimedEdge]) -> Msf {
         }
     }
     picked.sort_unstable();
-    Msf { edges: picked, total_weight: total }
+    Msf {
+        edges: picked,
+        total_weight: total,
+    }
 }
 
 #[cfg(test)]
@@ -177,15 +213,17 @@ mod tests {
             let b = boruvka_msf(n, &edges);
             let k = kruskal_msf(n, &edges);
             assert_eq!(b.total_weight, k.total_weight, "trial {trial}");
-            assert_eq!(b.edges, k.edges, "trial {trial}: unique MSF edge sets differ");
+            assert_eq!(
+                b.edges, k.edges,
+                "trial {trial}: unique MSF edge sets differ"
+            );
         }
     }
 
     #[test]
     fn duplicate_weights_still_match_totals() {
         let rm = Rmat::new(RmatParams::paper(8, 4).with_max_timestamp(16), 9);
-        let edges: Vec<TimedEdge> =
-            rm.edges().into_iter().filter(|e| e.u != e.v).collect();
+        let edges: Vec<TimedEdge> = rm.edges().into_iter().filter(|e| e.u != e.v).collect();
         let b = boruvka_msf(1 << 8, &edges);
         let k = kruskal_msf(1 << 8, &edges);
         // With ties the edge sets may differ, but MSF total weight is
@@ -197,8 +235,7 @@ mod tests {
     #[test]
     fn msf_edges_form_a_forest_connecting_what_was_connected() {
         let rm = Rmat::new(RmatParams::paper(8, 4), 10);
-        let edges: Vec<TimedEdge> =
-            rm.edges().into_iter().filter(|e| e.u != e.v).collect();
+        let edges: Vec<TimedEdge> = rm.edges().into_iter().filter(|e| e.u != e.v).collect();
         let n = 1 << 8;
         let msf = boruvka_msf(n, &edges);
         // Acyclic: |F| = n - #components.
@@ -206,8 +243,11 @@ mod tests {
         let comp_full: std::collections::HashSet<u32> = full.iter().copied().collect();
         assert_eq!(msf.edges.len(), n - comp_full.len());
         // Same connectivity as the full graph.
-        let forest_edges: Vec<(u32, u32)> =
-            msf.edges.iter().map(|&i| (edges[i].u, edges[i].v)).collect();
+        let forest_edges: Vec<(u32, u32)> = msf
+            .edges
+            .iter()
+            .map(|&i| (edges[i].u, edges[i].v))
+            .collect();
         let forest = crate::cc::union_find_components(n, forest_edges.into_iter());
         assert_eq!(forest, full);
     }

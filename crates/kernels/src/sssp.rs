@@ -14,7 +14,7 @@
 //! in Section 2 (unweighted graphs simply carry w(e) = 1).
 
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Distance of unreachable vertices.
@@ -22,8 +22,8 @@ pub const INF: u64 = u64::MAX;
 
 /// Δ-stepping SSSP from `src`, weighting edge `e` by `max(ts(e), 1)`
 /// (zero weights would break bucket monotonicity). Returns distances.
-pub fn delta_stepping(csr: &CsrGraph, src: u32, delta: u64) -> Vec<u64> {
-    let n = csr.num_vertices();
+pub fn delta_stepping<V: GraphView>(view: &V, src: u32, delta: u64) -> Vec<u64> {
+    let n = view.num_vertices();
     assert!((src as usize) < n, "source out of range");
     let delta = delta.max(1);
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
@@ -39,35 +39,57 @@ pub fn delta_stepping(csr: &CsrGraph, src: u32, delta: u64) -> Vec<u64> {
                 break;
             }
             deleted.extend_from_slice(&frontier);
-            let requests: Vec<(u32, u64)> = frontier
-                .par_iter()
-                .flat_map_iter(|&v| {
-                    let dv = dist[v as usize].load(Ordering::Relaxed);
-                    csr.neighbors(v)
-                        .iter()
-                        .zip(csr.timestamps(v))
-                        .filter(move |&(_, &w)| weight(w) <= delta)
-                        .map(move |(&u, &w)| (u, dv.saturating_add(weight(w))))
-                })
-                .collect();
+            let requests: Vec<(u32, u64)> =
+                relax_requests(view, &frontier, &dist, |w| weight(w) <= delta);
             relax_all(&dist, &requests, delta, &mut buckets, current);
         }
         // One heavy-edge pass over everything settled in this bucket.
-        let requests: Vec<(u32, u64)> = deleted
+        let requests: Vec<(u32, u64)> =
+            relax_requests(view, &deleted, &dist, |w| weight(w) > delta);
+        relax_all(&dist, &requests, delta, &mut buckets, current);
+        current += 1;
+    }
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+/// Expands each frontier vertex's qualifying edges into relaxation
+/// requests `(target, tentative distance)`. CSR-backed views stream
+/// their slices lazily (zero per-vertex allocation — this is the
+/// innermost loop of every bucket round); live views buffer through
+/// the callback API.
+fn relax_requests<V: GraphView>(
+    view: &V,
+    frontier: &[u32],
+    dist: &[AtomicU64],
+    qualifies: impl Fn(u32) -> bool + Sync,
+) -> Vec<(u32, u64)> {
+    let qualifies = &qualifies;
+    if let Some(csr) = view.as_csr() {
+        return frontier
             .par_iter()
             .flat_map_iter(|&v| {
                 let dv = dist[v as usize].load(Ordering::Relaxed);
                 csr.neighbors(v)
                     .iter()
                     .zip(csr.timestamps(v))
-                    .filter(move |&(_, &w)| weight(w) > delta)
+                    .filter(move |&(_, &w)| qualifies(w))
                     .map(move |(&u, &w)| (u, dv.saturating_add(weight(w))))
             })
             .collect();
-        relax_all(&dist, &requests, delta, &mut buckets, current);
-        current += 1;
     }
-    dist.into_iter().map(|d| d.into_inner()).collect()
+    frontier
+        .par_iter()
+        .flat_map_iter(|&v| {
+            let dv = dist[v as usize].load(Ordering::Relaxed);
+            let mut out = Vec::new();
+            view.for_each_edge(v, |u, w| {
+                if qualifies(w) {
+                    out.push((u, dv.saturating_add(weight(w))));
+                }
+            });
+            out
+        })
+        .collect()
 }
 
 #[inline]
@@ -116,10 +138,10 @@ fn relax_all(
 }
 
 /// Sequential Dijkstra oracle (binary heap).
-pub fn dijkstra(csr: &CsrGraph, src: u32) -> Vec<u64> {
+pub fn dijkstra<V: GraphView>(view: &V, src: u32) -> Vec<u64> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let n = csr.num_vertices();
+    let n = view.num_vertices();
     let mut dist = vec![INF; n];
     dist[src as usize] = 0;
     let mut heap = BinaryHeap::new();
@@ -128,13 +150,13 @@ pub fn dijkstra(csr: &CsrGraph, src: u32) -> Vec<u64> {
         if d > dist[v as usize] {
             continue;
         }
-        for (&u, &w) in csr.neighbors(v).iter().zip(csr.timestamps(v)) {
+        view.for_each_edge(v, |u, w| {
             let nd = d.saturating_add(weight(w));
             if nd < dist[u as usize] {
                 dist[u as usize] = nd;
                 heap.push(Reverse((nd, u)));
             }
-        }
+        });
     }
     dist
 }
@@ -142,11 +164,14 @@ pub fn dijkstra(csr: &CsrGraph, src: u32) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snap_core::CsrGraph;
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
     fn weighted(n: usize, edges: &[(u32, u32, u32)]) -> CsrGraph {
-        let e: Vec<TimedEdge> =
-            edges.iter().map(|&(u, v, w)| TimedEdge::new(u, v, w)).collect();
+        let e: Vec<TimedEdge> = edges
+            .iter()
+            .map(|&(u, v, w)| TimedEdge::new(u, v, w))
+            .collect();
         CsrGraph::from_edges_undirected(n, &e)
     }
 
@@ -210,11 +235,11 @@ mod tests {
         let g = CsrGraph::from_edges_undirected(1 << 9, &rm.edges());
         let d = delta_stepping(&g, 0, 1);
         let b = crate::bfs::bfs(&g, 0);
-        for v in 0..g.num_vertices() {
+        for (v, &dv) in d.iter().enumerate() {
             if b.dist[v] == crate::bfs::UNREACHED {
-                assert_eq!(d[v], INF);
+                assert_eq!(dv, INF);
             } else {
-                assert_eq!(d[v], b.dist[v] as u64);
+                assert_eq!(dv, b.dist[v] as u64);
             }
         }
     }

@@ -7,15 +7,18 @@
 //! the link-cut forest answers in O(diameter) without traversal.
 
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 use crate::bfs::UNREACHED;
 
 /// Returns `Some(distance)` if `t` is reachable from `s`, else `None`.
-pub fn st_connectivity(csr: &CsrGraph, s: u32, t: u32) -> Option<u32> {
-    let n = csr.num_vertices();
-    assert!((s as usize) < n && (t as usize) < n, "endpoint out of range");
+pub fn st_connectivity<V: GraphView>(view: &V, s: u32, t: u32) -> Option<u32> {
+    let n = view.num_vertices();
+    assert!(
+        (s as usize) < n && (t as usize) < n,
+        "endpoint out of range"
+    );
     if s == t {
         return Some(0);
     }
@@ -26,32 +29,48 @@ pub fn st_connectivity(csr: &CsrGraph, s: u32, t: u32) -> Option<u32> {
     let mut level = 0u32;
     while !frontier.is_empty() && !found.load(Ordering::Relaxed) {
         level += 1;
-        let next: Vec<u32> = frontier
-            .par_iter()
-            .flat_map_iter(|&v| {
-                let found = &found;
-                let dist = &dist;
-                csr.neighbors(v).iter().filter_map(move |&w| {
-                    if found.load(Ordering::Relaxed) {
-                        return None;
-                    }
-                    if dist[w as usize].load(Ordering::Relaxed) != UNREACHED {
-                        return None;
-                    }
-                    if dist[w as usize]
-                        .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
-                        .is_ok()
-                    {
-                        if w == t {
-                            found.store(true, Ordering::Relaxed);
+        // Shared claim step for both read paths.
+        let try_claim = |w: u32| -> Option<u32> {
+            if found.load(Ordering::Relaxed) {
+                return None;
+            }
+            if dist[w as usize].load(Ordering::Relaxed) != UNREACHED {
+                return None;
+            }
+            if dist[w as usize]
+                .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                if w == t {
+                    found.store(true, Ordering::Relaxed);
+                }
+                Some(w)
+            } else {
+                None
+            }
+        };
+        let try_claim = &try_claim;
+        // CSR-backed views stream their neighbor slices lazily (zero
+        // per-vertex allocation); live views buffer via the callback API.
+        let next: Vec<u32> = if let Some(csr) = view.as_csr() {
+            frontier
+                .par_iter()
+                .flat_map_iter(|&v| csr.neighbors(v).iter().filter_map(move |&w| try_claim(w)))
+                .collect()
+        } else {
+            frontier
+                .par_iter()
+                .flat_map_iter(|&v| {
+                    let mut claimed = Vec::new();
+                    view.for_each_edge(v, |w, _| {
+                        if let Some(w) = try_claim(w) {
+                            claimed.push(w);
                         }
-                        Some(w)
-                    } else {
-                        None
-                    }
+                    });
+                    claimed
                 })
-            })
-            .collect();
+                .collect()
+        };
         frontier = next;
     }
     let d = dist[t as usize].load(Ordering::Relaxed);
@@ -61,11 +80,11 @@ pub fn st_connectivity(csr: &CsrGraph, s: u32, t: u32) -> Option<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snap_core::CsrGraph;
     use snap_rmat::TimedEdge;
 
     fn path(k: u32) -> CsrGraph {
-        let edges: Vec<TimedEdge> =
-            (0..k - 1).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+        let edges: Vec<TimedEdge> = (0..k - 1).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
         CsrGraph::from_edges_undirected(k as usize, &edges)
     }
 
@@ -93,8 +112,7 @@ mod tests {
     #[test]
     fn early_exit_still_returns_correct_distance() {
         // Star + tail: t adjacent to s among many distractions.
-        let mut edges: Vec<TimedEdge> =
-            (2..1000).map(|v| TimedEdge::new(0, v, 1)).collect();
+        let mut edges: Vec<TimedEdge> = (2..1000).map(|v| TimedEdge::new(0, v, 1)).collect();
         edges.push(TimedEdge::new(0, 1, 1));
         let g = CsrGraph::from_edges_undirected(1000, &edges);
         assert_eq!(st_connectivity(&g, 0, 1), Some(1));

@@ -10,28 +10,28 @@
 
 use crate::bfs::UNREACHED;
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 
 /// Exact stress centrality from every source.
-pub fn stress_exact(csr: &CsrGraph) -> Vec<f64> {
-    let sources: Vec<u32> = (0..csr.num_vertices() as u32).collect();
-    stress_from_sources(csr, &sources, 1.0)
+pub fn stress_exact<V: GraphView>(view: &V) -> Vec<f64> {
+    let sources: Vec<u32> = (0..view.num_vertices() as u32).collect();
+    stress_from_sources(view, &sources, 1.0)
 }
 
 /// Sampled stress centrality, extrapolated by `n / |sources|`.
-pub fn stress_approx(csr: &CsrGraph, sources: &[u32]) -> Vec<f64> {
-    let scale = csr.num_vertices() as f64 / sources.len().max(1) as f64;
-    stress_from_sources(csr, sources, scale)
+pub fn stress_approx<V: GraphView>(view: &V, sources: &[u32]) -> Vec<f64> {
+    let scale = view.num_vertices() as f64 / sources.len().max(1) as f64;
+    stress_from_sources(view, sources, scale)
 }
 
-fn stress_from_sources(csr: &CsrGraph, sources: &[u32], scale: f64) -> Vec<f64> {
-    let n = csr.num_vertices();
+fn stress_from_sources<V: GraphView>(view: &V, sources: &[u32], scale: f64) -> Vec<f64> {
+    let n = view.num_vertices();
     let mut st = sources
         .par_iter()
         .fold(
             || vec![0.0f64; n],
             |mut acc, &s| {
-                accumulate_source(csr, s, &mut acc);
+                accumulate_source(view, s, &mut acc);
                 acc
             },
         )
@@ -50,8 +50,8 @@ fn stress_from_sources(csr: &CsrGraph, sources: &[u32], scale: f64) -> Vec<f64> 
     st
 }
 
-fn accumulate_source(csr: &CsrGraph, s: u32, acc: &mut [f64]) {
-    let n = csr.num_vertices();
+fn accumulate_source<V: GraphView>(view: &V, s: u32, acc: &mut [f64]) {
+    let n = view.num_vertices();
     let mut dist = vec![UNREACHED; n];
     let mut sigma = vec![0.0f64; n];
     let mut levels: Vec<Vec<u32>> = Vec::new();
@@ -63,7 +63,7 @@ fn accumulate_source(csr: &CsrGraph, s: u32, acc: &mut [f64]) {
         level += 1;
         let mut next = Vec::new();
         for &v in &frontier {
-            for &w in csr.neighbors(v) {
+            view.for_each_edge(v, |w, _| {
                 if dist[w as usize] == UNREACHED {
                     dist[w as usize] = level;
                     sigma[w as usize] = sigma[v as usize];
@@ -71,7 +71,7 @@ fn accumulate_source(csr: &CsrGraph, s: u32, acc: &mut [f64]) {
                 } else if dist[w as usize] == level {
                     sigma[w as usize] += sigma[v as usize];
                 }
-            }
+            });
         }
         levels.push(frontier);
         frontier = next;
@@ -85,11 +85,11 @@ fn accumulate_source(csr: &CsrGraph, s: u32, acc: &mut [f64]) {
             // contributes (1 + p[w]) suffixes to v, multiplied by the
             // number of parallel shortest hops (each neighbor occurrence
             // is a distinct edge, matching sigma accounting above).
-            for &v in csr.neighbors(w) {
+            view.for_each_edge(w, |v, _| {
                 if dist[v as usize] + 1 == dw {
                     p[v as usize] += 1.0 + p[w as usize];
                 }
-            }
+            });
         }
     }
     for v in 0..n {
@@ -105,10 +105,14 @@ fn accumulate_source(csr: &CsrGraph, s: u32, acc: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snap_core::CsrGraph;
     use snap_rmat::TimedEdge;
 
     fn undirected(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
-        let e: Vec<TimedEdge> = edges.iter().map(|&(u, v)| TimedEdge::new(u, v, 1)).collect();
+        let e: Vec<TimedEdge> = edges
+            .iter()
+            .map(|&(u, v)| TimedEdge::new(u, v, 1))
+            .collect();
         CsrGraph::from_edges_undirected(n, &e)
     }
 
@@ -140,13 +144,20 @@ mod tests {
     fn stress_at_least_betweenness_everywhere() {
         // sigma_st(v) >= sigma_st(v)/sigma_st pointwise, so stress
         // dominates betweenness on any graph.
-        let edges: Vec<(u32, u32)> =
-            (0..40u32).map(|i| (i % 8, (i * 7 + 3) % 8)).filter(|&(a, b)| a != b).collect();
+        let edges: Vec<(u32, u32)> = (0..40u32)
+            .map(|i| (i % 8, (i * 7 + 3) % 8))
+            .filter(|&(a, b)| a != b)
+            .collect();
         let g = undirected(8, &edges);
         let st = stress_exact(&g);
         let bc = crate::bc::betweenness_exact(&g);
         for v in 0..8 {
-            assert!(st[v] + 1e-9 >= bc[v], "v {v}: stress {} < bc {}", st[v], bc[v]);
+            assert!(
+                st[v] + 1e-9 >= bc[v],
+                "v {v}: stress {} < bc {}",
+                st[v],
+                bc[v]
+            );
         }
     }
 

@@ -12,7 +12,7 @@
 
 use rayon::prelude::*;
 use snap_core::adjacency::DynamicAdjacency;
-use snap_core::{CsrGraph, DynGraph, VertexLabels};
+use snap_core::{CsrGraph, DynGraph, GraphView, VertexLabels};
 use snap_rmat::TimedEdge;
 
 /// An open time interval `(lo, hi)` — the paper extracts "edges inserted
@@ -55,6 +55,23 @@ pub fn induced_subgraph_edges(edges: &[TimedEdge], w: TimeWindow) -> (Vec<TimedE
 pub fn induced_subgraph_csr(n: usize, edges: &[TimedEdge], w: TimeWindow) -> CsrGraph {
     let (matching, _) = induced_subgraph_edges(edges, w);
     CsrGraph::from_edges_undirected(n, &matching)
+}
+
+/// Extracts the in-window induced subgraph of any [`GraphView`] as a
+/// fresh CSR snapshot. The view's stored orientations are copied verbatim
+/// (an undirected view already stores both), so the result has the same
+/// edge semantics as the input.
+pub fn induced_subgraph_view<V: GraphView>(view: &V, w: TimeWindow) -> CsrGraph {
+    let n = view.num_vertices();
+    let mut matching: Vec<TimedEdge> = Vec::new();
+    for u in 0..n as u32 {
+        view.for_each_edge(u, |v, ts| {
+            if w.contains(ts) {
+                matching.push(TimedEdge::new(u, v, ts));
+            }
+        });
+    }
+    CsrGraph::from_entries(n, &matching, view.is_directed())
 }
 
 /// Phase 2b: deletes all out-of-window edges *in place* from a dynamic
@@ -190,7 +207,10 @@ mod tests {
         labels.set_removed(2, 45); // vertex 2 disappears before ts 50
         let sub = induced_subgraph_vertices(4, &edges, &labels, w);
         assert_eq!(sub.num_entries(), 4, "edges (0,1) and (1,2) survive");
-        assert!(sub.neighbors(3).is_empty(), "edge (2,3) dropped: 2 dead at 50");
+        assert!(
+            sub.neighbors(3).is_empty(),
+            "edge (2,3) dropped: 2 dead at 50"
+        );
         assert!(sub.neighbors(1).contains(&2), "edge (1,2) alive at 40 < 45");
     }
 
@@ -207,8 +227,7 @@ mod tests {
     fn vertex_created_late_excludes_early_edges() {
         let edges = vec![TimedEdge::new(0, 1, 10)];
         let labels = VertexLabels::with_creation_times(vec![0, 20]);
-        let sub =
-            induced_subgraph_vertices(2, &edges, &labels, TimeWindow::open(0, 100));
+        let sub = induced_subgraph_vertices(2, &edges, &labels, TimeWindow::open(0, 100));
         assert_eq!(sub.num_entries(), 0, "vertex 1 did not exist at ts 10");
     }
 

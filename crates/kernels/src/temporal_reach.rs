@@ -13,18 +13,18 @@
 //! time-respecting path exists).
 
 use rayon::prelude::*;
-use snap_core::CsrGraph;
+use snap_core::GraphView;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// No time-respecting path from the source.
 pub const UNREACHABLE: u32 = u32::MAX;
 
 /// Exact earliest-arrival labels from `src`.
-pub fn earliest_arrival(csr: &CsrGraph, src: u32) -> Vec<u32> {
-    let n = csr.num_vertices();
+pub fn earliest_arrival<V: GraphView>(view: &V, src: u32) -> Vec<u32> {
+    let n = view.num_vertices();
     assert!((src as usize) < n, "source out of range");
     // Bucket directed entries by timestamp.
-    let mut entries: Vec<(u32, u32, u32)> = csr.iter_entries().collect(); // (u, v, ts)
+    let mut entries: Vec<(u32, u32, u32)> = view.collect_entries(); // (u, v, ts)
     entries.par_sort_unstable_by_key(|&(_, _, t)| t);
     let arrival: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
     arrival[src as usize].store(0, Ordering::Relaxed);
@@ -59,8 +59,8 @@ fn atomic_min(slot: &AtomicU32, val: u32) {
 
 /// Number of vertices with a time-respecting path from `src` (including
 /// the source).
-pub fn temporal_reach_count(csr: &CsrGraph, src: u32) -> usize {
-    earliest_arrival(csr, src)
+pub fn temporal_reach_count<V: GraphView>(view: &V, src: u32) -> usize {
+    earliest_arrival(view, src)
         .iter()
         .filter(|&&a| a != UNREACHABLE)
         .count()
@@ -70,11 +70,14 @@ pub fn temporal_reach_count(csr: &CsrGraph, src: u32) -> usize {
 mod tests {
     use super::*;
     use crate::bfs::{temporal_bfs, UNREACHED};
+    use snap_core::CsrGraph;
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
     fn undirected(n: usize, edges: &[(u32, u32, u32)]) -> CsrGraph {
-        let e: Vec<TimedEdge> =
-            edges.iter().map(|&(u, v, t)| TimedEdge::new(u, v, t)).collect();
+        let e: Vec<TimedEdge> = edges
+            .iter()
+            .map(|&(u, v, t)| TimedEdge::new(u, v, t))
+            .collect();
         CsrGraph::from_edges_undirected(n, &e)
     }
 
@@ -109,10 +112,7 @@ mod tests {
         // Two routes to 1: cheap-late (ts 9) and expensive-early via 2
         // (ts 1 then 2). Continuing to 3 needs ts 4 > arrival(1).
         // Earliest arrival at 1 is 2 (via 2), so 3 is reachable at 4.
-        let g = undirected(
-            4,
-            &[(0, 1, 9), (0, 2, 1), (2, 1, 2), (1, 3, 4)],
-        );
+        let g = undirected(4, &[(0, 1, 9), (0, 2, 1), (2, 1, 2), (1, 3, 4)]);
         let a = earliest_arrival(&g, 0);
         assert_eq!(a[1], 2);
         assert_eq!(a[3], 4);
@@ -127,8 +127,8 @@ mod tests {
         // Containment sanity: every temporally reachable vertex must at
         // least be statically reachable (temporal paths are paths).
         let full = temporal_bfs(&g, src, |_| true);
-        for v in 0..g.num_vertices() {
-            if exact[v] != UNREACHABLE {
+        for (v, &arr) in exact.iter().enumerate() {
+            if arr != UNREACHABLE {
                 assert_ne!(full.dist[v], UNREACHED, "temporal implies static reach");
             }
         }

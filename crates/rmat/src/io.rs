@@ -104,7 +104,11 @@ pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Vec<TimedEdge>, IoError>
 /// Writes an edge list to any writer, with a header comment.
 pub fn write_edge_list<W: Write>(writer: W, edges: &[TimedEdge]) -> std::io::Result<()> {
     let mut out = BufWriter::new(writer);
-    writeln!(out, "# snap-dynamic edge list: u v timestamp ({} edges)", edges.len())?;
+    writeln!(
+        out,
+        "# snap-dynamic edge list: u v timestamp ({} edges)",
+        edges.len()
+    )?;
     for e in edges {
         writeln!(out, "{} {} {}", e.u, e.v, e.timestamp)?;
     }

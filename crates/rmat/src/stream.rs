@@ -32,11 +32,17 @@ pub struct Update {
 
 impl Update {
     pub fn insert(edge: TimedEdge) -> Self {
-        Self { kind: UpdateKind::Insert, edge }
+        Self {
+            kind: UpdateKind::Insert,
+            edge,
+        }
     }
 
     pub fn delete(edge: TimedEdge) -> Self {
-        Self { kind: UpdateKind::Delete, edge }
+        Self {
+            kind: UpdateKind::Delete,
+            edge,
+        }
     }
 }
 
@@ -67,7 +73,10 @@ impl<'a> StreamBuilder<'a> {
     /// `count` deletions of randomly chosen existing edges (sampled with
     /// replacement, as the paper's "20 million random deletions").
     pub fn deletions(&self, count: usize) -> Vec<Update> {
-        assert!(!self.edges.is_empty(), "cannot delete from an empty edge list");
+        assert!(
+            !self.edges.is_empty(),
+            "cannot delete from an empty edge list"
+        );
         let mut rng = XorShift64::new(self.seed ^ 0xDE1E7E);
         (0..count)
             .map(|_| {
@@ -159,15 +168,24 @@ mod tests {
         let s = b.mixed(20_000, 0.75);
         let ins = s.iter().filter(|u| u.kind == UpdateKind::Insert).count();
         let frac = ins as f64 / s.len() as f64;
-        assert!((frac - 0.75).abs() < 0.02, "insert fraction {frac} too far from 0.75");
+        assert!(
+            (frac - 0.75).abs() < 0.02,
+            "insert fraction {frac} too far from 0.75"
+        );
     }
 
     #[test]
     fn mixed_extremes() {
         let edges = base();
         let b = StreamBuilder::new(&edges, 4);
-        assert!(b.mixed(100, 1.0).iter().all(|u| u.kind == UpdateKind::Insert));
-        assert!(b.mixed(100, 0.0).iter().all(|u| u.kind == UpdateKind::Delete));
+        assert!(b
+            .mixed(100, 1.0)
+            .iter()
+            .all(|u| u.kind == UpdateKind::Insert));
+        assert!(b
+            .mixed(100, 0.0)
+            .iter()
+            .all(|u| u.kind == UpdateKind::Delete));
     }
 
     #[test]

@@ -72,7 +72,14 @@ impl Treap {
     }
 
     fn alloc_node(&mut self, key: u32, val: u32, prio: u32) -> u32 {
-        let node = Node { key, val, prio, left: NIL, right: NIL, size: 1 };
+        let node = Node {
+            key,
+            val,
+            prio,
+            left: NIL,
+            right: NIL,
+            size: 1,
+        };
         if let Some(idx) = self.free.pop() {
             self.nodes[idx as usize] = node;
             idx
@@ -301,7 +308,10 @@ impl Treap {
             return t;
         }
         for w in pairs.windows(2) {
-            assert!(w[0].0 < w[1].0, "from_sorted requires strictly ascending keys");
+            assert!(
+                w[0].0 < w[1].0,
+                "from_sorted requires strictly ascending keys"
+            );
         }
         t.nodes.reserve(pairs.len());
         // Rightmost spine as a stack; priorities random, heap-fixed on push.
@@ -500,7 +510,11 @@ mod tests {
         for k in 100..150 {
             t.insert(k, k);
         }
-        assert_eq!(t.nodes.len(), slots_before, "free list should recycle slots");
+        assert_eq!(
+            t.nodes.len(),
+            slots_before,
+            "free list should recycle slots"
+        );
         t.check_invariants().unwrap();
     }
 

@@ -49,21 +49,21 @@ pub fn difference(a: &Treap, b: &Treap) -> Treap {
 pub fn par_union(a: &Treap, b: &Treap) -> Treap {
     let (av, bv) = rayon::join(|| a.to_sorted_vec(), || b.to_sorted_vec());
     let merged = par_merge_union(&av, &bv);
-    Treap::from_sorted(&merged, 0x9A5_0e00)
+    Treap::from_sorted(&merged, 0x9A5_0E00)
 }
 
 /// Parallel intersection.
 pub fn par_intersection(a: &Treap, b: &Treap) -> Treap {
     let (av, bv) = rayon::join(|| a.to_sorted_vec(), || b.to_sorted_vec());
     let out = par_binary_op(&av, &bv, merge_intersection);
-    Treap::from_sorted(&out, 0x9A5_0e17)
+    Treap::from_sorted(&out, 0x9A5_0E17)
 }
 
 /// Parallel difference `a \ b`.
 pub fn par_difference(a: &Treap, b: &Treap) -> Treap {
     let (av, bv) = rayon::join(|| a.to_sorted_vec(), || b.to_sorted_vec());
     let out = par_binary_op(&av, &bv, merge_difference);
-    Treap::from_sorted(&out, 0x9A5_0eD1)
+    Treap::from_sorted(&out, 0x9A5_0ED1)
 }
 
 /// Below this many elements, sequential merging beats fork/join overhead.
@@ -153,19 +153,21 @@ fn par_merge_union(a: &[(u32, u32)], b: &[(u32, u32)]) -> Vec<(u32, u32)> {
     out
 }
 
+/// A key-local merge over two sorted `(key, value)` slices.
+type MergeOp = fn(&[(u32, u32)], &[(u32, u32)]) -> Vec<(u32, u32)>;
+
 /// Generic parallel divide-and-conquer over two sorted slices: split both
 /// at a common key, apply `op` to the halves, concatenate. `op` must be a
 /// key-local merge (output keys of the left half all precede the right).
-fn par_binary_op(
-    a: &[(u32, u32)],
-    b: &[(u32, u32)],
-    op: fn(&[(u32, u32)], &[(u32, u32)]) -> Vec<(u32, u32)>,
-) -> Vec<(u32, u32)> {
+fn par_binary_op(a: &[(u32, u32)], b: &[(u32, u32)], op: MergeOp) -> Vec<(u32, u32)> {
     if a.len() + b.len() <= PAR_CUTOFF {
         return op(a, b);
     }
-    let (long, short, a_is_long) =
-        if a.len() >= b.len() { (a, b, true) } else { (b, a, false) };
+    let (long, short, a_is_long) = if a.len() >= b.len() {
+        (a, b, true)
+    } else {
+        (b, a, false)
+    };
     let mid = long.len() / 2;
     let split_key = long[mid].0;
     let s_mid = short.partition_point(|p| p.0 < split_key);
@@ -174,8 +176,7 @@ fn par_binary_op(
     } else {
         (&a[..s_mid], &b[..mid], &a[s_mid..], &b[mid..])
     };
-    let (left, right) =
-        rayon::join(|| par_binary_op(la, lb, op), || par_binary_op(ra, rb, op));
+    let (left, right) = rayon::join(|| par_binary_op(la, lb, op), || par_binary_op(ra, rb, op));
     let mut out = left;
     out.par_extend(right.into_par_iter());
     out
@@ -296,11 +297,20 @@ mod tests {
 #[cfg(test)]
 mod property_tests {
     use super::*;
-    use proptest::prelude::*;
+    use snap_util::rng::XorShift64;
     use std::collections::BTreeMap;
 
-    fn pairs_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
-        prop::collection::vec((0u32..200, 0u32..1000), 0..150)
+    const CASES: u64 = 64;
+
+    fn random_pairs(rng: &mut XorShift64) -> Vec<(u32, u32)> {
+        let len = rng.next_bounded(150) as usize;
+        (0..len)
+            .map(|_| (rng.next_bounded(200) as u32, rng.next_bounded(1000) as u32))
+            .collect()
+    }
+
+    fn rng_for(case: u64, salt: u64) -> XorShift64 {
+        XorShift64::new(0x5E70 ^ salt.wrapping_mul(0x9E37_79B9).wrapping_add(case))
     }
 
     fn build(pairs: &[(u32, u32)], seed: u64) -> (Treap, BTreeMap<u32, u32>) {
@@ -313,67 +323,88 @@ mod property_tests {
         (t, m)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn union_equals_model(pa in pairs_strategy(), pb in pairs_strategy()) {
-            let (a, ma) = build(&pa, 1);
-            let (b, mb) = build(&pb, 2);
+    #[test]
+    fn union_equals_model() {
+        for case in 0..CASES {
+            let mut rng = rng_for(case, 1);
+            let (a, ma) = build(&random_pairs(&mut rng), 1);
+            let (b, mb) = build(&random_pairs(&mut rng), 2);
             let mut expect = mb.clone();
             expect.extend(ma.clone()); // left bias
             let u = par_union(&a, &b);
             u.check_invariants().unwrap();
-            prop_assert_eq!(u.to_sorted_vec(), expect.into_iter().collect::<Vec<_>>());
+            assert_eq!(
+                u.to_sorted_vec(),
+                expect.into_iter().collect::<Vec<_>>(),
+                "case {case}"
+            );
         }
+    }
 
-        #[test]
-        fn intersection_equals_model(pa in pairs_strategy(), pb in pairs_strategy()) {
-            let (a, ma) = build(&pa, 3);
-            let (b, mb) = build(&pb, 4);
-            let expect: Vec<(u32, u32)> = ma.iter()
+    #[test]
+    fn intersection_equals_model() {
+        for case in 0..CASES {
+            let mut rng = rng_for(case, 2);
+            let (a, ma) = build(&random_pairs(&mut rng), 3);
+            let (b, mb) = build(&random_pairs(&mut rng), 4);
+            let expect: Vec<(u32, u32)> = ma
+                .iter()
                 .filter(|(k, _)| mb.contains_key(k))
                 .map(|(&k, &v)| (k, v))
                 .collect();
             let i = par_intersection(&a, &b);
             i.check_invariants().unwrap();
-            prop_assert_eq!(i.to_sorted_vec(), expect);
+            assert_eq!(i.to_sorted_vec(), expect, "case {case}");
         }
+    }
 
-        #[test]
-        fn difference_equals_model(pa in pairs_strategy(), pb in pairs_strategy()) {
-            let (a, ma) = build(&pa, 5);
-            let (b, mb) = build(&pb, 6);
-            let expect: Vec<(u32, u32)> = ma.iter()
+    #[test]
+    fn difference_equals_model() {
+        for case in 0..CASES {
+            let mut rng = rng_for(case, 3);
+            let (a, ma) = build(&random_pairs(&mut rng), 5);
+            let (b, mb) = build(&random_pairs(&mut rng), 6);
+            let expect: Vec<(u32, u32)> = ma
+                .iter()
                 .filter(|(k, _)| !mb.contains_key(k))
                 .map(|(&k, &v)| (k, v))
                 .collect();
             let d = par_difference(&a, &b);
             d.check_invariants().unwrap();
-            prop_assert_eq!(d.to_sorted_vec(), expect);
+            assert_eq!(d.to_sorted_vec(), expect, "case {case}");
         }
+    }
 
-        #[test]
-        fn algebraic_identities(pa in pairs_strategy(), pb in pairs_strategy()) {
-            let (a, _) = build(&pa, 7);
-            let (b, _) = build(&pb, 8);
+    #[test]
+    fn algebraic_identities() {
+        for case in 0..CASES {
+            let mut rng = rng_for(case, 4);
+            let (a, _) = build(&random_pairs(&mut rng), 7);
+            let (b, _) = build(&random_pairs(&mut rng), 8);
             // |A ∪ B| = |A| + |B| - |A ∩ B|
             let u = par_union(&a, &b);
             let i = par_intersection(&a, &b);
-            prop_assert_eq!(u.len() + i.len(), a.len() + b.len());
+            assert_eq!(u.len() + i.len(), a.len() + b.len(), "case {case}");
             // A \ B and A ∩ B partition A.
             let d = par_difference(&a, &b);
-            prop_assert_eq!(d.len() + i.len(), a.len());
+            assert_eq!(d.len() + i.len(), a.len(), "case {case}");
             // (A \ B) ∩ B = ∅
             let db = par_intersection(&d, &b);
-            prop_assert!(db.is_empty());
+            assert!(db.is_empty(), "case {case}");
         }
+    }
 
-        #[test]
-        fn union_is_idempotent_and_absorbs(pa in pairs_strategy()) {
-            let (a, ma) = build(&pa, 9);
+    #[test]
+    fn union_is_idempotent_and_absorbs() {
+        for case in 0..CASES {
+            let mut rng = rng_for(case, 5);
+            let (a, ma) = build(&random_pairs(&mut rng), 9);
             let u = par_union(&a, &a);
-            prop_assert_eq!(u.to_sorted_vec(), ma.into_iter().collect::<Vec<_>>());
+            assert_eq!(
+                u.to_sorted_vec(),
+                ma.into_iter().collect::<Vec<_>>(),
+                "case {case}"
+            );
         }
     }
 }

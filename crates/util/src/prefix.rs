@@ -80,7 +80,9 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_on_large_input() {
         let mut rng = XorShift64::new(99);
-        let data: Vec<usize> = (0..100_000).map(|_| rng.next_bounded(50) as usize).collect();
+        let data: Vec<usize> = (0..100_000)
+            .map(|_| rng.next_bounded(50) as usize)
+            .collect();
         let mut seq = data.clone();
         let mut par = data;
         let ts = exclusive_scan(&mut seq);

@@ -24,6 +24,10 @@ impl SplitMix64 {
     }
 
     /// Returns the next 64-bit output.
+    ///
+    /// Deliberately named like `Iterator::next` (the type is a raw
+    /// generator, not an iterator, and never ends).
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -25,8 +25,18 @@ pub fn summarize(xs: &[f64]) -> Option<Summary> {
         max = max.max(x);
         var += (x - mean) * (x - mean);
     }
-    let stddev = if n > 1 { (var / (n - 1) as f64).sqrt() } else { 0.0 };
-    Some(Summary { n, mean, min, max, stddev })
+    let stddev = if n > 1 {
+        (var / (n - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
+    Some(Summary {
+        n,
+        mean,
+        min,
+        max,
+        stddev,
+    })
 }
 
 /// Parallel speedup of `base_time` over `time` (both in seconds).
@@ -42,7 +52,11 @@ pub fn speedup(base_time: f64, time: f64) -> f64 {
 pub fn log2_histogram(degrees: impl IntoIterator<Item = usize>) -> Vec<usize> {
     let mut buckets = vec![0usize; 1];
     for d in degrees {
-        let b = if d <= 1 { 0 } else { (usize::BITS - (d as usize).leading_zeros()) as usize - 1 };
+        let b = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
         if b >= buckets.len() {
             buckets.resize(b + 1, 0);
         }

@@ -14,7 +14,9 @@ pub struct Timer {
 impl Timer {
     /// Starts timing now.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since `start`.

@@ -15,11 +15,20 @@ fn main() {
     let scale = 14u32;
     let n = 1usize << scale;
     let rmat = Rmat::new(RmatParams::paper(scale, 8), 99);
-    let mut live = rmat.edges();
+    let edges = rmat.edges();
 
-    // Build the snapshot and its spanning forest.
-    let csr = CsrGraph::from_edges_undirected(n, &live);
-    let mut forest = LinkCutForest::from_csr(&csr);
+    // Maintain the graph itself dynamically: the replacement-edge search
+    // below reads the LIVE view right after each delete, so no snapshot
+    // rebuild sits on the deletion path.
+    let hints = CapacityHints::new(edges.len() * 2);
+    let graph: DynGraph<HybridAdj> = DynGraph::undirected(n, &hints);
+    let stream = StreamBuilder::new(&edges, 1).construction_shuffled();
+    engine::apply_stream(&graph, &stream);
+    let mut live = edges;
+
+    // Build one snapshot and its spanning forest.
+    let csr = graph.to_csr();
+    let mut forest = LinkCutForest::from_view(&csr);
     let labels = connected_components(&csr);
     println!(
         "initial graph: n = {n}, m = {}, components = {}",
@@ -30,7 +39,12 @@ fn main() {
     // Query throughput on the static forest (Figure 8's workload).
     let mut rng = XorShift64::new(5);
     let queries: Vec<(u32, u32)> = (0..500_000)
-        .map(|_| (rng.next_bounded(n as u64) as u32, rng.next_bounded(n as u64) as u32))
+        .map(|_| {
+            (
+                rng.next_bounded(n as u64) as u32,
+                rng.next_bounded(n as u64) as u32,
+            )
+        })
         .collect();
     let t = Instant::now();
     let answers = forest.connected_batch(&queries);
@@ -48,6 +62,7 @@ fn main() {
     let fresh = Rmat::new(RmatParams::paper(scale, 1), 123).edges();
     let mut tree_edges = 0;
     for e in &fresh {
+        graph.insert_edge(*e);
         if e.u != e.v && forest.link_edge(e.u, e.v) {
             tree_edges += 1;
         }
@@ -59,14 +74,16 @@ fn main() {
         tree_edges
     );
 
-    // ...deletions cut and search for a replacement (extension).
+    // ...deletions cut and search for a replacement (extension). The
+    // search runs over the live DynGraph view — before the GraphView
+    // refactor this path rebuilt a full CSR per deletion.
     let mut reconnected = 0;
     let mut split = 0;
     for _ in 0..50 {
         let i = rng.next_bounded(live.len() as u64) as usize;
         let e = live.swap_remove(i);
-        let updated = CsrGraph::from_edges_undirected(n, &live);
-        if forest.cut_with_replacement(&updated, e.u, e.v) {
+        graph.delete_edge(e.u, e.v);
+        if forest.cut_with_replacement(&graph, e.u, e.v) {
             reconnected += 1;
         } else {
             split += 1;
@@ -74,9 +91,9 @@ fn main() {
     }
     println!("deleted 50 edges: {reconnected} reconnected via replacement, {split} splits");
 
-    // The forest must still agree with ground-truth components.
-    let final_csr = CsrGraph::from_edges_undirected(n, &live);
-    let truth = connected_components(&final_csr);
+    // The forest must still agree with ground-truth components, computed
+    // here straight off the live view.
+    let truth = connected_components(&graph);
     let mut checked = 0;
     let mut ok = 0;
     for i in (0..n as u32).step_by(97) {

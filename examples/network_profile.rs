@@ -38,7 +38,11 @@ fn main() {
     };
     let n = io::vertex_bound(&edges);
     let csr = CsrGraph::from_edges_undirected(n, &edges);
-    println!("n = {n}, m = {} (directed entries {})", edges.len(), csr.num_entries());
+    println!(
+        "n = {n}, m = {} (directed entries {})",
+        edges.len(),
+        csr.num_entries()
+    );
 
     // Degree distribution (log2 buckets) — the power-law signature.
     let degrees = (0..n as u32).map(|u| csr.out_degree(u));
@@ -46,15 +50,23 @@ fn main() {
     println!("degree histogram (bucket i = degrees in [2^i, 2^(i+1))):");
     for (i, c) in hist.iter().enumerate() {
         if *c > 0 {
-            println!("  2^{i:<2} {c:>8}  {}", "#".repeat(1 + (*c as f64).log2() as usize));
+            println!(
+                "  2^{i:<2} {c:>8}  {}",
+                "#".repeat(1 + (*c as f64).log2() as usize)
+            );
         }
     }
     let max_deg = csr.max_degree();
-    println!("max degree {max_deg} vs mean {:.1}", csr.num_entries() as f64 / n as f64);
+    println!(
+        "max degree {max_deg} vs mean {:.1}",
+        csr.num_entries() as f64 / n as f64
+    );
 
     // Small-world signature: clustering + diameter.
     let cc = average_clustering(&csr);
-    let hub = (0..n as u32).max_by_key(|&u| csr.out_degree(u)).expect("non-empty");
+    let hub = (0..n as u32)
+        .max_by_key(|&u| csr.out_degree(u))
+        .expect("non-empty");
     let diam_lb = double_sweep_lower_bound(&csr, hub);
     println!("average clustering {cc:.4}, diameter lower bound {diam_lb}");
 

@@ -1,5 +1,6 @@
 //! Quickstart: generate a small-world network, ingest it as a parallel
-//! update stream, snapshot it, and run the basic kernels.
+//! update stream, and run the basic kernels on both read paths — the
+//! live dynamic graph and the epoch-cached CSR snapshot.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -31,28 +32,48 @@ fn main() {
         graph.adjacency().treap_vertex_count(),
     );
 
-    // 3. Mutate: delete a slice of random existing edges.
+    // 3. Mutate through the snapshot manager: it tracks a dirty epoch so
+    //    snapshots rebuild only when updates actually landed.
+    let mgr = SnapshotManager::new(graph);
     let deletions = StreamBuilder::new(&edges, 2).deletions(edges.len() / 20);
-    engine::apply_stream(&graph, &deletions);
-    println!("applied {} deletions; {} live entries", deletions.len(), graph.total_entries());
-
-    // 4. Snapshot and analyze.
-    let csr = graph.to_csr();
-    let labels = connected_components(&csr);
-    let components = snap::kernels::component_count(&labels);
-    let hub = (0..n as u32).max_by_key(|&u| csr.out_degree(u)).expect("non-empty");
-    let traversal = bfs(&csr, hub);
+    mgr.apply_batch(&deletions);
     println!(
-        "snapshot: {} entries, {} components, hub {} reaches {} vertices (ecc {})",
+        "applied {} deletions; {} live entries",
+        deletions.len(),
+        mgr.live().total_entries()
+    );
+
+    // 4a. Query the LIVE view: kernels run directly on the dynamic
+    //     representation, no snapshot cost, always fresh.
+    let live = mgr.live();
+    let hub = (0..n as u32)
+        .max_by_key(|&u| live.degree(u))
+        .expect("non-empty");
+    let live_traversal = bfs(live, hub);
+    println!(
+        "live view: hub {} reaches {} vertices (ecc {}), zero rebuilds so far: {}",
+        hub,
+        live_traversal.reached(),
+        live_traversal.max_distance(),
+        mgr.rebuild_count() == 0,
+    );
+
+    // 4b. Burst of snapshot queries: one rebuild amortized across all.
+    let csr = mgr.snapshot();
+    let labels = connected_components(&*csr);
+    let components = snap::kernels::component_count(&labels);
+    let traversal = bfs(&*csr, hub);
+    assert_eq!(traversal.dist, live_traversal.dist, "read paths must agree");
+    println!(
+        "snapshot: {} entries, {} components, {} rebuild(s) for {} queries",
         csr.num_entries(),
         components,
-        hub,
-        traversal.reached(),
-        traversal.max_distance(),
+        mgr.rebuild_count(),
+        2 + 1, // components + bfs above, forest below, one rebuild total
     );
 
     // 5. Connectivity queries via the link-cut forest: O(diameter) each.
-    let forest = LinkCutForest::from_csr(&csr);
+    let forest = LinkCutForest::from_view(&*mgr.snapshot());
     let (mean_depth, max_depth) = forest.depth_stats();
     let sample: Vec<(u32, u32)> = (0..8u32).map(|i| (i, hub)).collect();
     let answers = forest.connected_batch(&sample);

@@ -11,12 +11,7 @@
 use snap::prelude::*;
 use std::time::Instant;
 
-fn ingest<A: DynamicAdjacency>(
-    name: &str,
-    n: usize,
-    base: &[Update],
-    batches: &[Vec<Update>],
-) {
+fn ingest<A: DynamicAdjacency>(name: &str, n: usize, base: &[Update], batches: &[Vec<Update>]) {
     let hints = CapacityHints::new(base.len() * 3);
     let graph: DynGraph<A> = DynGraph::undirected(n, &hints);
     engine::apply_stream(&graph, base);
@@ -36,7 +31,10 @@ fn ingest<A: DynamicAdjacency>(
 }
 
 fn main() {
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14);
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
     let n = 1usize << scale;
     let rmat = Rmat::new(RmatParams::paper(scale, 8), 7);
     let edges = rmat.edges();

@@ -17,7 +17,10 @@ fn main() {
     // Interactions with timestamps 1..=100 (think: days of activity).
     let rmat = Rmat::new(RmatParams::paper(scale, 8), 2024);
     let edges = rmat.edges();
-    println!("interaction log: n = {n}, {} timestamped interactions", edges.len());
+    println!(
+        "interaction log: n = {n}, {} timestamped interactions",
+        edges.len()
+    );
 
     // --- Induced subgraph: activity in the middle of the log. ---
     let window = TimeWindow::open(20, 70);
@@ -32,7 +35,9 @@ fn main() {
 
     // --- Temporal BFS: who is reachable respecting time order vs not. ---
     let csr = CsrGraph::from_edges_undirected(n, &edges);
-    let hub = (0..n as u32).max_by_key(|&u| csr.out_degree(u)).expect("non-empty");
+    let hub = (0..n as u32)
+        .max_by_key(|&u| csr.out_degree(u))
+        .expect("non-empty");
     let static_reach = bfs(&csr, hub).reached();
     let early = temporal_bfs(&csr, hub, |ts| ts < 30).reached();
     let windowed = temporal_bfs(&csr, hub, |ts| window.contains(ts)).reached();
@@ -63,5 +68,8 @@ fn main() {
         .map(|v| (bc_t[v] - bc_rl[rl.perm[v] as usize]).abs())
         .fold(0.0f64, f64::max);
     println!("relabeling equivariance check: max |Δ| = {max_err:.2e}");
-    assert!(max_err < 1e-6, "centrality must be invariant under relabeling");
+    assert!(
+        max_err < 1e-6,
+        "centrality must be invariant under relabeling"
+    );
 }

@@ -12,9 +12,27 @@
 //! - [`rmat`] — R-MAT workload generation and update streams,
 //! - [`arena`] — the chunked slab allocator,
 //! - [`treap`] — the randomized treap and its set operations,
-//! - [`core`] — the dynamic graph representations and engines,
+//! - [`core`] — the dynamic graph representations, the [`GraphView`]
+//!   read abstraction, and the update engines,
 //! - [`kernels`] — BFS, connected components, link-cut forest, induced
-//!   subgraphs, betweenness centrality.
+//!   subgraphs, betweenness centrality, and the extended kernel suite.
+//!
+//! ## The read model
+//!
+//! Every kernel is generic over [`GraphView`], so the same call runs on
+//! two read paths with opposite trade-offs:
+//!
+//! - **live view** — pass the [`DynGraph`] itself; the kernel traverses
+//!   the dynamic representation in place (skipping tombstones), sees
+//!   every applied update instantly, and pays zero snapshot cost;
+//! - **snapshot** — pass a [`CsrGraph`]; fastest iteration, frozen
+//!   state, O(n + m) to build.
+//!
+//! [`SnapshotManager`] ties the two together for serving workloads: it
+//! tags the graph with a mutation epoch and rebuilds its cached CSR
+//! lazily, so a burst of queries between update batches pays for at most
+//! one rebuild, and cheap probes bypass CSR entirely via
+//! [`SnapshotManager::live`].
 //!
 //! ## Quickstart
 //!
@@ -24,20 +42,31 @@
 //! // A small-world workload: n = 2^12 vertices, m = 8n timestamped edges.
 //! let rmat = Rmat::new(RmatParams::paper(12, 8), 42);
 //! let edges = rmat.edges();
+//! let n = 1 << 12;
 //!
-//! // Ingest it as a parallel insertion stream into the hybrid structure.
+//! // Ingest it as a parallel insertion stream into the hybrid structure,
+//! // managed by the epoch-tagged snapshot cache.
 //! let hints = CapacityHints::new(edges.len() * 2);
-//! let graph: DynGraph<HybridAdj> = DynGraph::undirected(1 << 12, &hints);
+//! let mgr = SnapshotManager::new(DynGraph::<HybridAdj>::undirected(n, &hints));
 //! let stream = StreamBuilder::new(&edges, 1).construction_shuffled();
-//! engine::apply_stream(&graph, &stream);
+//! mgr.apply_batch(&stream);
 //!
-//! // Snapshot and analyze.
-//! let csr = graph.to_csr();
-//! let forest = LinkCutForest::from_csr(&csr);
-//! let hub = (0..csr.num_vertices() as u32)
-//!     .max_by_key(|&u| csr.out_degree(u))
-//!     .unwrap();
+//! // Cheap, freshness-critical reads hit the live view: no rebuild.
+//! let live = mgr.live();
+//! let hub = (0..n as u32).max_by_key(|&u| live.degree(u)).unwrap();
+//! assert!(live.degree(hub) > 0);
+//! assert_eq!(mgr.rebuild_count(), 0);
+//!
+//! // Traversal-heavy kernels take any GraphView — the live graph works...
+//! let live_bfs = bfs(live, hub);
+//!
+//! // ...and a burst of snapshot queries pays for exactly one rebuild.
+//! let csr = mgr.snapshot();
+//! let snap_bfs = bfs(&*csr, hub);
+//! assert_eq!(live_bfs.dist, snap_bfs.dist);
+//! let forest = LinkCutForest::from_view(&*csr);
 //! assert!(forest.connected(hub, forest.findroot(hub)));
+//! assert_eq!(mgr.rebuild_count(), 1);
 //! ```
 
 pub use snap_arena as arena;
@@ -47,20 +76,25 @@ pub use snap_rmat as rmat;
 pub use snap_treap as treap;
 pub use snap_util as util;
 
+// Lift the read abstraction to the facade root: it is the vocabulary
+// every kernel call site speaks.
+pub use snap_core::{CsrGraph, DynGraph, GraphView, SnapshotManager};
+
 /// One-stop imports for applications.
 pub mod prelude {
     pub use snap_core::adjacency::{AdjEntry, CapacityHints, DynamicAdjacency};
     pub use snap_core::engine;
     pub use snap_core::{
-        CsrGraph, DynArr, DynGraph, FixedDynArr, HybridAdj, TimedEdge, TreapAdj, Update,
-        UpdateKind,
+        CsrGraph, DynArr, DynGraph, FixedDynArr, GraphView, HybridAdj, SnapshotManager, TimedEdge,
+        TreapAdj, Update, UpdateKind,
     };
     pub use snap_kernels::{
         average_clustering, betweenness_approx, betweenness_exact, bfs, boruvka_msf,
-        closeness_approx, closeness_exact, connected_components, delta_stepping,
+        boruvka_msf_view, closeness_approx, closeness_exact, connected_components, delta_stepping,
         double_sweep_lower_bound, earliest_arrival, induced_subgraph_csr,
-        induced_subgraph_vertices, st_connectivity, stress_approx, stress_exact,
-        temporal_betweenness_approx, temporal_bfs, triangle_count, LinkCutForest, TimeWindow,
+        induced_subgraph_vertices, induced_subgraph_view, st_connectivity, stress_approx,
+        stress_exact, temporal_betweenness_approx, temporal_bfs, triangle_count, LinkCutForest,
+        TimeWindow,
     };
     pub use snap_rmat::{Rmat, RmatParams, StreamBuilder};
 }

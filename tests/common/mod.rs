@@ -1,0 +1,36 @@
+//! Shared scaffolding for the seeded property suites.
+//!
+//! No external property-testing crate is reachable in this build
+//! environment, so the integration suites generate randomized cases
+//! with the workspace's own [`XorShift64`]. The helpers live here once
+//! so a change to case seeding or edge-list shape propagates to every
+//! suite. (The fourth copy of this pattern, in `crates/arena`, is
+//! deliberate: that crate sits below `snap-util` in the dependency
+//! graph and documents its private generator.)
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use snap::prelude::TimedEdge;
+use snap::util::rng::XorShift64;
+
+/// Deterministic per-(suite, test, case) generator: `base` names the
+/// suite, `salt` the test, `case` the iteration. Failures reproduce by
+/// re-running with the same three values.
+pub fn rng_for(base: u64, salt: u64, case: u64) -> XorShift64 {
+    XorShift64::new(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(case))
+}
+
+/// Arbitrary small edge list over vertices `0..n` (possibly with
+/// self-loops and duplicates): up to `max_len` edges, timestamps in
+/// `1..max_ts`.
+pub fn edge_list(rng: &mut XorShift64, n: u32, max_len: u64, max_ts: u64) -> Vec<TimedEdge> {
+    let len = rng.next_bounded(max_len) as usize;
+    (0..len)
+        .map(|_| {
+            TimedEdge::new(
+                rng.next_bounded(n as u64) as u32,
+                rng.next_bounded(n as u64) as u32,
+                rng.next_bounded(max_ts - 1) as u32 + 1,
+            )
+        })
+        .collect()
+}

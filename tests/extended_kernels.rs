@@ -3,12 +3,12 @@
 //! reachability vs traversal, and topology statistics on generated
 //! workloads.
 
-use snap::kernels::{
-    average_clustering, boruvka_msf, closeness_approx, closeness_exact,
-    double_sweep_lower_bound, earliest_arrival, exact_diameter, harmonic_exact, kruskal_msf,
-    stress_exact, temporal_reach_count, triangle_count, UNREACHED,
-};
 use snap::kernels::bc::sample_sources;
+use snap::kernels::{
+    average_clustering, boruvka_msf, closeness_approx, closeness_exact, double_sweep_lower_bound,
+    earliest_arrival, exact_diameter, harmonic_exact, kruskal_msf, stress_exact,
+    temporal_reach_count, triangle_count, UNREACHED,
+};
 use snap::prelude::*;
 
 fn rmat_csr(scale: u32, ef: usize, seed: u64) -> CsrGraph {
@@ -38,7 +38,12 @@ fn stress_dominates_betweenness_on_rmat() {
     let bc = betweenness_exact(&csr);
     let st = stress_exact(&csr);
     for v in 0..csr.num_vertices() {
-        assert!(st[v] + 1e-6 >= bc[v], "v {v}: stress {} < bc {}", st[v], bc[v]);
+        assert!(
+            st[v] + 1e-6 >= bc[v],
+            "v {v}: stress {} < bc {}",
+            st[v],
+            bc[v]
+        );
     }
 }
 
@@ -100,7 +105,10 @@ fn msf_connects_exactly_the_components() {
     let forest_edges: Vec<TimedEdge> = msf.edges.iter().map(|&i| edges[i]).collect();
     let forest_csr = CsrGraph::from_edges_undirected(n, &forest_edges);
     let forest_labels = connected_components(&forest_csr);
-    assert_eq!(labels, forest_labels, "forest must preserve connectivity exactly");
+    assert_eq!(
+        labels, forest_labels,
+        "forest must preserve connectivity exactly"
+    );
     // And the forest is acyclic: |F| = n - #components.
     assert_eq!(msf.edges.len(), n - snap::kernels::component_count(&labels));
 }
@@ -108,7 +116,9 @@ fn msf_connects_exactly_the_components() {
 #[test]
 fn temporal_reach_is_between_one_and_static_reach() {
     let csr = rmat_csr(10, 8, 44);
-    let hub = (0..csr.num_vertices() as u32).max_by_key(|&u| csr.out_degree(u)).unwrap();
+    let hub = (0..csr.num_vertices() as u32)
+        .max_by_key(|&u| csr.out_degree(u))
+        .unwrap();
     let static_reach = bfs(&csr, hub).reached();
     let temporal = temporal_reach_count(&csr, hub);
     assert!(temporal >= 1);
@@ -136,9 +146,9 @@ fn earliest_arrival_labels_are_sound_witnesses() {
         if a == u32::MAX || v == src {
             continue;
         }
-        let witnessed = csr.iter_entries().any(|(u, w, t)| {
-            w == v && t == a && arr[u as usize] < t
-        });
+        let witnessed = csr
+            .iter_entries()
+            .any(|(u, w, t)| w == v && t == a && arr[u as usize] < t);
         assert!(witnessed, "arrival {a} at {v} has no witnessing edge");
     }
 }
@@ -147,7 +157,9 @@ fn earliest_arrival_labels_are_sound_witnesses() {
 fn diameter_bound_consistent_with_bfs_eccentricities() {
     let csr = rmat_csr(8, 6, 46);
     let exact = exact_diameter(&csr);
-    let hub = (0..csr.num_vertices() as u32).max_by_key(|&u| csr.out_degree(u)).unwrap();
+    let hub = (0..csr.num_vertices() as u32)
+        .max_by_key(|&u| csr.out_degree(u))
+        .unwrap();
     let lb = double_sweep_lower_bound(&csr, hub);
     assert!(lb <= exact);
     // Exact diameter is the max eccentricity; verify against a few BFS.
@@ -212,7 +224,9 @@ fn bfs_distance_reductions_are_everywhere_sound() {
     // dist labels from parallel BFS satisfy the triangle property:
     // adjacent vertices differ by at most 1.
     let csr = rmat_csr(10, 8, 50);
-    let hub = (0..csr.num_vertices() as u32).max_by_key(|&u| csr.out_degree(u)).unwrap();
+    let hub = (0..csr.num_vertices() as u32)
+        .max_by_key(|&u| csr.out_degree(u))
+        .unwrap();
     let r = bfs(&csr, hub);
     for (u, v, _) in csr.iter_entries() {
         let (du, dv) = (r.dist[u as usize], r.dist[v as usize]);

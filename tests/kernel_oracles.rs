@@ -1,83 +1,121 @@
 //! Kernel correctness against independent oracles on workloads that cross
 //! crate boundaries (generator -> dynamic graph -> snapshot -> kernel).
+//!
+//! Randomized cases come from the workspace's seeded
+//! [`snap::util::rng::XorShift64`] (no external property-testing crate is
+//! reachable in this build environment); failures reproduce per seed.
 
-use proptest::prelude::*;
 use snap::kernels::cc::union_find_components;
 use snap::kernels::{component_count, serial_bfs, UNREACHED};
 use snap::prelude::*;
+use snap::util::rng::XorShift64;
+
+mod common;
+
+const CASES: u64 = 48;
 
 /// Arbitrary small edge lists (possibly with self-loops and duplicates).
-fn edge_list(n: u32) -> impl Strategy<Value = Vec<TimedEdge>> {
-    prop::collection::vec((0..n, 0..n, 1u32..50), 0..200)
-        .prop_map(|v| v.into_iter().map(|(u, w, t)| TimedEdge::new(u, w, t)).collect())
+fn edge_list(n: u32, rng: &mut XorShift64) -> Vec<TimedEdge> {
+    common::edge_list(rng, n, 200, 50)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn rng_for(case: u64, salt: u64) -> XorShift64 {
+    common::rng_for(0x0BAC, salt, case)
+}
 
-    #[test]
-    fn parallel_bfs_equals_serial_bfs(edges in edge_list(48), src in 0u32..48) {
+#[test]
+fn parallel_bfs_equals_serial_bfs() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 1);
+        let edges = edge_list(48, &mut rng);
+        let src = rng.next_bounded(48) as u32;
         let csr = CsrGraph::from_edges_undirected(48, &edges);
         let p = bfs(&csr, src);
         let s = serial_bfs(&csr, src);
-        prop_assert_eq!(p.dist, s.dist);
+        assert_eq!(p.dist, s.dist, "case {case}");
     }
+}
 
-    #[test]
-    fn components_equal_union_find(edges in edge_list(48)) {
+#[test]
+fn components_equal_union_find() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 2);
+        let edges = edge_list(48, &mut rng);
         let csr = CsrGraph::from_edges_undirected(48, &edges);
         let labels = connected_components(&csr);
         let oracle = union_find_components(48, edges.iter().map(|e| (e.u, e.v)));
-        prop_assert_eq!(labels, oracle);
+        assert_eq!(labels, oracle, "case {case}");
     }
+}
 
-    #[test]
-    fn forest_connectivity_equals_components(edges in edge_list(48)) {
+#[test]
+fn forest_connectivity_equals_components() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 3);
+        let edges = edge_list(48, &mut rng);
         let csr = CsrGraph::from_edges_undirected(48, &edges);
         let labels = connected_components(&csr);
         let forest = LinkCutForest::from_csr(&csr);
         for u in 0..48u32 {
             for v in 0..48u32 {
-                prop_assert_eq!(
+                assert_eq!(
                     forest.connected(u, v),
                     labels[u as usize] == labels[v as usize],
-                    "({}, {})", u, v
+                    "case {case}: ({u}, {v})"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn forest_roots_count_components(edges in edge_list(48)) {
+#[test]
+fn forest_roots_count_components() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 4);
+        let edges = edge_list(48, &mut rng);
         let csr = CsrGraph::from_edges_undirected(48, &edges);
         let labels = connected_components(&csr);
         let forest = LinkCutForest::from_csr(&csr);
-        let roots = (0..48u32).filter(|&v| forest.parent(v) == snap::kernels::lcf::ROOT).count();
-        prop_assert_eq!(roots, component_count(&labels));
+        let roots = (0..48u32)
+            .filter(|&v| forest.parent(v) == snap::kernels::lcf::ROOT)
+            .count();
+        assert_eq!(roots, component_count(&labels), "case {case}");
     }
+}
 
-    #[test]
-    fn st_connectivity_equals_bfs_distance(edges in edge_list(48), s in 0u32..48, t in 0u32..48) {
+#[test]
+fn st_connectivity_equals_bfs_distance() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 5);
+        let edges = edge_list(48, &mut rng);
+        let s = rng.next_bounded(48) as u32;
+        let t = rng.next_bounded(48) as u32;
         let csr = CsrGraph::from_edges_undirected(48, &edges);
         let d = serial_bfs(&csr, s);
         let got = st_connectivity(&csr, s, t);
         if d.dist[t as usize] == UNREACHED {
-            prop_assert_eq!(got, None);
+            assert_eq!(got, None, "case {case}");
         } else {
-            prop_assert_eq!(got, Some(d.dist[t as usize]));
+            assert_eq!(got, Some(d.dist[t as usize]), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn temporal_bfs_is_a_restriction_of_bfs(edges in edge_list(48), src in 0u32..48, lo in 0u32..40) {
-        let csr = CsrGraph::from_edges_undirected(48, &edges);
+#[test]
+fn temporal_bfs_is_a_restriction_of_bfs() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 6);
+        let edges = edge_list(48, &mut rng);
+        let src = rng.next_bounded(48) as u32;
+        let lo = rng.next_bounded(40) as u32;
         let hi = lo + 10;
+        let csr = CsrGraph::from_edges_undirected(48, &edges);
         let filtered = temporal_bfs(&csr, src, |ts| ts > lo && ts < hi);
         let full = bfs(&csr, src);
         for v in 0..48usize {
             if filtered.dist[v] != UNREACHED {
-                prop_assert!(full.dist[v] != UNREACHED);
-                prop_assert!(filtered.dist[v] >= full.dist[v]);
+                assert!(full.dist[v] != UNREACHED, "case {case}");
+                assert!(filtered.dist[v] >= full.dist[v], "case {case}");
             }
         }
         // And it must be exact on the explicitly filtered edge list.
@@ -88,39 +126,56 @@ proptest! {
             .collect();
         let sub = CsrGraph::from_edges_undirected(48, &kept);
         let oracle = serial_bfs(&sub, src);
-        prop_assert_eq!(filtered.dist, oracle.dist);
+        assert_eq!(filtered.dist, oracle.dist, "case {case}");
     }
+}
 
-    #[test]
-    fn static_bc_nonnegative_and_zero_on_leaves(edges in edge_list(32)) {
+#[test]
+fn static_bc_nonnegative_and_zero_on_leaves() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 7);
+        let edges = edge_list(32, &mut rng);
         let csr = CsrGraph::from_edges_undirected(32, &edges);
         let bc = betweenness_exact(&csr);
         for v in 0..32u32 {
-            prop_assert!(bc[v as usize] >= -1e-9);
+            assert!(bc[v as usize] >= -1e-9, "case {case}");
             // A vertex with at most one distinct neighbor lies on no
             // shortest path interior.
-            let mut ns: Vec<u32> = csr.neighbors(v).iter().copied().filter(|&w| w != v).collect();
+            let mut ns: Vec<u32> = csr
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| w != v)
+                .collect();
             ns.sort_unstable();
             ns.dedup();
             if ns.len() <= 1 {
-                prop_assert!(bc[v as usize].abs() < 1e-9, "leaf {} has bc {}", v, bc[v as usize]);
+                assert!(
+                    bc[v as usize].abs() < 1e-9,
+                    "case {case}: leaf {v} has bc {}",
+                    bc[v as usize]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn induced_subgraph_extraction_is_exact(edges in edge_list(48), lo in 0u32..40) {
+#[test]
+fn induced_subgraph_extraction_is_exact() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 8);
+        let edges = edge_list(48, &mut rng);
+        let lo = rng.next_bounded(40) as u32;
         let hi = lo + 8;
-        if lo + 1 >= hi { return Ok(()); }
         let w = TimeWindow::open(lo, hi);
         let (kept, count) = snap::kernels::induced_subgraph_edges(&edges, w);
-        prop_assert_eq!(count, kept.len());
+        assert_eq!(count, kept.len(), "case {case}");
         let expect: Vec<TimedEdge> = edges
             .iter()
             .copied()
             .filter(|e| e.timestamp > lo && e.timestamp < hi)
             .collect();
-        prop_assert_eq!(kept, expect);
+        assert_eq!(kept, expect, "case {case}");
     }
 }
 

@@ -132,7 +132,10 @@ fn temporal_bfs_respects_window_on_snapshot_of_dynamic_graph() {
     for v in 0..N {
         if filtered.dist[v] != snap::kernels::UNREACHED {
             assert_ne!(full.dist[v], snap::kernels::UNREACHED);
-            assert!(filtered.dist[v] >= full.dist[v], "filtering cannot shorten paths");
+            assert!(
+                filtered.dist[v] >= full.dist[v],
+                "filtering cannot shorten paths"
+            );
         }
     }
 }

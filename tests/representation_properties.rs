@@ -1,12 +1,19 @@
 //! Property-based tests: every dynamic representation must behave like a
 //! reference set model under arbitrary (sequential) update sequences, and
 //! like each other under parallel application of commuting updates.
+//!
+//! Scripts are generated with the workspace's seeded
+//! [`snap::util::rng::XorShift64`] (no external property-testing crate is
+//! reachable in this build environment); failures reproduce per seed.
 
-use proptest::prelude::*;
 use snap::prelude::*;
+use snap::util::rng::XorShift64;
 use std::collections::{HashMap, HashSet};
 
+mod common;
+
 const N: usize = 64;
+const CASES: u64 = 64;
 
 /// A scripted operation on a small vertex universe.
 #[derive(Clone, Debug)]
@@ -17,14 +24,26 @@ enum Op {
     CheckDegree(u32),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let v = 0..N as u32;
-    prop_oneof![
-        4 => (v.clone(), v.clone(), 1u32..100).prop_map(|(a, b, t)| Op::Insert(a, b, t)),
-        2 => (v.clone(), v.clone()).prop_map(|(a, b)| Op::Delete(a, b)),
-        1 => (v.clone(), v.clone()).prop_map(|(a, b)| Op::CheckContains(a, b)),
-        1 => v.prop_map(Op::CheckDegree),
-    ]
+/// Weighted op generation matching the original proptest strategy:
+/// 4 inserts : 2 deletes : 1 contains-check : 1 degree-check.
+fn random_script(rng: &mut XorShift64) -> Vec<Op> {
+    let len = rng.next_bounded(299) as usize + 1;
+    (0..len)
+        .map(|_| {
+            let a = rng.next_bounded(N as u64) as u32;
+            let b = rng.next_bounded(N as u64) as u32;
+            match rng.next_bounded(8) {
+                0..=3 => Op::Insert(a, b, rng.next_bounded(99) as u32 + 1),
+                4..=5 => Op::Delete(a, b),
+                6 => Op::CheckContains(a, b),
+                _ => Op::CheckDegree(a),
+            }
+        })
+        .collect()
+}
+
+fn rng_for(case: u64, salt: u64) -> XorShift64 {
+    common::rng_for(0x5E_ED, salt, case)
 }
 
 /// Runs the script against a representation and a model simultaneously.
@@ -77,7 +96,7 @@ fn run_script<A: DynamicAdjacency>(adj: &A, ops: &[Op], dedup: bool) {
             .get(&u)
             .map(|m| {
                 m.iter()
-                    .flat_map(|(&v, &c)| std::iter::repeat(v).take(c))
+                    .flat_map(|(&v, &c)| std::iter::repeat_n(v, c))
                     .collect()
             })
             .unwrap_or_default();
@@ -112,40 +131,50 @@ fn dedup_script(ops: &[Op]) -> Vec<Op> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dynarr_matches_multiset_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn dynarr_matches_multiset_model() {
+    for case in 0..CASES {
+        let ops = random_script(&mut rng_for(case, 1));
         let adj = DynArr::new(N, &CapacityHints::new(128));
         run_script(&adj, &ops, false);
     }
+}
 
-    #[test]
-    fn fixed_dynarr_matches_multiset_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn fixed_dynarr_matches_multiset_model() {
+    for case in 0..CASES {
+        let ops = random_script(&mut rng_for(case, 2));
         // Worst case: every op inserts at the same vertex.
         let caps = vec![300u32; N];
         let adj = FixedDynArr::with_capacities(&caps);
         run_script(&adj, &ops, false);
     }
+}
 
-    #[test]
-    fn treap_adj_matches_set_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn treap_adj_matches_set_model() {
+    for case in 0..CASES {
+        let ops = random_script(&mut rng_for(case, 3));
         let adj = TreapAdj::new(N, &CapacityHints::new(128));
         run_script(&adj, &dedup_script(&ops), true);
     }
+}
 
-    #[test]
-    fn hybrid_matches_set_model_across_thresholds(
-        ops in prop::collection::vec(op_strategy(), 1..300),
-        thresh in 1u32..64,
-    ) {
+#[test]
+fn hybrid_matches_set_model_across_thresholds() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 4);
+        let ops = random_script(&mut rng);
+        let thresh = rng.next_bounded(63) as u32 + 1;
         let adj = HybridAdj::new(N, &CapacityHints::new(128).with_degree_thresh(thresh));
         run_script(&adj, &dedup_script(&ops), true);
     }
+}
 
-    #[test]
-    fn representations_agree_pairwise(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn representations_agree_pairwise() {
+    for case in 0..CASES {
+        let ops = random_script(&mut rng_for(case, 5));
         let script = dedup_script(&ops);
         let a = DynArr::new(N, &CapacityHints::new(128));
         let t = TreapAdj::new(N, &CapacityHints::new(128));
@@ -173,8 +202,8 @@ proptest! {
                 ns
             };
             let (na, nt, nh) = (norm(&a), norm(&t), norm(&h));
-            prop_assert_eq!(&na, &nt, "DynArr vs Treap at {}", u);
-            prop_assert_eq!(&na, &nh, "DynArr vs Hybrid at {}", u);
+            assert_eq!(&na, &nt, "case {case}: DynArr vs Treap at {u}");
+            assert_eq!(&na, &nh, "case {case}: DynArr vs Hybrid at {u}");
         }
     }
 }

@@ -1,0 +1,190 @@
+//! The tentpole guarantee of the `GraphView` refactor: every kernel
+//! observes the *same graph* whether it reads the live `DynGraph` or a
+//! fresh `CsrGraph` snapshot of it.
+//!
+//! Property tests drive randomized insert/delete streams into each
+//! representation, then assert that BFS levels, component labels, and
+//! degree sequences agree exactly between the two read paths; plus the
+//! `SnapshotManager` contract: clean epochs never rebuild.
+//!
+//! Randomized cases come from the workspace's seeded
+//! [`snap::util::rng::XorShift64`]; failures reproduce per seed.
+
+use snap::core::SnapshotManager;
+use snap::kernels::{
+    boruvka_msf_view, earliest_arrival, harmonic_exact, st_connectivity, triangle_count,
+};
+use snap::prelude::*;
+use snap::util::rng::XorShift64;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const N: usize = 96;
+const CASES: u64 = 24;
+
+/// Builds a graph state from a randomized insert/delete stream (applied
+/// sequentially: the stream has ordering dependencies) and returns it.
+fn random_graph<A: DynamicAdjacency>(case: u64, salt: u64) -> DynGraph<A> {
+    let mut rng = XorShift64::new(0xE9_01 ^ salt.wrapping_mul(0xBF58_476D).wrapping_add(case));
+    let hints = CapacityHints::new(2048).with_degree_thresh(8);
+    let g: DynGraph<A> = DynGraph::undirected(N, &hints);
+    let mut present: HashSet<(u32, u32)> = HashSet::new();
+    let ops = 600 + rng.next_bounded(600) as usize;
+    for _ in 0..ops {
+        let u = rng.next_bounded(N as u64) as u32;
+        let v = rng.next_bounded(N as u64) as u32;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if present.contains(&key) && rng.next_bool(0.6) {
+            present.remove(&key);
+            g.delete_edge(key.0, key.1);
+        } else if !present.contains(&key) {
+            present.insert(key);
+            g.insert_edge(TimedEdge::new(
+                key.0,
+                key.1,
+                rng.next_bounded(90) as u32 + 1,
+            ));
+        }
+    }
+    g
+}
+
+/// The core property: identical BFS levels, component labels, and degree
+/// sequences on the live view and its snapshot.
+fn assert_view_snapshot_equivalent<A: DynamicAdjacency>(case: u64, salt: u64) {
+    let g: DynGraph<A> = random_graph(case, salt);
+    let csr = g.to_csr();
+
+    // Degree sequences.
+    let live_degrees: Vec<usize> = (0..N as u32).map(|u| g.degree(u)).collect();
+    let snap_degrees: Vec<usize> = (0..N as u32).map(|u| csr.out_degree(u)).collect();
+    assert_eq!(
+        live_degrees, snap_degrees,
+        "case {case}: degree sequences diverge"
+    );
+
+    // BFS levels from several sources (parallel kernel on both paths).
+    for src in [0u32, (N / 2) as u32, (N - 1) as u32] {
+        let live = bfs(&g, src);
+        let snap = bfs(&csr, src);
+        assert_eq!(
+            live.dist, snap.dist,
+            "case {case}: BFS levels diverge from {src}"
+        );
+    }
+
+    // Component labels (canonical min-ids, so exact equality applies).
+    let live_cc = connected_components(&g);
+    let snap_cc = connected_components(&csr);
+    assert_eq!(live_cc, snap_cc, "case {case}: component labels diverge");
+}
+
+#[test]
+fn live_view_equals_snapshot_dynarr() {
+    for case in 0..CASES {
+        assert_view_snapshot_equivalent::<DynArr>(case, 1);
+    }
+}
+
+#[test]
+fn live_view_equals_snapshot_treap() {
+    for case in 0..CASES {
+        assert_view_snapshot_equivalent::<TreapAdj>(case, 2);
+    }
+}
+
+#[test]
+fn live_view_equals_snapshot_hybrid() {
+    for case in 0..CASES {
+        assert_view_snapshot_equivalent::<HybridAdj>(case, 3);
+    }
+}
+
+/// The wider kernel suite agrees across read paths on one fixed workload
+/// per representation (cheaper kernels only; BFS/CC cover the traversal
+/// core above).
+#[test]
+fn extended_kernels_agree_across_read_paths() {
+    let g: DynGraph<HybridAdj> = random_graph(7, 4);
+    let csr = g.to_csr();
+    assert_eq!(triangle_count(&g), triangle_count(&csr));
+    assert_eq!(
+        earliest_arrival(&g, 0)
+            .iter()
+            .filter(|&&a| a != u32::MAX)
+            .count(),
+        earliest_arrival(&csr, 0)
+            .iter()
+            .filter(|&&a| a != u32::MAX)
+            .count()
+    );
+    assert_eq!(
+        st_connectivity(&g, 0, (N - 1) as u32).is_some(),
+        st_connectivity(&csr, 0, (N - 1) as u32).is_some()
+    );
+    let (msf_live, _) = boruvka_msf_view(&g);
+    let (msf_snap, _) = boruvka_msf_view(&csr);
+    assert_eq!(msf_live.edges.len(), msf_snap.edges.len());
+    let hl = harmonic_exact(&g);
+    let hs = harmonic_exact(&csr);
+    for v in 0..N {
+        assert!(
+            (hl[v] - hs[v]).abs() < 1e-9,
+            "harmonic centrality diverges at {v}"
+        );
+    }
+}
+
+/// The SnapshotManager contract from the acceptance criteria: repeated
+/// queries between update batches reuse one cached snapshot — zero
+/// additional rebuilds — and the live view stays queryable throughout.
+#[test]
+fn snapshot_manager_amortizes_rebuilds_across_query_bursts() {
+    let mut rng = XorShift64::new(0xCAFE);
+    let hints = CapacityHints::new(4096);
+    let mgr = SnapshotManager::new(DynGraph::<HybridAdj>::undirected(N, &hints));
+    let mut total_queries = 0usize;
+    for batch in 0..10 {
+        // One update batch...
+        let updates: Vec<Update> = (0..200)
+            .filter_map(|_| {
+                let u = rng.next_bounded(N as u64) as u32;
+                let v = rng.next_bounded(N as u64) as u32;
+                (u != v)
+                    .then(|| Update::insert(TimedEdge::new(u, v, rng.next_bounded(50) as u32 + 1)))
+            })
+            .collect();
+        mgr.apply_batch(&updates);
+        assert!(
+            !mgr.is_clean(),
+            "batch {batch}: epoch must be dirty after updates"
+        );
+        // ...then a burst of snapshot-consuming queries.
+        let first: Arc<CsrGraph> = mgr.snapshot();
+        for q in 0..25 {
+            let s = mgr.snapshot();
+            assert!(
+                Arc::ptr_eq(&first, &s),
+                "batch {batch} query {q}: cache miss"
+            );
+            let r = bfs(&*s, 0);
+            total_queries += r.reached();
+            // Cheap freshness-critical probes hit the live view instead.
+            let _ = mgr.live().degree((q % N) as u32);
+        }
+        assert_eq!(
+            mgr.rebuild_count(),
+            batch + 1,
+            "exactly one rebuild per batch, zero per query"
+        );
+    }
+    assert!(total_queries > 0);
+    // Final sanity: the last snapshot matches the live state exactly.
+    let csr = mgr.snapshot();
+    for u in 0..N as u32 {
+        assert_eq!(csr.out_degree(u), mgr.live().degree(u));
+    }
+}
