@@ -1,0 +1,59 @@
+//! Serial-vs-parallel kernel benches across the thread sweep.
+//!
+//! ```text
+//! cargo bench -p snap-bench --bench par_kernels            # measure
+//! cargo bench -p snap-bench --bench par_kernels -- --test  # CI smoke
+//! ```
+//!
+//! `SNAP_SCALE` (default 16) sets the R-MAT instance; `SNAP_THREADS`
+//! (default 1,2,4,8) sets the worker sweep. The machine-readable
+//! counterpart of this measurement is
+//! `experiments parallel` -> `BENCH_parallel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snap_bench::{build_edges, hub_source, in_pool, Config};
+use snap_core::CsrGraph;
+use snap_kernels::{connected_components, dijkstra, serial_bfs};
+use snap_par::{par_bfs_with, par_cc_with, par_sssp_with, ParConfig};
+
+fn bench_par_kernels(c: &mut Criterion) {
+    let cfg = Config::from_env();
+    let edges = build_edges(cfg.scale, cfg.edge_factor, cfg.seed ^ 13);
+    let csr = CsrGraph::from_edges_undirected(cfg.vertices(), &edges);
+    let src = hub_source(&csr);
+    let pcfg = ParConfig::default();
+    let m = csr.num_entries() as u64;
+
+    let mut g = c.benchmark_group("par_bfs");
+    g.sample_size(10).throughput(Throughput::Elements(m));
+    g.bench_function("serial", |b| b.iter(|| serial_bfs(&csr, src)));
+    for &t in &cfg.threads {
+        g.bench_with_input(BenchmarkId::new("par", t), &t, |b, &t| {
+            b.iter(|| in_pool(t, || par_bfs_with(&csr, src, &pcfg)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("par_cc");
+    g.sample_size(10).throughput(Throughput::Elements(m));
+    g.bench_function("serial", |b| b.iter(|| connected_components(&csr)));
+    for &t in &cfg.threads {
+        g.bench_with_input(BenchmarkId::new("par", t), &t, |b, &t| {
+            b.iter(|| in_pool(t, || par_cc_with(&csr, &pcfg)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("par_sssp");
+    g.sample_size(10).throughput(Throughput::Elements(m));
+    g.bench_function("serial-dijkstra", |b| b.iter(|| dijkstra(&csr, src)));
+    for &t in &cfg.threads {
+        g.bench_with_input(BenchmarkId::new("par-delta32", t), &t, |b, &t| {
+            b.iter(|| in_pool(t, || par_sssp_with(&csr, src, 32, &pcfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_par_kernels);
+criterion_main!(benches);

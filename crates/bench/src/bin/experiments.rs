@@ -1,13 +1,17 @@
 //! Regenerates every figure of the paper as a printed series.
 //!
 //! ```text
-//! experiments [fig1 fig2 ... fig11 | ablations | extensions | all]
+//! experiments [fig1 fig2 ... fig11 | parallel | ablations | extensions | all]
 //! ```
 //!
 //! Environment: `SNAP_SCALE` (default 16) sets `log2(n)` for the update
 //! figures; kernel figures derive their sizes from it. `SNAP_THREADS`
 //! (comma list, default `1,2,4,8`) sets the sweep. Shapes, not absolute
 //! numbers, are the reproduction target — see EXPERIMENTS.md.
+//!
+//! `parallel` additionally persists machine-readable medians to
+//! `BENCH_parallel.json` (kernel, mode, scale, threads, median ns) so
+//! the serial-vs-parallel perf trajectory is tracked across PRs.
 
 use snap_bench::*;
 use snap_core::adjacency::CapacityHints;
@@ -37,6 +41,7 @@ fn main() {
             "fig9",
             "fig10",
             "fig11",
+            "parallel",
             "ablations",
             "extensions",
         ]
@@ -63,6 +68,7 @@ fn main() {
             "fig9" => fig9(&cfg),
             "fig10" => fig10(&cfg),
             "fig11" => fig11(&cfg),
+            "parallel" => parallel(&cfg),
             "ablations" => {
                 ablation_degree_thresh(&cfg);
                 ablation_initial_size(&cfg);
@@ -324,9 +330,7 @@ fn fig10(cfg: &Config) {
     let edges = build_edges(scale, cfg.edge_factor, cfg.seed ^ 10);
     let n = 1usize << scale;
     let csr = CsrGraph::from_edges_undirected(n, &edges);
-    let src = (0..n as u32)
-        .max_by_key(|&u| csr.out_degree(u))
-        .unwrap_or(0);
+    let src = hub_source(&csr);
     let mut base = 0.0;
     let mut t = Table::new(&["threads", "BFS time (s)", "speedup", "MTEPS", "reached"]);
     for &th in &cfg.threads {
@@ -377,6 +381,142 @@ fn fig11(cfg: &Config) {
         t.row(vec![th.to_string(), f3(secs), f3(base / secs)]);
     }
     t.print("Figure 11: approximate temporal betweenness (256 sources)");
+}
+
+/// One persisted measurement of the `parallel` experiment.
+struct BenchRow {
+    kernel: &'static str,
+    mode: &'static str,
+    threads: usize,
+    median_ns: u128,
+}
+
+fn row(kernel: &'static str, mode: &'static str, threads: usize, median_ns: u128) -> BenchRow {
+    BenchRow {
+        kernel,
+        mode,
+        threads,
+        median_ns,
+    }
+}
+
+/// Median wall-clock nanoseconds of `f` over `reps` runs.
+fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u128 {
+    std::hint::black_box(f()); // warm-up, untimed
+    let mut samples: Vec<u128> = (0..reps.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Serial vs parallel kernels (BFS / CC / SSSP) across the thread sweep,
+/// persisted to `BENCH_parallel.json` for cross-PR trajectory tracking.
+fn parallel(cfg: &Config) {
+    use snap_kernels::{connected_components, delta_stepping, dijkstra, serial_bfs};
+    use snap_par::{par_bfs_with, par_cc_with, par_sssp_with, ParConfig};
+
+    let edges = build_edges(cfg.scale, cfg.edge_factor, cfg.seed ^ 13);
+    let n = cfg.vertices();
+    let csr = CsrGraph::from_edges_undirected(n, &edges);
+    let src = hub_source(&csr);
+    let pcfg = ParConfig::default();
+    let delta = 32u64;
+    let reps = 5usize;
+    let mut rows = vec![
+        row(
+            "bfs",
+            "serial",
+            1,
+            median_ns(reps, || serial_bfs(&csr, src)),
+        ),
+        row(
+            "cc",
+            "serial",
+            1,
+            median_ns(reps, || connected_components(&csr)),
+        ),
+        row("sssp", "serial", 1, median_ns(reps, || dijkstra(&csr, src))),
+        // Same algorithm as par_sssp, single-threaded: separates the
+        // delta-vs-dijkstra algorithm gap from the parallelization gap.
+        row(
+            "sssp",
+            "serial-delta",
+            1,
+            median_ns(reps, || delta_stepping(&csr, src, delta)),
+        ),
+    ];
+    for &th in &cfg.threads {
+        rows.push(row(
+            "bfs",
+            "parallel",
+            th,
+            median_ns(reps, || in_pool(th, || par_bfs_with(&csr, src, &pcfg))),
+        ));
+        rows.push(row(
+            "cc",
+            "parallel",
+            th,
+            median_ns(reps, || in_pool(th, || par_cc_with(&csr, &pcfg))),
+        ));
+        rows.push(row(
+            "sssp",
+            "parallel",
+            th,
+            median_ns(reps, || {
+                in_pool(th, || par_sssp_with(&csr, src, delta, &pcfg))
+            }),
+        ));
+    }
+
+    let mut t = Table::new(&["kernel", "mode", "threads", "median (ms)", "vs serial"]);
+    for r in &rows {
+        let serial = rows
+            .iter()
+            .find(|s| s.kernel == r.kernel && s.mode == "serial")
+            .map(|s| s.median_ns)
+            .unwrap_or(r.median_ns);
+        t.row(vec![
+            r.kernel.into(),
+            r.mode.into(),
+            r.threads.to_string(),
+            f3(r.median_ns as f64 / 1e6),
+            f3(serial as f64 / r.median_ns.max(1) as f64),
+        ]);
+    }
+    t.print(&format!(
+        "Parallel kernels: serial vs snap-par (scale {}, m = {})",
+        cfg.scale,
+        edges.len()
+    ));
+    write_bench_json(cfg, &rows);
+}
+
+/// Persists the `parallel` rows as JSON (no serde in the build
+/// environment; the schema is flat enough to emit by hand).
+fn write_bench_json(cfg: &Config, rows: &[BenchRow]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"kernel\": \"{}\", \"mode\": \"{}\", \"scale\": {}, \"threads\": {}, \"median_ns\": {}}}{}\n",
+            r.kernel,
+            r.mode,
+            cfg.scale,
+            r.threads,
+            r.median_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    let path = "BENCH_parallel.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote {} rows to {path}", rows.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
 }
 
 /// Ablation: hybrid degree threshold sweep on the mixed workload.
@@ -481,9 +621,7 @@ fn extension_reorder(cfg: &Config) {
     let rl = Relabeling::by_degree_desc(&csr);
     let relabeled = rl.relabel_csr(&csr);
     let th = *cfg.threads.last().expect("thread list non-empty");
-    let src = (0..n as u32)
-        .max_by_key(|&u| csr.out_degree(u))
-        .unwrap_or(0);
+    let src = hub_source(&csr);
     let (_, orig) = seconds(|| in_pool(th, || bfs(&csr, src)));
     let (_, reord) = seconds(|| in_pool(th, || bfs(&relabeled, rl.perm[src as usize])));
     let mut t = Table::new(&["layout", "BFS time (s)"]);

@@ -72,6 +72,15 @@ pub fn in_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
     snap_util::thread_pool(threads).install(f)
 }
 
+/// The canonical traversal source of a kernel bench: a maximum-degree
+/// hub, so BFS-family measurements start from the densest neighborhood
+/// instead of a possibly isolated vertex.
+pub fn hub_source(csr: &snap_core::CsrGraph) -> u32 {
+    (0..csr.num_vertices() as u32)
+        .max_by_key(|&u| csr.out_degree(u))
+        .unwrap_or(0)
+}
+
 /// Times the parallel application of `updates` to a fresh graph of
 /// representation `A`, returning achieved MUPS.
 pub fn construction_mups<A: DynamicAdjacency>(n: usize, updates: &[Update], threads: usize) -> f64 {

@@ -63,7 +63,7 @@ pub use engine::SnapshotManager;
 pub use graph::DynGraph;
 pub use hybrid::HybridAdj;
 pub use treapadj::TreapAdj;
-pub use view::GraphView;
+pub use view::{GraphView, VertexChunks};
 pub use vlabels::VertexLabels;
 
 // Re-export the shared workload types so downstream users need one import.

@@ -89,6 +89,39 @@ pub trait GraphView: Sync {
         out
     }
 
+    /// First live out-edge of `u` whose `(neighbor, timestamp)` satisfies
+    /// `pred`, or `None`. Contiguous views stop scanning at the match;
+    /// callback-driven live views may visit the full adjacency (the
+    /// underlying [`crate::adjacency::DynamicAdjacency::for_each`] has no
+    /// early exit) but still return only the first hit. Bottom-up BFS
+    /// leans on this: an unvisited vertex only needs *one* frontier
+    /// neighbor to be claimed.
+    fn find_edge<P: FnMut(u32, u32) -> bool>(&self, u: u32, mut pred: P) -> Option<(u32, u32)> {
+        let mut found = None;
+        self.for_each_edge(u, |v, ts| {
+            if found.is_none() && pred(v, ts) {
+                found = Some((v, ts));
+            }
+        });
+        found
+    }
+
+    /// Splits the vertex id space `0..num_vertices()` into contiguous
+    /// ranges of at most `chunk` ids, as a non-allocating iterator.
+    ///
+    /// This is the unit of work for every whole-graph parallel sweep
+    /// (bottom-up BFS, label propagation, distance initialization):
+    /// workers pull ranges instead of single vertices, so live-view
+    /// traversal pays one dispatch per range rather than one allocation
+    /// or virtual call per vertex.
+    fn vertex_chunks(&self, chunk: usize) -> VertexChunks {
+        VertexChunks {
+            next: 0,
+            n: self.num_vertices() as u32,
+            chunk: chunk.clamp(1, u32::MAX as usize) as u32,
+        }
+    }
+
     /// Downcast hook: views backed by a CSR snapshot expose it so the
     /// hottest kernels (BFS-family inner loops) can take a
     /// zero-allocation slice path instead of callback iteration. Live
@@ -97,6 +130,36 @@ pub trait GraphView: Sync {
         None
     }
 }
+
+/// Non-allocating iterator over contiguous vertex-id ranges; see
+/// [`GraphView::vertex_chunks`].
+#[derive(Clone, Debug)]
+pub struct VertexChunks {
+    next: u32,
+    n: u32,
+    chunk: u32,
+}
+
+impl Iterator for VertexChunks {
+    type Item = std::ops::Range<u32>;
+
+    fn next(&mut self) -> Option<std::ops::Range<u32>> {
+        if self.next >= self.n {
+            return None;
+        }
+        let lo = self.next;
+        let hi = lo.saturating_add(self.chunk).min(self.n);
+        self.next = hi;
+        Some(lo..hi)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = ((self.n - self.next.min(self.n)) as usize).div_ceil(self.chunk as usize);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for VertexChunks {}
 
 impl GraphView for CsrGraph {
     #[inline]
@@ -127,6 +190,15 @@ impl GraphView for CsrGraph {
             .zip(self.timestamps(u))
             .map(|(&nbr, &ts)| AdjEntry { nbr, ts })
             .collect()
+    }
+
+    #[inline]
+    fn find_edge<P: FnMut(u32, u32) -> bool>(&self, u: u32, mut pred: P) -> Option<(u32, u32)> {
+        self.neighbors(u)
+            .iter()
+            .zip(self.timestamps(u))
+            .find(|&(&v, &ts)| pred(v, ts))
+            .map(|(&v, &ts)| (v, ts))
     }
 
     #[inline]
@@ -281,6 +353,44 @@ mod tests {
         u.insert_edge(TimedEdge::new(0, 1, 1));
         assert!(!GraphView::is_directed(&u));
         assert!(!GraphView::is_directed(&u.to_csr()));
+    }
+
+    #[test]
+    fn vertex_chunks_cover_id_space_exactly() {
+        let csr = CsrGraph::from_edges_undirected(10, &edges());
+        for chunk in [1usize, 3, 10, 64] {
+            let ranges: Vec<_> = csr.vertex_chunks(chunk).collect();
+            assert_eq!(ranges.len(), csr.vertex_chunks(chunk).len());
+            let mut next = 0u32;
+            for r in &ranges {
+                assert_eq!(r.start, next, "chunks must be contiguous");
+                assert!(r.len() <= chunk);
+                next = r.end;
+            }
+            assert_eq!(next, 10);
+        }
+        let empty = CsrGraph::from_edges_undirected(0, &[]);
+        assert_eq!(empty.vertex_chunks(8).count(), 0);
+    }
+
+    #[test]
+    fn find_edge_agrees_across_views() {
+        let hints = CapacityHints::new(32).with_degree_thresh(2);
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(4, &hints);
+        for e in edges() {
+            g.insert_edge(e);
+        }
+        let csr = g.to_csr();
+        // Existing target: both views find it, with the same timestamp.
+        let live = GraphView::find_edge(&g, 0, |v, _| v == 2);
+        let snap = csr.find_edge(0, |v, _| v == 2);
+        assert_eq!(live, Some((2, 20)));
+        assert_eq!(live, snap);
+        // Missing target: both views report None.
+        assert_eq!(GraphView::find_edge(&g, 1, |v, _| v == 3), None);
+        assert_eq!(csr.find_edge(1, |v, _| v == 3), None);
+        // Timestamp predicate.
+        assert_eq!(csr.find_edge(3, |_, ts| ts >= 40), Some((0, 40)));
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub const UNREACHED: u32 = u32::MAX;
 /// parallel adjacency scans.
 const HEAVY_DEGREE: usize = 1 << 12;
 
+/// Live-view frontier chunk: one claim buffer per this many vertices.
+const LIVE_CHUNK: usize = 64;
+
 /// Output of a BFS run.
 #[derive(Clone, Debug)]
 pub struct BfsResult {
@@ -106,15 +109,20 @@ fn bfs_filtered<V: GraphView>(view: &V, src: u32, pred: impl Fn(u32) -> bool + S
                 })
                 .collect()
         } else {
+            // Live views buffer claims per *chunk* of frontier vertices,
+            // not per vertex: one allocation amortized over up to
+            // LIVE_CHUNK whole adjacencies instead of one per vertex.
             light
-                .par_iter()
-                .flat_map_iter(|&v| {
+                .par_chunks(LIVE_CHUNK)
+                .flat_map_iter(|chunk| {
                     let mut claimed = Vec::new();
-                    view.for_each_edge(v, |w, t| {
-                        if let Some(w) = claim(dist_ref, parent_ref, v, w, t, level, pred) {
-                            claimed.push(w);
-                        }
-                    });
+                    for &v in chunk {
+                        view.for_each_edge(v, |w, t| {
+                            if let Some(w) = claim(dist_ref, parent_ref, v, w, t, level, pred) {
+                                claimed.push(w);
+                            }
+                        });
+                    }
                     claimed
                 })
                 .collect()
@@ -130,10 +138,17 @@ fn bfs_filtered<V: GraphView>(view: &V, src: u32, pred: impl Fn(u32) -> bool + S
                     .filter_map(|(&w, &t)| claim(&dist, &parent, v, w, t, level, pred))
                     .collect()
             } else {
-                view.edges_of(v)
-                    .par_iter()
-                    .filter_map(|e| claim(&dist, &parent, v, e.nbr, e.ts, level, pred))
-                    .collect()
+                // Live hubs cannot be range-addressed, so scan through
+                // the callback API into one buffer — no `edges_of`
+                // materialization. Intra-hub parallelism on live views
+                // is the job of `snap-par`'s frontier engine.
+                let mut claimed = Vec::new();
+                view.for_each_edge(v, |w, t| {
+                    if let Some(w) = claim(&dist, &parent, v, w, t, level, pred) {
+                        claimed.push(w);
+                    }
+                });
+                claimed
             };
             next.extend(claimed);
         }

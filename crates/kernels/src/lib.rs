@@ -31,6 +31,14 @@
 //! - [`sssp`] / [`msf`] / [`closeness`] / [`cluster`] / [`diameter`] /
 //!   [`stress`] / [`temporal_reach`] — the extended kernel suite, all
 //!   view-generic.
+//!
+//! The multi-threaded runtime lives one layer up in `snap-par`
+//! (`par_bfs` / `par_cc` / `par_sssp`): it shares this crate's result
+//! vocabulary ([`BfsResult`], [`UNREACHED`], [`sssp::INF`], the
+//! canonical min-id component labels) and falls back to the serial
+//! kernels here ([`serial_bfs`], [`connected_components`], [`dijkstra`])
+//! below its size threshold, so the two layers are interchangeable in
+//! call sites and comparable bit-for-bit in tests.
 
 pub mod bc;
 pub mod bfs;

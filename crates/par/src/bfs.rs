@@ -1,0 +1,301 @@
+//! Direction-optimizing parallel BFS over any [`GraphView`].
+//!
+//! Top-down levels run through the [`FrontierEngine`]: edge-budgeted
+//! chunks, per-worker next buffers, and a compare-exchange claim per
+//! discovered vertex in an [`AtomicBitset`]. When the frontier gets
+//! dense, the traversal flips to **bottom-up** (Beamer et al., SC'12):
+//! instead of expanding frontier edges, every *unvisited* vertex scans
+//! its own adjacency for any frontier neighbor and claims itself — no
+//! contention at all (each vertex is examined by exactly one worker),
+//! and on small-world graphs the scan early-exits after a handful of
+//! edges because almost everything neighbors the dense frontier.
+//!
+//! The switch heuristic is the standard one, driven by frontier/edge
+//! counts the engine already tracks:
+//!
+//! - top-down -> bottom-up when `m_f * alpha > m_u` (the frontier's
+//!   out-edge count approaches the unvisited edge count), and
+//! - bottom-up -> top-down when `n_f * beta < n` (the frontier thins
+//!   back out).
+//!
+//! Bottom-up requires in-edge = out-edge symmetry, so it is gated to
+//! undirected views; directed graphs traverse pure top-down.
+//!
+//! Graphs below [`ParConfig::serial_threshold`] fall back to the serial
+//! kernel: a fork-join barrier per level cannot pay for itself on a
+//! graph that fits in one core's cache.
+
+use crate::bitset::AtomicBitset;
+use crate::frontier::{par_range_map, sweep_grain, FrontierEngine};
+use crate::ParConfig;
+use snap_core::GraphView;
+use snap_kernels::bfs::{serial_bfs, BfsResult, UNREACHED};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Per-run traversal counters, exposed for tests and tuning.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BfsStats {
+    /// Levels expanded top-down.
+    pub top_down_levels: u32,
+    /// Levels expanded bottom-up.
+    pub bottom_up_levels: u32,
+    /// True when the whole run used the serial fallback.
+    pub serial_fallback: bool,
+}
+
+/// Parallel BFS from `src` with the default [`ParConfig`].
+pub fn par_bfs<V: GraphView>(view: &V, src: u32) -> BfsResult {
+    par_bfs_with(view, src, &ParConfig::default())
+}
+
+/// Parallel BFS from `src` under an explicit configuration.
+pub fn par_bfs_with<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> BfsResult {
+    par_bfs_stats(view, src, cfg).0
+}
+
+/// Like [`par_bfs_with`], also returning direction-switch counters.
+pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsResult, BfsStats) {
+    let n = view.num_vertices();
+    assert!((src as usize) < n, "source out of range");
+    let m = view.num_entries();
+    if n + m <= cfg.serial_threshold {
+        let stats = BfsStats {
+            serial_fallback: true,
+            ..BfsStats::default()
+        };
+        return (serial_bfs(view, src), stats);
+    }
+    let threads = cfg.worker_count();
+    let mut stats = BfsStats::default();
+
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    let visited = AtomicBitset::new(n);
+    dist[src as usize].store(0, Ordering::Relaxed);
+    visited.set(src as usize);
+
+    let mut engine = FrontierEngine::new(threads, cfg.chunk_edges);
+    engine.seed(src);
+
+    // Direction bookkeeping: out-degree mass of the current frontier and
+    // of the still-unvisited remainder.
+    let mut frontier_deg: u64 = view.degree(src) as u64;
+    let mut prev_frontier_deg: u64 = 0;
+    let mut unexplored: u64 = (m as u64).saturating_sub(frontier_deg);
+    let bottom_up_allowed = !view.is_directed() && cfg.beta > 0;
+    // Frontier membership mask + per-worker sinks, allocated lazily on
+    // the first switch and recycled for every bottom-up level after.
+    let mut frontier_bits: Option<AtomicBitset> = None;
+    let mut bu_sinks: Vec<Vec<u32>> = Vec::new();
+    let mut ranges: Vec<Range<u32>> = Vec::new();
+    let mut in_bottom_up = false;
+
+    let mut level = 0u32;
+    while !engine.is_empty() {
+        level += 1;
+        in_bottom_up = bottom_up_allowed
+            && if in_bottom_up {
+                // Stay bottom-up while the frontier is still dense:
+                // n_f * beta >= n.
+                engine.len() as u64 * cfg.beta as u64 >= n as u64
+            } else {
+                // Switch when the frontier is still growing and its edge
+                // mass rivals the unvisited edge mass: m_f * alpha > m_u.
+                // The growth test keeps high-diameter tails (line-like
+                // graphs draining their last edges) in top-down mode.
+                frontier_deg > prev_frontier_deg
+                    && frontier_deg.saturating_mul(cfg.alpha as u64) > unexplored
+            };
+        if in_bottom_up {
+            stats.bottom_up_levels += 1;
+            let bits = frontier_bits.get_or_insert_with(|| AtomicBitset::new(n));
+            if bu_sinks.is_empty() {
+                bu_sinks = (0..threads).map(|_| Vec::new()).collect();
+                ranges = view.vertex_chunks(sweep_grain(n, threads)).collect();
+            }
+            for &u in engine.current() {
+                bits.set(u as usize);
+            }
+            bottom_up_level(
+                view,
+                &visited,
+                &*bits,
+                &dist,
+                &parent,
+                level,
+                &ranges,
+                &mut bu_sinks,
+            );
+            for &u in engine.current() {
+                bits.clear(u as usize);
+            }
+            engine.replace_from(&mut bu_sinks);
+        } else {
+            stats.top_down_levels += 1;
+            let (dist, parent, visited) = (&dist, &parent, &visited);
+            engine.advance(view, |u, v, _| {
+                if visited.claim(v as usize) {
+                    dist[v as usize].store(level, Ordering::Relaxed);
+                    parent[v as usize].store(u, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        prev_frontier_deg = frontier_deg;
+        frontier_deg = engine
+            .current()
+            .iter()
+            .map(|&u| view.degree(u) as u64)
+            .sum();
+        unexplored = unexplored.saturating_sub(frontier_deg);
+    }
+    let result = BfsResult {
+        dist: dist.into_iter().map(|d| d.into_inner()).collect(),
+        parent: parent.into_iter().map(|p| p.into_inner()).collect(),
+    };
+    (result, stats)
+}
+
+/// One bottom-up level: every unvisited vertex looks for a frontier
+/// neighbor and claims itself. No claim race exists — vertex ownership
+/// is exclusive to the worker holding its range — so plain stores
+/// suffice; the scope join publishes them to the next level.
+#[allow(clippy::too_many_arguments)]
+fn bottom_up_level<V: GraphView>(
+    view: &V,
+    visited: &AtomicBitset,
+    frontier_bits: &AtomicBitset,
+    dist: &[AtomicU32],
+    parent: &[AtomicU32],
+    level: u32,
+    ranges: &[Range<u32>],
+    sinks: &mut [Vec<u32>],
+) {
+    par_range_map(
+        ranges,
+        |r, sink: &mut Vec<u32>| {
+            visited.for_each_unset_in(r.start as usize, r.end as usize, |w| {
+                let hit = view.find_edge(w as u32, |v, _| frontier_bits.test(v as usize));
+                if let Some((v, _)) = hit {
+                    visited.set(w);
+                    dist[w].store(level, Ordering::Relaxed);
+                    parent[w].store(v, Ordering::Relaxed);
+                    sink.push(w as u32);
+                }
+            });
+        },
+        sinks,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_core::adjacency::CapacityHints;
+    use snap_core::{CsrGraph, DynGraph, HybridAdj};
+    use snap_rmat::{Rmat, RmatParams, TimedEdge};
+
+    fn force() -> ParConfig {
+        ParConfig::default()
+            .with_serial_threshold(0)
+            .with_threads(4)
+    }
+
+    #[test]
+    fn small_graph_takes_serial_fallback() {
+        let g = CsrGraph::from_edges_undirected(4, &[TimedEdge::new(0, 1, 1)]);
+        let (_, stats) = par_bfs_stats(&g, 0, &ParConfig::default());
+        assert!(stats.serial_fallback);
+    }
+
+    #[test]
+    fn line_graph_stays_top_down_and_is_exact() {
+        let edges: Vec<TimedEdge> = (0..999).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+        let g = CsrGraph::from_edges_undirected(1000, &edges);
+        let (r, stats) = par_bfs_stats(&g, 0, &force());
+        assert_eq!(stats.bottom_up_levels, 0, "sparse frontier must not flip");
+        assert!(!stats.serial_fallback);
+        for v in 0..1000 {
+            assert_eq!(r.dist[v], v as u32);
+        }
+    }
+
+    #[test]
+    fn rmat_flips_to_bottom_up_and_matches_serial() {
+        let rm = Rmat::new(RmatParams::paper(12, 8), 9);
+        let g = CsrGraph::from_edges_undirected(1 << 12, &rm.edges());
+        let (r, stats) = par_bfs_stats(&g, 0, &force());
+        assert!(
+            stats.bottom_up_levels >= 1,
+            "dense small-world frontier must trigger the switch: {stats:?}"
+        );
+        let s = serial_bfs(&g, 0);
+        assert_eq!(r.dist, s.dist);
+    }
+
+    #[test]
+    fn forced_bottom_up_still_exact_on_star() {
+        let hub_deg = 4000u32;
+        let edges: Vec<TimedEdge> = (1..=hub_deg).map(|v| TimedEdge::new(0, v, 1)).collect();
+        let g = CsrGraph::from_edges_undirected(hub_deg as usize + 1, &edges);
+        // alpha huge => flip to bottom-up as soon as possible.
+        let cfg = force().with_alpha(usize::MAX).with_beta(1);
+        let (r, stats) = par_bfs_stats(&g, 0, &cfg);
+        assert!(stats.bottom_up_levels >= 1);
+        assert_eq!(serial_bfs(&g, 0).dist, r.dist);
+    }
+
+    #[test]
+    fn directed_graphs_never_go_bottom_up() {
+        let rm = Rmat::new(RmatParams::paper(11, 8), 4);
+        let g = CsrGraph::from_edges_directed(1 << 11, &rm.edges());
+        let cfg = force().with_alpha(usize::MAX);
+        let (r, stats) = par_bfs_stats(&g, 0, &cfg);
+        assert_eq!(stats.bottom_up_levels, 0);
+        assert_eq!(serial_bfs(&g, 0).dist, r.dist);
+    }
+
+    #[test]
+    fn live_view_matches_snapshot() {
+        let rm = Rmat::new(RmatParams::paper(10, 8), 21);
+        let hints = CapacityHints::new(rm.edges().len() * 2);
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(1 << 10, &hints);
+        for e in rm.edges() {
+            g.insert_edge(e);
+        }
+        let csr = g.to_csr();
+        let live = par_bfs_with(&g, 5, &force());
+        let snap = par_bfs_with(&csr, 5, &force());
+        assert_eq!(live.dist, snap.dist);
+        assert_eq!(live.dist, serial_bfs(&csr, 5).dist);
+    }
+
+    #[test]
+    fn parents_form_a_valid_bfs_tree() {
+        let rm = Rmat::new(RmatParams::paper(11, 8), 33);
+        let g = CsrGraph::from_edges_undirected(1 << 11, &rm.edges());
+        let r = par_bfs_with(&g, 0, &force());
+        assert_eq!(r.parent[0], UNREACHED);
+        for v in 0..r.dist.len() {
+            if v == 0 || r.dist[v] == UNREACHED {
+                continue;
+            }
+            let p = r.parent[v] as usize;
+            assert_eq!(r.dist[p] + 1, r.dist[v], "parent of {v} is off-level");
+            assert!(
+                g.neighbors(p as u32).contains(&(v as u32)),
+                "parent edge {p}->{v} does not exist"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn invalid_source_panics() {
+        let g = CsrGraph::from_edges_undirected(2, &[]);
+        par_bfs(&g, 9);
+    }
+}

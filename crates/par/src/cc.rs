@@ -1,0 +1,144 @@
+//! Parallel connected components: Shiloach–Vishkin label propagation
+//! with pointer jumping, executed over real worker threads.
+//!
+//! The algorithm matches the serial kernel in `snap_kernels::cc` —
+//! alternate *grafting* (hook a vertex's label chain under any smaller
+//! label seen across an edge) and *shortcutting* (pointer-jump every
+//! label to its chain's root) until a fixed point. Labels only ever
+//! decrease and every intermediate label names a vertex inside the same
+//! component, so the fixed point is the component's minimum vertex id:
+//! the output is canonical and comparable with the serial kernel
+//! bit-for-bit, at any thread count.
+//!
+//! Work distribution: the vertex id space is cut into
+//! [`GraphView::vertex_chunks`] ranges and both phases run through
+//! [`crate::frontier::par_for_ranges`] — dynamic chunk self-scheduling,
+//! so a range hiding a power-law hub delays one chunk, not one thread's
+//! entire static share. The input view must be symmetric (undirected),
+//! as for the serial kernel.
+
+use crate::frontier::{par_for_ranges, sweep_grain};
+use crate::ParConfig;
+use snap_core::GraphView;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Parallel connected components with the default [`ParConfig`].
+/// Returns the canonical min-id label per vertex.
+pub fn par_cc<V: GraphView>(view: &V) -> Vec<u32> {
+    par_cc_with(view, &ParConfig::default())
+}
+
+/// Parallel connected components under an explicit configuration.
+pub fn par_cc_with<V: GraphView>(view: &V, cfg: &ParConfig) -> Vec<u32> {
+    let n = view.num_vertices();
+    if n + view.num_entries() <= cfg.serial_threshold {
+        return snap_kernels::connected_components(view);
+    }
+    let threads = cfg.worker_count();
+    let ranges: Vec<Range<u32>> = view.vertex_chunks(sweep_grain(n, threads)).collect();
+    let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        // Graft: relaxed racy hooking is convergent — the outer loop
+        // re-checks until a fixed point and labels only decrease.
+        par_for_ranges(&ranges, threads, |r| {
+            for u in r {
+                let lu = label[u as usize].load(Ordering::Relaxed);
+                view.for_each_edge(u, |v, _| {
+                    let lv = label[v as usize].load(Ordering::Relaxed);
+                    if lv < lu {
+                        if try_lower(&label, u, lv) {
+                            changed.store(true, Ordering::Relaxed);
+                        }
+                    } else if lu < lv && try_lower(&label, v, lu) {
+                        changed.store(true, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        // Shortcut: pointer-jump every label chain to its root.
+        par_for_ranges(&ranges, threads, |r| {
+            for u in r {
+                let mut l = label[u as usize].load(Ordering::Relaxed);
+                loop {
+                    let ll = label[l as usize].load(Ordering::Relaxed);
+                    if ll == l {
+                        break;
+                    }
+                    l = ll;
+                }
+                label[u as usize].store(l, Ordering::Relaxed);
+            }
+        });
+    }
+    label.into_iter().map(|l| l.into_inner()).collect()
+}
+
+/// CAS-lowers `x`'s label to `to` if smaller; true if changed.
+fn try_lower(label: &[AtomicU32], x: u32, to: u32) -> bool {
+    let mut cur = label[x as usize].load(Ordering::Relaxed);
+    while to < cur {
+        match label[x as usize].compare_exchange_weak(cur, to, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_core::CsrGraph;
+    use snap_kernels::cc::union_find_components;
+    use snap_kernels::{component_count, connected_components};
+    use snap_rmat::{Rmat, RmatParams, TimedEdge};
+
+    fn force() -> ParConfig {
+        ParConfig::default()
+            .with_serial_threshold(0)
+            .with_threads(4)
+    }
+
+    #[test]
+    fn matches_serial_kernel_and_union_find_on_rmat() {
+        let rm = Rmat::new(RmatParams::paper(11, 4), 17);
+        let edges = rm.edges();
+        let g = CsrGraph::from_edges_undirected(1 << 11, &edges);
+        let par = par_cc_with(&g, &force());
+        assert_eq!(par, connected_components(&g));
+        assert_eq!(
+            par,
+            union_find_components(1 << 11, edges.iter().map(|e| (e.u, e.v)))
+        );
+    }
+
+    #[test]
+    fn long_path_converges_to_min_label() {
+        let edges: Vec<TimedEdge> = (0..1999).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+        let g = CsrGraph::from_edges_undirected(2000, &edges);
+        let labels = par_cc_with(&g, &force());
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn components_and_isolates() {
+        let edges = vec![
+            TimedEdge::new(0, 1, 1),
+            TimedEdge::new(1, 2, 1),
+            TimedEdge::new(5, 6, 1),
+        ];
+        let g = CsrGraph::from_edges_undirected(8, &edges);
+        let labels = par_cc_with(&g, &force());
+        assert_eq!(labels, vec![0, 0, 0, 3, 4, 5, 5, 7]);
+        assert_eq!(component_count(&labels), 5);
+    }
+
+    #[test]
+    fn small_graph_falls_back_to_serial() {
+        let g = CsrGraph::from_edges_undirected(4, &[TimedEdge::new(1, 2, 1)]);
+        assert_eq!(par_cc(&g), connected_components(&g));
+    }
+}

@@ -1,0 +1,140 @@
+//! `snap-par`: the parallel graph-traversal runtime.
+//!
+//! The paper's thesis is that dynamic small-world graphs should be
+//! analyzed by *parallel* connectivity kernels; this crate supplies the
+//! reusable machinery those kernels share, generic over any
+//! [`snap_core::GraphView`] (live dynamic graphs and CSR snapshots
+//! alike):
+//!
+//! - [`FrontierEngine`] — double-buffered level-synchronous frontiers:
+//!   edge-budgeted chunk splitting (a power-law hub is split across
+//!   workers instead of serializing one), dynamic chunk self-scheduling
+//!   over scoped OS threads, and per-worker next-frontier buffers merged
+//!   by swap — no locks anywhere on the hot path.
+//! - [`AtomicBitset`] — the visited/claim structure: one
+//!   compare-exchange per discovered vertex decides which thread owns
+//!   its level and parent.
+//! - [`par_bfs`] — direction-optimizing BFS (top-down through the
+//!   engine, bottom-up over unvisited vertex ranges once the frontier is
+//!   dense; see [`bfs`] for the switch heuristic).
+//! - [`par_cc`] — Shiloach–Vishkin label propagation with pointer
+//!   jumping; canonical min-id labels, bit-identical to the serial
+//!   kernel at any thread count.
+//! - [`par_sssp`] — Δ-stepping with parallel CAS-min bucket relaxation.
+//!
+//! # Thread-count configuration
+//!
+//! [`ParConfig::threads`] = 0 (the default) adopts
+//! `rayon::current_num_threads()`, so running a kernel inside
+//! `snap_util::thread_pool(t).install(..)` sweeps thread counts exactly
+//! like every other benchmark in the workspace; a non-zero value pins
+//! the worker count explicitly.
+//!
+//! # Serial fallback
+//!
+//! Each kernel falls back to its serial counterpart
+//! (`snap_kernels::serial_bfs`, `connected_components`, `dijkstra`) when
+//! `n + m <= serial_threshold` (default 4096): a fork-join barrier per
+//! BFS level cannot pay for itself on a graph that fits in one core's
+//! cache. Set [`ParConfig::with_serial_threshold`] to 0 to force the
+//! parallel path (the equivalence suites do).
+
+pub mod bfs;
+pub mod bitset;
+pub mod cc;
+pub mod frontier;
+pub mod sssp;
+
+pub use bfs::{par_bfs, par_bfs_stats, par_bfs_with, BfsStats};
+pub use bitset::AtomicBitset;
+pub use cc::{par_cc, par_cc_with};
+pub use frontier::FrontierEngine;
+pub use sssp::{par_sssp, par_sssp_with};
+
+/// Tuning knobs shared by every parallel kernel.
+#[derive(Clone, Debug)]
+pub struct ParConfig {
+    /// Worker thread count; 0 = adopt `rayon::current_num_threads()`
+    /// (which honors the innermost installed pool).
+    pub threads: usize,
+    /// Run the serial kernel when `n + m` is at or below this.
+    pub serial_threshold: usize,
+    /// Top-down -> bottom-up when `frontier_edges * alpha >
+    /// unvisited_edges` (Beamer's alpha; larger switches earlier).
+    pub alpha: usize,
+    /// Bottom-up -> top-down when `frontier_size * beta < n`; 0 disables
+    /// bottom-up entirely.
+    pub beta: usize,
+    /// Edge budget per frontier chunk: the work-granularity / hub-split
+    /// threshold of the [`FrontierEngine`].
+    pub chunk_edges: usize,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            serial_threshold: 1 << 12,
+            alpha: 14,
+            beta: 24,
+            chunk_edges: 2048,
+        }
+    }
+}
+
+impl ParConfig {
+    /// Resolved worker count (>= 1).
+    pub fn worker_count(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            self.threads
+        }
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    pub fn with_serial_threshold(mut self, t: usize) -> Self {
+        self.serial_threshold = t;
+        self
+    }
+
+    pub fn with_alpha(mut self, alpha: usize) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    pub fn with_beta(mut self, beta: usize) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    pub fn with_chunk_edges(mut self, chunk_edges: usize) -> Self {
+        self.chunk_edges = chunk_edges.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_honors_installed_pool() {
+        let cfg = ParConfig::default();
+        let inside = snap_util::thread_pool(3).install(|| cfg.worker_count());
+        assert_eq!(inside, 3);
+        assert_eq!(cfg.with_threads(5).worker_count(), 5);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ParConfig::default();
+        assert!(cfg.worker_count() >= 1);
+        assert!(cfg.chunk_edges >= 1);
+        assert!(cfg.alpha > 0 && cfg.beta > 0);
+    }
+}

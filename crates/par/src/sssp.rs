@@ -1,0 +1,190 @@
+//! Parallel single-source shortest paths: Δ-stepping with parallel
+//! bucket relaxation.
+//!
+//! Same bucket structure as the serial kernel (`snap_kernels::sssp`):
+//! vertices bucketed by `dist / Δ`, each bucket settled to a fixed point
+//! over its light edges (weight <= Δ) before one heavy-edge pass. The
+//! parallel part is the relaxation: each bucket's frontier fans out
+//! through [`crate::frontier::par_edge_map`] — edge-budgeted chunks over
+//! worker threads — and every edge applies a CAS-min directly to the
+//! shared atomic distance array. Workers record which vertices they
+//! improved in per-worker buffers; the (cheap, frontier-sized) bucket
+//! insertion happens sequentially after the join. A vertex improved
+//! twice in one round is pushed twice — a stale queued entry re-relaxes
+//! harmlessly, exactly as in the serial kernel.
+//!
+//! Edge weight is `max(timestamp, 1)`, matching the serial kernel, so
+//! results are comparable bit-for-bit (both are exact).
+
+use crate::frontier::par_edge_map;
+use crate::ParConfig;
+use snap_core::GraphView;
+use snap_kernels::sssp::INF;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parallel Δ-stepping from `src` with the default [`ParConfig`].
+pub fn par_sssp<V: GraphView>(view: &V, src: u32, delta: u64) -> Vec<u64> {
+    par_sssp_with(view, src, delta, &ParConfig::default())
+}
+
+/// Parallel Δ-stepping from `src` under an explicit configuration.
+/// Falls back to the serial Dijkstra oracle below the size threshold.
+pub fn par_sssp_with<V: GraphView>(view: &V, src: u32, delta: u64, cfg: &ParConfig) -> Vec<u64> {
+    let n = view.num_vertices();
+    assert!((src as usize) < n, "source out of range");
+    if n + view.num_entries() <= cfg.serial_threshold {
+        return snap_kernels::dijkstra(view, src);
+    }
+    let delta = delta.max(1);
+    let threads = cfg.worker_count();
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[src as usize].store(0, Ordering::Relaxed);
+    let mut sinks: Vec<Vec<(u32, u64)>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut buckets: Vec<Vec<u32>> = vec![vec![src]];
+    let mut current = 0usize;
+    while current < buckets.len() {
+        // Settle the current bucket over light edges to a fixed point.
+        let mut deleted: Vec<u32> = Vec::new();
+        loop {
+            let frontier: Vec<u32> = std::mem::take(&mut buckets[current]);
+            if frontier.is_empty() {
+                break;
+            }
+            deleted.extend_from_slice(&frontier);
+            relax_frontier(view, &frontier, &dist, cfg, |w| w <= delta, &mut sinks);
+            enqueue_improved(&mut sinks, delta, &mut buckets, current);
+        }
+        // One heavy-edge pass over everything settled in this bucket.
+        relax_frontier(view, &deleted, &dist, cfg, |w| w > delta, &mut sinks);
+        enqueue_improved(&mut sinks, delta, &mut buckets, current);
+        current += 1;
+    }
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+#[inline]
+fn weight(ts: u32) -> u64 {
+    (ts as u64).max(1)
+}
+
+/// Parallel chunked relaxation of every qualifying edge out of
+/// `frontier`: CAS-min on the shared distances, improvements recorded in
+/// per-worker sinks.
+fn relax_frontier<V: GraphView>(
+    view: &V,
+    frontier: &[u32],
+    dist: &[AtomicU64],
+    cfg: &ParConfig,
+    qualifies: impl Fn(u64) -> bool + Sync,
+    sinks: &mut [Vec<(u32, u64)>],
+) {
+    par_edge_map(
+        view,
+        frontier,
+        cfg.chunk_edges,
+        |u, v, ts, sink: &mut Vec<(u32, u64)>| {
+            let w = weight(ts);
+            if !qualifies(w) {
+                return;
+            }
+            let du = dist[u as usize].load(Ordering::Relaxed);
+            let nd = du.saturating_add(w);
+            let mut cur = dist[v as usize].load(Ordering::Relaxed);
+            while nd < cur {
+                match dist[v as usize].compare_exchange_weak(
+                    cur,
+                    nd,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        sink.push((v, nd));
+                        return;
+                    }
+                    Err(now) => cur = now,
+                }
+            }
+        },
+        sinks,
+    );
+}
+
+/// Drains the worker sinks into their target buckets (never before
+/// `floor`: edge weights are positive).
+fn enqueue_improved(
+    sinks: &mut [Vec<(u32, u64)>],
+    delta: u64,
+    buckets: &mut Vec<Vec<u32>>,
+    floor: usize,
+) {
+    for sink in sinks {
+        for &(v, nd) in sink.iter() {
+            let b = ((nd / delta) as usize).max(floor);
+            if b >= buckets.len() {
+                buckets.resize(b + 1, Vec::new());
+            }
+            buckets[b].push(v);
+        }
+        sink.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_core::CsrGraph;
+    use snap_kernels::{delta_stepping, dijkstra};
+    use snap_rmat::{Rmat, RmatParams, TimedEdge};
+
+    fn force() -> ParConfig {
+        ParConfig::default()
+            .with_serial_threshold(0)
+            .with_threads(4)
+    }
+
+    #[test]
+    fn weighted_path_is_exact() {
+        let edges = vec![
+            TimedEdge::new(0, 1, 2),
+            TimedEdge::new(1, 2, 3),
+            TimedEdge::new(2, 3, 4),
+        ];
+        let g = CsrGraph::from_edges_undirected(4, &edges);
+        for delta in [1u64, 3, 100] {
+            assert_eq!(par_sssp_with(&g, 0, delta, &force()), vec![0, 2, 5, 9]);
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_and_serial_delta_stepping_on_rmat() {
+        let rm = Rmat::new(RmatParams::paper(10, 8).with_max_timestamp(100), 5);
+        let g = CsrGraph::from_edges_undirected(1 << 10, &rm.edges());
+        let oracle = dijkstra(&g, 0);
+        for delta in [1u64, 8, 32, 1 << 20] {
+            let par = par_sssp_with(&g, 0, delta, &force());
+            assert_eq!(par, oracle, "delta {delta} diverged from Dijkstra");
+            assert_eq!(par, delta_stepping(&g, 0, delta));
+        }
+    }
+
+    #[test]
+    fn directed_weighted_graph_is_exact() {
+        let rm = Rmat::new(RmatParams::paper(10, 8).with_max_timestamp(50), 11);
+        let g = CsrGraph::from_edges_directed(1 << 10, &rm.edges());
+        assert_eq!(par_sssp_with(&g, 0, 16, &force()), dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let g = CsrGraph::from_edges_undirected(4, &[TimedEdge::new(0, 1, 1)]);
+        let d = par_sssp_with(&g, 0, 2, &force());
+        assert_eq!(d[2], INF);
+        assert_eq!(d[3], INF);
+    }
+
+    #[test]
+    fn small_graph_falls_back_to_dijkstra() {
+        let g = CsrGraph::from_edges_undirected(3, &[TimedEdge::new(0, 1, 5)]);
+        assert_eq!(par_sssp(&g, 0, 4), dijkstra(&g, 0));
+    }
+}

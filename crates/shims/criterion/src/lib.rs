@@ -124,13 +124,14 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = if self.test_mode { 1 } else { n.max(1) };
         self
     }
 
@@ -206,17 +207,25 @@ impl BenchmarkGroup<'_> {
 
 /// The harness entry point.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    /// Smoke mode (`cargo bench ... -- --test`): run each benchmark for
+    /// a single sample, as real criterion does, so CI can verify benches
+    /// execute without paying for measurement.
+    test_mode: bool,
+}
 
 impl Criterion {
-    pub fn configure_from_args(self) -> Self {
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.test_mode { 1 } else { 10 };
         BenchmarkGroup {
             name: name.into(),
-            sample_size: 10,
+            sample_size,
+            test_mode: self.test_mode,
             throughput: None,
             _criterion: self,
         }

@@ -587,6 +587,41 @@ mod tests {
     }
 
     #[test]
+    fn scope_spawns_land_on_multiple_os_threads() {
+        // The frontier engine in `snap-par` builds its per-level fork on
+        // `scope` + per-worker spawns; this stress test pins down the
+        // property that engine relies on: spawned workers are *distinct
+        // OS threads*, not deferred closures on the caller. Each worker
+        // sleeps so the scheduler interleaves them even on one core.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let caller = std::thread::current().id();
+        super::scope(|s| {
+            for _ in 0..4 {
+                let ids = &ids;
+                s.spawn(move |_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                });
+            }
+        });
+        let ids = ids.lock().unwrap();
+        assert_eq!(ids.len(), 4, "every spawn gets its own OS thread");
+        assert!(!ids.contains(&caller), "spawns must not run on the caller");
+    }
+
+    #[test]
+    fn par_chunks_cover_slices_disjointly() {
+        // The BFS live path batches frontier vertices through par_chunks;
+        // coverage must be exact and disjoint.
+        let data: Vec<u32> = (0..1000).collect();
+        let chunks: Vec<Vec<u32>> = data.par_chunks(64).map(|c| c.to_vec()).collect();
+        assert_eq!(chunks.concat(), data);
+        assert!(chunks[..chunks.len() - 1].iter().all(|c| c.len() == 64));
+    }
+
+    #[test]
     fn for_each_runs_on_real_threads() {
         use std::collections::HashSet;
         use std::sync::Mutex;

@@ -81,4 +81,24 @@ fn main() {
     for ((u, v), c) in sample.iter().zip(&answers) {
         println!("  connected({u}, {v}) = {c}");
     }
+
+    // 6. The parallel runtime: same views, multi-threaded traversal,
+    //    bit-identical results. threads = 0 in ParConfig adopts the
+    //    installed pool, so thread_pool(t).install(..) sweeps widths;
+    //    graphs below the serial threshold transparently run the serial
+    //    kernels instead.
+    let threads = 4;
+    let par_traversal = snap::util::thread_pool(threads).install(|| par_bfs(&*csr, hub));
+    assert_eq!(
+        par_traversal.dist, traversal.dist,
+        "parallel BFS must agree"
+    );
+    let par_labels = snap::util::thread_pool(threads).install(|| par_cc(&*csr));
+    assert_eq!(par_labels, labels, "parallel CC must agree");
+    let dist = snap::util::thread_pool(threads).install(|| par_sssp(&*csr, hub, 32));
+    println!(
+        "parallel runtime @ {threads} threads: BFS + CC + SSSP agree with serial \
+         (sample distance to 0: {:?})",
+        dist[0]
+    );
 }

@@ -15,7 +15,11 @@
 //! - [`core`] — the dynamic graph representations, the [`GraphView`]
 //!   read abstraction, and the update engines,
 //! - [`kernels`] — BFS, connected components, link-cut forest, induced
-//!   subgraphs, betweenness centrality, and the extended kernel suite.
+//!   subgraphs, betweenness centrality, and the extended kernel suite,
+//! - [`par`] — the parallel traversal runtime: the chunked frontier
+//!   engine, atomic visited sets, and multi-threaded
+//!   [`par_bfs`](snap_par::par_bfs) / [`par_cc`](snap_par::par_cc) /
+//!   [`par_sssp`](snap_par::par_sssp).
 //!
 //! ## The read model
 //!
@@ -33,6 +37,33 @@
 //! lazily, so a burst of queries between update batches pays for at most
 //! one rebuild, and cheap probes bypass CSR entirely via
 //! [`SnapshotManager::live`].
+//!
+//! ## The parallel runtime
+//!
+//! `snap::par` scales the three core traversals over worker threads,
+//! generic over the same [`GraphView`] inputs:
+//!
+//! - **Thread count**: [`ParConfig::threads`](snap_par::ParConfig) = 0
+//!   (default) adopts `rayon::current_num_threads()`, so
+//!   `snap::util::thread_pool(t).install(|| par_bfs(&g, src))` sweeps
+//!   worker counts; a non-zero value pins it. Benchmarks honor the
+//!   `SNAP_THREADS` environment variable the same way.
+//! - **Serial fallback**: graphs with `n + m <=`
+//!   [`serial_threshold`](snap_par::ParConfig::serial_threshold)
+//!   (default 4096) run the serial kernels — a fork-join barrier per
+//!   level cannot pay for itself on a cache-resident graph. Set it to 0
+//!   to force the parallel path.
+//! - **Direction-optimizing BFS**: top-down levels expand the frontier
+//!   through edge-budgeted chunks (hubs split across workers); once the
+//!   frontier is *growing* and carries `alpha`× more edges than remain
+//!   unvisited, undirected traversals flip bottom-up (each unvisited
+//!   vertex scans for any frontier neighbor and claims itself), flipping
+//!   back when the frontier thins below `n / beta`. Directed views stay
+//!   top-down.
+//!
+//! Results are bit-comparable with the serial kernels: identical BFS
+//! levels (parents form a valid tree), identical canonical min-id
+//! component labels, identical distances.
 //!
 //! ## Quickstart
 //!
@@ -67,11 +98,19 @@
 //! let forest = LinkCutForest::from_view(&*csr);
 //! assert!(forest.connected(hub, forest.findroot(hub)));
 //! assert_eq!(mgr.rebuild_count(), 1);
+//!
+//! // The parallel runtime consumes the same views and must agree with
+//! // the serial kernels bit-for-bit.
+//! let par = par_bfs(&*csr, hub);
+//! assert_eq!(par.dist, snap_bfs.dist);
+//! let labels = par_cc(&*csr);
+//! assert_eq!(labels, connected_components(&*csr));
 //! ```
 
 pub use snap_arena as arena;
 pub use snap_core as core;
 pub use snap_kernels as kernels;
+pub use snap_par as par;
 pub use snap_rmat as rmat;
 pub use snap_treap as treap;
 pub use snap_util as util;
@@ -96,5 +135,6 @@ pub mod prelude {
         stress_exact, temporal_betweenness_approx, temporal_bfs, triangle_count, LinkCutForest,
         TimeWindow,
     };
+    pub use snap_par::{par_bfs, par_cc, par_sssp, ParConfig};
     pub use snap_rmat::{Rmat, RmatParams, StreamBuilder};
 }

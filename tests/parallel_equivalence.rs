@@ -1,0 +1,279 @@
+//! Parallel-vs-serial kernel equivalence.
+//!
+//! Every parallel kernel in `snap-par` must reproduce its serial
+//! counterpart exactly — BFS levels, component partitions (canonical
+//! min-id labels, so "up to relabeling" is literal equality), and SSSP
+//! distances — on directed and undirected line/star/cycle graphs and
+//! seeded R-MAT instances, across 1, 2, and 8 worker threads (plus any
+//! counts named in `SNAP_THREADS`), on both read paths: live
+//! [`DynGraph`] views and CSR snapshots.
+//!
+//! The parallel path is forced (`serial_threshold = 0`) so these graphs
+//! exercise the frontier engine, the atomic claim protocol, and the
+//! direction-optimizing switch rather than the serial fallback.
+
+use snap::kernels::sssp::INF;
+use snap::kernels::{connected_components, dijkstra, serial_bfs, UNREACHED};
+use snap::par::{par_bfs_stats, par_bfs_with, par_cc_with, par_sssp_with, ParConfig};
+use snap::prelude::*;
+use snap::util::thread_pool;
+
+/// Thread counts under test: always {1, 2, 8}, plus `SNAP_THREADS`.
+fn thread_sweep() -> Vec<usize> {
+    let mut sweep = vec![1usize, 2, 8];
+    if let Ok(s) = std::env::var("SNAP_THREADS") {
+        sweep.extend(s.split(',').filter_map(|x| x.trim().parse::<usize>().ok()));
+    }
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
+fn force() -> ParConfig {
+    ParConfig::default().with_serial_threshold(0)
+}
+
+struct Case {
+    name: &'static str,
+    n: usize,
+    edges: Vec<TimedEdge>,
+    directed: bool,
+}
+
+fn line(n: u32, directed: bool) -> Vec<TimedEdge> {
+    let _ = directed;
+    (0..n - 1)
+        .map(|i| TimedEdge::new(i, i + 1, i % 90 + 1))
+        .collect()
+}
+
+fn star(leaves: u32) -> Vec<TimedEdge> {
+    (1..=leaves)
+        .map(|v| TimedEdge::new(0, v, v % 90 + 1))
+        .collect()
+}
+
+fn cycle(n: u32) -> Vec<TimedEdge> {
+    (0..n)
+        .map(|i| TimedEdge::new(i, (i + 1) % n, i % 90 + 1))
+        .collect()
+}
+
+fn rmat(scale: u32, seed: u64) -> Vec<TimedEdge> {
+    Rmat::new(RmatParams::paper(scale, 8), seed).edges()
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "line-und",
+            n: 700,
+            edges: line(700, false),
+            directed: false,
+        },
+        Case {
+            name: "line-dir",
+            n: 700,
+            edges: line(700, true),
+            directed: true,
+        },
+        Case {
+            name: "star-und",
+            n: 1501,
+            edges: star(1500),
+            directed: false,
+        },
+        Case {
+            name: "cycle-und",
+            n: 900,
+            edges: cycle(900),
+            directed: false,
+        },
+        Case {
+            name: "cycle-dir",
+            n: 900,
+            edges: cycle(900),
+            directed: true,
+        },
+        Case {
+            name: "rmat-und",
+            n: 1 << 10,
+            edges: rmat(10, 42),
+            directed: false,
+        },
+        Case {
+            name: "rmat-dir",
+            n: 1 << 10,
+            edges: rmat(10, 77),
+            directed: true,
+        },
+    ]
+}
+
+fn csr_of(case: &Case) -> CsrGraph {
+    if case.directed {
+        CsrGraph::from_edges_directed(case.n, &case.edges)
+    } else {
+        CsrGraph::from_edges_undirected(case.n, &case.edges)
+    }
+}
+
+fn live_of(case: &Case) -> DynGraph<HybridAdj> {
+    let hints = CapacityHints::new(case.edges.len() * 2 + 16).with_degree_thresh(8);
+    let g = if case.directed {
+        DynGraph::<HybridAdj>::directed(case.n, &hints)
+    } else {
+        DynGraph::<HybridAdj>::undirected(case.n, &hints)
+    };
+    for &e in &case.edges {
+        g.insert_edge(e);
+    }
+    g
+}
+
+/// Asserts the parallel parent array encodes a valid BFS tree for the
+/// given exact distances.
+fn assert_valid_parents<V: GraphView>(view: &V, src: u32, dist: &[u32], parent: &[u32]) {
+    assert_eq!(parent[src as usize], UNREACHED);
+    for v in 0..dist.len() {
+        if v as u32 == src || dist[v] == UNREACHED {
+            assert_eq!(parent[v], UNREACHED, "unreached vertex {v} has a parent");
+            continue;
+        }
+        let p = parent[v];
+        assert_eq!(
+            dist[p as usize] + 1,
+            dist[v],
+            "parent of {v} is not one level up"
+        );
+        assert!(
+            view.find_edge(p, |w, _| w == v as u32).is_some(),
+            "parent edge {p}->{v} does not exist"
+        );
+    }
+}
+
+fn check_bfs<V: GraphView>(view: &V, label: &str, threads: usize) {
+    let serial = serial_bfs(view, 0);
+    let par = thread_pool(threads).install(|| par_bfs_with(view, 0, &force()));
+    assert_eq!(par.dist, serial.dist, "{label}: BFS levels @ {threads}t");
+    assert_valid_parents(view, 0, &par.dist, &par.parent);
+}
+
+fn check_cc<V: GraphView>(view: &V, label: &str, threads: usize) {
+    let serial = connected_components(view);
+    let par = thread_pool(threads).install(|| par_cc_with(view, &force()));
+    assert_eq!(par, serial, "{label}: component labels @ {threads}t");
+}
+
+fn check_sssp<V: GraphView>(view: &V, label: &str, threads: usize) {
+    let oracle = dijkstra(view, 0);
+    for delta in [1u64, 16, 1 << 20] {
+        let par = thread_pool(threads).install(|| par_sssp_with(view, 0, delta, &force()));
+        assert_eq!(par, oracle, "{label}: SSSP @ {threads}t delta {delta}");
+    }
+}
+
+#[test]
+fn par_bfs_matches_serial_everywhere() {
+    for case in &cases() {
+        let csr = csr_of(case);
+        let live = live_of(case);
+        for &t in &thread_sweep() {
+            check_bfs(&csr, &format!("{} (csr)", case.name), t);
+            check_bfs(&live, &format!("{} (live)", case.name), t);
+        }
+    }
+}
+
+#[test]
+fn par_cc_matches_serial_everywhere() {
+    for case in cases().iter().filter(|c| !c.directed) {
+        let csr = csr_of(case);
+        let live = live_of(case);
+        for &t in &thread_sweep() {
+            check_cc(&csr, &format!("{} (csr)", case.name), t);
+            check_cc(&live, &format!("{} (live)", case.name), t);
+        }
+    }
+}
+
+#[test]
+fn par_sssp_matches_dijkstra_everywhere() {
+    for case in &cases() {
+        let csr = csr_of(case);
+        let live = live_of(case);
+        for &t in &thread_sweep() {
+            check_sssp(&csr, &format!("{} (csr)", case.name), t);
+            check_sssp(&live, &format!("{} (live)", case.name), t);
+        }
+    }
+}
+
+#[test]
+fn forced_bottom_up_matches_serial_on_both_views() {
+    // alpha = MAX flips undirected traversals to bottom-up immediately
+    // after the first growing level; results must not change.
+    let cfg = force().with_alpha(usize::MAX).with_beta(1);
+    for case in cases().iter().filter(|c| !c.directed) {
+        let csr = csr_of(case);
+        let live = live_of(case);
+        for &t in &thread_sweep() {
+            let serial = serial_bfs(&csr, 0);
+            let (p_csr, s_csr) = thread_pool(t).install(|| par_bfs_stats(&csr, 0, &cfg));
+            let (p_live, _) = thread_pool(t).install(|| par_bfs_stats(&live, 0, &cfg));
+            assert_eq!(
+                p_csr.dist, serial.dist,
+                "{} csr bottom-up @ {t}t",
+                case.name
+            );
+            assert_eq!(
+                p_live.dist, serial.dist,
+                "{} live bottom-up @ {t}t",
+                case.name
+            );
+            if case.name.starts_with("star") || case.name.starts_with("rmat") {
+                assert!(
+                    s_csr.bottom_up_levels > 0,
+                    "{}: dense graph never went bottom-up",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn default_threshold_falls_back_to_serial_on_small_graphs() {
+    let case = Case {
+        name: "tiny",
+        n: 10,
+        edges: line(10, false),
+        directed: false,
+    };
+    let csr = csr_of(&case);
+    let (_, stats) = par_bfs_stats(&csr, 0, &ParConfig::default());
+    assert!(
+        stats.serial_fallback,
+        "tiny graph must take the serial path"
+    );
+    // And the fallback results still agree, trivially.
+    assert_eq!(
+        par_bfs_with(&csr, 0, &ParConfig::default()).dist,
+        serial_bfs(&csr, 0).dist
+    );
+}
+
+#[test]
+fn unreachable_and_weight_sentinels_agree() {
+    // Disconnected RMAT-ish fragment: sentinel values must match the
+    // serial kernels' (UNREACHED for BFS, INF for SSSP).
+    let edges = vec![TimedEdge::new(0, 1, 3), TimedEdge::new(2, 3, 5)];
+    let csr = CsrGraph::from_edges_undirected(6, &edges);
+    let cfg = force();
+    let b = par_bfs_with(&csr, 0, &cfg);
+    assert_eq!(b.dist[4], UNREACHED);
+    let d = par_sssp_with(&csr, 0, 4, &cfg);
+    assert_eq!(d[5], INF);
+    assert_eq!(d[1], 3);
+}
