@@ -1,7 +1,7 @@
 //! Regenerates every figure of the paper as a printed series.
 //!
 //! ```text
-//! experiments [fig1 fig2 ... fig11 | parallel | ablations | extensions | all]
+//! experiments [fig1 fig2 ... fig11 | parallel | connectivity | ablations | extensions | all]
 //! ```
 //!
 //! Environment: `SNAP_SCALE` (default 16) sets `log2(n)` for the update
@@ -10,15 +10,17 @@
 //! numbers, are the reproduction target — see EXPERIMENTS.md.
 //!
 //! `parallel` additionally persists machine-readable medians to
-//! `BENCH_parallel.json` (kernel, mode, scale, threads, median ns) so
-//! the serial-vs-parallel perf trajectory is tracked across PRs.
+//! `BENCH_parallel.json` (kernel, mode, scale, threads, median ns) and
+//! `connectivity` to `BENCH_connectivity.json` (incremental index vs
+//! recompute-per-query vs snapshot-per-query), so the serving-path perf
+//! trajectory is tracked across PRs.
 
 use snap_bench::*;
 use snap_core::adjacency::CapacityHints;
 use snap_core::compressed::CompressedCsr;
 use snap_core::engine;
 use snap_core::reorder::Relabeling;
-use snap_core::{CsrGraph, DynArr, DynGraph, HybridAdj, TreapAdj};
+use snap_core::{CsrGraph, DynArr, DynGraph, HybridAdj, SnapshotManager, TreapAdj};
 use snap_kernels::bc::sample_sources;
 use snap_kernels::{bfs, temporal_bfs, LinkCutForest, TimeWindow};
 use snap_rmat::StreamBuilder;
@@ -42,6 +44,7 @@ fn main() {
             "fig10",
             "fig11",
             "parallel",
+            "connectivity",
             "ablations",
             "extensions",
         ]
@@ -69,6 +72,7 @@ fn main() {
             "fig10" => fig10(&cfg),
             "fig11" => fig11(&cfg),
             "parallel" => parallel(&cfg),
+            "connectivity" => connectivity(&cfg),
             "ablations" => {
                 ablation_degree_thresh(&cfg);
                 ablation_initial_size(&cfg);
@@ -513,6 +517,232 @@ fn write_bench_json(cfg: &Config, rows: &[BenchRow]) {
     }
     out.push_str("]\n");
     let path = "BENCH_parallel.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote {} rows to {path}", rows.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// One persisted measurement of the `connectivity` experiment.
+struct ConnRow {
+    workload: &'static str,
+    method: &'static str,
+    queries: usize,
+    /// `per_query` for bursts, `per_round` for the serving mix.
+    unit: &'static str,
+    median_ns: u128,
+}
+
+/// Dynamic connectivity serving: the incremental `ConnectivityIndex`
+/// against the two traversal-based baselines — a full recompute per
+/// query on the live view, and a naive snapshot-rebuild per query —
+/// followed by a mixed insert/delete/query serving loop. Persists
+/// machine-readable medians to `BENCH_connectivity.json`.
+fn connectivity(cfg: &Config) {
+    use snap_kernels::connected_components;
+
+    let scale = cfg.scale.min(16);
+    let edges = build_edges(scale, cfg.edge_factor, cfg.seed ^ 17);
+    let n = 1usize << scale;
+    let hints = CapacityHints::new(edges.len() * 2);
+    let mgr = SnapshotManager::new(DynGraph::<HybridAdj>::undirected(n, &hints));
+    mgr.enable_connectivity();
+    mgr.apply_batch(&construction_stream(&edges, cfg.seed));
+
+    let mut rng = XorShift64::new(cfg.seed ^ 0x51);
+    fn rand_pair(rng: &mut XorShift64, n: usize) -> (u32, u32) {
+        (
+            rng.next_bounded(n as u64) as u32,
+            rng.next_bounded(n as u64) as u32,
+        )
+    }
+    let burst: Vec<(u32, u32)> = (0..100_000).map(|_| rand_pair(&mut rng, n)).collect();
+    let mut rows = Vec::new();
+
+    // --- Clean query burst -------------------------------------------
+    // Index: near-O(alpha) per query, no traversal, no snapshot.
+    let total = median_ns(5, || {
+        burst
+            .iter()
+            .filter(|&&(u, v)| mgr.same_component(u, v))
+            .count()
+    });
+    rows.push(ConnRow {
+        workload: "clean_burst",
+        method: "index",
+        queries: burst.len(),
+        unit: "per_query",
+        median_ns: total / burst.len() as u128,
+    });
+    let idx = mgr.connectivity().expect("enabled above");
+    assert_eq!(mgr.rebuild_count(), 0, "index burst must not build CSR");
+    assert_eq!(idx.full_rebuild_count(), 0);
+    assert_eq!(idx.repair_count(), 0, "clean burst must not repair");
+
+    // Recompute-per-query: a full CC pass on the live view, per query.
+    let probes = &burst[..4];
+    let total = median_ns(3, || {
+        probes
+            .iter()
+            .filter(|&&(u, v)| {
+                let labels = connected_components(mgr.live());
+                labels[u as usize] == labels[v as usize]
+            })
+            .count()
+    });
+    rows.push(ConnRow {
+        workload: "clean_burst",
+        method: "recompute_per_query",
+        queries: probes.len(),
+        unit: "per_query",
+        median_ns: total / probes.len() as u128,
+    });
+
+    // Snapshot-per-query: rebuild the CSR, then a CC pass on it — what a
+    // naive client of the snapshot API pays after every update.
+    let total = median_ns(3, || {
+        probes
+            .iter()
+            .filter(|&&(u, v)| {
+                mgr.mark_dirty(); // defeat the epoch cache: fresh build per query
+                let s = mgr.snapshot();
+                let labels = connected_components(&*s);
+                labels[u as usize] == labels[v as usize]
+            })
+            .count()
+    });
+    rows.push(ConnRow {
+        workload: "clean_burst",
+        method: "snapshot_per_query",
+        queries: probes.len(),
+        unit: "per_query",
+        median_ns: total / probes.len() as u128,
+    });
+    // mark_dirty left the index's epoch behind on purpose; resync once so
+    // the serving phase below starts incremental again.
+    let _ = mgr.component(0);
+
+    // --- Mixed insert/delete/query serving loop ----------------------
+    // Each round: one 256-update batch (70% insert / 30% delete of live
+    // edges), then a query burst. The index path repairs dirtied
+    // components lazily; the recompute path pays a full CC per query.
+    let mut live: Vec<(u32, u32)> = edges.iter().map(|e| (e.u, e.v)).collect();
+    fn round_batch(
+        rng: &mut XorShift64,
+        live: &mut Vec<(u32, u32)>,
+        n: usize,
+    ) -> Vec<snap_rmat::Update> {
+        (0..256)
+            .map(|_| {
+                if rng.next_bounded(10) < 3 && !live.is_empty() {
+                    let i = rng.next_bounded(live.len() as u64) as usize;
+                    let (u, v) = live.swap_remove(i);
+                    snap_rmat::Update::delete(snap_rmat::TimedEdge::new(u, v, 0))
+                } else {
+                    let (u, v) = rand_pair(rng, n);
+                    live.push((u, v));
+                    snap_rmat::Update::insert(snap_rmat::TimedEdge::new(
+                        u,
+                        v,
+                        rng.next_bounded(90) as u32 + 1,
+                    ))
+                }
+            })
+            .collect()
+    }
+    let median_round = |samples: &mut Vec<u128>| {
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+
+    let rounds = 9usize;
+    let q_index = 1024usize;
+    let mut samples = Vec::new();
+    for _ in 0..rounds {
+        let batch = round_batch(&mut rng, &mut live, n);
+        let queries: Vec<(u32, u32)> = (0..q_index).map(|_| rand_pair(&mut rng, n)).collect();
+        let start = std::time::Instant::now();
+        mgr.apply_batch(&batch);
+        let hits = queries
+            .iter()
+            .filter(|&&(u, v)| mgr.same_component(u, v))
+            .count();
+        std::hint::black_box(hits);
+        samples.push(start.elapsed().as_nanos());
+    }
+    rows.push(ConnRow {
+        workload: "serving_mix",
+        method: "index",
+        queries: q_index,
+        unit: "per_round",
+        median_ns: median_round(&mut samples),
+    });
+    let repairs = idx.repair_count();
+    assert_eq!(idx.full_rebuild_count(), 1, "only the burst-section resync");
+
+    let q_recompute = 2usize;
+    let mut samples = Vec::new();
+    for _ in 0..rounds {
+        let batch = round_batch(&mut rng, &mut live, n);
+        let queries: Vec<(u32, u32)> = (0..q_recompute).map(|_| rand_pair(&mut rng, n)).collect();
+        let start = std::time::Instant::now();
+        engine::apply_stream(mgr.live(), &batch);
+        let hits = queries
+            .iter()
+            .filter(|&&(u, v)| {
+                let labels = connected_components(mgr.live());
+                labels[u as usize] == labels[v as usize]
+            })
+            .count();
+        std::hint::black_box(hits);
+        samples.push(start.elapsed().as_nanos());
+    }
+    // The recompute baseline mutated live() directly (the whole point:
+    // no manager bookkeeping on its path), so honor the escape-hatch
+    // contract before anyone queries the manager again.
+    mgr.mark_dirty();
+    rows.push(ConnRow {
+        workload: "serving_mix",
+        method: "recompute_per_query",
+        queries: q_recompute,
+        unit: "per_round",
+        median_ns: median_round(&mut samples),
+    });
+
+    let mut t = Table::new(&["workload", "method", "queries", "unit", "median (us)"]);
+    for r in &rows {
+        t.row(vec![
+            r.workload.into(),
+            r.method.into(),
+            r.queries.to_string(),
+            r.unit.into(),
+            f3(r.median_ns as f64 / 1e3),
+        ]);
+    }
+    t.print(&format!(
+        "Connectivity serving: index vs recompute vs snapshot (scale {scale}, m = {}, {repairs} targeted repairs)",
+        edges.len()
+    ));
+    write_connectivity_json(scale, &rows);
+}
+
+/// Persists the `connectivity` rows as JSON (hand-emitted; no serde).
+fn write_connectivity_json(scale: u32, rows: &[ConnRow]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"method\": \"{}\", \"scale\": {}, \"queries\": {}, \"unit\": \"{}\", \"median_ns\": {}}}{}\n",
+            r.workload,
+            r.method,
+            scale,
+            r.queries,
+            r.unit,
+            r.median_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    let path = "BENCH_connectivity.json";
     match std::fs::write(path, &out) {
         Ok(()) => println!("\nwrote {} rows to {path}", rows.len()),
         Err(e) => eprintln!("failed to write {path}: {e}"),

@@ -1,0 +1,793 @@
+//! Incremental connectivity serving: a concurrent union-find index over
+//! the dynamic graph.
+//!
+//! The paper's motivating workload is *serving connectivity queries on a
+//! massive graph under a stream of updates*. The kernels answer those
+//! queries by traversal (BFS / Shiloach–Vishkin) over a snapshot — an
+//! O(n + m) recompute per batch, or worse, per query. This module is the
+//! subsystem that makes the query path cheap:
+//!
+//! - **Insertions are free to index.** [`ConnectivityIndex`] maintains a
+//!   lock-free union-find (`u32` parent forest, CAS hooking, path
+//!   splitting). An edge insertion is one [`ConnectivityIndex::union`];
+//!   `component(u)` / `same_component(u, v)` are then near-O(α) pointer
+//!   chases with **zero traversals and zero CSR rebuilds**.
+//! - **Deletions dirty one component, not the index.** Union-find cannot
+//!   un-union, but a deletion can only split the single component that
+//!   contained the edge. [`ConnectivityIndex::note_delete`] therefore
+//!   marks that component *dirty*; every other component keeps serving
+//!   lock-free. The next query touching a dirty component triggers a
+//!   targeted repair: its member vertices are relabeled by a restricted
+//!   connected-components pass over the **live**
+//!   [`GraphView`](crate::view::GraphView) (serial here; `snap-par`
+//!   plugs its parallel kernel in through
+//!   [`ConnectivityIndex::repair_with`]).
+//! - **Self-loops never dirty anything**: deleting `(u, u)` cannot
+//!   disconnect, so it is ignored outright.
+//!
+//! Canonical labels: unions always hook the higher-id root under the
+//! lower one and repairs relabel by minimum member id, so every stable
+//! label is the component's minimum vertex id — bit-comparable with
+//! `connected_components`, `par_cc`, and the union-find test oracle.
+//!
+//! # Concurrency contract
+//!
+//! Mutations (`union` / `note_insert` / `note_delete`) take `&self` and
+//! are thread-safe, like the rest of the workspace. Queries are safe to
+//! run concurrently with each other, including the repairs they trigger:
+//! repairs serialize on an internal lock, members of a component under
+//! repair are shielded by their dirty bits, and
+//! [`ConnectivityIndex::clean_root`] re-checks root stability before
+//! answering. Queries racing *mutations* follow the workspace's
+//! bulk-synchronous discipline (apply the batch, then query); see
+//! [`crate::engine::SnapshotManager`] for the epoch bookkeeping that
+//! detects out-of-band mutation and falls back to a full rebuild.
+
+use crate::view::GraphView;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Incrementally maintained connectivity over a dynamic graph: concurrent
+/// union-find with per-component dirty tracking and targeted repair. See
+/// the [module docs](self) for the design and the concurrency contract.
+pub struct ConnectivityIndex {
+    /// Union-find forest. Roots satisfy `parent[r] == r`; every hook
+    /// points a higher id at a lower one, so a component's root is its
+    /// minimum vertex id.
+    parent: Vec<AtomicU32>,
+    /// One bit per vertex. A set bit on a *root* marks its component
+    /// dirty; during a repair the bits of every member shield concurrent
+    /// readers (they re-route into the repair path until the new labels
+    /// are fully published).
+    dirty: Vec<AtomicU64>,
+    /// Fast path for [`ConnectivityIndex::has_dirty`]: avoids scanning
+    /// the bitmap when no deletion has run since the last full repair.
+    any_dirty: AtomicBool,
+    /// Live component count (successful unions decrement, repairs add
+    /// back the splits they discover).
+    components: AtomicUsize,
+    /// Epoch of the owning [`SnapshotManager`](crate::engine::SnapshotManager)
+    /// this index has absorbed; `0` until the manager syncs it.
+    synced_epoch: AtomicU64,
+    repairs: AtomicUsize,
+    full_rebuilds: AtomicUsize,
+    /// Serializes repairs and full rebuilds; clean-component queries
+    /// never take it.
+    repair_lock: Mutex<()>,
+}
+
+impl ConnectivityIndex {
+    /// An index over `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+            dirty: (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            any_dirty: AtomicBool::new(false),
+            components: AtomicUsize::new(n),
+            synced_epoch: AtomicU64::new(0),
+            repairs: AtomicUsize::new(0),
+            full_rebuilds: AtomicUsize::new(0),
+            repair_lock: Mutex::new(()),
+        }
+    }
+
+    /// Builds the index from the live edges of a view (one union per
+    /// stored entry; the initial build is not counted as a rebuild).
+    pub fn from_view<V: GraphView>(view: &V) -> Self {
+        let idx = Self::new(view.num_vertices());
+        idx.absorb(view);
+        idx
+    }
+
+    fn absorb<V: GraphView>(&self, view: &V) {
+        for u in 0..self.parent.len() as u32 {
+            view.for_each_edge(u, |w, _| {
+                self.union(u, w);
+            });
+        }
+    }
+
+    /// Number of indexed vertices.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the index covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    // ---- the concurrent union-find core --------------------------------
+
+    /// Walk depth past which [`ConnectivityIndex::find`] tries to
+    /// flatten the chain (under the repair lock).
+    const FIND_COMPRESS_DEPTH: usize = 16;
+
+    /// Current root of `x`'s tree. The walk itself is **read-only**:
+    /// a query must not path-split lock-free, because a repair can
+    /// *raise* parent values when it publishes a split, and a racing
+    /// splitting CAS whose expected value coincides with the freshly
+    /// published one (ABA on vertex ids) would overwrite the repair
+    /// with a stale ancestor. Mutations compress through
+    /// [`ConnectivityIndex::find_compress`] and repairs flatten their
+    /// whole component, which keeps typical walks short; if an
+    /// adversarial insertion order still builds a deep chain (union by
+    /// min-id has no rank), the walk flattens it opportunistically —
+    /// but only under the repair lock, which excludes the repair
+    /// publication the read-only rule exists to avoid, via `try_lock`
+    /// so the query never blocks and never deadlocks from locked
+    /// contexts.
+    pub fn find(&self, x: u32) -> u32 {
+        let mut cur = x;
+        let mut steps = 0usize;
+        loop {
+            let p = self.parent[cur as usize].load(Ordering::Acquire);
+            if p == cur {
+                break;
+            }
+            cur = p;
+            steps += 1;
+        }
+        if steps > Self::FIND_COMPRESS_DEPTH {
+            if let Some(_guard) = self.repair_lock.try_lock() {
+                self.find_compress(x);
+            }
+        }
+        cur
+    }
+
+    /// [`ConnectivityIndex::find`] with path splitting: every visited
+    /// vertex is CAS-pointed at its grandparent, halving the path for
+    /// later walks. Only the mutation side uses it — during a mutation
+    /// phase parents only ever decrease, so a stale split write is still
+    /// a valid ancestor; concurrent *repairs* (query side) can raise
+    /// parents, which is why queries use the read-only walk.
+    fn find_compress(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Acquire);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            if gp == p {
+                return p;
+            }
+            let _ = self.parent[x as usize].compare_exchange_weak(
+                p,
+                gp,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+            x = gp;
+        }
+    }
+
+    /// Merges the components of `u` and `v`; returns `true` if they were
+    /// distinct. Always hooks the higher root under the lower, so labels
+    /// only ever decrease and settle on the component minimum. If either
+    /// side was dirty, the merged component is dirty.
+    pub fn union(&self, u: u32, v: u32) -> bool {
+        loop {
+            let ru = self.find_compress(u);
+            let rv = self.find_compress(v);
+            if ru == rv {
+                return false;
+            }
+            let (lo, hi) = (ru.min(rv), ru.max(rv));
+            if self.parent[hi as usize]
+                .compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.components.fetch_sub(1, Ordering::AcqRel);
+                if self.bit_get(hi) {
+                    // The absorbed component was awaiting repair; the
+                    // merged one inherits that debt.
+                    self.mark_component_dirty(lo);
+                }
+                return true;
+            }
+            // Lost the hook race; re-resolve both roots and retry.
+        }
+    }
+
+    // ---- update notifications ------------------------------------------
+
+    /// Records an edge insertion. Returns `true` if it merged two
+    /// components. Self-loops are connectivity no-ops.
+    pub fn note_insert(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        self.union(u, v)
+    }
+
+    /// Records an edge deletion by marking the affected component dirty.
+    /// Deleting a self-loop cannot disconnect anything and is ignored.
+    /// (The caller guarantees the edge existed, so `u` and `v` share a
+    /// component and one mark covers both.)
+    pub fn note_delete(&self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        self.mark_component_dirty(u);
+    }
+
+    /// Marks `x`'s component dirty, chasing concurrent unions: after
+    /// setting a root's bit the root is re-resolved, so a hook racing
+    /// with the mark cannot strand the bit on a non-root (the union path
+    /// propagates bits it sees; this loop covers the set-after-hook
+    /// interleaving).
+    pub fn mark_component_dirty(&self, x: u32) {
+        self.any_dirty.store(true, Ordering::SeqCst);
+        let mut r = self.find(x);
+        loop {
+            self.bit_set(r);
+            let r2 = self.find(r);
+            if r2 == r {
+                return;
+            }
+            r = r2;
+        }
+    }
+
+    /// True if `x`'s component has a pending deletion to repair.
+    pub fn is_component_dirty(&self, x: u32) -> bool {
+        self.bit_get(self.find(x))
+    }
+
+    /// True if any component is awaiting repair (may stay `true` until
+    /// the next [`ConnectivityIndex::repair_all`]).
+    pub fn has_dirty(&self) -> bool {
+        self.any_dirty.load(Ordering::SeqCst)
+    }
+
+    // ---- queries (self-repairing) --------------------------------------
+
+    /// Canonical component label (minimum member id) of `u`, repairing
+    /// `u`'s component first if a deletion left it dirty.
+    pub fn component<V: GraphView>(&self, view: &V, u: u32) -> u32 {
+        self.clean_root(view, u)
+    }
+
+    /// True if `u` and `v` are connected in `view`, repairing any dirty
+    /// component the query touches.
+    pub fn same_component<V: GraphView>(&self, view: &V, u: u32, v: u32) -> bool {
+        self.clean_root(view, u) == self.clean_root(view, v)
+    }
+
+    /// Number of components, after repairing every dirty one.
+    pub fn component_count<V: GraphView>(&self, view: &V) -> usize {
+        self.repair_all(view);
+        self.components.load(Ordering::SeqCst)
+    }
+
+    /// Canonical labels for every vertex, after repairing every dirty
+    /// component — directly comparable with `connected_components` /
+    /// `par_cc` output on the same view.
+    pub fn labels<V: GraphView>(&self, view: &V) -> Vec<u32> {
+        self.repair_all(view);
+        (0..self.parent.len() as u32)
+            .map(|v| self.find(v))
+            .collect()
+    }
+
+    /// Root of `u` guaranteed clean *and stable*: if the root is dirty
+    /// the component is repaired first, and a clean answer is re-checked
+    /// against a second `find` so a reader overlapping a repair's
+    /// publication window re-routes instead of mixing old and new labels.
+    pub fn clean_root<V: GraphView>(&self, view: &V, u: u32) -> u32 {
+        loop {
+            let r = self.find(u);
+            if self.bit_get(r) {
+                self.repair(view, u);
+                continue;
+            }
+            if self.find(u) == r {
+                return r;
+            }
+        }
+    }
+
+    // ---- repair --------------------------------------------------------
+
+    /// Targeted repair of `u`'s component with the built-in serial
+    /// restricted relabeling ([`restricted_component_labels`]). Returns
+    /// the post-repair root of `u`. `snap-par` callers use
+    /// [`ConnectivityIndex::repair_with`] with the parallel kernel.
+    pub fn repair<V: GraphView>(&self, view: &V, u: u32) -> u32 {
+        self.repair_with(view, u, restricted_component_labels)
+    }
+
+    /// Targeted repair of `u`'s component using `relabel` to compute the
+    /// new canonical labels: `relabel(view, verts)` receives the
+    /// component's member vertices (ascending) and must return, for each
+    /// position, the minimum vertex id of that member's post-deletion
+    /// component within `verts`. Repairs serialize on the internal lock
+    /// and re-check dirtiness under it, so concurrent queries on the
+    /// same dirty component coalesce into one repair.
+    pub fn repair_with<V, F>(&self, view: &V, u: u32, relabel: F) -> u32
+    where
+        V: GraphView,
+        F: FnOnce(&V, &[u32]) -> Vec<u32>,
+    {
+        let _guard = self.repair_lock.lock();
+        let root = self.find(u);
+        if !self.bit_get(root) {
+            // A racing query already repaired this component.
+            return root;
+        }
+        let verts = self.members_of(root);
+        self.relabel_members_locked(view, &verts, relabel);
+        self.find(u)
+    }
+
+    /// Shield, relabel, and publish one component's members. Caller
+    /// holds `repair_lock` and has confirmed the component is dirty.
+    fn relabel_members_locked<V, F>(&self, view: &V, verts: &[u32], relabel: F)
+    where
+        V: GraphView,
+        F: FnOnce(&V, &[u32]) -> Vec<u32>,
+    {
+        // Shield phase: with every member bit set, any concurrent reader
+        // resolving into this component sees "dirty" and waits on the
+        // lock instead of consuming half-published labels.
+        for &v in verts {
+            self.bit_set(v);
+        }
+        let labels = relabel(view, verts);
+        debug_assert_eq!(labels.len(), verts.len(), "relabel must cover all members");
+        let mut new_roots = 0usize;
+        for (&v, &l) in verts.iter().zip(&labels) {
+            self.parent[v as usize].store(l, Ordering::SeqCst);
+            if l == v {
+                new_roots += 1;
+            }
+        }
+        // Publish: clearing the shields *after* every parent store means
+        // a reader that observes a clean bit also observes final labels.
+        for &v in verts {
+            self.bit_unset(v);
+        }
+        self.components
+            .fetch_add(new_roots.saturating_sub(1), Ordering::AcqRel);
+        self.repairs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Repairs every dirty component (serial relabeling). Cheap when
+    /// nothing is dirty; otherwise one O(n·α) grouping pass collects
+    /// every dirty component's members at once, so the scan cost is paid
+    /// once rather than once per dirty component.
+    pub fn repair_all<V: GraphView>(&self, view: &V) {
+        if !self.has_dirty() {
+            return;
+        }
+        let _guard = self.repair_lock.lock();
+        // Clear the flag before scanning: a mark racing this scan re-sets
+        // it and the next repair_all picks the component up.
+        self.any_dirty.store(false, Ordering::SeqCst);
+        let mut groups: std::collections::BTreeMap<u32, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for v in 0..self.parent.len() as u32 {
+            let r = self.find(v);
+            if self.bit_get(r) {
+                groups.entry(r).or_default().push(v);
+            }
+        }
+        for verts in groups.values() {
+            self.relabel_members_locked(view, verts, restricted_component_labels);
+        }
+    }
+
+    /// Member vertices (ascending) of the component rooted at `root`.
+    /// One `find` per vertex — a targeted repair's collection cost is
+    /// O(n·α) regardless of the component's size (the relabel itself
+    /// then scales with the component); batch callers use
+    /// [`ConnectivityIndex::repair_all`], which groups every dirty
+    /// component in a single pass.
+    pub fn members_of(&self, root: u32) -> Vec<u32> {
+        (0..self.parent.len() as u32)
+            .filter(|&v| self.find(v) == root)
+            .collect()
+    }
+
+    /// Discards the forest and re-absorbs the view — the fallback when
+    /// the owning manager detects out-of-band mutation (see
+    /// [`ConnectivityIndex::synced_epoch`]).
+    pub fn rebuild_from<V: GraphView>(&self, view: &V) {
+        let _guard = self.repair_lock.lock();
+        self.rebuild_locked(view);
+    }
+
+    /// Rebuilds from `view` only if the synced epoch is still behind
+    /// `epoch` — double-checked under the repair lock, so concurrent
+    /// stale queries coalesce into one rebuild — then records the epoch
+    /// as absorbed.
+    pub fn resync<V: GraphView>(&self, view: &V, epoch: u64) {
+        let _guard = self.repair_lock.lock();
+        if self.synced_epoch() < epoch {
+            self.rebuild_locked(view);
+            self.sync_to(epoch);
+        }
+    }
+
+    fn rebuild_locked<V: GraphView>(&self, view: &V) {
+        assert_eq!(view.num_vertices(), self.parent.len(), "vertex count moved");
+        // Shield *every* vertex first: a lock-free reader racing this
+        // rebuild re-routes into the (locked) repair path instead of
+        // observing the half-reset forest.
+        for w in &self.dirty {
+            w.store(u64::MAX, Ordering::SeqCst);
+        }
+        self.any_dirty.store(true, Ordering::SeqCst);
+        for v in 0..self.parent.len() {
+            self.parent[v].store(v as u32, Ordering::SeqCst);
+        }
+        self.components.store(self.parent.len(), Ordering::SeqCst);
+        self.absorb(view);
+        // Publish: the view fully absorbed, all debts (including any
+        // pre-rebuild dirt) are settled.
+        for w in &self.dirty {
+            w.store(0, Ordering::SeqCst);
+        }
+        self.any_dirty.store(false, Ordering::SeqCst);
+        self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ---- counters & epoch coupling -------------------------------------
+
+    /// Number of targeted repairs performed (each covers one dirty
+    /// component). A clean query burst leaves this flat.
+    pub fn repair_count(&self) -> usize {
+        self.repairs.load(Ordering::Relaxed)
+    }
+
+    /// Number of full rebuilds ([`ConnectivityIndex::rebuild_from`]) —
+    /// the quantity incremental maintenance exists to keep at zero.
+    pub fn full_rebuild_count(&self) -> usize {
+        self.full_rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Manager epoch this index has absorbed (monotone; see
+    /// [`crate::engine::SnapshotManager`]).
+    pub fn synced_epoch(&self) -> u64 {
+        self.synced_epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances the absorbed epoch (monotone max, so racing update
+    /// threads cannot move it backwards). Use only when the index
+    /// provably reflects everything up to `epoch` — at build time and
+    /// after a rebuild; routed per-update bumps go through
+    /// [`ConnectivityIndex::sync_change`].
+    pub fn sync_to(&self, epoch: u64) {
+        self.synced_epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Absorbs exactly one routed epoch bump: steps the synced epoch
+    /// from `new_epoch - 1` to `new_epoch`, and *only* that step. A
+    /// failed step means an unabsorbed epoch sits below ours — an
+    /// out-of-band `mark_dirty`, or a racing routed bump that has not
+    /// stepped yet — and the gap must stay sticky so the next query
+    /// resyncs instead of being fast-forwarded over it. (A transient
+    /// gap from racing routed bumps costs at most one conservative
+    /// rebuild; absorbing a real gap would serve stale answers.)
+    pub fn sync_change(&self, new_epoch: u64) {
+        let _ = self.synced_epoch.compare_exchange(
+            new_epoch.wrapping_sub(1),
+            new_epoch,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+
+    // ---- dirty bitmap (SeqCst: the publication protocol leans on it) ---
+
+    #[inline]
+    fn bit_set(&self, i: u32) {
+        self.dirty[i as usize >> 6].fetch_or(1 << (i & 63), Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn bit_unset(&self, i: u32) {
+        self.dirty[i as usize >> 6].fetch_and(!(1u64 << (i & 63)), Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn bit_get(&self, i: u32) -> bool {
+        self.dirty[i as usize >> 6].load(Ordering::SeqCst) & (1 << (i & 63)) != 0
+    }
+}
+
+/// Serial restricted connected components: canonical (minimum-id) labels
+/// for `verts` — a component's member list, ascending — over the live
+/// edges of `view`. Edges leaving `verts` are ignored (a repair's member
+/// set is closed, since cross-component insertions union eagerly). This
+/// is the built-in relabeler for [`ConnectivityIndex::repair`]; `snap-par`
+/// supplies a parallel drop-in with the same contract.
+pub fn restricted_component_labels<V: GraphView>(view: &V, verts: &[u32]) -> Vec<u32> {
+    // Position-indexed union-find; positions are id-ordered because
+    // `verts` is ascending, so min-position roots are min-id labels.
+    let k = verts.len();
+    let mut parent: Vec<u32> = (0..k as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let g = parent[parent[x as usize] as usize];
+            parent[x as usize] = g;
+            x = g;
+        }
+        x
+    }
+    for (i, &v) in verts.iter().enumerate() {
+        view.for_each_edge(v, |w, _| {
+            if let Ok(j) = verts.binary_search(&w) {
+                let ri = find(&mut parent, i as u32);
+                let rj = find(&mut parent, j as u32);
+                if ri != rj {
+                    let (lo, hi) = (ri.min(rj), ri.max(rj));
+                    parent[hi as usize] = lo;
+                }
+            }
+        });
+    }
+    (0..k as u32)
+        .map(|i| verts[find(&mut parent, i) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::CapacityHints;
+    use crate::dynarr::DynArr;
+    use crate::graph::DynGraph;
+    use crate::hybrid::HybridAdj;
+    use crate::treapadj::TreapAdj;
+    use snap_rmat::TimedEdge;
+
+    fn graph<A: crate::adjacency::DynamicAdjacency>(n: usize, edges: &[(u32, u32)]) -> DynGraph<A> {
+        let g = DynGraph::undirected(n, &CapacityHints::new(edges.len() * 2 + 8));
+        for &(u, v) in edges {
+            g.insert_edge(TimedEdge::new(u, v, 1));
+        }
+        g
+    }
+
+    #[test]
+    fn unions_settle_on_min_id_labels() {
+        let idx = ConnectivityIndex::new(8);
+        assert!(idx.note_insert(5, 3));
+        assert!(idx.note_insert(3, 7));
+        assert!(!idx.note_insert(7, 5), "already connected");
+        assert_eq!(idx.find(5), 3);
+        assert_eq!(idx.find(7), 3);
+        assert_eq!(idx.find(3), 3);
+        assert_eq!(idx.find(0), 0);
+        let g: DynGraph<DynArr> = graph(8, &[(5, 3), (3, 7)]);
+        assert_eq!(idx.component_count(&g), 6);
+    }
+
+    #[test]
+    fn self_loops_are_connectivity_noops() {
+        let idx = ConnectivityIndex::new(4);
+        assert!(!idx.note_insert(2, 2));
+        idx.note_delete(2, 2);
+        assert!(!idx.has_dirty(), "self-loop delete must not dirty anything");
+        assert!(!idx.is_component_dirty(2));
+    }
+
+    #[test]
+    fn from_view_matches_incremental() {
+        let edges = [(0, 1), (1, 2), (4, 5)];
+        let g: DynGraph<HybridAdj> = graph(8, &edges);
+        let built = ConnectivityIndex::from_view(&g);
+        let inc = ConnectivityIndex::new(8);
+        for &(u, v) in &edges {
+            inc.note_insert(u, v);
+        }
+        assert_eq!(built.labels(&g), inc.labels(&g));
+        assert_eq!(built.component_count(&g), 5);
+        assert_eq!(
+            built.full_rebuild_count(),
+            0,
+            "initial build is not a rebuild"
+        );
+    }
+
+    #[test]
+    fn deletion_dirties_only_its_component() {
+        let g: DynGraph<TreapAdj> = graph(8, &[(0, 1), (1, 2), (4, 5)]);
+        let idx = ConnectivityIndex::from_view(&g);
+        g.delete_edge(1, 2);
+        idx.note_delete(1, 2);
+        assert!(idx.is_component_dirty(0));
+        assert!(idx.is_component_dirty(2));
+        assert!(
+            !idx.is_component_dirty(4),
+            "untouched component stays clean"
+        );
+        assert!(!idx.is_component_dirty(7));
+    }
+
+    #[test]
+    fn repair_splits_the_component() {
+        let g: DynGraph<DynArr> = graph(6, &[(0, 1), (1, 2), (2, 3)]);
+        let idx = ConnectivityIndex::from_view(&g);
+        assert_eq!(idx.component_count(&g), 3); // {0..3}, {4}, {5}
+        g.delete_edge(1, 2);
+        idx.note_delete(1, 2);
+        assert!(idx.same_component(&g, 0, 1));
+        assert!(idx.same_component(&g, 2, 3));
+        assert!(!idx.same_component(&g, 1, 2), "split must be observed");
+        assert_eq!(idx.component(&g, 3), 2);
+        assert_eq!(idx.component_count(&g), 4);
+        assert!(idx.repair_count() >= 1);
+        assert!(!idx.has_dirty() || !idx.is_component_dirty(0));
+    }
+
+    #[test]
+    fn deletion_that_keeps_connectivity_repairs_to_one_component() {
+        // Triangle: deleting one edge leaves it connected.
+        let g: DynGraph<HybridAdj> = graph(4, &[(0, 1), (1, 2), (0, 2)]);
+        let idx = ConnectivityIndex::from_view(&g);
+        g.delete_edge(0, 2);
+        idx.note_delete(0, 2);
+        assert!(idx.same_component(&g, 0, 2), "still connected through 1");
+        assert_eq!(idx.repair_count(), 1);
+        assert_eq!(idx.component_count(&g), 2); // {0,1,2}, {3}
+    }
+
+    #[test]
+    fn clean_query_burst_triggers_no_repairs() {
+        let g: DynGraph<DynArr> = graph(16, &[(0, 1), (2, 3), (4, 5)]);
+        let idx = ConnectivityIndex::from_view(&g);
+        for _ in 0..64 {
+            assert!(idx.same_component(&g, 0, 1));
+            assert!(!idx.same_component(&g, 0, 2));
+        }
+        assert_eq!(idx.repair_count(), 0);
+        assert_eq!(idx.full_rebuild_count(), 0);
+    }
+
+    #[test]
+    fn insert_into_dirty_component_keeps_the_debt() {
+        let g: DynGraph<DynArr> = graph(6, &[(0, 1), (1, 2), (4, 5)]);
+        let idx = ConnectivityIndex::from_view(&g);
+        g.delete_edge(0, 1);
+        idx.note_delete(0, 1);
+        // Merge the dirty {0,1,2} component with clean {4,5}: the merged
+        // component must remain dirty so the split at (0,1) is found.
+        g.insert_edge(TimedEdge::new(2, 4, 9));
+        idx.note_insert(2, 4);
+        assert!(idx.is_component_dirty(4), "merged component inherits dirt");
+        assert!(!idx.same_component(&g, 0, 1));
+        assert!(idx.same_component(&g, 1, 4));
+    }
+
+    #[test]
+    fn repair_with_external_relabeler() {
+        let g: DynGraph<DynArr> = graph(5, &[(0, 1), (1, 2)]);
+        let idx = ConnectivityIndex::from_view(&g);
+        g.delete_edge(0, 1);
+        idx.note_delete(0, 1);
+        // A stand-in for the parallel relabeler: same contract, and it
+        // must see exactly the component's members.
+        let root = idx.repair_with(&g, 0, |view, verts| {
+            assert_eq!(verts, &[0, 1, 2]);
+            restricted_component_labels(view, verts)
+        });
+        assert_eq!(root, 0);
+        assert_eq!(idx.component(&g, 2), 1);
+        assert_eq!(idx.component_count(&g), 4);
+    }
+
+    #[test]
+    fn rebuild_from_resets_and_counts() {
+        let g: DynGraph<DynArr> = graph(4, &[(0, 1)]);
+        let idx = ConnectivityIndex::from_view(&g);
+        // Out-of-band mutation the index never saw:
+        g.insert_edge(TimedEdge::new(2, 3, 1));
+        idx.rebuild_from(&g);
+        assert!(idx.same_component(&g, 2, 3));
+        assert_eq!(idx.full_rebuild_count(), 1);
+        assert_eq!(idx.component_count(&g), 2);
+    }
+
+    #[test]
+    fn restricted_labels_match_on_closed_sets() {
+        let g: DynGraph<HybridAdj> = graph(10, &[(2, 4), (4, 6), (3, 5), (8, 9)]);
+        let labels = restricted_component_labels(&g, &[2, 3, 4, 5, 6]);
+        assert_eq!(labels, vec![2, 3, 2, 3, 2]);
+        // Edges leaving the set are ignored:
+        let labels = restricted_component_labels(&g, &[4, 6]);
+        assert_eq!(labels, vec![4, 4]);
+    }
+
+    #[test]
+    fn concurrent_unions_converge() {
+        use rayon::prelude::*;
+        let n = 2048usize;
+        let idx = ConnectivityIndex::new(n);
+        // A path built from racing threads: whatever the interleaving,
+        // the fixed point is one component labeled 0.
+        (0..n as u32 - 1).into_par_iter().for_each(|i| {
+            idx.note_insert(i, i + 1);
+        });
+        for v in 0..n as u32 {
+            assert_eq!(idx.find(v), 0);
+        }
+        let g: DynGraph<DynArr> = graph(n, &[]);
+        assert_eq!(idx.component_count(&g), 1);
+    }
+
+    #[test]
+    fn concurrent_queries_with_repair_agree() {
+        use rayon::prelude::*;
+        // Two halves joined by a bridge; delete the bridge, then query
+        // from many threads at once. Every query must see the split and
+        // exactly one repair must run.
+        let n = 256usize;
+        let mut edges: Vec<(u32, u32)> = (0..127).map(|i| (i, i + 1)).collect();
+        edges.extend((128..255).map(|i| (i, i + 1)));
+        edges.push((10, 200)); // the bridge
+        let g: DynGraph<DynArr> = graph(n, &edges);
+        let idx = ConnectivityIndex::from_view(&g);
+        assert!(idx.same_component(&g, 0, 255));
+        g.delete_edge(10, 200);
+        idx.note_delete(10, 200);
+        (0..64u32).into_par_iter().for_each(|q| {
+            let lo = q % 128;
+            let hi = 128 + (q % 128);
+            assert!(!idx.same_component(&g, lo, hi), "bridge is gone");
+            assert!(idx.same_component(&g, lo, (lo + 1) % 128));
+        });
+        assert_eq!(idx.repair_count(), 1, "queries coalesce into one repair");
+        assert_eq!(idx.component_count(&g), 2);
+    }
+
+    #[test]
+    fn adversarial_chain_queries_flatten_and_stay_correct() {
+        // Hooking high-to-low builds a deep parent chain (union by
+        // min-id has no rank, and every union here touches two fresh
+        // roots, so find_compress never splits anything). The read-only
+        // query walk must still answer correctly and trigger the
+        // opportunistic locked flatten so repeat queries are shallow.
+        let n = 4096u32;
+        let idx = ConnectivityIndex::new(n as usize);
+        for i in (0..n - 1).rev() {
+            idx.note_insert(i, i + 1);
+        }
+        assert_eq!(idx.find(n - 1), 0);
+        assert_eq!(idx.find(n - 1), 0);
+        assert_eq!(idx.find(n / 2), 0);
+        let g: DynGraph<DynArr> = graph(n as usize, &[]);
+        assert_eq!(idx.component_count(&g), 1);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = ConnectivityIndex::new(0);
+        assert!(idx.is_empty());
+        let g: DynGraph<DynArr> = graph(0, &[]);
+        assert_eq!(idx.component_count(&g), 0);
+        assert_eq!(idx.labels(&g), Vec::<u32>::new());
+    }
+}

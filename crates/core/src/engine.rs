@@ -21,6 +21,7 @@
 //!   the paper's upper bound on any batched scheme's MUPS.
 
 use crate::adjacency::{AdjEntry, DynamicAdjacency};
+use crate::connectivity::ConnectivityIndex;
 use crate::csr::CsrGraph;
 use crate::graph::DynGraph;
 use parking_lot::Mutex;
@@ -28,15 +29,25 @@ use rayon::prelude::*;
 use snap_rmat::{TimedEdge, Update, UpdateKind};
 use snap_util::partition_ranges;
 use snap_util::sort::semi_sort_by_key;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Applies every update via a parallel iterator (the streaming default).
-pub fn apply_stream<A: DynamicAdjacency>(g: &DynGraph<A>, updates: &[Update]) {
+/// Returns `true` if any update actually changed the graph — a batch of
+/// deduplicated re-inserts or deletes of absent edges reports `false`,
+/// which is what lets [`SnapshotManager::apply_batch`] keep a clean
+/// cached snapshot valid across no-op batches. (The tracking is one
+/// relaxed load per update and a rare store, so the MUPS hot path is
+/// unaffected.)
+pub fn apply_stream<A: DynamicAdjacency>(g: &DynGraph<A>, updates: &[Update]) -> bool {
+    let changed = AtomicBool::new(false);
     updates.par_iter().for_each(|u| {
-        g.apply(u);
+        if g.apply(u) && !changed.load(Ordering::Relaxed) {
+            changed.store(true, Ordering::Relaxed);
+        }
     });
+    changed.into_inner()
 }
 
 /// [`apply_stream`] with wall-clock timing.
@@ -220,6 +231,23 @@ pub fn semi_sort_bound(updates: &[Update], n: usize, directed: bool) -> Duration
 /// discipline: call it between batches, not concurrently with them (a
 /// racing writer can make the degree pass and the copy pass of the CSR
 /// builder disagree, which the builder detects and panics on).
+///
+/// # Connectivity serving
+///
+/// [`SnapshotManager::enable_connectivity`] attaches a
+/// [`ConnectivityIndex`]: from then on every update routed through the
+/// manager also maintains the index incrementally (insertions union,
+/// deletions dirty one component), and
+/// [`SnapshotManager::same_component`] /
+/// [`SnapshotManager::component`] / [`SnapshotManager::component_count`]
+/// answer connectivity queries with **no CSR rebuild and no full
+/// recompute** — a dirty component triggers a targeted repair over the
+/// live view. Validity is epoch-coupled: mutations applied behind the
+/// manager's back (via [`SnapshotManager::live`] +
+/// [`SnapshotManager::mark_dirty`]) leave the index's synced epoch
+/// behind, and the next connectivity query detects the gap and falls
+/// back to one full rebuild (counted on
+/// [`ConnectivityIndex::full_rebuild_count`]).
 pub struct SnapshotManager<A: DynamicAdjacency> {
     graph: DynGraph<A>,
     /// Monotone mutation counter; `snapshot` compares it to the cached
@@ -227,6 +255,9 @@ pub struct SnapshotManager<A: DynamicAdjacency> {
     epoch: AtomicU64,
     cache: Mutex<SnapshotCache>,
     rebuilds: AtomicUsize,
+    /// Lazily attached connectivity index (see
+    /// [`SnapshotManager::enable_connectivity`]).
+    conn: OnceLock<ConnectivityIndex>,
 }
 
 struct SnapshotCache {
@@ -246,6 +277,7 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
                 csr: None,
             }),
             rebuilds: AtomicUsize::new(0),
+            conn: OnceLock::new(),
         }
     }
 
@@ -280,17 +312,53 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
 
     /// Marks the graph dirty without going through the manager's update
     /// methods (escape hatch for callers mutating `live()` directly).
+    /// The attached connectivity index (if any) is *not* synced, so its
+    /// next query pays one full rebuild — that is the detection
+    /// mechanism, not a leak.
     pub fn mark_dirty(&self) {
         self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Bumps the epoch for a change routed through the manager, keeping
+    /// the connectivity index's synced epoch in lockstep. The index
+    /// steps by exactly one epoch ([`ConnectivityIndex::sync_change`]),
+    /// so an out-of-band `mark_dirty` gap below this bump stays sticky
+    /// and still triggers the next query's resync instead of being
+    /// fast-forwarded over. `conn` must be the reference captured at the
+    /// *start* of the mutation: if the index was attached mid-mutation,
+    /// the change was not routed into it, and stepping its epoch anyway
+    /// would hide exactly that gap (the first query is supposed to pay a
+    /// conservative resync instead).
+    fn note_change(&self, conn: Option<&ConnectivityIndex>) {
+        let e = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(c) = conn {
+            c.sync_change(e);
+        }
+    }
+
+    /// Routes a confirmed change into the connectivity index.
+    fn note_update_for_conn(conn: Option<&ConnectivityIndex>, upd: &Update) {
+        if let Some(c) = conn {
+            match upd.kind {
+                UpdateKind::Insert => {
+                    c.note_insert(upd.edge.u, upd.edge.v);
+                }
+                UpdateKind::Delete => c.note_delete(upd.edge.u, upd.edge.v),
+            }
+        }
     }
 
     /// Inserts a timestamped edge, bumping the epoch only if an entry
     /// was actually stored (a deduplicated re-insert leaves the cached
     /// snapshot valid). Thread-safe.
     pub fn insert_edge(&self, e: TimedEdge) -> bool {
+        let conn = self.conn.get();
         let r = self.graph.insert_edge(e);
         if r {
-            self.mark_dirty();
+            if let Some(c) = conn {
+                c.note_insert(e.u, e.v);
+            }
+            self.note_change(conn);
         }
         r
     }
@@ -299,9 +367,13 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     /// entry was actually removed (deleting an absent edge leaves the
     /// cached snapshot valid). Thread-safe.
     pub fn delete_edge(&self, u: u32, v: u32) -> bool {
+        let conn = self.conn.get();
         let r = self.graph.delete_edge(u, v);
         if r {
-            self.mark_dirty();
+            if let Some(c) = conn {
+                c.note_delete(u, v);
+            }
+            self.note_change(conn);
         }
         r
     }
@@ -309,21 +381,104 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     /// Applies a single structural update, bumping the epoch only if it
     /// changed the graph. Thread-safe.
     pub fn apply(&self, upd: &Update) -> bool {
+        let conn = self.conn.get();
         let r = self.graph.apply(upd);
         if r {
-            self.mark_dirty();
+            Self::note_update_for_conn(conn, upd);
+            self.note_change(conn);
         }
         r
     }
 
-    /// Applies a whole batch via [`apply_stream`], bumping the epoch
-    /// once — the paper's bulk-synchronous pattern.
-    pub fn apply_batch(&self, updates: &[Update]) {
+    /// Applies a whole batch in parallel, bumping the epoch **at most
+    /// once** and only if some update actually changed the graph — the
+    /// paper's bulk-synchronous pattern. A burst of no-op batches
+    /// (deletes of absent edges, deduplicated re-inserts) leaves the
+    /// cached snapshot and the connectivity index untouched. Returns
+    /// whether the batch changed anything.
+    pub fn apply_batch(&self, updates: &[Update]) -> bool {
         if updates.is_empty() {
-            return;
+            return false;
         }
-        apply_stream(&self.graph, updates);
-        self.mark_dirty();
+        // Same parallel loop as [`apply_stream`], with each confirmed
+        // change also routed into the connectivity index captured once
+        // at batch start (`note_update_for_conn` is a no-op when none
+        // is attached).
+        let conn = self.conn.get();
+        let any = AtomicBool::new(false);
+        updates.par_iter().for_each(|u| {
+            if self.graph.apply(u) {
+                Self::note_update_for_conn(conn, u);
+                if !any.load(Ordering::Relaxed) {
+                    any.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        let changed = any.into_inner();
+        if changed {
+            self.note_change(conn);
+        }
+        changed
+    }
+
+    /// Attaches (or returns) the incremental [`ConnectivityIndex`],
+    /// building it from the current live graph on first call. From then
+    /// on, updates routed through the manager maintain it; query through
+    /// [`SnapshotManager::same_component`] and friends.
+    pub fn enable_connectivity(&self) -> &ConnectivityIndex {
+        self.conn.get_or_init(|| {
+            // Read the epoch *before* scanning the graph: an update
+            // racing this init is not routed into the index (it is not
+            // attached yet) but does bump the epoch, so stamping the
+            // pre-scan epoch leaves synced < epoch and the first query
+            // resyncs conservatively instead of serving a stale miss.
+            let epoch_before = self.epoch();
+            let idx = ConnectivityIndex::from_view(&self.graph);
+            idx.sync_to(epoch_before);
+            idx
+        })
+    }
+
+    /// The attached connectivity index, if
+    /// [`SnapshotManager::enable_connectivity`] has run — exposed so
+    /// callers can repair with a custom relabeler (e.g. the parallel
+    /// kernel in `snap-par`) or read its counters.
+    pub fn connectivity(&self) -> Option<&ConnectivityIndex> {
+        self.conn.get()
+    }
+
+    /// The connectivity index, resynchronized if out-of-band mutation
+    /// (`mark_dirty`) left it behind the manager's epoch. The epoch gap
+    /// is re-checked under the index's repair lock, so concurrent stale
+    /// queries coalesce into a single rebuild.
+    fn conn_fresh(&self) -> &ConnectivityIndex {
+        let c = self
+            .conn
+            .get()
+            .expect("connectivity queries need enable_connectivity() first");
+        let e = self.epoch();
+        if c.synced_epoch() < e {
+            c.resync(&self.graph, e);
+        }
+        c
+    }
+
+    /// Canonical component label (minimum member id) of `u` — near-O(α),
+    /// no traversal, no snapshot, unless `u`'s component is dirty from a
+    /// deletion (targeted repair) or the index is stale (full rebuild).
+    pub fn component(&self, u: u32) -> u32 {
+        self.conn_fresh().component(&self.graph, u)
+    }
+
+    /// True if `u` and `v` are currently connected; same cost profile as
+    /// [`SnapshotManager::component`].
+    pub fn same_component(&self, u: u32, v: u32) -> bool {
+        self.conn_fresh().same_component(&self.graph, u, v)
+    }
+
+    /// Number of connected components, repairing any dirty ones first.
+    pub fn component_count(&self) -> usize {
+        self.conn_fresh().component_count(&self.graph)
     }
 
     /// The CSR snapshot of the current state. Returns the cached build
@@ -535,6 +690,162 @@ mod tests {
         // The old Arc is still alive and unchanged for in-flight readers.
         assert_eq!(s1.num_entries(), 2);
         assert_eq!(mgr.rebuild_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_manager_noop_batch_keeps_cache_clean() {
+        // Regression: apply_batch used to bump the epoch unconditionally,
+        // so a burst of no-op delete batches forced spurious rebuilds.
+        let g: DynGraph<DynArr> = DynGraph::undirected(8, &CapacityHints::new(16));
+        let mgr = SnapshotManager::new(g);
+        let real: Vec<Update> = vec![
+            Update::insert(snap_rmat::TimedEdge::new(0, 1, 1)),
+            Update::insert(snap_rmat::TimedEdge::new(1, 2, 2)),
+        ];
+        assert!(mgr.apply_batch(&real));
+        let s1 = mgr.snapshot();
+        assert_eq!(mgr.rebuild_count(), 1);
+        // A burst of batches that change nothing: deletes of absent
+        // edges. The epoch must not move and the cache must survive.
+        let noop: Vec<Update> = (0..4u32)
+            .map(|i| Update::delete(snap_rmat::TimedEdge::new(4 + i, 7, 0)))
+            .collect();
+        let epoch_before = mgr.epoch();
+        for _ in 0..8 {
+            assert!(!mgr.apply_batch(&noop), "no-op batch must report false");
+        }
+        assert_eq!(mgr.epoch(), epoch_before, "no-op batches must not dirty");
+        assert!(mgr.is_clean());
+        let s2 = mgr.snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(mgr.rebuild_count(), 1, "rebuild count stays flat");
+        // Empty batch: same story.
+        assert!(!mgr.apply_batch(&[]));
+        assert_eq!(mgr.rebuild_count(), 1);
+    }
+
+    #[test]
+    fn apply_stream_reports_whether_anything_changed() {
+        let g: DynGraph<TreapAdj> = DynGraph::undirected(8, &CapacityHints::new(16));
+        let ins = vec![Update::insert(snap_rmat::TimedEdge::new(0, 1, 1))];
+        assert!(apply_stream(&g, &ins), "a real insert changes the graph");
+        assert!(
+            !apply_stream(&g, &ins),
+            "treap dedup: re-insert changes nothing"
+        );
+        let absent = vec![Update::delete(snap_rmat::TimedEdge::new(5, 6, 0))];
+        assert!(!apply_stream(&g, &absent));
+        let del = vec![Update::delete(snap_rmat::TimedEdge::new(0, 1, 0))];
+        assert!(apply_stream(&g, &del));
+    }
+
+    #[test]
+    fn manager_serves_connectivity_without_rebuilds() {
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(64, &CapacityHints::new(256));
+        let mgr = SnapshotManager::new(g);
+        let batch: Vec<Update> = (0..31u32)
+            .map(|i| Update::insert(snap_rmat::TimedEdge::new(i, i + 1, 1)))
+            .collect();
+        mgr.apply_batch(&batch);
+        let idx = mgr.enable_connectivity();
+        assert_eq!(idx.full_rebuild_count(), 0);
+        // Clean query burst: zero CSR rebuilds, zero repairs, zero full
+        // recomputes — the acceptance criterion of the serving path.
+        for _ in 0..128 {
+            assert!(mgr.same_component(0, 31));
+            assert!(!mgr.same_component(0, 40));
+            assert_eq!(mgr.component(17), 0);
+        }
+        assert_eq!(mgr.rebuild_count(), 0, "no CSR was ever built");
+        let idx = mgr.connectivity().unwrap();
+        assert_eq!(idx.repair_count(), 0);
+        assert_eq!(idx.full_rebuild_count(), 0);
+        // Incremental inserts through the manager keep serving cheaply.
+        mgr.insert_edge(snap_rmat::TimedEdge::new(31, 40, 2));
+        assert!(mgr.same_component(0, 40));
+        assert_eq!(idx.repair_count(), 0, "insertions never need repair");
+        // A deletion dirties one component; the next query repairs it.
+        mgr.delete_edge(15, 16);
+        assert!(!mgr.same_component(0, 31));
+        assert!(mgr.same_component(16, 40));
+        assert_eq!(idx.repair_count(), 1);
+        assert_eq!(mgr.rebuild_count(), 0, "still no CSR");
+        // 33 vertices were in the path+40 component, now split in two;
+        // the other 31 vertices are isolates.
+        assert_eq!(mgr.component_count(), 31 + 2);
+    }
+
+    #[test]
+    fn out_of_band_mutation_costs_one_full_resync() {
+        let g: DynGraph<DynArr> = DynGraph::undirected(8, &CapacityHints::new(16));
+        let mgr = SnapshotManager::new(g);
+        mgr.enable_connectivity();
+        assert!(!mgr.same_component(2, 3));
+        // Mutate behind the manager's back, then mark dirty: the next
+        // connectivity query must notice and resync exactly once.
+        mgr.live().insert_edge(snap_rmat::TimedEdge::new(2, 3, 1));
+        mgr.mark_dirty();
+        assert!(mgr.same_component(2, 3));
+        let idx = mgr.connectivity().unwrap();
+        assert_eq!(idx.full_rebuild_count(), 1);
+        assert!(mgr.same_component(2, 3));
+        assert_eq!(
+            idx.full_rebuild_count(),
+            1,
+            "resync paid once, not per query"
+        );
+    }
+
+    #[test]
+    fn routed_updates_do_not_absorb_an_out_of_band_gap() {
+        // Regression: the epoch sync used a monotone max, so a routed
+        // update arriving *after* an unsynced mark_dirty fast-forwarded
+        // the index past the gap and the stale-detection never fired.
+        let g: DynGraph<DynArr> = DynGraph::undirected(8, &CapacityHints::new(16));
+        let mgr = SnapshotManager::new(g);
+        mgr.enable_connectivity();
+        mgr.live().insert_edge(snap_rmat::TimedEdge::new(2, 3, 1));
+        mgr.mark_dirty(); // gap: epoch moved, index did not absorb it
+                          // A routed update lands before any query. It must not paper
+                          // over the gap...
+        assert!(mgr.insert_edge(snap_rmat::TimedEdge::new(5, 6, 1)));
+        let idx = mgr.connectivity().unwrap();
+        assert!(
+            idx.synced_epoch() < mgr.epoch(),
+            "the out-of-band gap must stay sticky"
+        );
+        // ...so the next query still detects staleness and resyncs.
+        assert!(mgr.same_component(2, 3), "out-of-band edge must be seen");
+        assert!(mgr.same_component(5, 6));
+        assert_eq!(idx.full_rebuild_count(), 1);
+        assert_eq!(idx.synced_epoch(), mgr.epoch());
+        // Lockstep resumes after the resync: further routed updates
+        // keep the index fresh with no more rebuilds.
+        assert!(mgr.insert_edge(snap_rmat::TimedEdge::new(3, 5, 2)));
+        assert!(mgr.same_component(2, 6));
+        assert_eq!(idx.full_rebuild_count(), 1);
+    }
+
+    #[test]
+    fn batched_deletes_route_into_the_index() {
+        let g: DynGraph<DynArr> = DynGraph::undirected(8, &CapacityHints::new(32));
+        let mgr = SnapshotManager::new(g);
+        mgr.enable_connectivity();
+        let ins: Vec<Update> = [(0, 1), (1, 2), (2, 3), (1, 3)]
+            .iter()
+            .map(|&(u, v)| Update::insert(snap_rmat::TimedEdge::new(u, v, 1)))
+            .collect();
+        assert!(mgr.apply_batch(&ins));
+        assert!(mgr.same_component(0, 3));
+        // Delete the only bridge to 0 in one batch with a redundant edge.
+        let dels = vec![
+            Update::delete(snap_rmat::TimedEdge::new(0, 1, 0)),
+            Update::delete(snap_rmat::TimedEdge::new(1, 3, 0)),
+        ];
+        assert!(mgr.apply_batch(&dels));
+        assert!(!mgr.same_component(0, 3), "0 split off");
+        assert!(mgr.same_component(1, 3), "1-2-3 still connected via 2");
+        assert_eq!(mgr.connectivity().unwrap().full_rebuild_count(), 0);
     }
 
     #[test]

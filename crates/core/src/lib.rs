@@ -30,6 +30,12 @@
 //! tracks a dirty epoch and rebuilds the cached snapshot lazily, so a
 //! burst of queries between update batches pays for one rebuild.
 //!
+//! Connectivity queries get a third, cheaper path:
+//! [`connectivity::ConnectivityIndex`] is a concurrent union-find
+//! maintained incrementally on every insert, with deletion-dirtied
+//! components repaired on demand — `same_component(u, v)` between
+//! batches costs neither a traversal nor a snapshot.
+//!
 //! # Execution strategies (Section 2.1.2–2.1.3)
 //!
 //! [`engine`] implements the streaming applier plus the `Vpart`
@@ -45,6 +51,7 @@
 
 pub mod adjacency;
 pub mod compressed;
+pub mod connectivity;
 pub mod csr;
 pub mod dynarr;
 pub mod engine;
@@ -57,6 +64,7 @@ pub mod view;
 pub mod vlabels;
 
 pub use adjacency::{AdjEntry, CapacityHints, DynamicAdjacency, TOMBSTONE};
+pub use connectivity::ConnectivityIndex;
 pub use csr::CsrGraph;
 pub use dynarr::{DynArr, FixedDynArr};
 pub use engine::SnapshotManager;

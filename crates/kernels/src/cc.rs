@@ -80,6 +80,21 @@ pub fn component_count(labels: &[u32]) -> usize {
     roots.len()
 }
 
+/// [`union_find_components`] over the live edges of any view — the
+/// sequential oracle for dynamic-connectivity tests and benches: after a
+/// mixed insert/delete stream, the surviving edge set is exactly what
+/// the view traverses, so this is the ground truth that `par_cc`,
+/// [`connected_components`], and the incremental `ConnectivityIndex`
+/// must all reproduce.
+pub fn union_find_from_view<V: GraphView>(view: &V) -> Vec<u32> {
+    let n = view.num_vertices();
+    let mut pairs = Vec::with_capacity(view.num_entries());
+    for u in 0..n as u32 {
+        view.for_each_edge(u, |v, _| pairs.push((u, v)));
+    }
+    union_find_components(n, pairs.into_iter())
+}
+
 /// Sequential union-find oracle (tests).
 pub fn union_find_components(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Vec<u32> {
     let mut parent: Vec<u32> = (0..n as u32).collect();

@@ -19,6 +19,7 @@
 
 use crate::frontier::{par_for_ranges, sweep_grain};
 use crate::ParConfig;
+use snap_core::connectivity::{restricted_component_labels, ConnectivityIndex};
 use snap_core::GraphView;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -73,6 +74,93 @@ pub fn par_cc_with<V: GraphView>(view: &V, cfg: &ParConfig) -> Vec<u32> {
         });
     }
     label.into_iter().map(|l| l.into_inner()).collect()
+}
+
+/// Parallel connected components **restricted to a vertex subset**:
+/// canonical minimum-id labels for `verts` (ascending) over the live
+/// edges of `view`, ignoring edges that leave the subset. Same
+/// grafting-and-pointer-jumping scheme as [`par_cc_with`], but label
+/// state is
+/// position-indexed over `verts`, so the cost scales with the subset —
+/// this is the relabeler the dynamic-connectivity serving path uses to
+/// repair one deletion-dirtied component without touching the rest of
+/// the graph (see [`par_repair`]). Falls back to the serial restricted
+/// kernel below the size threshold.
+pub fn par_cc_restricted<V: GraphView>(view: &V, verts: &[u32], cfg: &ParConfig) -> Vec<u32> {
+    debug_assert!(verts.windows(2).all(|w| w[0] < w[1]), "verts must ascend");
+    let k = verts.len();
+    let threads = cfg.worker_count();
+    if k <= cfg.serial_threshold || threads <= 1 {
+        return restricted_component_labels(view, verts);
+    }
+    let ranges: Vec<Range<u32>> = chunk_positions(k, sweep_grain(k, threads));
+    // label[i] is a *position* into verts; positions are id-ordered, so
+    // the min-position fixed point is the min-id label.
+    let label: Vec<AtomicU32> = (0..k as u32).map(AtomicU32::new).collect();
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        par_for_ranges(&ranges, threads, |r| {
+            for i in r {
+                let li = label[i as usize].load(Ordering::Relaxed);
+                view.for_each_edge(verts[i as usize], |w, _| {
+                    let Ok(j) = verts.binary_search(&w) else {
+                        return; // edge leaves the subset
+                    };
+                    let lj = label[j].load(Ordering::Relaxed);
+                    if lj < li {
+                        if try_lower(&label, i, lj) {
+                            changed.store(true, Ordering::Relaxed);
+                        }
+                    } else if li < lj && try_lower(&label, j as u32, li) {
+                        changed.store(true, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        par_for_ranges(&ranges, threads, |r| {
+            for i in r {
+                let mut l = label[i as usize].load(Ordering::Relaxed);
+                loop {
+                    let ll = label[l as usize].load(Ordering::Relaxed);
+                    if ll == l {
+                        break;
+                    }
+                    l = ll;
+                }
+                label[i as usize].store(l, Ordering::Relaxed);
+            }
+        });
+    }
+    label
+        .into_iter()
+        .map(|l| verts[l.into_inner() as usize])
+        .collect()
+}
+
+/// Repairs the deletion-dirtied component of `u` in a
+/// [`ConnectivityIndex`] using [`par_cc_restricted`] as the relabeler —
+/// the parallel counterpart of [`ConnectivityIndex::repair`]. Returns
+/// the post-repair root of `u`. A no-op (beyond two finds) when `u`'s
+/// component is clean.
+pub fn par_repair<V: GraphView>(
+    index: &ConnectivityIndex,
+    view: &V,
+    u: u32,
+    cfg: &ParConfig,
+) -> u32 {
+    if !index.is_component_dirty(u) {
+        return index.find(u);
+    }
+    index.repair_with(view, u, |v, verts| par_cc_restricted(v, verts, cfg))
+}
+
+/// Contiguous position ranges `0..k` of at most `grain` each.
+fn chunk_positions(k: usize, grain: usize) -> Vec<Range<u32>> {
+    let grain = grain.max(1);
+    (0..k)
+        .step_by(grain)
+        .map(|lo| lo as u32..((lo + grain).min(k)) as u32)
+        .collect()
 }
 
 /// CAS-lowers `x`'s label to `to` if smaller; true if changed.
@@ -140,5 +228,56 @@ mod tests {
     fn small_graph_falls_back_to_serial() {
         let g = CsrGraph::from_edges_undirected(4, &[TimedEdge::new(1, 2, 1)]);
         assert_eq!(par_cc(&g), connected_components(&g));
+    }
+
+    #[test]
+    fn restricted_matches_serial_restricted_on_rmat() {
+        use snap_core::connectivity::restricted_component_labels;
+        let rm = Rmat::new(RmatParams::paper(11, 4), 23);
+        let g = CsrGraph::from_edges_undirected(1 << 11, &rm.edges());
+        // Restrict to every third vertex: edges leaving the subset must
+        // be ignored identically by both kernels.
+        let verts: Vec<u32> = (0..1u32 << 11).step_by(3).collect();
+        let par = par_cc_restricted(&g, &verts, &force());
+        let serial = restricted_component_labels(&g, &verts);
+        assert_eq!(par, serial);
+        // Full vertex set: restricted == unrestricted.
+        let all: Vec<u32> = (0..1u32 << 11).collect();
+        assert_eq!(
+            par_cc_restricted(&g, &all, &force()),
+            par_cc_with(&g, &force())
+        );
+    }
+
+    #[test]
+    fn par_repair_fixes_a_deletion_split() {
+        use snap_core::adjacency::CapacityHints;
+        use snap_core::{ConnectivityIndex, DynGraph, HybridAdj};
+        let n = 4096usize;
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(n, &CapacityHints::new(2 * n));
+        for i in 0..n as u32 - 1 {
+            g.insert_edge(TimedEdge::new(i, i + 1, 1));
+        }
+        let idx = ConnectivityIndex::from_view(&g);
+        g.delete_edge(2000, 2001);
+        idx.note_delete(2000, 2001);
+        let root = par_repair(&idx, &g, 3000, &force());
+        assert_eq!(root, 2001, "upper half relabels to its min id");
+        assert_eq!(idx.repair_count(), 1);
+        assert!(!idx.same_component(&g, 0, 4095));
+        assert!(idx.same_component(&g, 2001, 4095));
+        assert_eq!(idx.repair_count(), 1, "queries after repair are free");
+        // Clean component: par_repair is a no-op find.
+        assert_eq!(par_repair(&idx, &g, 0, &force()), 0);
+        assert_eq!(idx.repair_count(), 1);
+        // The repaired labels are canonical: oracle agreement.
+        let surviving: Vec<(u32, u32)> = (0..n as u32 - 1)
+            .filter(|&i| i != 2000)
+            .map(|i| (i, i + 1))
+            .collect();
+        assert_eq!(
+            idx.labels(&g),
+            union_find_components(n, surviving.into_iter())
+        );
     }
 }

@@ -47,7 +47,7 @@ pub mod sssp;
 
 pub use bfs::{par_bfs, par_bfs_stats, par_bfs_with, BfsStats};
 pub use bitset::AtomicBitset;
-pub use cc::{par_cc, par_cc_with};
+pub use cc::{par_cc, par_cc_restricted, par_cc_with, par_repair};
 pub use frontier::FrontierEngine;
 pub use sssp::{par_sssp, par_sssp_with};
 

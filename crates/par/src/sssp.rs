@@ -55,6 +55,13 @@ pub fn par_sssp_with<V: GraphView>(view: &V, src: u32, delta: u64, cfg: &ParConf
             enqueue_improved(&mut sinks, delta, &mut buckets, current);
         }
         // One heavy-edge pass over everything settled in this bucket.
+        // `deleted` holds one entry per *settlement*, and a vertex
+        // improved across inner rounds re-enters the frontier each time —
+        // without dedup its heavy edges would be re-relaxed once per
+        // re-settlement (harmless but pure waste, and the frontier handed
+        // to the chunker is larger than the vertex set it covers).
+        deleted.sort_unstable();
+        deleted.dedup();
         relax_frontier(view, &deleted, &dist, cfg, |w| w > delta, &mut sinks);
         enqueue_improved(&mut sinks, delta, &mut buckets, current);
         current += 1;
@@ -186,5 +193,79 @@ mod tests {
     fn small_graph_falls_back_to_dijkstra() {
         let g = CsrGraph::from_edges_undirected(3, &[TimedEdge::new(0, 1, 5)]);
         assert_eq!(par_sssp(&g, 0, 4), dijkstra(&g, 0));
+    }
+
+    /// Counts [`GraphView::for_each_edge`] invocations, so a test can pin
+    /// down exactly how many frontier entries each pass scanned.
+    struct CountingView<'a> {
+        inner: &'a CsrGraph,
+        visits: std::sync::atomic::AtomicUsize,
+    }
+
+    impl GraphView for CountingView<'_> {
+        fn num_vertices(&self) -> usize {
+            self.inner.num_vertices()
+        }
+        fn is_directed(&self) -> bool {
+            self.inner.is_directed()
+        }
+        fn degree(&self, u: u32) -> usize {
+            self.inner.out_degree(u)
+        }
+        fn for_each_edge<F: FnMut(u32, u32)>(&self, u: u32, f: F) {
+            self.visits.fetch_add(1, Ordering::Relaxed);
+            GraphView::for_each_edge(self.inner, u, f)
+        }
+    }
+
+    #[test]
+    fn heavy_pass_dedups_multi_settled_vertices() {
+        // Vertex 2 settles twice inside bucket 0: first at 3 via the
+        // direct (0,2) edge, then improved to 2 via 0-1-2. Before the
+        // dedup fix the heavy pass scanned it once per settlement.
+        let edges = vec![
+            TimedEdge::new(0, 1, 1),
+            TimedEdge::new(1, 2, 1),
+            TimedEdge::new(0, 2, 3),
+            TimedEdge::new(2, 3, 50), // the heavy edge duplicates would re-relax
+        ];
+        let csr = CsrGraph::from_edges_undirected(4, &edges);
+        let view = CountingView {
+            inner: &csr,
+            visits: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let cfg = ParConfig::default()
+            .with_serial_threshold(0)
+            .with_threads(1);
+        let d = par_sssp_with(&view, 0, 10, &cfg);
+        assert_eq!(d, dijkstra(&csr, 0));
+        assert_eq!(d, vec![0, 1, 2, 52]);
+        // Hand-traced frontier scans with a deduped heavy pass:
+        // light passes [0], [1,2], [2] = 4; heavy pass over the deduped
+        // {0,1,2} = 3; bucket 5 light [3] + heavy [3] = 2. A duplicated
+        // heavy frontier would make this 10.
+        assert_eq!(view.visits.into_inner(), 9, "heavy pass must be deduped");
+    }
+
+    #[test]
+    fn multi_settlement_stream_matches_dijkstra() {
+        // A ladder of shortcut edges: every rung offers a long direct
+        // light edge first and a shorter multi-hop path second, forcing
+        // re-settlement churn inside each bucket at several deltas.
+        let mut edges = Vec::new();
+        for i in 0..64u32 {
+            edges.push(TimedEdge::new(i, i + 1, 1));
+            edges.push(TimedEdge::new(i, (i + 2).min(65), 7));
+        }
+        let g = CsrGraph::from_edges_undirected(66, &edges);
+        let oracle = dijkstra(&g, 0);
+        for delta in [2u64, 8, 16, 1 << 20] {
+            for threads in [1usize, 2, 4] {
+                let cfg = ParConfig::default()
+                    .with_serial_threshold(0)
+                    .with_threads(threads);
+                assert_eq!(par_sssp_with(&g, 0, delta, &cfg), oracle);
+            }
+        }
     }
 }

@@ -38,6 +38,19 @@
 //! one rebuild, and cheap probes bypass CSR entirely via
 //! [`SnapshotManager::live`].
 //!
+//! ## Connectivity serving
+//!
+//! For the paper's headline query — *are `u` and `v` in the same
+//! component right now?* — even one traversal per batch is too much.
+//! [`ConnectivityIndex`] (attach it with
+//! [`SnapshotManager::enable_connectivity`]) maintains a concurrent
+//! union-find incrementally: insertions union in near-O(α), deletions
+//! mark only the affected component dirty, and the next query touching a
+//! dirty component triggers a targeted repair over the live view —
+//! serial by default, or `snap::par::par_repair` to relabel the one
+//! component with the parallel kernel. Between batches,
+//! `same_component(u, v)` costs zero traversals and zero CSR rebuilds.
+//!
 //! ## The parallel runtime
 //!
 //! `snap::par` scales the three core traversals over worker threads,
@@ -105,6 +118,15 @@
 //! assert_eq!(par.dist, snap_bfs.dist);
 //! let labels = par_cc(&*csr);
 //! assert_eq!(labels, connected_components(&*csr));
+//!
+//! // Connectivity queries skip traversal entirely: the incremental
+//! // union-find index answers them in near-O(alpha), and agrees with
+//! // the kernel labels bit-for-bit.
+//! mgr.enable_connectivity();
+//! let nb = csr.neighbors(hub)[0];
+//! assert!(mgr.same_component(hub, nb));
+//! assert_eq!(mgr.component(hub), labels[hub as usize]);
+//! assert_eq!(mgr.rebuild_count(), 1, "the index never built a snapshot");
 //! ```
 
 pub use snap_arena as arena;
@@ -117,24 +139,24 @@ pub use snap_util as util;
 
 // Lift the read abstraction to the facade root: it is the vocabulary
 // every kernel call site speaks.
-pub use snap_core::{CsrGraph, DynGraph, GraphView, SnapshotManager};
+pub use snap_core::{ConnectivityIndex, CsrGraph, DynGraph, GraphView, SnapshotManager};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use snap_core::adjacency::{AdjEntry, CapacityHints, DynamicAdjacency};
     pub use snap_core::engine;
     pub use snap_core::{
-        CsrGraph, DynArr, DynGraph, FixedDynArr, GraphView, HybridAdj, SnapshotManager, TimedEdge,
-        TreapAdj, Update, UpdateKind,
+        ConnectivityIndex, CsrGraph, DynArr, DynGraph, FixedDynArr, GraphView, HybridAdj,
+        SnapshotManager, TimedEdge, TreapAdj, Update, UpdateKind,
     };
     pub use snap_kernels::{
         average_clustering, betweenness_approx, betweenness_exact, bfs, boruvka_msf,
         boruvka_msf_view, closeness_approx, closeness_exact, connected_components, delta_stepping,
         double_sweep_lower_bound, earliest_arrival, induced_subgraph_csr,
         induced_subgraph_vertices, induced_subgraph_view, st_connectivity, stress_approx,
-        stress_exact, temporal_betweenness_approx, temporal_bfs, triangle_count, LinkCutForest,
-        TimeWindow,
+        stress_exact, temporal_betweenness_approx, temporal_bfs, triangle_count,
+        union_find_from_view, LinkCutForest, TimeWindow,
     };
-    pub use snap_par::{par_bfs, par_cc, par_sssp, ParConfig};
+    pub use snap_par::{par_bfs, par_cc, par_cc_restricted, par_repair, par_sssp, ParConfig};
     pub use snap_rmat::{Rmat, RmatParams, StreamBuilder};
 }

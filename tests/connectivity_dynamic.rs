@@ -1,0 +1,178 @@
+//! Deletion-heavy dynamic connectivity: every engine strategy, every
+//! read path, one oracle.
+//!
+//! A duplicate-free update stream (insert phase, then a deletion-heavy
+//! delete phase) is applied through all four update-application
+//! strategies (`stream` / `vpart` / `epart` / `batched`) at 1/2/8
+//! worker threads. Whatever the interleaving, the surviving edge set is
+//! fixed, so the canonical component labels from
+//!
+//! - the serial kernel (`connected_components`) on the live view,
+//! - the parallel kernel (`par_cc`, forced parallel),
+//! - a [`ConnectivityIndex`] built from the final view,
+//! - the incremental [`ConnectivityIndex`] maintained update-by-update
+//!   through [`SnapshotManager`] (targeted repairs, serial and
+//!   parallel), and
+//! - the sequential union-find oracle on the surviving edges
+//!
+//! must all be bit-identical.
+
+mod common;
+
+use common::rng_for;
+use snap::prelude::*;
+use snap::util::thread_pool;
+use snap_kernels::cc::union_find_components;
+
+const SUITE: u64 = 0xD15C0;
+
+/// A duplicate-free workload: `inserts` builds the graph, `deletes`
+/// removes ~60% of it (deletion-heavy), including some self-loops.
+/// Returns `(inserts, deletes, surviving undirected pairs)`.
+fn workload(case: u64) -> (Vec<Update>, Vec<Update>, Vec<(u32, u32)>) {
+    let n = 512u32;
+    let mut rng = rng_for(SUITE, 1, case);
+    let mut pool: Vec<(u32, u32)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while pool.len() < 1500 {
+        let u = rng.next_bounded(n as u64) as u32;
+        let v = rng.next_bounded(n as u64) as u32;
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            pool.push(key);
+        }
+    }
+    // A handful of explicit self-loops: stored once, deleted once, and
+    // never relevant to component structure.
+    for s in 0..8u32 {
+        let v = s * 17 % n;
+        if seen.insert((v, v)) {
+            pool.push((v, v));
+        }
+    }
+    let inserts: Vec<Update> = pool
+        .iter()
+        .map(|&(u, v)| Update::insert(TimedEdge::new(u, v, 1 + (u + v) % 90)))
+        .collect();
+    let mut deletes = Vec::new();
+    let mut surviving = Vec::new();
+    for &(u, v) in &pool {
+        if rng.next_bounded(10) < 6 {
+            deletes.push(Update::delete(TimedEdge::new(u, v, 0)));
+        } else {
+            surviving.push((u, v));
+        }
+    }
+    (inserts, deletes, surviving)
+}
+
+fn oracle(surviving: &[(u32, u32)]) -> Vec<u32> {
+    union_find_components(512, surviving.iter().copied())
+}
+
+fn forced(threads: usize) -> ParConfig {
+    ParConfig::default()
+        .with_serial_threshold(0)
+        .with_threads(threads)
+}
+
+/// Asserts every read path over the final live graph against the oracle.
+fn check_all_paths<A: DynamicAdjacency>(g: &DynGraph<A>, want: &[u32], what: &str) {
+    assert_eq!(&connected_components(g), want, "{what}: serial kernel");
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            &snap::par::par_cc_with(g, &forced(threads)),
+            want,
+            "{what}: par_cc @ {threads} threads"
+        );
+    }
+    assert_eq!(&union_find_from_view(g), want, "{what}: view oracle");
+    let idx = ConnectivityIndex::from_view(g);
+    assert_eq!(&idx.labels(g), want, "{what}: ConnectivityIndex::from_view");
+    assert_eq!(
+        idx.component_count(g),
+        snap::kernels::component_count(want),
+        "{what}: component count"
+    );
+}
+
+#[test]
+fn all_strategies_agree_with_the_oracle_after_mixed_streams() {
+    for case in 0..2 {
+        let (inserts, deletes, surviving) = workload(case);
+        let want = oracle(&surviving);
+        let hints = CapacityHints::new(inserts.len() * 2);
+        for &threads in &[1usize, 2, 8] {
+            let pool = thread_pool(threads);
+            // stream
+            let g: DynGraph<DynArr> = DynGraph::undirected(512, &hints);
+            pool.install(|| {
+                assert!(engine::apply_stream(&g, &inserts));
+                assert!(engine::apply_stream(&g, &deletes));
+            });
+            check_all_paths(&g, &want, "stream");
+            // vpart
+            let g: DynGraph<DynArr> = DynGraph::undirected(512, &hints);
+            pool.install(|| {
+                engine::apply_vpart(&g, &inserts, threads);
+                engine::apply_vpart(&g, &deletes, threads);
+            });
+            check_all_paths(&g, &want, "vpart");
+            // epart
+            let g: DynGraph<HybridAdj> = DynGraph::undirected(512, &hints);
+            pool.install(|| {
+                engine::apply_epart(&g, &inserts, threads);
+                engine::apply_epart(&g, &deletes, threads);
+            });
+            check_all_paths(&g, &want, "epart");
+            // batched
+            let g: DynGraph<TreapAdj> = DynGraph::undirected(512, &hints);
+            pool.install(|| {
+                engine::apply_batched(&g, &inserts);
+                engine::apply_batched(&g, &deletes);
+            });
+            check_all_paths(&g, &want, "batched");
+        }
+    }
+}
+
+#[test]
+fn incremental_index_tracks_mixed_batches_without_rebuilds() {
+    for case in 0..3 {
+        let (inserts, deletes, surviving) = workload(10 + case);
+        let want = oracle(&surviving);
+        for &threads in &[1usize, 2, 8] {
+            let hints = CapacityHints::new(inserts.len() * 2);
+            let g: DynGraph<HybridAdj> = DynGraph::undirected(512, &hints);
+            let mgr = SnapshotManager::new(g);
+            mgr.enable_connectivity();
+            thread_pool(threads).install(|| {
+                assert!(mgr.apply_batch(&inserts));
+                assert!(mgr.apply_batch(&deletes));
+            });
+            let idx = mgr.connectivity().unwrap();
+            // The deletion-heavy phase left dirty components; queries
+            // repair them on demand — spot-check pairs first, through
+            // both the serial and the parallel repair path.
+            par_repair(idx, mgr.live(), 0, &forced(threads));
+            let mut rng = rng_for(SUITE, 2, case * 10 + threads as u64);
+            for _ in 0..200 {
+                let u = rng.next_bounded(512) as u32;
+                let v = rng.next_bounded(512) as u32;
+                assert_eq!(
+                    mgr.same_component(u, v),
+                    want[u as usize] == want[v as usize],
+                    "pair ({u}, {v}) @ {threads} threads"
+                );
+            }
+            // Then the full label array, bit-for-bit.
+            assert_eq!(idx.labels(mgr.live()), want);
+            assert_eq!(mgr.component_count(), snap::kernels::component_count(&want));
+            // The whole run was served incrementally: no CSR snapshot,
+            // no full index rebuild — only targeted repairs.
+            assert_eq!(mgr.rebuild_count(), 0, "no CSR rebuild");
+            assert_eq!(idx.full_rebuild_count(), 0, "no full recompute");
+            assert!(idx.repair_count() >= 1, "deletions must repair lazily");
+        }
+    }
+}

@@ -103,6 +103,90 @@ fn live_view_equals_snapshot_hybrid() {
     }
 }
 
+/// Self-loop consistency audit: a self-loop is stored **once** even on
+/// undirected graphs (`DynGraph::insert_edge` skips the mirror
+/// orientation), and every snapshot path must agree — `to_csr`
+/// (`CsrGraph::from_dynamic`) copies entries verbatim and
+/// `CsrGraph::from_edges_undirected` counts a loop once in its degree
+/// pass. This pins the invariant across all three representations, for
+/// degrees, traversal, and deletion.
+fn assert_self_loop_equivalence<A: DynamicAdjacency>(repr: &str) {
+    let hints = CapacityHints::new(64).with_degree_thresh(2);
+    let g: DynGraph<A> = DynGraph::undirected(6, &hints);
+    let edges = vec![
+        TimedEdge::new(0, 1, 10),
+        TimedEdge::new(1, 1, 20), // self-loop on a connected vertex
+        TimedEdge::new(3, 3, 30), // self-loop on an otherwise isolated vertex
+        TimedEdge::new(1, 2, 40),
+        TimedEdge::new(4, 5, 50),
+    ];
+    for e in &edges {
+        g.insert_edge(*e);
+    }
+    // Live view: loops count once in the degree.
+    assert_eq!(g.degree(1), 3, "{repr}: nbrs 0, 2 and one loop entry");
+    assert_eq!(g.degree(3), 1, "{repr}: loop only");
+    // Snapshot of the dynamic state agrees entry-for-entry.
+    let from_dyn = g.to_csr();
+    // Direct build from the undirected edge list agrees too.
+    let from_edges = CsrGraph::from_edges_undirected(6, &edges);
+    for u in 0..6u32 {
+        assert_eq!(
+            g.degree(u),
+            from_dyn.out_degree(u),
+            "{repr}: live vs from_dynamic degree at {u}"
+        );
+        assert_eq!(
+            from_dyn.out_degree(u),
+            from_edges.out_degree(u),
+            "{repr}: from_dynamic vs from_edges_undirected degree at {u}"
+        );
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        g.for_each_neighbor(u, &mut |e| live.push((e.nbr, e.ts)));
+        live.sort_unstable();
+        let mut snap: Vec<(u32, u32)> = from_dyn
+            .neighbors(u)
+            .iter()
+            .copied()
+            .zip(from_dyn.timestamps(u).iter().copied())
+            .collect();
+        snap.sort_unstable();
+        assert_eq!(live, snap, "{repr}: traversal diverges at {u}");
+    }
+    assert_eq!(from_dyn.num_entries(), from_edges.num_entries());
+    assert_eq!(
+        GraphView::num_entries(&g),
+        8, // 3 plain edges twice + 2 loops once
+        "{repr}: loops stored once, plain edges twice"
+    );
+    // Deleting a self-loop removes exactly the single stored entry, on
+    // both read paths.
+    assert!(g.delete_edge(1, 1), "{repr}: loop delete must report");
+    assert!(!g.delete_edge(1, 1), "{repr}: loop already gone");
+    assert_eq!(g.degree(1), 2);
+    assert_eq!(g.to_csr().out_degree(1), 2);
+    assert_eq!(GraphView::num_entries(&g), 7);
+    // Kernels see identical structure either way (loops never change
+    // connectivity).
+    assert_eq!(connected_components(&g), connected_components(&g.to_csr()));
+}
+
+#[test]
+fn self_loops_agree_live_vs_csr_dynarr() {
+    assert_self_loop_equivalence::<DynArr>("DynArr");
+}
+
+#[test]
+fn self_loops_agree_live_vs_csr_treap() {
+    assert_self_loop_equivalence::<TreapAdj>("TreapAdj");
+}
+
+#[test]
+fn self_loops_agree_live_vs_csr_hybrid() {
+    // degree_thresh 2 promotes vertex 1 to a treap, covering both arms.
+    assert_self_loop_equivalence::<HybridAdj>("HybridAdj");
+}
+
 /// The wider kernel suite agrees across read paths on one fixed workload
 /// per representation (cheaper kernels only; BFS/CC cover the traversal
 /// core above).
