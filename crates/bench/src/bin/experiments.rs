@@ -1,7 +1,7 @@
 //! Regenerates every figure of the paper as a printed series.
 //!
 //! ```text
-//! experiments [fig1 fig2 ... fig11 | parallel | connectivity | ablations | extensions | all]
+//! experiments [fig1 fig2 ... fig11 | parallel | connectivity | bc | ablations | extensions | all]
 //! ```
 //!
 //! Environment: `SNAP_SCALE` (default 16) sets `log2(n)` for the update
@@ -10,10 +10,11 @@
 //! numbers, are the reproduction target — see EXPERIMENTS.md.
 //!
 //! `parallel` additionally persists machine-readable medians to
-//! `BENCH_parallel.json` (kernel, mode, scale, threads, median ns) and
+//! `BENCH_parallel.json` (kernel, mode, scale, threads, median ns),
 //! `connectivity` to `BENCH_connectivity.json` (incremental index vs
-//! recompute-per-query vs snapshot-per-query), so the serving-path perf
-//! trajectory is tracked across PRs.
+//! recompute-per-query vs snapshot-per-query), and `bc` to
+//! `BENCH_bc.json` (serial vs parallel betweenness, exact and sampled),
+//! so the perf trajectories are tracked across PRs.
 
 use snap_bench::*;
 use snap_core::adjacency::CapacityHints;
@@ -45,6 +46,7 @@ fn main() {
             "fig11",
             "parallel",
             "connectivity",
+            "bc",
             "ablations",
             "extensions",
         ]
@@ -73,6 +75,7 @@ fn main() {
             "fig11" => fig11(&cfg),
             "parallel" => parallel(&cfg),
             "connectivity" => connectivity(&cfg),
+            "bc" => bc_bench(&cfg),
             "ablations" => {
                 ablation_degree_thresh(&cfg);
                 ablation_initial_size(&cfg);
@@ -357,6 +360,10 @@ fn fig10(cfg: &Config) {
 }
 
 /// Figure 11: approximate temporal betweenness, 256 sampled sources.
+/// The kernel is the serial reference implementation (deterministic
+/// blocked accumulation — see `snap_kernels::bc`), so this is a single
+/// timing, not a thread sweep; the multi-threaded static-BC comparison
+/// lives in the `bc` experiment (`snap_par::par_bc`).
 fn fig11(cfg: &Config) {
     let edges = build_edges(cfg.scale, cfg.edge_factor, cfg.seed ^ 11);
     let n = cfg.vertices();
@@ -370,21 +377,11 @@ fn fig11(cfg: &Config) {
         .collect();
     let csr = CsrGraph::from_edges_undirected(n, &edges);
     let sources = sample_sources(n, 256, cfg.seed);
-    let mut base = 0.0;
-    let mut t = Table::new(&["threads", "BC time (s)", "speedup"]);
-    for &th in &cfg.threads {
-        let (bc, secs) = seconds(|| {
-            in_pool(th, || {
-                snap_kernels::temporal_betweenness_approx(&csr, &sources)
-            })
-        });
-        std::hint::black_box(&bc);
-        if base == 0.0 {
-            base = secs;
-        }
-        t.row(vec![th.to_string(), f3(secs), f3(base / secs)]);
-    }
-    t.print("Figure 11: approximate temporal betweenness (256 sources)");
+    let (bc, secs) = seconds(|| snap_kernels::temporal_betweenness_approx(&csr, &sources));
+    std::hint::black_box(&bc);
+    let mut t = Table::new(&["kernel", "BC time (s)"]);
+    t.row(vec!["temporal Brandes (serial)".into(), f3(secs)]);
+    t.print("Figure 11: approximate temporal betweenness (256 sources; see `bc` for the parallel kernel)");
 }
 
 /// One persisted measurement of the `parallel` experiment.
@@ -517,6 +514,131 @@ fn write_bench_json(cfg: &Config, rows: &[BenchRow]) {
     }
     out.push_str("]\n");
     let path = "BENCH_parallel.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote {} rows to {path}", rows.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// One persisted measurement of the `bc` experiment.
+struct BcRow {
+    mode: &'static str,
+    scale: u32,
+    threads: usize,
+    sources: usize,
+    median_ns: u128,
+}
+
+/// Betweenness centrality: the serial Brandes kernel vs the multi-source
+/// parallel kernel (`snap_par::par_bc`), exact at a small instance
+/// (exact BC is O(n(n + m))) and 256-source sampled (the paper's sample
+/// size) at serving scale, across the thread sweep. Scores are
+/// bit-identical between the two kernels, so the comparison is pure
+/// throughput. Persists machine-readable medians to `BENCH_bc.json`.
+fn bc_bench(cfg: &Config) {
+    use snap_kernels::{betweenness_approx, betweenness_exact};
+    use snap_par::{par_bc_with, BcConfig, ParConfig};
+
+    let reps = 3usize;
+    let pcfg = ParConfig::default();
+    let mut rows: Vec<BcRow> = Vec::new();
+
+    // --- Exact: every vertex a source, small instance ----------------
+    let exact_scale = cfg.scale.min(10);
+    let n = 1usize << exact_scale;
+    let edges = build_edges(exact_scale, cfg.edge_factor, cfg.seed ^ 19);
+    let csr = CsrGraph::from_edges_undirected(n, &edges);
+    rows.push(BcRow {
+        mode: "serial-exact",
+        scale: exact_scale,
+        threads: 1,
+        sources: n,
+        median_ns: median_ns(reps, || betweenness_exact(&csr)),
+    });
+    let exact = BcConfig::exact();
+    for &th in &cfg.threads {
+        rows.push(BcRow {
+            mode: "par-exact",
+            scale: exact_scale,
+            threads: th,
+            sources: n,
+            median_ns: median_ns(reps, || in_pool(th, || par_bc_with(&csr, &exact, &pcfg))),
+        });
+    }
+
+    // --- Sampled: 256 sources at serving scale ------------------------
+    let k = 256usize;
+    let samp_scale = cfg.scale.clamp(12, 14);
+    let n = 1usize << samp_scale;
+    let edges = build_edges(samp_scale, cfg.edge_factor, cfg.seed ^ 23);
+    let csr = CsrGraph::from_edges_undirected(n, &edges);
+    let srcs = sample_sources(n, k, cfg.seed);
+    rows.push(BcRow {
+        mode: "serial-sampled",
+        scale: samp_scale,
+        threads: 1,
+        sources: k,
+        median_ns: median_ns(reps, || betweenness_approx(&csr, &srcs)),
+    });
+    let sampled = BcConfig::sampled(k, cfg.seed);
+    for &th in &cfg.threads {
+        rows.push(BcRow {
+            mode: "par-sampled",
+            scale: samp_scale,
+            threads: th,
+            sources: k,
+            median_ns: median_ns(reps, || in_pool(th, || par_bc_with(&csr, &sampled, &pcfg))),
+        });
+    }
+
+    let mut t = Table::new(&[
+        "mode",
+        "scale",
+        "threads",
+        "sources",
+        "median (ms)",
+        "vs serial",
+    ]);
+    for r in &rows {
+        let serial_mode = if r.mode.ends_with("exact") {
+            "serial-exact"
+        } else {
+            "serial-sampled"
+        };
+        let serial = rows
+            .iter()
+            .find(|s| s.mode == serial_mode)
+            .map(|s| s.median_ns)
+            .unwrap_or(r.median_ns);
+        t.row(vec![
+            r.mode.into(),
+            r.scale.to_string(),
+            r.threads.to_string(),
+            r.sources.to_string(),
+            f3(r.median_ns as f64 / 1e6),
+            f3(serial as f64 / r.median_ns.max(1) as f64),
+        ]);
+    }
+    t.print("Betweenness centrality: serial Brandes vs par_bc (bit-identical scores)");
+    write_bc_json(&rows);
+}
+
+/// Persists the `bc` rows as JSON (hand-emitted; no serde).
+fn write_bc_json(rows: &[BcRow]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"kernel\": \"bc\", \"mode\": \"{}\", \"scale\": {}, \"threads\": {}, \"sources\": {}, \"median_ns\": {}}}{}\n",
+            r.mode,
+            r.scale,
+            r.threads,
+            r.sources,
+            r.median_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    let path = "BENCH_bc.json";
     match std::fs::write(path, &out) {
         Ok(()) => println!("\nwrote {} rows to {path}", rows.len()),
         Err(e) => eprintln!("failed to write {path}: {e}"),

@@ -11,7 +11,9 @@ pub const TOMBSTONE: u32 = u32::MAX;
 /// slot stays two words for cache density.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct AdjEntry {
+    /// Neighbor vertex id (never [`TOMBSTONE`]).
     pub nbr: u32,
+    /// Edge time label λ(e).
     pub ts: u32,
 }
 
@@ -67,11 +69,15 @@ impl CapacityHints {
         (self.initial_capacity_factor * mean).max(4) as u32
     }
 
+    /// Overrides the hybrid array-to-treap promotion threshold
+    /// (clamped to at least 1).
     pub fn with_degree_thresh(mut self, t: u32) -> Self {
         self.degree_thresh = t.max(1);
         self
     }
 
+    /// Overrides the paper's `k`, the initial-capacity multiplier over
+    /// the mean degree.
     pub fn with_initial_capacity_factor(mut self, k: usize) -> Self {
         self.initial_capacity_factor = k;
         self

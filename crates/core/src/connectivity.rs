@@ -19,7 +19,7 @@
 //!   lock-free. The next query touching a dirty component triggers a
 //!   targeted repair: its member vertices are relabeled by a restricted
 //!   connected-components pass over the **live**
-//!   [`GraphView`](crate::view::GraphView) (serial here; `snap-par`
+//!   [`GraphView`] (serial here; `snap-par`
 //!   plugs its parallel kernel in through
 //!   [`ConnectivityIndex::repair_with`]).
 //! - **Self-loops never dirty anything**: deleting `(u, u)` cannot
@@ -50,6 +50,30 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 /// Incrementally maintained connectivity over a dynamic graph: concurrent
 /// union-find with per-component dirty tracking and targeted repair. See
 /// the [module docs](self) for the design and the concurrency contract.
+///
+/// # Examples
+///
+/// ```
+/// use snap_core::adjacency::CapacityHints;
+/// use snap_core::{ConnectivityIndex, DynGraph, HybridAdj};
+/// use snap_rmat::TimedEdge;
+///
+/// let g: DynGraph<HybridAdj> = DynGraph::undirected(5, &CapacityHints::new(16));
+/// for (u, v) in [(0, 1), (1, 2), (3, 4)] {
+///     g.insert_edge(TimedEdge::new(u, v, 1));
+/// }
+/// let idx = ConnectivityIndex::from_view(&g);
+/// assert!(idx.same_component(&g, 0, 2));
+/// assert!(!idx.same_component(&g, 0, 3));
+/// assert_eq!(idx.component_count(&g), 2);
+///
+/// // A deletion dirties one component; the next query touching it
+/// // triggers a targeted repair over the live view.
+/// g.delete_edge(1, 2);
+/// idx.note_delete(1, 2);
+/// assert!(!idx.same_component(&g, 0, 2));
+/// assert_eq!(idx.repair_count(), 1);
+/// ```
 pub struct ConnectivityIndex {
     /// Union-find forest. Roots satisfy `parent[r] == r`; every hook
     /// points a higher id at a lower one, so a component's root is its
@@ -129,7 +153,7 @@ impl ConnectivityIndex {
     /// splitting CAS whose expected value coincides with the freshly
     /// published one (ABA on vertex ids) would overwrite the repair
     /// with a stale ancestor. Mutations compress through
-    /// [`ConnectivityIndex::find_compress`] and repairs flatten their
+    /// `ConnectivityIndex::find_compress` and repairs flatten their
     /// whole component, which keeps typical walks short; if an
     /// adversarial insertion order still builds a deep chain (union by
     /// min-id has no rank), the walk flattens it opportunistically —

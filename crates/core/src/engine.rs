@@ -248,6 +248,29 @@ pub fn semi_sort_bound(updates: &[Update], n: usize, directed: bool) -> Duration
 /// behind, and the next connectivity query detects the gap and falls
 /// back to one full rebuild (counted on
 /// [`ConnectivityIndex::full_rebuild_count`]).
+///
+/// # Examples
+///
+/// ```
+/// use snap_core::adjacency::CapacityHints;
+/// use snap_core::{DynGraph, HybridAdj, SnapshotManager};
+/// use snap_rmat::{StreamBuilder, TimedEdge};
+///
+/// let edges = vec![TimedEdge::new(0, 1, 1), TimedEdge::new(1, 2, 2)];
+/// let hints = CapacityHints::new(edges.len() * 2);
+/// let mgr = SnapshotManager::new(DynGraph::<HybridAdj>::undirected(3, &hints));
+/// mgr.apply_batch(&StreamBuilder::new(&edges, 1).construction());
+///
+/// // Cheap live probes never build a snapshot ...
+/// assert_eq!(mgr.live().degree(1), 2);
+/// assert_eq!(mgr.rebuild_count(), 0);
+///
+/// // ... and a burst of snapshot reads pays for exactly one rebuild.
+/// let csr = mgr.snapshot();
+/// assert_eq!(csr.num_entries(), 4);
+/// let again = mgr.snapshot();
+/// assert_eq!(mgr.rebuild_count(), 1);
+/// ```
 pub struct SnapshotManager<A: DynamicAdjacency> {
     graph: DynGraph<A>,
     /// Monotone mutation counter; `snapshot` compares it to the cached

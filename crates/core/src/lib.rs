@@ -49,6 +49,8 @@
 //! are also thread-safe, but the MUPS experiments follow the paper's
 //! bulk-synchronous pattern: apply a batch in parallel, then read.
 
+#![deny(missing_docs)]
+
 pub mod adjacency;
 pub mod compressed;
 pub mod connectivity;

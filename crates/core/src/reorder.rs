@@ -12,7 +12,9 @@ use snap_rmat::TimedEdge;
 /// A vertex relabeling: `perm[old] = new` and `inv[new] = old`.
 #[derive(Clone, Debug)]
 pub struct Relabeling {
+    /// Forward map: `perm[old]` is the vertex's new id.
     pub perm: Vec<u32>,
+    /// Inverse map: `inv[new]` is the vertex's old id.
     pub inv: Vec<u32>,
 }
 

@@ -15,12 +15,21 @@ use snap_rmat::TimedEdge;
 /// into `count` equal slices.
 #[derive(Clone, Copy, Debug)]
 pub struct SliceSpec {
+    /// Inclusive lower bound of the sliced label range.
     pub start: u32,
+    /// Exclusive upper bound of the sliced label range.
     pub end: u32,
+    /// Number of equal slices the range is cut into.
     pub count: usize,
 }
 
 impl SliceSpec {
+    /// A series over labels `[start, end)` in `count` equal slices.
+    ///
+    /// # Panics
+    ///
+    /// If the range is empty, `count` is zero, or there are more slices
+    /// than distinct labels.
     pub fn new(start: u32, end: u32, count: usize) -> Self {
         assert!(start < end, "empty label range");
         assert!(count > 0, "need at least one slice");

@@ -1,10 +1,38 @@
 //! Betweenness centrality, static and temporal (Section 3.4, Figure 11).
 //!
-//! Brandes' algorithm parallelized over sources (the design of the paper's
-//! prior work [5]): each source runs a sequential BFS + dependency
-//! accumulation into a thread-local score vector; vectors reduce at the
-//! end. The approximate variant traverses from a sampled subset of sources
-//! and extrapolates by `n / |sources|` — the paper samples 256 sources.
+//! Brandes' algorithm: each source runs a BFS that counts shortest paths
+//! (`sigma`), then a backward pass accumulates per-vertex dependencies
+//! (`delta`) over the shortest-path DAG. This module is the **serial
+//! reference implementation**; the multi-threaded runtime
+//! (`snap_par::par_bc`) reproduces its scores bit-for-bit and falls back
+//! to it below the parallel size threshold. The approximate variant
+//! traverses from a sampled subset of sources and extrapolates by
+//! `n / |sources|` — the paper samples 256 sources.
+//!
+//! # Deterministic summation order
+//!
+//! Floating-point addition is not associative, so "the" betweenness score
+//! of a vertex is only well-defined once the summation order is pinned.
+//! This kernel pins it twice over, and `snap_par::par_bc` reproduces the
+//! same order at any thread count:
+//!
+//! - **Within a source**, the backward pass runs in *gather* form: each
+//!   vertex `v` pulls `sigma[v] * (1 + delta[w]) / sigma[w]` from its DAG
+//!   successors `w` in `v`'s own adjacency order — a per-vertex order
+//!   that no scheduling decision can perturb. (`sigma` path counts are
+//!   integers stored in `f64`, so their summation is exact — and
+//!   therefore order-independent — as long as counts stay below `2^53`.)
+//! - **Across sources**, contributions are accumulated into fixed
+//!   [`SOURCE_BLOCK`]-sized partial vectors folded into the total in
+//!   ascending block order.
+//!
+//! # Directed graphs
+//!
+//! The gather form reads each vertex's *out*-edges in both phases, which
+//! is exactly Brandes' pair-dependency recurrence for directed graphs:
+//! `delta(v) = sum over DAG edges v->w of sigma_v/sigma_w (1 + delta(w))`.
+//! Undirected views store both orientations, so the same code covers
+//! both edge semantics.
 //!
 //! # Temporal path semantics
 //!
@@ -23,11 +51,20 @@
 //! later-timestamped equal-length walk would have enabled an extension a
 //! smaller timestamp forbids.
 
-use rayon::prelude::*;
 use snap_core::GraphView;
 use snap_util::rng::XorShift64;
 
 use crate::bfs::UNREACHED;
+
+/// Number of consecutive sources whose dependency vectors are summed
+/// into one partial before the partial is folded into the running score
+/// total (in ascending block order).
+///
+/// The grouping is a *fixed* function of the source list — independent
+/// of thread count and scheduling — which is what lets
+/// `snap_par::par_bc` distribute whole blocks over workers and still
+/// produce bit-identical scores.
+pub const SOURCE_BLOCK: usize = 64;
 
 /// Exact betweenness: Brandes from every vertex.
 pub fn betweenness_exact<V: GraphView>(view: &V) -> Vec<f64> {
@@ -71,26 +108,21 @@ fn bc_from_sources<V: GraphView>(
     scale: f64,
 ) -> Vec<f64> {
     let n = view.num_vertices();
-    let mut bc = sources
-        .par_iter()
-        .fold(
-            || vec![0.0f64; n],
-            |mut acc, &s| {
-                accumulate_source(view, s, temporal, &mut acc);
-                acc
-            },
-        )
-        .reduce(
-            || vec![0.0f64; n],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
-            },
-        );
+    let mut bc = vec![0.0f64; n];
+    let mut part = vec![0.0f64; n];
+    for block in sources.chunks(SOURCE_BLOCK) {
+        part.fill(0.0);
+        for &s in block {
+            accumulate_source(view, s, temporal, &mut part);
+        }
+        for (b, p) in bc.iter_mut().zip(&part) {
+            *b += *p;
+        }
+    }
     if scale != 1.0 {
-        bc.par_iter_mut().for_each(|x| *x *= scale);
+        for x in bc.iter_mut() {
+            *x *= scale;
+        }
     }
     bc
 }
@@ -135,28 +167,30 @@ fn accumulate_source<V: GraphView>(view: &V, s: u32, temporal: bool, acc: &mut [
         levels.push(frontier);
         frontier = next;
     }
-    levels.push(frontier); // empty tail keeps index arithmetic simple
 
-    // Backward dependency accumulation over the same qualifying-edge DAG.
+    // Backward dependency accumulation in gather form: every vertex pulls
+    // from its DAG successors in its own adjacency order (see module docs
+    // for why that order, not the frontier order, pins determinism).
+    // Deeper levels complete before shallower ones read their deltas; the
+    // source (level 0) carries no dependency of its own and is skipped.
     let mut delta = vec![0.0f64; n];
     for l in (1..levels.len()).rev() {
-        for &w in &levels[l] {
-            let coeff = (1.0 + delta[w as usize]) / sigma[w as usize];
-            let dw = dist[w as usize];
-            view.for_each_edge(w, |v, t| {
-                if dist[v as usize] != dw - 1 {
+        for &v in &levels[l] {
+            let dv = dist[v as usize];
+            let lv = lastmin[v as usize];
+            let sv = sigma[v as usize];
+            let mut dsum = 0.0f64;
+            view.for_each_edge(v, |w, t| {
+                if dist[w as usize] != dv + 1 {
                     return;
                 }
-                if temporal && t <= lastmin[v as usize] {
+                if temporal && t <= lv {
                     return;
                 }
-                delta[v as usize] += sigma[v as usize] * coeff;
+                dsum += sv * ((1.0 + delta[w as usize]) / sigma[w as usize]);
             });
-        }
-    }
-    for v in 0..n {
-        if v as u32 != s && dist[v] != UNREACHED {
-            acc[v] += delta[v];
+            delta[v as usize] = dsum;
+            acc[v as usize] += dsum;
         }
     }
 }
@@ -270,6 +304,103 @@ mod tests {
     }
 
     #[test]
+    fn directed_path_counts_one_direction_only() {
+        // 0 -> 1 -> 2: only the ordered pair (0, 2) routes through 1; the
+        // reverse direction has no paths at all. (The former scatter-form
+        // backward pass scanned out-edges of the *deeper* endpoint and
+        // found no predecessor edges on directed views, scoring 0 here.)
+        let e = vec![TimedEdge::new(0, 1, 1), TimedEdge::new(1, 2, 1)];
+        let g = CsrGraph::from_edges_directed(3, &e);
+        let bc = betweenness_exact(&g);
+        assert!((bc[0] - 0.0).abs() < 1e-9);
+        assert!((bc[1] - 1.0).abs() < 1e-9, "bc[1] = {}", bc[1]);
+        assert!((bc[2] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn directed_matches_brute_force_on_random_graph() {
+        let rm = Rmat::new(RmatParams::paper(5, 3).with_max_timestamp(10), 15);
+        let g = CsrGraph::from_edges_directed(32, &rm.edges());
+        let fast = betweenness_exact(&g);
+        let slow = brute_force_bc(&g);
+        for v in 0..32 {
+            assert!(
+                (fast[v] - slow[v]).abs() < 1e-6,
+                "directed bc[{v}]: fast {} vs brute {}",
+                fast[v],
+                slow[v]
+            );
+        }
+    }
+
+    #[test]
+    fn six_vertex_oracle_has_known_scores() {
+        // Hand-computed ordered-pair BC for:
+        //
+        //   0 - 1     1 - 3
+        //   0 - 2     2 - 3     3 - 4 - 5
+        //   1 - 2
+        //
+        // Unordered pair dependencies: v1 and v2 each carry 1/2 of
+        // (0,3), (0,4), (0,5) = 1.5; v3 carries (0..=2)x(4,5) whole = 6;
+        // v4 carries (0..=3)x{5} whole = 4. Ordered-pair scores double.
+        let g = undirected(
+            6,
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+            ],
+        );
+        let bc = betweenness_exact(&g);
+        let want = [0.0, 3.0, 3.0, 12.0, 8.0, 0.0];
+        for v in 0..6 {
+            assert!(
+                (bc[v] - want[v]).abs() < 1e-9,
+                "bc[{v}] = {}, want {}",
+                bc[v],
+                want[v]
+            );
+        }
+    }
+
+    #[test]
+    fn self_loops_change_nothing() {
+        // A self-loop can never lie on a shortest path between distinct
+        // endpoints: scores must match the loop-free path graph exactly.
+        let plain = undirected(3, &[(0, 1, 1), (1, 2, 1)]);
+        let looped = undirected(3, &[(0, 1, 1), (1, 1, 5), (1, 2, 1)]);
+        let want = betweenness_exact(&plain);
+        assert!((want[1] - 2.0).abs() < 1e-9);
+        assert_eq!(betweenness_exact(&looped), want);
+    }
+
+    #[test]
+    fn disconnected_components_score_independently() {
+        // Two 3-paths: each middle vertex carries its component's single
+        // ordered pair in both directions; nothing crosses components.
+        let g = undirected(7, &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)]);
+        let bc = betweenness_exact(&g);
+        assert!((bc[1] - 2.0).abs() < 1e-9);
+        assert!((bc[4] - 2.0).abs() < 1e-9);
+        for v in [0usize, 2, 3, 5, 6] {
+            assert!(bc[v].abs() < 1e-9, "bc[{v}] = {}", bc[v]);
+        }
+    }
+
+    #[test]
+    fn single_vertex_and_empty_graphs() {
+        let one = undirected(1, &[]);
+        assert_eq!(betweenness_exact(&one), vec![0.0]);
+        let empty = undirected(0, &[]);
+        assert!(betweenness_exact(&empty).is_empty());
+    }
+
+    #[test]
     fn approx_with_all_sources_equals_exact() {
         let rm = Rmat::new(RmatParams::paper(6, 4), 9);
         let g = CsrGraph::from_edges_undirected(64, &rm.edges());
@@ -344,5 +475,34 @@ mod tests {
         let bc = betweenness_exact(&g);
         assert_eq!(bc[3], 0.0);
         assert_eq!(bc[4], 0.0);
+    }
+
+    #[test]
+    fn block_grouping_agrees_with_a_per_source_left_fold() {
+        // More sources than one block: the blocked accumulation must
+        // agree (to float tolerance) with a straight per-source sum. The
+        // single-source reference comes from `betweenness_approx` with
+        // one source, whose n/1 extrapolation is undone by comparing
+        // against `exact * n`.
+        let rm = Rmat::new(RmatParams::paper(7, 6), 12);
+        let n = 128usize;
+        let g = CsrGraph::from_edges_undirected(n, &rm.edges());
+        assert!(n > SOURCE_BLOCK, "test must span multiple blocks");
+        let exact = betweenness_exact(&g);
+        let mut folded = vec![0.0f64; n];
+        for s in 0..n as u32 {
+            for (f, d) in folded.iter_mut().zip(&betweenness_approx(&g, &[s])) {
+                *f += *d;
+            }
+        }
+        for v in 0..n {
+            let want = exact[v] * n as f64;
+            assert!(
+                (folded[v] - want).abs() <= 1e-6 * want.abs().max(1.0),
+                "bc[{v}]: left fold {} vs blocked {}",
+                folded[v],
+                want
+            );
+        }
     }
 }

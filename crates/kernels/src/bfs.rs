@@ -1,6 +1,6 @@
 //! Lock-free level-synchronous parallel breadth-first search (Section 3.3).
 //!
-//! The PRAM formulation from the paper's prior work ([4]): expand the
+//! The PRAM formulation from the paper's prior work (\[4\]): expand the
 //! frontier one level at a time; every thread claims unvisited neighbors
 //! with a compare-and-swap on the distance word, so no locks are held
 //! anywhere. Small-world diameters are O(log n) or effectively constant,

@@ -16,7 +16,7 @@
 //! that proves the rule: it is maintained *across* updates for O(diameter)
 //! connectivity queries, and only its (re)construction consumes a view.
 //!
-//! - [`bfs`] — lock-free level-synchronous parallel BFS with the
+//! - [`bfs`](mod@bfs) — lock-free level-synchronous parallel BFS with the
 //!   unbalanced-degree optimization, and its temporal (timestamp-filtered)
 //!   variant (Figure 10).
 //! - [`cc`] — Shiloach–Vishkin parallel connected components.
@@ -33,12 +33,16 @@
 //!   view-generic.
 //!
 //! The multi-threaded runtime lives one layer up in `snap-par`
-//! (`par_bfs` / `par_cc` / `par_sssp`): it shares this crate's result
-//! vocabulary ([`BfsResult`], [`UNREACHED`], [`sssp::INF`], the
-//! canonical min-id component labels) and falls back to the serial
-//! kernels here ([`serial_bfs`], [`connected_components`], [`dijkstra`])
-//! below its size threshold, so the two layers are interchangeable in
-//! call sites and comparable bit-for-bit in tests.
+//! (`par_bfs` / `par_cc` / `par_sssp` / `par_bc`): it shares this
+//! crate's result vocabulary ([`BfsResult`], [`UNREACHED`],
+//! [`sssp::INF`], the canonical min-id component labels, the
+//! deterministic betweenness summation order of [`bc`]) and falls back
+//! to the serial kernels here ([`serial_bfs`], [`connected_components`],
+//! [`dijkstra`], [`betweenness_exact`]) below its size threshold, so
+//! the two layers are interchangeable in call sites and comparable
+//! bit-for-bit in tests.
+
+#![deny(missing_docs)]
 
 pub mod bc;
 pub mod bfs;

@@ -1,7 +1,7 @@
 //! Parallel minimum spanning forest (Borůvka), with a Kruskal oracle.
 //!
 //! The paper's introduction lists minimum spanning trees among the
-//! fundamental kernels its line of work parallelized ([2], Bader & Cong
+//! fundamental kernels its line of work parallelized (\[2\], Bader & Cong
 //! IPDPS 2004) and on which the dynamic algorithms build. Borůvka is the
 //! textbook parallel MSF: every round, each component selects its
 //! lightest incident edge in parallel, the selected edges merge

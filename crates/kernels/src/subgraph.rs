@@ -19,7 +19,9 @@ use snap_rmat::TimedEdge;
 /// in time interval (20, 70)" of labels drawn from 1..=100.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TimeWindow {
+    /// Exclusive lower bound: labels must satisfy `ts > lo`.
     pub lo: u32,
+    /// Exclusive upper bound: labels must satisfy `ts < hi`.
     pub hi: u32,
 }
 

@@ -45,6 +45,20 @@ pub struct BfsStats {
 }
 
 /// Parallel BFS from `src` with the default [`ParConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use snap_core::CsrGraph;
+/// use snap_par::par_bfs;
+/// use snap_rmat::TimedEdge;
+///
+/// let edges: Vec<TimedEdge> = (0..99).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+/// let g = CsrGraph::from_edges_undirected(100, &edges);
+/// let r = par_bfs(&g, 0);
+/// assert_eq!(r.dist[99], 99);
+/// assert_eq!(r.parent[99], 98);
+/// ```
 pub fn par_bfs<V: GraphView>(view: &V, src: u32) -> BfsResult {
     par_bfs_with(view, src, &ParConfig::default())
 }

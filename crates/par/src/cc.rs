@@ -26,6 +26,19 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Parallel connected components with the default [`ParConfig`].
 /// Returns the canonical min-id label per vertex.
+///
+/// # Examples
+///
+/// ```
+/// use snap_core::CsrGraph;
+/// use snap_par::par_cc;
+/// use snap_rmat::TimedEdge;
+///
+/// let edges = vec![TimedEdge::new(0, 1, 1), TimedEdge::new(2, 3, 1)];
+/// let g = CsrGraph::from_edges_undirected(4, &edges);
+/// // Canonical min-id labels, identical to the serial kernel.
+/// assert_eq!(par_cc(&g), vec![0, 0, 2, 2]);
+/// ```
 pub fn par_cc<V: GraphView>(view: &V) -> Vec<u32> {
     par_cc_with(view, &ParConfig::default())
 }

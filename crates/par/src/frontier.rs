@@ -249,10 +249,12 @@ impl FrontierEngine {
         &self.current
     }
 
+    /// Number of vertices in the current frontier.
     pub fn len(&self) -> usize {
         self.current.len()
     }
 
+    /// True when the current frontier is empty (traversal finished).
     pub fn is_empty(&self) -> bool {
         self.current.is_empty()
     }

@@ -21,6 +21,10 @@
 //!   jumping; canonical min-id labels, bit-identical to the serial
 //!   kernel at any thread count.
 //! - [`par_sssp`] — Δ-stepping with parallel CAS-min bucket relaxation.
+//! - [`par_bc`] — multi-source Brandes betweenness centrality, exact or
+//!   source-sampled, source-parallel or frontier-parallel (see
+//!   [`BcStrategy`]); scores are bit-identical to the serial kernel at
+//!   any thread count.
 //!
 //! # Thread-count configuration
 //!
@@ -33,18 +37,23 @@
 //! # Serial fallback
 //!
 //! Each kernel falls back to its serial counterpart
-//! (`snap_kernels::serial_bfs`, `connected_components`, `dijkstra`) when
+//! (`snap_kernels::serial_bfs`, `connected_components`, `dijkstra`,
+//! `betweenness_exact`) when
 //! `n + m <= serial_threshold` (default 4096): a fork-join barrier per
 //! BFS level cannot pay for itself on a graph that fits in one core's
 //! cache. Set [`ParConfig::with_serial_threshold`] to 0 to force the
 //! parallel path (the equivalence suites do).
 
+#![deny(missing_docs)]
+
+pub mod bc;
 pub mod bfs;
 pub mod bitset;
 pub mod cc;
 pub mod frontier;
 pub mod sssp;
 
+pub use bc::{par_bc, par_bc_with, BcConfig, BcSources, BcStrategy};
 pub use bfs::{par_bfs, par_bfs_stats, par_bfs_with, BfsStats};
 pub use bitset::AtomicBitset;
 pub use cc::{par_cc, par_cc_restricted, par_cc_with, par_repair};
@@ -92,26 +101,33 @@ impl ParConfig {
         }
     }
 
+    /// Pins the worker count (0 = adopt the installed rayon pool).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
 
+    /// Overrides the serial-fallback threshold (0 forces the parallel
+    /// path, as the equivalence suites do).
     pub fn with_serial_threshold(mut self, t: usize) -> Self {
         self.serial_threshold = t;
         self
     }
 
+    /// Overrides Beamer's alpha (top-down to bottom-up switch).
     pub fn with_alpha(mut self, alpha: usize) -> Self {
         self.alpha = alpha;
         self
     }
 
+    /// Overrides Beamer's beta (bottom-up to top-down switch; 0 disables
+    /// bottom-up).
     pub fn with_beta(mut self, beta: usize) -> Self {
         self.beta = beta;
         self
     }
 
+    /// Overrides the per-chunk edge budget (clamped to at least 1).
     pub fn with_chunk_edges(mut self, chunk_edges: usize) -> Self {
         self.chunk_edges = chunk_edges.max(1);
         self

@@ -23,6 +23,19 @@ use snap_kernels::sssp::INF;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Parallel Δ-stepping from `src` with the default [`ParConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use snap_core::CsrGraph;
+/// use snap_par::par_sssp;
+/// use snap_rmat::TimedEdge;
+///
+/// // Edge weight is max(timestamp, 1), matching the serial kernel.
+/// let edges = vec![TimedEdge::new(0, 1, 2), TimedEdge::new(1, 2, 3)];
+/// let g = CsrGraph::from_edges_undirected(3, &edges);
+/// assert_eq!(par_sssp(&g, 0, 4), vec![0, 2, 5]);
+/// ```
 pub fn par_sssp<V: GraphView>(view: &V, src: u32, delta: u64) -> Vec<u64> {
     par_sssp_with(view, src, delta, &ParConfig::default())
 }

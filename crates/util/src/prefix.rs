@@ -26,7 +26,7 @@ pub fn exclusive_scan(data: &mut [usize]) -> usize {
 
 /// Parallel in-place exclusive prefix sum. Returns the total.
 ///
-/// Falls back to the sequential scan below [`PAR_THRESHOLD`] elements, where
+/// Falls back to the sequential scan below `PAR_THRESHOLD` elements, where
 /// the fork/join overhead exceeds the scan itself.
 pub fn par_exclusive_scan(data: &mut [usize]) -> usize {
     if data.len() < PAR_THRESHOLD {

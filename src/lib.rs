@@ -19,7 +19,8 @@
 //! - [`par`] — the parallel traversal runtime: the chunked frontier
 //!   engine, atomic visited sets, and multi-threaded
 //!   [`par_bfs`](snap_par::par_bfs) / [`par_cc`](snap_par::par_cc) /
-//!   [`par_sssp`](snap_par::par_sssp).
+//!   [`par_sssp`](snap_par::par_sssp) /
+//!   [`par_bc`](snap_par::par_bc).
 //!
 //! ## The read model
 //!
@@ -119,6 +120,12 @@
 //! let labels = par_cc(&*csr);
 //! assert_eq!(labels, connected_components(&*csr));
 //!
+//! // Betweenness rides the same runtime: sampled multi-source Brandes,
+//! // bit-identical to the serial kernel at any thread count.
+//! let bc = par_bc_with(&*csr, &BcConfig::sampled(16, 7), &ParConfig::default());
+//! let sources = snap::kernels::bc::sample_sources(n, 16, 7);
+//! assert_eq!(bc, betweenness_approx(&*csr, &sources));
+//!
 //! // Connectivity queries skip traversal entirely: the incremental
 //! // union-find index answers them in near-O(alpha), and agrees with
 //! // the kernel labels bit-for-bit.
@@ -157,6 +164,9 @@ pub mod prelude {
         stress_exact, temporal_betweenness_approx, temporal_bfs, triangle_count,
         union_find_from_view, LinkCutForest, TimeWindow,
     };
-    pub use snap_par::{par_bfs, par_cc, par_cc_restricted, par_repair, par_sssp, ParConfig};
+    pub use snap_par::{
+        par_bc, par_bc_with, par_bfs, par_cc, par_cc_restricted, par_repair, par_sssp, BcConfig,
+        BcSources, BcStrategy, ParConfig,
+    };
     pub use snap_rmat::{Rmat, RmatParams, StreamBuilder};
 }

@@ -12,9 +12,15 @@
 //! exercise the frontier engine, the atomic claim protocol, and the
 //! direction-optimizing switch rather than the serial fallback.
 
+use snap::kernels::bc::sample_sources;
 use snap::kernels::sssp::INF;
-use snap::kernels::{connected_components, dijkstra, serial_bfs, UNREACHED};
-use snap::par::{par_bfs_stats, par_bfs_with, par_cc_with, par_sssp_with, ParConfig};
+use snap::kernels::{
+    betweenness_approx, betweenness_exact, connected_components, dijkstra, serial_bfs, UNREACHED,
+};
+use snap::par::{
+    par_bc_with, par_bfs_stats, par_bfs_with, par_cc_with, par_sssp_with, BcConfig, BcStrategy,
+    ParConfig,
+};
 use snap::prelude::*;
 use snap::util::thread_pool;
 
@@ -171,6 +177,58 @@ fn check_sssp<V: GraphView>(view: &V, label: &str, threads: usize) {
     for delta in [1u64, 16, 1 << 20] {
         let par = thread_pool(threads).install(|| par_sssp_with(view, 0, delta, &force()));
         assert_eq!(par, oracle, "{label}: SSSP @ {threads}t delta {delta}");
+    }
+}
+
+/// Betweenness must be *bit*-identical to the serial kernel — literal
+/// `f64` equality, not tolerance — on every view, at every thread count,
+/// under both parallelization strategies (see `snap_par::bc` for the
+/// determinism contract that makes this assertable).
+fn check_bc<V: GraphView>(view: &V, serial: &[f64], label: &str, threads: usize) {
+    for strategy in [BcStrategy::SourceParallel, BcStrategy::FrontierParallel] {
+        let cfg = BcConfig::exact().with_strategy(strategy);
+        let par = thread_pool(threads).install(|| par_bc_with(view, &cfg, &force()));
+        let par_bits: Vec<u64> = par.iter().map(|x| x.to_bits()).collect();
+        let serial_bits: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            par_bits, serial_bits,
+            "{label}: BC ({strategy:?}) @ {threads}t diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn par_bc_matches_serial_bitwise_everywhere() {
+    for case in &cases() {
+        let csr = csr_of(case);
+        let live = live_of(case);
+        let serial_csr = betweenness_exact(&csr);
+        let serial_live = betweenness_exact(&live);
+        for &t in &thread_sweep() {
+            check_bc(&csr, &serial_csr, &format!("{} (csr)", case.name), t);
+            check_bc(&live, &serial_live, &format!("{} (live)", case.name), t);
+        }
+    }
+}
+
+#[test]
+fn par_bc_sampled_matches_serial_bitwise() {
+    // Sampled approximation: same sampled source list (seeded), same
+    // n/k extrapolation, bit-identical scores on both read paths.
+    let case = &cases()[5]; // rmat-und
+    let csr = csr_of(case);
+    let live = live_of(case);
+    let sources = sample_sources(case.n, 128, 11);
+    let serial_csr = betweenness_approx(&csr, &sources);
+    let serial_live = betweenness_approx(&live, &sources);
+    for strategy in [BcStrategy::SourceParallel, BcStrategy::FrontierParallel] {
+        let cfg = BcConfig::sampled(128, 11).with_strategy(strategy);
+        for &t in &thread_sweep() {
+            let par = thread_pool(t).install(|| par_bc_with(&csr, &cfg, &force()));
+            assert_eq!(par, serial_csr, "sampled csr {strategy:?} @ {t}t");
+            let par = thread_pool(t).install(|| par_bc_with(&live, &cfg, &force()));
+            assert_eq!(par, serial_live, "sampled live {strategy:?} @ {t}t");
+        }
     }
 }
 
