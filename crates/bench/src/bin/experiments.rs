@@ -12,16 +12,23 @@
 //! `parallel` additionally persists machine-readable medians to
 //! `BENCH_parallel.json` (kernel, mode, scale, threads, median ns),
 //! `connectivity` to `BENCH_connectivity.json` (incremental index vs
-//! recompute-per-query vs snapshot-per-query), and `bc` to
+//! recompute-per-query vs snapshot-per-query), `bc` to
 //! `BENCH_bc.json` (serial vs parallel betweenness, exact and sampled),
-//! so the perf trajectories are tracked across PRs.
+//! and `serve` to `BENCH_serving.json` (mixed update+query traffic
+//! against the concurrent [`ServeEngine`]: update throughput plus query
+//! p50/p99 per client count), so the perf trajectories are tracked
+//! across PRs. The `serve` mix is tunable: `SNAP_SERVE_OPS` ops per
+//! client (default 40000) at `SNAP_SERVE_WRITE_PCT` percent writes
+//! (default 20).
 
 use snap_bench::*;
 use snap_core::adjacency::CapacityHints;
 use snap_core::compressed::CompressedCsr;
 use snap_core::engine;
 use snap_core::reorder::Relabeling;
-use snap_core::{CsrGraph, DynArr, DynGraph, HybridAdj, SnapshotManager, TreapAdj};
+use snap_core::{
+    CsrGraph, DynArr, DynGraph, HybridAdj, ServeConfig, ServeEngine, SnapshotManager, TreapAdj,
+};
 use snap_kernels::bc::sample_sources;
 use snap_kernels::{bfs, temporal_bfs, LinkCutForest, TimeWindow};
 use snap_rmat::StreamBuilder;
@@ -47,6 +54,7 @@ fn main() {
             "parallel",
             "connectivity",
             "bc",
+            "serve",
             "ablations",
             "extensions",
         ]
@@ -76,6 +84,7 @@ fn main() {
             "parallel" => parallel(&cfg),
             "connectivity" => connectivity(&cfg),
             "bc" => bc_bench(&cfg),
+            "serve" => serve_bench(&cfg),
             "ablations" => {
                 ablation_degree_thresh(&cfg);
                 ablation_initial_size(&cfg);
@@ -865,6 +874,154 @@ fn write_connectivity_json(scale: u32, rows: &[ConnRow]) {
     }
     out.push_str("]\n");
     let path = "BENCH_connectivity.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote {} rows to {path}", rows.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+struct ServeRow {
+    clients: usize,
+    write_pct: u64,
+    ops: usize,
+    updates: u64,
+    update_mups: f64,
+    query_p50_ns: u64,
+    query_p99_ns: u64,
+    epochs: u64,
+}
+
+/// Concurrent serving benchmark: N client threads drive mixed
+/// update+query traffic against a [`ServeEngine`]. Writes submit
+/// 64-update mixed batches into the ingest queue; reads are
+/// `same_component` probes served from the current version's published
+/// labels. Reported per client count: update throughput (MUPS, measured
+/// over the full run including the final flush) and query latency
+/// p50/p99 — the acceptance check asserts the incremental connectivity
+/// path never fell back to a full rebuild.
+fn serve_bench(cfg: &Config) {
+    let ops_per_client: usize = std::env::var("SNAP_SERVE_OPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
+    let write_pct: u64 = std::env::var("SNAP_SERVE_WRITE_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let n = cfg.vertices();
+    let edges = build_edges(cfg.scale, cfg.edge_factor, cfg.seed);
+    let base = construction_stream(&edges, cfg.seed);
+    let mut rows: Vec<ServeRow> = Vec::new();
+    for &clients in &cfg.threads {
+        let hints = CapacityHints::new(edges.len() * 3);
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(n, &hints);
+        for u in &base {
+            g.apply(u);
+        }
+        let engine = ServeEngine::new(g, ServeConfig::default());
+        let engine = &engine;
+        let edges = &edges;
+        let (latencies, secs) = seconds(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        scope.spawn(move || {
+                            let mut rng =
+                                XorShift64::new(cfg.seed ^ (c as u64).wrapping_mul(0x9E37));
+                            let mut lat = Vec::with_capacity(ops_per_client);
+                            for i in 0..ops_per_client {
+                                if rng.next_bounded(100) < write_pct {
+                                    let seed = cfg.seed + (c * ops_per_client + i) as u64;
+                                    engine.submit(StreamBuilder::new(edges, seed).mixed(64, 0.7));
+                                } else {
+                                    let u = rng.next_bounded(n as u64) as u32;
+                                    let v = rng.next_bounded(n as u64) as u32;
+                                    let t = std::time::Instant::now();
+                                    std::hint::black_box(engine.same_component(u, v));
+                                    lat.push(t.elapsed().as_nanos() as u64);
+                                }
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                let mut all: Vec<u64> = Vec::new();
+                for h in handles {
+                    all.extend(h.join().expect("serve client panicked"));
+                }
+                engine.flush();
+                all
+            })
+        });
+        assert_eq!(
+            engine.full_rebuild_count(),
+            Some(0),
+            "serving must stay on the incremental connectivity path"
+        );
+        let mut latencies = latencies;
+        latencies.sort_unstable();
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        let updates = engine.updates_applied();
+        rows.push(ServeRow {
+            clients,
+            write_pct,
+            ops: ops_per_client * clients,
+            updates,
+            update_mups: updates as f64 / secs / 1e6,
+            query_p50_ns: pct(0.50),
+            query_p99_ns: pct(0.99),
+            epochs: engine.epoch(),
+        });
+    }
+    let mut t = Table::new(&[
+        "clients",
+        "write%",
+        "ops",
+        "updates",
+        "update MUPS",
+        "query p50 (ns)",
+        "query p99 (ns)",
+        "epochs",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.clients.to_string(),
+            r.write_pct.to_string(),
+            r.ops.to_string(),
+            r.updates.to_string(),
+            f3(r.update_mups),
+            r.query_p50_ns.to_string(),
+            r.query_p99_ns.to_string(),
+            r.epochs.to_string(),
+        ]);
+    }
+    t.print(&format!(
+        "Concurrent serving: mixed update+query clients on ServeEngine (scale {}, {}% writes, 0 full rebuilds)",
+        cfg.scale, write_pct
+    ));
+    write_serving_json(cfg.scale, &rows);
+}
+
+/// Persists the `serve` rows as JSON (hand-emitted; no serde).
+fn write_serving_json(scale: u32, rows: &[ServeRow]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"scale\": {}, \"clients\": {}, \"write_pct\": {}, \"ops\": {}, \"updates\": {}, \"update_mups\": {:.3}, \"query_p50_ns\": {}, \"query_p99_ns\": {}, \"epochs\": {}, \"full_rebuilds\": 0}}{}\n",
+            scale,
+            r.clients,
+            r.write_pct,
+            r.ops,
+            r.updates,
+            r.update_mups,
+            r.query_p50_ns,
+            r.query_p99_ns,
+            r.epochs,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    let path = "BENCH_serving.json";
     match std::fs::write(path, &out) {
         Ok(()) => println!("\nwrote {} rows to {path}", rows.len()),
         Err(e) => eprintln!("failed to write {path}: {e}"),

@@ -110,8 +110,17 @@ pub trait DynamicAdjacency: Send + Sync {
     /// dedup on the neighbor key. Returns `true` if a new entry was stored.
     fn insert(&self, u: u32, e: AdjEntry) -> bool;
 
-    /// Deletes one occurrence of neighbor `v` from `u`'s adjacency.
-    /// Returns `true` if an entry was removed.
+    /// Deletes **every** live occurrence of neighbor `v` from `u`'s
+    /// adjacency. Returns `true` if at least one entry was removed.
+    ///
+    /// Removing the whole key (rather than one occurrence) is what keeps
+    /// undirected graphs symmetric: blind array insertion may store
+    /// duplicates while tree representations dedup on the key, so the
+    /// two endpoints of one logical edge can drift in multiplicity. A
+    /// per-occurrence delete could then drop the last copy on one side
+    /// but not the other, leaving a half-edge that traversals see in
+    /// only one direction. Key-granular deletion makes membership agree
+    /// on both sides after any update sequence.
     fn delete(&self, u: u32, v: u32) -> bool;
 
     /// True if `u`'s adjacency currently holds `v`.

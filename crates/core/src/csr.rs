@@ -10,7 +10,29 @@ use crate::adjacency::DynamicAdjacency;
 use rayon::prelude::*;
 use snap_rmat::TimedEdge;
 use snap_util::prefix::par_exclusive_scan;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A snapshot attempt observed a writer mutating the source adjacency
+/// between the degree pass and the copy pass of the CSR builder (the
+/// per-vertex slot budget and the live entry count disagreed).
+///
+/// Returned by [`CsrGraph::try_from_dynamic`] and propagated by
+/// [`crate::graph::DynGraph::try_to_csr`] and
+/// [`crate::engine::SnapshotManager::try_snapshot`]. The race is
+/// transient: retrying after the writer quiesces succeeds. Callers that
+/// need snapshots *under* sustained concurrent ingest should use the
+/// serving engine ([`crate::serve::ServeEngine`]), whose published
+/// versions are immutable by construction and can never race a writer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotRace;
+
+impl std::fmt::Display for SnapshotRace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("adjacency mutated during snapshot construction")
+    }
+}
+
+impl std::error::Error for SnapshotRace {}
 
 /// A static timestamped graph in CSR form.
 #[derive(Clone, Debug)]
@@ -111,7 +133,32 @@ impl CsrGraph {
     /// `directed` records the edge semantics of the source graph (an
     /// undirected dynamic graph already stores both orientations, so the
     /// entries are copied verbatim either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer mutates `adj` concurrently with the build (see
+    /// [`CsrGraph::try_from_dynamic`] for the non-panicking variant and
+    /// [`SnapshotRace`] for the race this detects).
     pub fn from_dynamic<A: DynamicAdjacency>(adj: &A, directed: bool) -> Self {
+        Self::try_from_dynamic(adj, directed).expect("adjacency mutated during snapshot")
+    }
+
+    /// Non-panicking [`CsrGraph::from_dynamic`]: returns
+    /// `Err(`[`SnapshotRace`]`)` instead of panicking when a concurrent
+    /// writer makes the degree pass and the copy pass disagree.
+    ///
+    /// Detection is best-effort but write-safe: a racing writer can never
+    /// make the builder write out of bounds (overrunning entries are
+    /// dropped and reported as a race), and a torn build is never
+    /// returned as `Ok`. A mutation that leaves every per-vertex entry
+    /// count unchanged within the build window (e.g. a delete and an
+    /// insert on the same vertex) can still go undetected — consistent
+    /// snapshots under sustained ingest are the serving engine's job
+    /// ([`crate::serve::ServeEngine`]), not this builder's.
+    pub fn try_from_dynamic<A: DynamicAdjacency>(
+        adj: &A,
+        directed: bool,
+    ) -> Result<Self, SnapshotRace> {
         let n = adj.num_vertices();
         let mut offsets: Vec<usize> = (0..n as u32)
             .into_par_iter()
@@ -130,6 +177,7 @@ impl CsrGraph {
         let nbrs_ptr = SendPtr(nbrs.as_mut_ptr());
         let ts_ptr = SendPtr(ts.as_mut_ptr());
         let offsets_ref = &offsets;
+        let torn = AtomicBool::new(false);
         (0..n as u32).into_par_iter().for_each(|u| {
             let nbrs_ptr = &nbrs_ptr;
             let ts_ptr = &ts_ptr;
@@ -137,25 +185,34 @@ impl CsrGraph {
             let end = offsets_ref[u as usize + 1];
             adj.for_each(u, &mut |e| {
                 // A concurrent mutation between the degree pass and this
-                // scatter would break the slot budget; snapshots follow the
-                // bulk-synchronous phase discipline, so degree is stable.
-                assert!(cursor < end, "adjacency mutated during snapshot");
+                // scatter breaks the slot budget. Flag it and drop the
+                // surplus entries rather than writing past the vertex's
+                // slot range.
+                if cursor >= end {
+                    torn.store(true, Ordering::Relaxed);
+                    return;
+                }
                 // SAFETY: each vertex owns offsets[u]..offsets[u+1]
-                // exclusively.
+                // exclusively, and the guard above keeps cursor < end.
                 unsafe {
                     *nbrs_ptr.0.add(cursor) = e.nbr;
                     *ts_ptr.0.add(cursor) = e.ts;
                 }
                 cursor += 1;
             });
-            assert_eq!(cursor, end, "degree changed during snapshot");
+            if cursor != end {
+                torn.store(true, Ordering::Relaxed);
+            }
         });
-        Self {
+        if torn.into_inner() {
+            return Err(SnapshotRace);
+        }
+        Ok(Self {
             offsets,
             nbrs,
             ts,
             directed,
-        }
+        })
     }
 
     /// Number of vertices.
@@ -317,6 +374,104 @@ mod tests {
             edges().iter().map(|e| (e.u, e.v, e.timestamp)).collect();
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    /// Adversarial adjacency simulating a racing writer deterministically:
+    /// `degree()` reports one entry fewer (resp. more) than `for_each`
+    /// yields, which is exactly what a mutation landing between the degree
+    /// pass and the copy pass looks like to the builder.
+    struct RacingAdj {
+        /// +1: for_each yields one surplus entry on vertex 0 (overrun);
+        /// -1: for_each yields one entry short on vertex 0 (underrun).
+        skew: i64,
+    }
+
+    impl DynamicAdjacency for RacingAdj {
+        fn new(_n: usize, _hints: &CapacityHints) -> Self {
+            Self { skew: 0 }
+        }
+        fn num_vertices(&self) -> usize {
+            2
+        }
+        fn insert(&self, _u: u32, _e: crate::adjacency::AdjEntry) -> bool {
+            false
+        }
+        fn delete(&self, _u: u32, _v: u32) -> bool {
+            false
+        }
+        fn contains(&self, _u: u32, _v: u32) -> bool {
+            false
+        }
+        fn degree(&self, u: u32) -> usize {
+            if u == 0 {
+                2
+            } else {
+                0
+            }
+        }
+        fn for_each(&self, u: u32, f: &mut dyn FnMut(crate::adjacency::AdjEntry)) {
+            if u == 0 {
+                let yielded = (2 + self.skew) as usize;
+                for i in 0..yielded {
+                    f(crate::adjacency::AdjEntry::new(1, i as u32));
+                }
+            }
+        }
+        fn retain(
+            &self,
+            _u: u32,
+            _keep: &mut dyn FnMut(crate::adjacency::AdjEntry) -> bool,
+        ) -> usize {
+            0
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn try_from_dynamic_reports_overrun_as_race() {
+        // Surplus entries must be dropped (never written out of bounds)
+        // and surfaced as Err, not a panic.
+        let adj = RacingAdj { skew: 1 };
+        assert_eq!(
+            CsrGraph::try_from_dynamic(&adj, false).err(),
+            Some(SnapshotRace)
+        );
+    }
+
+    #[test]
+    fn try_from_dynamic_reports_underrun_as_race() {
+        let adj = RacingAdj { skew: -1 };
+        assert!(CsrGraph::try_from_dynamic(&adj, false).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacency mutated during snapshot")]
+    fn from_dynamic_still_panics_on_race() {
+        // The panicking builder is the bulk-synchronous assertion path;
+        // its behavior is pinned here.
+        let adj = RacingAdj { skew: 1 };
+        let _ = CsrGraph::from_dynamic(&adj, false);
+    }
+
+    #[test]
+    fn try_from_dynamic_matches_from_dynamic_when_quiescent() {
+        let hints = CapacityHints::new(16);
+        let g: DynGraph<DynArr> = DynGraph::undirected(4, &hints);
+        for e in edges() {
+            g.insert_edge(e);
+        }
+        let a = g.to_csr();
+        let b = CsrGraph::try_from_dynamic(g.adjacency(), false).expect("no writer, no race");
+        assert_eq!(a.num_entries(), b.num_entries());
+        for u in 0..4u32 {
+            let mut x = a.neighbors(u).to_vec();
+            let mut y = b.neighbors(u).to_vec();
+            x.sort_unstable();
+            y.sort_unstable();
+            assert_eq!(x, y);
+        }
     }
 
     #[test]

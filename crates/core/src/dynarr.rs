@@ -184,16 +184,20 @@ impl DynamicAdjacency for DynArr {
     fn delete(&self, u: u32, v: u32) -> bool {
         let mut guard = CellGuard::acquire(self.cell(u));
         let list = guard.list();
+        let mut removed = false;
+        // Key-granular: blind insertion may have stored duplicates, and
+        // leaving any of them would break undirected symmetry against a
+        // deduping endpoint.
         for i in 0..list.len as usize {
             // SAFETY: i < len, slots 0..len are initialized.
             let slot = unsafe { &mut *list.ptr.add(i) };
             if slot.nbr == v {
                 slot.nbr = TOMBSTONE;
                 list.live -= 1;
-                return true;
+                removed = true;
             }
         }
-        false
+        removed
     }
 
     fn contains(&self, u: u32, v: u32) -> bool {
@@ -351,6 +355,9 @@ impl DynamicAdjacency for FixedDynArr {
     fn delete(&self, u: u32, v: u32) -> bool {
         let (lo, _) = self.range(u);
         let len = (self.lens[u as usize].load(Ordering::Acquire) as usize).min(self.capacity(u));
+        let mut removed = false;
+        // Key-granular (see the trait contract): clear every duplicate,
+        // not just the first match.
         for i in 0..len {
             let s = self.slots[lo + i].load(Ordering::Acquire);
             if slot_nbr(s) == v
@@ -359,10 +366,10 @@ impl DynamicAdjacency for FixedDynArr {
                     .is_ok()
             {
                 self.deleted[u as usize].fetch_add(1, Ordering::Relaxed);
-                return true;
+                removed = true;
             }
         }
-        false
+        removed
     }
 
     fn contains(&self, u: u32, v: u32) -> bool {
@@ -441,18 +448,20 @@ mod tests {
     }
 
     #[test]
-    fn dynarr_delete_tombstones_one_occurrence() {
+    fn dynarr_delete_removes_every_occurrence() {
+        // Blind insertion stores duplicates; delete is key-granular so an
+        // undirected edge vanishes from both endpoints together even when
+        // their multiplicities drifted (see the trait contract).
         let a = DynArr::new(4, &hints());
         a.insert(0, AdjEntry::new(1, 1));
         a.insert(0, AdjEntry::new(1, 2)); // duplicate allowed
         a.insert(0, AdjEntry::new(2, 3));
         assert_eq!(a.degree(0), 3);
         assert!(a.delete(0, 1));
-        assert_eq!(a.degree(0), 2);
-        assert!(a.contains(0, 1), "second occurrence must survive");
-        assert!(a.delete(0, 1));
+        assert_eq!(a.degree(0), 1, "both occurrences of 1 removed");
         assert!(!a.contains(0, 1));
-        assert!(!a.delete(0, 1), "no third occurrence");
+        assert!(a.contains(0, 2), "other keys untouched");
+        assert!(!a.delete(0, 1), "nothing left to remove");
     }
 
     #[test]

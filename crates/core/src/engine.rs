@@ -19,10 +19,19 @@
 //! - [`apply_batched`] — semi-sort the stream by source vertex and apply
 //!   each group as a unit. [`semi_sort_bound`] measures just the sort,
 //!   the paper's upper bound on any batched scheme's MUPS.
+//!
+//! # Worker-count convention
+//!
+//! Every applier taking a `workers: usize` follows the same rule as
+//! `snap_par::ParConfig::threads`: **0 adopts the installed rayon pool**
+//! (`rayon::current_num_threads()`, which honors
+//! `snap_util::thread_pool(t).install(..)` and therefore `SNAP_THREADS`
+//! sweeps), while any non-zero value pins the count explicitly.
+//! [`resolve_workers`] implements the rule once for all of them.
 
 use crate::adjacency::{AdjEntry, DynamicAdjacency};
 use crate::connectivity::ConnectivityIndex;
-use crate::csr::CsrGraph;
+use crate::csr::{CsrGraph, SnapshotRace};
 use crate::graph::DynGraph;
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -91,23 +100,37 @@ fn expand_half_updates(updates: &[Update], directed: bool) -> Vec<HalfUpdate> {
     out
 }
 
-fn apply_half<A: DynamicAdjacency>(adj: &A, h: &HalfUpdate) {
+/// Applies one half-update, reporting whether it changed the adjacency
+/// (new entry stored / live entry removed).
+fn apply_half<A: DynamicAdjacency>(adj: &A, h: &HalfUpdate) -> bool {
     match h.kind {
-        UpdateKind::Insert => {
-            adj.insert(h.src, h.entry);
-        }
-        UpdateKind::Delete => {
-            adj.delete(h.src, h.entry.nbr);
-        }
+        UpdateKind::Insert => adj.insert(h.src, h.entry),
+        UpdateKind::Delete => adj.delete(h.src, h.entry.nbr),
     }
 }
 
-/// `Vpart`: vertices are range-partitioned over `workers`; every worker
-/// reads the entire stream and applies the half-updates it owns.
+/// Resolves a `workers` argument to a concrete thread count (>= 1): `0`
+/// adopts `rayon::current_num_threads()` — the installed pool, and thus
+/// `SNAP_THREADS` sweeps — exactly like `snap_par::ParConfig::threads`;
+/// any other value is returned as-is.
+pub fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        rayon::current_num_threads().max(1)
+    } else {
+        workers
+    }
+}
+
+/// `Vpart`: vertices are range-partitioned over
+/// [`resolve_workers`]`(workers)` shards (0 = adopt the installed pool);
+/// every worker reads the entire stream and applies the half-updates it
+/// owns. Because each vertex's half-updates are applied by exactly one
+/// worker *in stream order*, the final adjacency state is identical to
+/// sequential application, for any stream.
 pub fn apply_vpart<A: DynamicAdjacency>(g: &DynGraph<A>, updates: &[Update], workers: usize) {
     let n = g.num_vertices();
     let halves = expand_half_updates(updates, g.is_directed());
-    let ranges = partition_ranges(n, workers.max(1));
+    let ranges = partition_ranges(n, resolve_workers(workers));
     let adj = g.adjacency();
     rayon::scope(|s| {
         for r in ranges {
@@ -123,12 +146,108 @@ pub fn apply_vpart<A: DynamicAdjacency>(g: &DynGraph<A>, updates: &[Update], wor
     });
 }
 
+/// [`apply_vpart`] with per-update change tracking and connectivity
+/// routing — the sharded writer of the serving engine
+/// ([`crate::serve::ServeEngine`]).
+///
+/// Each update's "did it change the graph" verdict is the OR of its
+/// halves' outcomes (matching [`DynGraph::insert_edge`] /
+/// [`DynGraph::delete_edge`] semantics); after the parallel phase,
+/// confirmed changes are routed into `conn` in stream order (insertions
+/// union, deletions dirty a component), so no-op updates — deduplicated
+/// re-inserts, deletes of absent edges — never touch the index. Returns
+/// whether any update changed the graph.
+pub fn apply_vpart_routed<A: DynamicAdjacency>(
+    g: &DynGraph<A>,
+    updates: &[Update],
+    workers: usize,
+    conn: Option<&ConnectivityIndex>,
+) -> bool {
+    let n = g.num_vertices();
+    let halves = expand_half_updates_indexed(updates, g.is_directed());
+    let ranges = partition_ranges(n, resolve_workers(workers));
+    let adj = g.adjacency();
+    let changed: Vec<AtomicBool> = updates.iter().map(|_| AtomicBool::new(false)).collect();
+    rayon::scope(|s| {
+        for r in ranges {
+            let halves = &halves;
+            let changed = &changed;
+            s.spawn(move |_| {
+                for (idx, h) in halves {
+                    if r.contains(&(h.src as usize)) && apply_half(adj, h) {
+                        changed[*idx as usize].store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let mut any = false;
+    for (u, c) in updates.iter().zip(&changed) {
+        if c.load(Ordering::Relaxed) {
+            any = true;
+            route_update_for_conn(conn, u);
+        }
+    }
+    any
+}
+
+/// [`expand_half_updates`] tagging each half with its update's stream
+/// index, so partitioned appliers can report per-update outcomes.
+fn expand_half_updates_indexed(updates: &[Update], directed: bool) -> Vec<(u32, HalfUpdate)> {
+    assert!(
+        updates.len() <= u32::MAX as usize,
+        "batch too large for u32 stream indices"
+    );
+    let mut out = Vec::with_capacity(if directed {
+        updates.len()
+    } else {
+        updates.len() * 2
+    });
+    for (idx, u) in updates.iter().enumerate() {
+        let e = u.edge;
+        out.push((
+            idx as u32,
+            HalfUpdate {
+                src: e.u,
+                entry: AdjEntry::new(e.v, e.timestamp),
+                kind: u.kind,
+            },
+        ));
+        if !directed && e.u != e.v {
+            out.push((
+                idx as u32,
+                HalfUpdate {
+                    src: e.v,
+                    entry: AdjEntry::new(e.u, e.timestamp),
+                    kind: u.kind,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Routes a confirmed change into the connectivity index (no-op when
+/// none is attached).
+fn route_update_for_conn(conn: Option<&ConnectivityIndex>, upd: &Update) {
+    if let Some(c) = conn {
+        match upd.kind {
+            UpdateKind::Insert => {
+                c.note_insert(upd.edge.u, upd.edge.v);
+            }
+            UpdateKind::Delete => c.note_delete(upd.edge.u, upd.edge.v),
+        }
+    }
+}
+
 /// `Epart` configuration: a vertex is "hot" if the current batch contains
 /// at least this many half-updates for it.
 pub const EPART_HOT_THRESHOLD: usize = 256;
 
 /// `Epart`: cold half-updates apply directly; hot-vertex half-updates are
 /// buffered per worker chunk and merged per hot vertex in a second phase.
+/// `workers` follows the [`resolve_workers`] convention (0 = adopt the
+/// installed pool).
 pub fn apply_epart<A: DynamicAdjacency>(g: &DynGraph<A>, updates: &[Update], workers: usize) {
     let n = g.num_vertices();
     let halves = expand_half_updates(updates, g.is_directed());
@@ -143,7 +262,7 @@ pub fn apply_epart<A: DynamicAdjacency>(g: &DynGraph<A>, updates: &[Update], wor
         .collect();
     let adj = g.adjacency();
     // Phase 1: apply cold directly; buffer hot per chunk.
-    let chunk = halves.len().div_ceil(workers.max(1)).max(1);
+    let chunk = halves.len().div_ceil(resolve_workers(workers)).max(1);
     let buffers: Vec<Vec<HalfUpdate>> = halves
         .par_chunks(chunk)
         .map(|c| {
@@ -227,10 +346,13 @@ pub fn semi_sort_bound(updates: &[Update], n: usize, directed: bool) -> Duration
 /// # Consistency
 ///
 /// Mutations take `&self` and are thread-safe, like the underlying
-/// representations. `snapshot()` follows the paper's bulk-synchronous
-/// discipline: call it between batches, not concurrently with them (a
-/// racing writer can make the degree pass and the copy pass of the CSR
-/// builder disagree, which the builder detects and panics on).
+/// representations. `snapshot()` performs best between batches (the
+/// paper's bulk-synchronous discipline), but it is safe concurrently
+/// with writers: a detected race ([`SnapshotRace`]) makes
+/// [`SnapshotManager::try_snapshot`] return `Err` and
+/// [`SnapshotManager::snapshot`] retry — never a panic. Workloads where
+/// writers never quiesce should serve reads from the multi-version
+/// publication path in [`crate::serve`] instead of retrying here.
 ///
 /// # Connectivity serving
 ///
@@ -359,18 +481,6 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
         }
     }
 
-    /// Routes a confirmed change into the connectivity index.
-    fn note_update_for_conn(conn: Option<&ConnectivityIndex>, upd: &Update) {
-        if let Some(c) = conn {
-            match upd.kind {
-                UpdateKind::Insert => {
-                    c.note_insert(upd.edge.u, upd.edge.v);
-                }
-                UpdateKind::Delete => c.note_delete(upd.edge.u, upd.edge.v),
-            }
-        }
-    }
-
     /// Inserts a timestamped edge, bumping the epoch only if an entry
     /// was actually stored (a deduplicated re-insert leaves the cached
     /// snapshot valid). Thread-safe.
@@ -407,7 +517,7 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
         let conn = self.conn.get();
         let r = self.graph.apply(upd);
         if r {
-            Self::note_update_for_conn(conn, upd);
+            route_update_for_conn(conn, upd);
             self.note_change(conn);
         }
         r
@@ -425,13 +535,13 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
         }
         // Same parallel loop as [`apply_stream`], with each confirmed
         // change also routed into the connectivity index captured once
-        // at batch start (`note_update_for_conn` is a no-op when none
+        // at batch start (`route_update_for_conn` is a no-op when none
         // is attached).
         let conn = self.conn.get();
         let any = AtomicBool::new(false);
         updates.par_iter().for_each(|u| {
             if self.graph.apply(u) {
-                Self::note_update_for_conn(conn, u);
+                route_update_for_conn(conn, u);
                 if !any.load(Ordering::Relaxed) {
                     any.store(true, Ordering::Relaxed);
                 }
@@ -508,11 +618,67 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     /// when the epoch has not moved; otherwise rebuilds, caches, and
     /// returns the fresh snapshot. The `Arc` keeps earlier snapshots
     /// alive for readers that are still traversing them.
+    ///
+    /// Never panics on a racing writer: a detected race
+    /// ([`SnapshotRace`]) yields and retries until a consistent build
+    /// lands. Under *sustained* concurrent ingest that retry loop may
+    /// spin for a long time — serving workloads that never quiesce
+    /// should read published versions from
+    /// [`crate::serve::ServeEngine`] instead, where a race is impossible
+    /// by construction. (Before the serving engine existed, this method
+    /// panicked on a detected race; [`SnapshotManager::snapshot_racy`]
+    /// preserves that behavior for callers using it as an assertion.)
     pub fn snapshot(&self) -> Arc<CsrGraph> {
+        loop {
+            match self.try_snapshot() {
+                Ok(csr) => return csr,
+                Err(SnapshotRace) => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// One snapshot attempt: returns `Err(`[`SnapshotRace`]`)` instead
+    /// of blocking or panicking when a writer races the build — either
+    /// the CSR builder detected torn per-vertex state, or the epoch
+    /// moved while the build ran (a structurally consistent build that
+    /// can no longer be stamped with the epoch it was meant for).
+    /// On `Ok`, the returned snapshot is cached and exactly reflects the
+    /// epoch read at entry.
+    pub fn try_snapshot(&self) -> Result<Arc<CsrGraph>, SnapshotRace> {
         let mut cache = self.cache.lock();
         // Read the epoch under the lock: a concurrent mutation between an
         // earlier read and the build would otherwise stamp the fresh CSR
         // with a stale tag and force a spurious rebuild later.
+        let target = self.epoch();
+        if let Some(csr) = &cache.csr {
+            if cache.epoch == target {
+                return Ok(Arc::clone(csr));
+            }
+        }
+        let csr = Arc::new(self.graph.try_to_csr()?);
+        if self.epoch() != target {
+            // The build is internally consistent but a writer landed
+            // mid-build; it may contain a prefix of that writer's batch,
+            // so it represents neither `target` nor the new epoch.
+            return Err(SnapshotRace);
+        }
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        cache.epoch = target;
+        cache.csr = Some(Arc::clone(&csr));
+        Ok(csr)
+    }
+
+    /// The pre-serving-engine contract of [`SnapshotManager::snapshot`]:
+    /// one build attempt that **panics** if a writer races it. Kept only
+    /// for callers that relied on the panic as a bulk-synchronous
+    /// discipline assertion.
+    #[deprecated(
+        since = "0.2.0",
+        note = "snapshot() no longer panics on a racing writer; use snapshot(), \
+                try_snapshot(), or the serve::ServeEngine publication path"
+    )]
+    pub fn snapshot_racy(&self) -> Arc<CsrGraph> {
+        let mut cache = self.cache.lock();
         let target = self.epoch();
         if let Some(csr) = &cache.csr {
             if cache.epoch == target {
@@ -911,5 +1077,134 @@ mod tests {
         }
         assert_eq!(live_set(&g1), live_set(&g2));
         assert_eq!(g1.total_entries(), g2.total_entries());
+    }
+
+    #[test]
+    fn resolve_workers_adopts_installed_pool() {
+        // 0 = adopt, same convention as ParConfig::threads.
+        let inside = snap_util::thread_pool(3).install(|| resolve_workers(0));
+        assert_eq!(inside, 3);
+        assert_eq!(resolve_workers(5), 5);
+        assert!(resolve_workers(0) >= 1);
+    }
+
+    #[test]
+    fn vpart_workers_zero_adopts_pool_and_matches_semantics() {
+        let (n, s) = workload();
+        let g: DynGraph<DynArr> = DynGraph::undirected(n, &CapacityHints::new(s.len() * 2));
+        snap_util::thread_pool(4).install(|| apply_vpart(&g, &s, 0));
+        assert_eq!(g.total_entries(), count_expected_halves(&s));
+        assert_eq!(live_set(&g), reference_set(n, &s, false));
+    }
+
+    #[test]
+    fn vpart_routed_matches_vpart_and_reports_changes() {
+        let (n, s) = workload();
+        let g1: DynGraph<DynArr> = DynGraph::undirected(n, &CapacityHints::new(s.len() * 2));
+        assert!(apply_vpart_routed(&g1, &s, 4, None), "inserts change");
+        let g2: DynGraph<DynArr> = DynGraph::undirected(n, &CapacityHints::new(s.len() * 2));
+        apply_vpart(&g2, &s, 4);
+        assert_eq!(live_set(&g1), live_set(&g2));
+        assert_eq!(g1.total_entries(), g2.total_entries());
+        // Deleting from an empty graph is a no-op batch.
+        let empty: DynGraph<DynArr> = DynGraph::undirected(n, &CapacityHints::new(8));
+        let absent: Vec<Update> = (0..8u32)
+            .map(|i| Update::delete(TimedEdge::new(i, i + 1, 0)))
+            .collect();
+        assert!(!apply_vpart_routed(&empty, &absent, 4, None));
+    }
+
+    #[test]
+    fn vpart_routed_keeps_connectivity_index_incremental() {
+        let n = 64usize;
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(n, &CapacityHints::new(256));
+        let conn = ConnectivityIndex::from_view(&g);
+        let path: Vec<Update> = (0..31u32)
+            .map(|i| Update::insert(TimedEdge::new(i, i + 1, 1)))
+            .collect();
+        assert!(apply_vpart_routed(&g, &path, 4, Some(&conn)));
+        assert!(conn.same_component(&g, 0, 31));
+        assert_eq!(conn.repair_count(), 0, "insertions never need repair");
+        // A real deletion dirties one component; the next query repairs.
+        let del = vec![Update::delete(TimedEdge::new(15, 16, 0))];
+        assert!(apply_vpart_routed(&g, &del, 4, Some(&conn)));
+        assert!(!conn.same_component(&g, 0, 31));
+        assert_eq!(conn.repair_count(), 1);
+        // A no-op delete batch must not dirty anything further.
+        let noop = vec![Update::delete(TimedEdge::new(40, 41, 0))];
+        assert!(!apply_vpart_routed(&g, &noop, 4, Some(&conn)));
+        assert_eq!(conn.full_rebuild_count(), 0);
+        // Labels agree with the serial kernel on the same state.
+        let mut expect: Vec<u32> = (0..n as u32).collect();
+        for i in 0..15u32 {
+            expect[i as usize + 1] = 0;
+        }
+        for i in 16..31u32 {
+            expect[i as usize + 1] = 16;
+        }
+        assert_eq!(conn.labels(&g), expect);
+        assert_eq!(conn.repair_count(), 1, "no-op deletes never add repairs");
+    }
+
+    #[test]
+    fn try_snapshot_succeeds_and_caches_when_quiescent() {
+        let (n, s) = workload();
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(n, &CapacityHints::new(s.len() * 2));
+        let mgr = SnapshotManager::new(g);
+        mgr.apply_batch(&s);
+        let s1 = mgr.try_snapshot().expect("no writer, no race");
+        let s2 = mgr.try_snapshot().expect("cached");
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(mgr.rebuild_count(), 1);
+    }
+
+    #[test]
+    fn deprecated_snapshot_racy_still_works_when_quiescent() {
+        let g: DynGraph<DynArr> = DynGraph::undirected(4, &CapacityHints::new(8));
+        let mgr = SnapshotManager::new(g);
+        mgr.insert_edge(TimedEdge::new(0, 1, 1));
+        #[allow(deprecated)]
+        let s = mgr.snapshot_racy();
+        assert_eq!(s.num_entries(), 2);
+        assert_eq!(mgr.rebuild_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_never_panics_under_racing_writer() {
+        // The satellite regression: a writer streams real batches while a
+        // reader hammers snapshot(). Pre-PR this panicked in the CSR
+        // builder ("adjacency mutated during snapshot"); now every
+        // snapshot call must return a structurally consistent CSR.
+        let n = 1usize << 8;
+        let r = Rmat::new(RmatParams::paper(8, 8), 17);
+        let edges = r.edges();
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(n, &CapacityHints::new(edges.len() * 3));
+        let mgr = SnapshotManager::new(g);
+        mgr.apply_batch(&StreamBuilder::new(&edges, 3).construction_shuffled());
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in 0..60u64 {
+                    let batch = StreamBuilder::new(&edges, 1000 + i).mixed(64, 0.5);
+                    mgr.apply_batch(&batch);
+                }
+            });
+            let reader = scope.spawn(|| {
+                let mut races = 0usize;
+                for _ in 0..200 {
+                    let csr = mgr.snapshot();
+                    // Structural consistency of whatever epoch we got.
+                    assert_eq!(csr.offsets().len(), n + 1);
+                    assert_eq!(csr.num_entries(), *csr.offsets().last().unwrap());
+                    if mgr.try_snapshot().is_err() {
+                        races += 1;
+                    }
+                }
+                races
+            });
+            writer.join().unwrap();
+            let _races = reader.join().unwrap();
+            // After the writer quiesces, one attempt must succeed.
+            assert!(mgr.try_snapshot().is_ok());
+        });
     }
 }

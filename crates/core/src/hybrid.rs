@@ -115,14 +115,12 @@ impl DynamicAdjacency for HybridAdj {
         let mut cell = self.adj[u as usize].lock();
         match &mut *cell {
             Repr::Arr(arr) => {
-                // Low degree: a scan is cheap; swap_remove keeps it compact
-                // (no tombstones needed below the threshold).
-                if let Some(pos) = arr.iter().position(|e| e.nbr == v) {
-                    arr.swap_remove(pos);
-                    true
-                } else {
-                    false
-                }
+                // Low degree: a scan is cheap; retain keeps it compact (no
+                // tombstones below the threshold) and key-granular — blind
+                // insertion may have appended duplicates that must all go.
+                let before = arr.len();
+                arr.retain(|e| e.nbr != v);
+                arr.len() != before
             }
             Repr::Treap(t) => {
                 let removed = t.delete(v).is_some();

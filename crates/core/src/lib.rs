@@ -36,6 +36,13 @@
 //! components repaired on demand — `same_component(u, v)` between
 //! batches costs neither a traversal nor a snapshot.
 //!
+//! Under *concurrent* ingest — writers that never quiesce — the
+//! [`serve::ServeEngine`] generalizes all three: a sharded single-queue
+//! writer publishes immutable epoch-tagged versions
+//! ([`serve::EpochSnapshot`], CSR + component labels) by pointer swap,
+//! so readers pin a consistent snapshot in O(1) while updates stream
+//! and a race is impossible by construction.
+//!
 //! # Execution strategies (Section 2.1.2–2.1.3)
 //!
 //! [`engine`] implements the streaming applier plus the `Vpart`
@@ -60,6 +67,7 @@ pub mod engine;
 pub mod graph;
 pub mod hybrid;
 pub mod reorder;
+pub mod serve;
 pub mod slices;
 pub mod treapadj;
 pub mod view;
@@ -67,11 +75,12 @@ pub mod vlabels;
 
 pub use adjacency::{AdjEntry, CapacityHints, DynamicAdjacency, TOMBSTONE};
 pub use connectivity::ConnectivityIndex;
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, SnapshotRace};
 pub use dynarr::{DynArr, FixedDynArr};
 pub use engine::SnapshotManager;
 pub use graph::DynGraph;
 pub use hybrid::HybridAdj;
+pub use serve::{EpochSnapshot, ServeConfig, ServeEngine, SnapshotHandle};
 pub use treapadj::TreapAdj;
 pub use view::{GraphView, VertexChunks};
 pub use vlabels::VertexLabels;

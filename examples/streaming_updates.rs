@@ -2,7 +2,11 @@
 //! dynamic representations absorb a live mix of insertions and deletions,
 //! the scenario motivating the paper's hybrid structure (think: a social
 //! network's edge stream, where friendships form and dissolve
-//! continuously).
+//! continuously) — then keeps the stream running and serves queries
+//! *concurrently* through the [`ServeEngine`]: a background writer
+//! ingests batches and publishes immutable epoch-tagged versions while
+//! the foreground pins snapshots, runs BFS on them, and answers
+//! `same_component` probes from the published labels.
 //!
 //! ```text
 //! cargo run --release --example streaming_updates [scale]
@@ -56,4 +60,66 @@ fn main() {
     ingest::<DynArr>("Dyn-arr", n, &base, &batches);
     ingest::<TreapAdj>("Treaps", n, &base, &batches);
     ingest::<HybridAdj>("Hybrid", n, &base, &batches);
+
+    serve_concurrently(n, &edges, &base, &batches);
+}
+
+/// The serving path: ingest never stops, queries never wait. The engine's
+/// writer thread drains the submitted batches in the background, applies
+/// them sharded across the update engine's workers, repairs the
+/// connectivity index incrementally, and publishes each new version by a
+/// single pointer swap — so every foreground read below runs against one
+/// consistent epoch, pinned in O(1), while newer epochs keep landing.
+fn serve_concurrently(n: usize, edges: &[TimedEdge], base: &[Update], batches: &[Vec<Update>]) {
+    let hints = CapacityHints::new(base.len() * 3);
+    let graph: DynGraph<HybridAdj> = DynGraph::undirected(n, &hints);
+    engine::apply_stream(&graph, base);
+    let engine = ServeEngine::new(graph, ServeConfig::default());
+
+    println!("\nconcurrent serving: background ingest + foreground queries");
+    // Background: stream every batch into the ingest queue (returns
+    // immediately; the writer thread applies and publishes).
+    for batch in batches {
+        engine.submit(batch.clone());
+    }
+
+    // Foreground, concurrently: pin whatever version is current and query
+    // it. The pinned snapshot is immutable — a long traversal sees one
+    // epoch even as the writer publishes newer ones mid-flight.
+    let src = edges[0].u;
+    let t = Instant::now();
+    let mut sampled = 0usize;
+    let mut hits = 0usize;
+    while engine.pending_batches() > 0 {
+        let version = engine.pin();
+        let dist = bfs(&*version, src).dist;
+        assert_eq!(dist.len(), n);
+        let v = (sampled as u32 * 131) % n as u32;
+        if engine.same_component(src, v) {
+            hits += 1;
+        }
+        sampled += 1;
+        drop(version); // release the pin: old epochs reclaim once unpinned
+    }
+    engine.flush(); // barrier: every submitted batch is now published
+    let final_version = engine.pin();
+    println!(
+        "  ran {sampled} BFS traversals on pinned mid-stream versions ({hits} \
+         probe hits) in {:.3} s while ingesting; final epoch {} \
+         ({} updates applied, {} full connectivity rebuilds)",
+        t.elapsed().as_secs_f64(),
+        final_version.epoch(),
+        engine.updates_applied(),
+        engine.full_rebuild_count().expect("connectivity enabled"),
+    );
+    println!(
+        "  final version: {} entries, src {} reaches {} vertices",
+        final_version.num_entries(),
+        src,
+        bfs(&*final_version, src)
+            .dist
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .count(),
+    );
 }

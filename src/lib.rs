@@ -146,15 +146,19 @@ pub use snap_util as util;
 
 // Lift the read abstraction to the facade root: it is the vocabulary
 // every kernel call site speaks.
-pub use snap_core::{ConnectivityIndex, CsrGraph, DynGraph, GraphView, SnapshotManager};
+pub use snap_core::{
+    ConnectivityIndex, CsrGraph, DynGraph, EpochSnapshot, GraphView, ServeConfig, ServeEngine,
+    SnapshotHandle, SnapshotManager, SnapshotRace,
+};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use snap_core::adjacency::{AdjEntry, CapacityHints, DynamicAdjacency};
     pub use snap_core::engine;
     pub use snap_core::{
-        ConnectivityIndex, CsrGraph, DynArr, DynGraph, FixedDynArr, GraphView, HybridAdj,
-        SnapshotManager, TimedEdge, TreapAdj, Update, UpdateKind,
+        ConnectivityIndex, CsrGraph, DynArr, DynGraph, EpochSnapshot, FixedDynArr, GraphView,
+        HybridAdj, ServeConfig, ServeEngine, SnapshotHandle, SnapshotManager, SnapshotRace,
+        TimedEdge, TreapAdj, Update, UpdateKind,
     };
     pub use snap_kernels::{
         average_clustering, betweenness_approx, betweenness_exact, bfs, boruvka_msf,

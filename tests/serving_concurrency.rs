@@ -1,0 +1,286 @@
+//! Concurrent serving stress suite (the acceptance gate of the
+//! multi-version protocol).
+//!
+//! Writer threads stream mixed R-MAT update batches through the
+//! [`ServeEngine`] while reader threads pin published versions and run
+//! parallel kernels against them. Every sampled result must be
+//! **bit-identical** to a bulk-synchronous oracle: a fresh graph
+//! replaying exactly the first [`EpochSnapshot::batches`] submitted
+//! batches in queue order, then read with the serial kernels. The
+//! incremental connectivity path must finish with **zero** full index
+//! rebuilds, at every shard count (1 / 2 / 8).
+//!
+//! Linearizability per epoch falls out of the comparison: a version's
+//! CSR, its published component labels, and the kernel outputs computed
+//! on it all correspond to one prefix of the submission order — never a
+//! torn mix of batches.
+
+use snap::par::{par_bfs_with, par_cc_with};
+use snap::prelude::*;
+
+const SCALE: u32 = 9;
+const EDGE_FACTOR: usize = 8;
+const BATCH: usize = 128;
+const BATCHES_PER_PRODUCER: usize = 15;
+const PRODUCERS: usize = 2;
+const READERS: usize = 2;
+const SAMPLES_PER_READER: usize = 6;
+
+fn base_edges(seed: u64) -> Vec<TimedEdge> {
+    Rmat::new(RmatParams::paper(SCALE, EDGE_FACTOR), seed).edges()
+}
+
+/// Builds the engine's starting graph: base construction stream applied
+/// bulk-synchronously (sequentially, so the oracle can reproduce the
+/// exact same per-vertex state).
+fn seeded_graph(base: &[Update]) -> DynGraph<HybridAdj> {
+    let n = 1usize << SCALE;
+    let hints = CapacityHints::new(base.len() * 3);
+    let g: DynGraph<HybridAdj> = DynGraph::undirected(n, &hints);
+    for u in base {
+        g.apply(u);
+    }
+    g
+}
+
+/// The bulk-synchronous oracle: replay base + the first `batches`
+/// submitted batches on a fresh graph of the same representation, then
+/// freeze to CSR. This is the state every version with that batch count
+/// must serve.
+fn oracle_csr(base: &[Update], history: &[Vec<Update>], batches: usize) -> CsrGraph {
+    let g = seeded_graph(base);
+    for batch in &history[..batches] {
+        for u in batch {
+            g.apply(u);
+        }
+    }
+    g.to_csr()
+}
+
+struct Sample {
+    handle: SnapshotHandle,
+    dist: Vec<u32>,
+    labels: Vec<u32>,
+    /// (u, v, answer) probes served from the published labels.
+    probes: Vec<(u32, u32, bool)>,
+}
+
+fn stress(shards: usize) {
+    let n = 1usize << SCALE;
+    let edges = base_edges(11 + shards as u64);
+    let base = StreamBuilder::new(&edges, 7).construction_shuffled();
+    let engine = ServeEngine::new(
+        seeded_graph(&base),
+        ServeConfig::default()
+            .with_shards(shards)
+            .with_coalesce(4)
+            .with_retain(3)
+            .with_history(true),
+    );
+    let engine = &engine;
+    let kcfg = ParConfig::default()
+        .with_threads(shards)
+        .with_serial_threshold(0); // force the parallel path at this scale
+    let src = edges[0].u;
+
+    let samples: Vec<Sample> = std::thread::scope(|scope| {
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let edges = &edges;
+                scope.spawn(move || {
+                    for i in 0..BATCHES_PER_PRODUCER {
+                        let seed = 1000 + (p * BATCHES_PER_PRODUCER + i) as u64;
+                        let batch = StreamBuilder::new(edges, seed).mixed(BATCH, 0.7);
+                        engine.submit(batch);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let kcfg = kcfg.clone();
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(SAMPLES_PER_READER);
+                    for i in 0..SAMPLES_PER_READER {
+                        let handle = engine.pin();
+                        // Long-running kernels on the pinned version while
+                        // the writer keeps publishing newer epochs.
+                        let dist = par_bfs_with(&*handle, src, &kcfg).dist;
+                        let labels = par_cc_with(&*handle, &kcfg);
+                        let probes: Vec<(u32, u32, bool)> = (0..16u64)
+                            .map(|k| {
+                                let u = ((r as u64 * 31 + i as u64 * 7 + k * 13) % n as u64) as u32;
+                                let v = ((k * 29 + i as u64 * 3) % n as u64) as u32;
+                                (u, v, handle.same_component(u, v).expect("conn on"))
+                            })
+                            .collect();
+                        out.push(Sample {
+                            handle,
+                            dist,
+                            labels,
+                            probes,
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        engine.flush();
+        let mut samples = Vec::new();
+        for r in readers {
+            samples.extend(r.join().unwrap());
+        }
+        // One more sample after full quiescence: the final epoch.
+        let handle = engine.pin();
+        assert_eq!(
+            handle.batches(),
+            (PRODUCERS * BATCHES_PER_PRODUCER) as u64,
+            "flush is a publication barrier"
+        );
+        samples.push(Sample {
+            dist: par_bfs_with(&*handle, src, &kcfg).dist,
+            labels: par_cc_with(&*handle, &kcfg),
+            probes: Vec::new(),
+            handle,
+        });
+        samples
+    });
+
+    // The incremental-path acceptance criterion: the writer repaired
+    // deletions targetedly, never a full union-find rebuild.
+    assert_eq!(engine.full_rebuild_count(), Some(0));
+    assert_eq!(engine.pending_batches(), 0);
+
+    let history = engine.history();
+    assert_eq!(history.len(), PRODUCERS * BATCHES_PER_PRODUCER);
+
+    for (k, s) in samples.iter().enumerate() {
+        let batches = s.handle.batches() as usize;
+        let oracle = oracle_csr(&base, &history, batches);
+        // Same structure...
+        assert_eq!(
+            s.handle.num_entries(),
+            oracle.num_entries(),
+            "sample {k} (epoch {}, {batches} batches): entry count",
+            s.handle.epoch()
+        );
+        // ...same parallel-kernel outputs as the serial kernels on the
+        // bulk-synchronous oracle, bit for bit.
+        let oracle_dist = bfs(&oracle, src).dist;
+        assert_eq!(s.dist, oracle_dist, "sample {k}: BFS distances");
+        let oracle_labels = connected_components(&oracle);
+        assert_eq!(s.labels, oracle_labels, "sample {k}: component labels");
+        // ...and the published labels agree with both.
+        let published = s.handle.component_labels().expect("conn on");
+        assert_eq!(**published, oracle_labels, "sample {k}: published labels");
+        for &(u, v, ans) in &s.probes {
+            assert_eq!(
+                ans,
+                oracle_labels[u as usize] == oracle_labels[v as usize],
+                "sample {k}: probe ({u}, {v})"
+            );
+        }
+    }
+}
+
+#[test]
+fn serving_matches_oracle_one_shard() {
+    stress(1);
+}
+
+#[test]
+fn serving_matches_oracle_two_shards() {
+    stress(2);
+}
+
+#[test]
+fn serving_matches_oracle_eight_shards() {
+    stress(8);
+}
+
+#[test]
+fn pinned_handles_outlive_heavy_churn() {
+    // A reader pins one version, then the writer publishes far more
+    // epochs than the retention ring holds; the pinned version must stay
+    // identical (epoch-based reclamation frees only unpinned versions).
+    let edges = base_edges(42);
+    let base = StreamBuilder::new(&edges, 9).construction_shuffled();
+    let engine = ServeEngine::new(
+        seeded_graph(&base),
+        ServeConfig::default()
+            .with_retain(2)
+            .with_coalesce(1)
+            .with_history(true),
+    );
+    let pinned = engine.pin();
+    let before_entries = pinned.num_entries();
+    let before_dist = bfs(&*pinned, edges[0].u).dist;
+    for i in 0..12u64 {
+        engine.submit(StreamBuilder::new(&edges, 500 + i).mixed(64, 0.5));
+    }
+    engine.flush();
+    assert!(engine.retired() >= 10, "churn must evict ring entries");
+    assert!(engine.retained() <= 2);
+    assert_eq!(pinned.epoch(), 0, "the pin still names its epoch");
+    assert_eq!(pinned.num_entries(), before_entries);
+    assert_eq!(bfs(&*pinned, edges[0].u).dist, before_dist);
+    // And the pinned state is exactly the zero-batch oracle.
+    let oracle = oracle_csr(&base, &engine.history(), 0);
+    assert_eq!(pinned.num_entries(), oracle.num_entries());
+}
+
+#[test]
+fn same_component_stays_incremental_under_concurrent_ingest() {
+    // The headline serving query: reader threads hammer same_component
+    // while writers stream; afterwards, zero full rebuilds and the final
+    // answers match the serial kernel.
+    let edges = base_edges(77);
+    let base = StreamBuilder::new(&edges, 3).construction_shuffled();
+    let engine = ServeEngine::new(
+        seeded_graph(&base),
+        ServeConfig::default().with_shards(2).with_coalesce(4),
+    );
+    let engine = &engine;
+    let n = 1usize << SCALE;
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || {
+            for i in 0..20u64 {
+                engine.submit(StreamBuilder::new(&edges, 2000 + i).mixed(96, 0.6));
+            }
+        });
+        let q: Vec<_> = (0..2)
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut hits = 0usize;
+                    for k in 0..2000u64 {
+                        let u = ((k * 17 + r * 911) % n as u64) as u32;
+                        let v = ((k * 23 + 5) % n as u64) as u32;
+                        if engine.same_component(u, v) {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for h in q {
+            let _ = h.join().unwrap();
+        }
+    });
+    engine.flush();
+    assert_eq!(engine.full_rebuild_count(), Some(0));
+    let handle = engine.pin();
+    let labels = connected_components(&*handle);
+    for u in (0..n as u32).step_by(37) {
+        for v in (1..n as u32).step_by(53) {
+            assert_eq!(
+                engine.same_component(u, v),
+                labels[u as usize] == labels[v as usize]
+            );
+        }
+    }
+}
