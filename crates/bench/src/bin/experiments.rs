@@ -428,7 +428,10 @@ fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u128 {
 /// persisted to `BENCH_parallel.json` for cross-PR trajectory tracking.
 fn parallel(cfg: &Config) {
     use snap_kernels::{connected_components, delta_stepping, dijkstra, serial_bfs};
-    use snap_par::{par_bfs_with, par_cc_with, par_sssp_with, ParConfig};
+    use snap_par::{
+        par_bfs_stats, par_bfs_with, par_cc_stats, par_cc_with, par_sssp_stats, par_sssp_with,
+        ParConfig,
+    };
 
     let edges = build_edges(cfg.scale, cfg.edge_factor, cfg.seed ^ 13);
     let n = cfg.vertices();
@@ -436,7 +439,7 @@ fn parallel(cfg: &Config) {
     let src = hub_source(&csr);
     let pcfg = ParConfig::default();
     let delta = 32u64;
-    let reps = 5usize;
+    let reps = 9usize;
     let mut rows = vec![
         row(
             "bfs",
@@ -503,7 +506,71 @@ fn parallel(cfg: &Config) {
         cfg.scale,
         edges.len()
     ));
+
+    // Scheduling counters: what the adaptive runtime actually decided,
+    // per thread count — serial-vs-forked levels, chunking, and steal
+    // traffic are observable, not guessed. All-zero sssp rows mean the
+    // Auto gate dispatched it to Dijkstra.
+    let mut st = Table::new(&[
+        "kernel", "threads", "serial", "forked", "chunks", "steals", "edges",
+    ]);
+    for &th in &cfg.threads {
+        let b = in_pool(th, || par_bfs_stats(&csr, src, &pcfg)).1.runtime;
+        let c = in_pool(th, || par_cc_stats(&csr, &pcfg)).1;
+        let s = in_pool(th, || par_sssp_stats(&csr, src, delta, &pcfg)).1;
+        for (kernel, ps) in [("bfs", b), ("cc", c), ("sssp", s)] {
+            st.row(vec![
+                kernel.into(),
+                th.to_string(),
+                ps.serial_levels.to_string(),
+                ps.forked_levels.to_string(),
+                ps.chunks_built.to_string(),
+                ps.steals.to_string(),
+                ps.edges_scanned.to_string(),
+            ]);
+        }
+    }
+    st.print("Adaptive scheduling counters (levels run serial vs forked)");
+
     write_bench_json(cfg, &rows);
+    enforce_scaling_gate(&rows);
+}
+
+/// `SNAP_SCALING_GATE=<ratio>` (CI smoke): exits non-zero if any
+/// parallel kernel's median at t > 1 threads exceeds `ratio` times its
+/// own 1-thread median — threads must never make a kernel slower.
+fn enforce_scaling_gate(rows: &[BenchRow]) {
+    let Ok(gate) = std::env::var("SNAP_SCALING_GATE") else {
+        return;
+    };
+    let Ok(gate) = gate.parse::<f64>() else {
+        eprintln!("SNAP_SCALING_GATE={gate:?} is not a number; ignoring");
+        return;
+    };
+    let mut violations = 0usize;
+    for r in rows
+        .iter()
+        .filter(|r| r.mode == "parallel" && r.threads > 1)
+    {
+        let Some(base) = rows
+            .iter()
+            .find(|b| b.kernel == r.kernel && b.mode == "parallel" && b.threads == 1)
+        else {
+            continue;
+        };
+        let ratio = r.median_ns as f64 / base.median_ns.max(1) as f64;
+        if ratio > gate {
+            eprintln!(
+                "scaling gate violated: {} @ {}t is {ratio:.2}x its 1-thread median (gate {gate:.2})",
+                r.kernel, r.threads
+            );
+            violations += 1;
+        }
+    }
+    if violations > 0 {
+        std::process::exit(1);
+    }
+    println!("scaling gate {gate:.2}: all parallel medians within bound");
 }
 
 /// Persists the `parallel` rows as JSON (no serde in the build

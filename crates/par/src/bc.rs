@@ -183,7 +183,7 @@ pub fn par_bc_with<V: GraphView>(view: &V, bc: &BcConfig, cfg: &ParConfig) -> Ve
         BcStrategy::FrontierParallel => false,
     };
     let mut scores = if coarse {
-        bc_source_parallel(view, &sources, threads)
+        bc_source_parallel(view, &sources, cfg)
     } else {
         bc_frontier_parallel(view, &sources, cfg)
     };
@@ -237,15 +237,20 @@ impl Scratch {
     }
 }
 
-/// Distributes [`SOURCE_BLOCK`]-sized blocks of `sources` over `threads`
-/// workers in waves; block partials fold into the total in ascending
-/// block order regardless of which worker computed them (the
-/// bit-reproducibility contract).
-fn bc_source_parallel<V: GraphView>(view: &V, sources: &[u32], threads: usize) -> Vec<f64> {
+/// Distributes [`SOURCE_BLOCK`]-sized blocks of `sources` over the
+/// volume-gated worker count in waves; block partials fold into the
+/// total in ascending block order regardless of which worker computed
+/// them (the bit-reproducibility contract). The volume here is the full
+/// run — one traversal of the view per source — so on any real multicore
+/// host the gate opens wide, while an effective width of 1 keeps the
+/// whole run inline with zero spawns.
+fn bc_source_parallel<V: GraphView>(view: &V, sources: &[u32], cfg: &ParConfig) -> Vec<f64> {
     let n = view.num_vertices();
     let mut bc = vec![0.0f64; n];
     let blocks: Vec<&[u32]> = sources.chunks(SOURCE_BLOCK).collect();
-    let workers = threads.clamp(1, blocks.len().max(1));
+    let work = n + view.num_entries();
+    let volume = sources.len().saturating_mul(work.max(1));
+    let workers = cfg.fork_width(volume, work).clamp(1, blocks.len().max(1));
     let mut scratch: Vec<Scratch> = (0..workers).map(|_| Scratch::new(n)).collect();
     let mut partials: Vec<Vec<f64>> = (0..workers).map(|_| vec![0.0f64; n]).collect();
     for wave in blocks.chunks(workers) {
@@ -388,10 +393,12 @@ fn atomic_f64_add(cell: &AtomicU64, add: f64) {
 fn bc_frontier_parallel<V: GraphView>(view: &V, sources: &[u32], cfg: &ParConfig) -> Vec<f64> {
     let n = view.num_vertices();
     let threads = cfg.worker_count();
+    let work = n + view.num_entries();
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     let sigma: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let delta: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-    let mut engine = FrontierEngine::new(threads, cfg.chunk_edges);
+    let mut engine =
+        FrontierEngine::new(threads, cfg.chunk_edges).with_level_gate(cfg.level_gate(work));
     let mut levels: Vec<Vec<u32>> = Vec::new();
     let mut bc = vec![0.0f64; n];
     let mut part = vec![0.0f64; n];
@@ -442,10 +449,13 @@ fn bc_frontier_parallel<V: GraphView>(view: &V, sources: &[u32], cfg: &ParConfig
         // level's stores before the next level reads them.
         for l in (1..levels.len()).rev() {
             let lvl: &[u32] = &levels[l];
-            let ranges: Vec<Range<u32>> =
-                chunk_positions(lvl.len(), sweep_grain(lvl.len(), threads));
+            // Gate the backward pass on the level's gather volume, just
+            // like the forward pass: a thin DAG level runs inline.
+            let vol: usize = lvl.iter().map(|&v| view.degree(v)).sum();
+            let width = cfg.fork_width(lvl.len() + vol, work);
+            let ranges: Vec<Range<u32>> = chunk_positions(lvl.len(), sweep_grain(lvl.len(), width));
             let (dist_r, sigma_r, delta_r) = (&dist, &sigma, &delta);
-            par_for_ranges(&ranges, threads, |r| {
+            par_for_ranges(&ranges, width, |r| {
                 for i in r {
                     let v = lvl[i as usize];
                     let dv = dist_r[v as usize].load(Ordering::Relaxed);
@@ -494,10 +504,13 @@ mod tests {
     use snap_core::{CsrGraph, DynGraph, HybridAdj};
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
+    // Gate 0 keeps the forked paths exercised even on single-core
+    // hosts, where the Auto grain would (correctly) run inline.
     fn force(threads: usize) -> ParConfig {
         ParConfig::default()
             .with_serial_threshold(0)
             .with_threads(threads)
+            .with_level_grain(crate::Grain::Edges(0))
     }
 
     fn strategies() -> [BcStrategy; 2] {

@@ -26,7 +26,7 @@
 //! graph that fits in one core's cache.
 
 use crate::bitset::AtomicBitset;
-use crate::frontier::{par_range_map, sweep_grain, FrontierEngine};
+use crate::frontier::{par_range_map_stats, sweep_grain, FrontierEngine, ParStats};
 use crate::ParConfig;
 use snap_core::GraphView;
 use snap_kernels::bfs::{serial_bfs, BfsResult, UNREACHED};
@@ -42,6 +42,9 @@ pub struct BfsStats {
     pub bottom_up_levels: u32,
     /// True when the whole run used the serial fallback.
     pub serial_fallback: bool,
+    /// Adaptive-scheduling counters (top-down levels through the engine
+    /// plus bottom-up sweeps).
+    pub runtime: ParStats,
 }
 
 /// Parallel BFS from `src` with the default [`ParConfig`].
@@ -81,7 +84,9 @@ pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsR
         return (serial_bfs(view, src), stats);
     }
     let threads = cfg.worker_count();
+    let work = n + m;
     let mut stats = BfsStats::default();
+    let mut sweep_stats = ParStats::default();
 
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
@@ -89,7 +94,8 @@ pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsR
     dist[src as usize].store(0, Ordering::Relaxed);
     visited.set(src as usize);
 
-    let mut engine = FrontierEngine::new(threads, cfg.chunk_edges);
+    let mut engine =
+        FrontierEngine::new(threads, cfg.chunk_edges).with_level_gate(cfg.level_gate(work));
     engine.seed(src);
 
     // Direction bookkeeping: out-degree mass of the current frontier and
@@ -131,6 +137,10 @@ pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsR
             for &u in engine.current() {
                 bits.set(u as usize);
             }
+            // The sweep's cost is the unexplored adjacency mass, so that
+            // is the volume the gate weighs (narrowing the sink slice
+            // narrows the fork width).
+            let width = cfg.fork_width(unexplored.min(usize::MAX as u64) as usize, work);
             bottom_up_level(
                 view,
                 &visited,
@@ -139,7 +149,8 @@ pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsR
                 &parent,
                 level,
                 &ranges,
-                &mut bu_sinks,
+                &mut bu_sinks[..width.min(threads)],
+                &mut sweep_stats,
             );
             for &u in engine.current() {
                 bits.clear(u as usize);
@@ -148,7 +159,7 @@ pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsR
         } else {
             stats.top_down_levels += 1;
             let (dist, parent, visited) = (&dist, &parent, &visited);
-            engine.advance(view, |u, v, _| {
+            engine.advance_hinted(view, Some(frontier_deg), |u, v, _| {
                 if visited.claim(v as usize) {
                     dist[v as usize].store(level, Ordering::Relaxed);
                     parent[v as usize].store(u, Ordering::Relaxed);
@@ -170,6 +181,8 @@ pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsR
         dist: dist.into_iter().map(|d| d.into_inner()).collect(),
         parent: parent.into_iter().map(|p| p.into_inner()).collect(),
     };
+    stats.runtime = engine.take_stats();
+    stats.runtime.absorb(sweep_stats);
     (result, stats)
 }
 
@@ -187,8 +200,9 @@ fn bottom_up_level<V: GraphView>(
     level: u32,
     ranges: &[Range<u32>],
     sinks: &mut [Vec<u32>],
+    stats: &mut ParStats,
 ) {
-    par_range_map(
+    par_range_map_stats(
         ranges,
         |r, sink: &mut Vec<u32>| {
             visited.for_each_unset_in(r.start as usize, r.end as usize, |w| {
@@ -202,6 +216,7 @@ fn bottom_up_level<V: GraphView>(
             });
         },
         sinks,
+        stats,
     );
 }
 
@@ -212,10 +227,14 @@ mod tests {
     use snap_core::{CsrGraph, DynGraph, HybridAdj};
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
+    // Force the parallel path at full width (gate 0 = always fork), so
+    // these tests exercise forked levels even on single-core hosts where
+    // Grain::Auto would keep everything inline.
     fn force() -> ParConfig {
         ParConfig::default()
             .with_serial_threshold(0)
             .with_threads(4)
+            .with_level_grain(crate::Grain::Edges(0))
     }
 
     #[test]
@@ -311,5 +330,31 @@ mod tests {
     fn invalid_source_panics() {
         let g = CsrGraph::from_edges_undirected(2, &[]);
         par_bfs(&g, 9);
+    }
+
+    #[test]
+    fn runtime_counters_track_levels() {
+        // Line at gate 0: every level is one chunk, so even forced
+        // forking collapses to inline — all levels count as serial and
+        // every edge is scanned once per direction.
+        let edges: Vec<TimedEdge> = (0..999).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+        let g = CsrGraph::from_edges_undirected(1000, &edges);
+        let (_, s) = par_bfs_stats(&g, 0, &force());
+        assert_eq!(s.runtime.levels(), 1000);
+        assert_eq!(s.runtime.forked_levels, 0);
+        assert_eq!(s.runtime.edges_scanned, 2 * 999);
+        // Star at gate 0 (bottom-up disabled): the hub level splits into
+        // multiple chunks and genuinely forks.
+        let star: Vec<TimedEdge> = (1..=4000).map(|v| TimedEdge::new(0, v, 1)).collect();
+        let star = CsrGraph::from_edges_undirected(4001, &star);
+        let (_, s) = par_bfs_stats(&star, 0, &force().with_beta(0));
+        assert!(s.runtime.forked_levels >= 1, "{:?}", s.runtime);
+        assert!(s.runtime.chunks_built > 0);
+        // Auto grain with one pinned worker: nothing ever forks.
+        let auto = ParConfig::default()
+            .with_serial_threshold(0)
+            .with_threads(1);
+        let (_, s) = par_bfs_stats(&star, 0, &auto);
+        assert_eq!(s.runtime.forked_levels, 0, "{:?}", s.runtime);
     }
 }

@@ -12,12 +12,15 @@
 //!
 //! Work distribution: the vertex id space is cut into
 //! [`GraphView::vertex_chunks`] ranges and both phases run through
-//! [`crate::frontier::par_for_ranges`] — dynamic chunk self-scheduling,
-//! so a range hiding a power-law hub delays one chunk, not one thread's
-//! entire static share. The input view must be symmetric (undirected),
-//! as for the serial kernel.
+//! [`crate::frontier::par_for_ranges_stats`] — per-worker range deals
+//! with stealing, so a range hiding a power-law hub delays one chunk,
+//! not one thread's entire static share. The sweep width is
+//! volume-gated by [`ParConfig::fork_width`] over the whole view
+//! (`n + m`): on an effective width of 1 every sweep runs inline and the
+//! fork/join barrier disappears. The input view must be symmetric
+//! (undirected), as for the serial kernel.
 
-use crate::frontier::{par_for_ranges, sweep_grain};
+use crate::frontier::{self, par_for_ranges_stats, sweep_grain, ParStats};
 use crate::ParConfig;
 use snap_core::connectivity::{restricted_component_labels, ConnectivityIndex};
 use snap_core::GraphView;
@@ -45,48 +48,73 @@ pub fn par_cc<V: GraphView>(view: &V) -> Vec<u32> {
 
 /// Parallel connected components under an explicit configuration.
 pub fn par_cc_with<V: GraphView>(view: &V, cfg: &ParConfig) -> Vec<u32> {
+    par_cc_stats(view, cfg).0
+}
+
+/// Like [`par_cc_with`], also returning the runtime's scheduling
+/// counters (every graft and shortcut sweep counts as one level).
+pub fn par_cc_stats<V: GraphView>(view: &V, cfg: &ParConfig) -> (Vec<u32>, ParStats) {
     let n = view.num_vertices();
-    if n + view.num_entries() <= cfg.serial_threshold {
-        return snap_kernels::connected_components(view);
+    let m = view.num_entries();
+    if n + m <= cfg.serial_threshold {
+        return (
+            snap_kernels::connected_components(view),
+            ParStats::default(),
+        );
     }
-    let threads = cfg.worker_count();
-    let ranges: Vec<Range<u32>> = view.vertex_chunks(sweep_grain(n, threads)).collect();
+    // Every sweep scans the whole view, so the level volume *is* the
+    // view: the gate decides once whether this host forks at all.
+    let work = n + m;
+    let width = cfg.fork_width(work, work);
+    let mut stats = ParStats::default();
+    let ranges: Vec<Range<u32>> = view.vertex_chunks(sweep_grain(n, width)).collect();
     let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let changed = AtomicBool::new(true);
     while changed.swap(false, Ordering::Relaxed) {
         // Graft: relaxed racy hooking is convergent — the outer loop
         // re-checks until a fixed point and labels only decrease.
-        par_for_ranges(&ranges, threads, |r| {
-            for u in r {
-                let lu = label[u as usize].load(Ordering::Relaxed);
-                view.for_each_edge(u, |v, _| {
-                    let lv = label[v as usize].load(Ordering::Relaxed);
-                    if lv < lu {
-                        if try_lower(&label, u, lv) {
+        par_for_ranges_stats(
+            &ranges,
+            width,
+            |r| {
+                for u in r {
+                    let lu = label[u as usize].load(Ordering::Relaxed);
+                    view.for_each_edge(u, |v, _| {
+                        let lv = label[v as usize].load(Ordering::Relaxed);
+                        if lv < lu {
+                            if try_lower(&label, u, lv) {
+                                changed.store(true, Ordering::Relaxed);
+                            }
+                        } else if lu < lv && try_lower(&label, v, lu) {
                             changed.store(true, Ordering::Relaxed);
                         }
-                    } else if lu < lv && try_lower(&label, v, lu) {
-                        changed.store(true, Ordering::Relaxed);
-                    }
-                });
-            }
-        });
-        // Shortcut: pointer-jump every label chain to its root.
-        par_for_ranges(&ranges, threads, |r| {
-            for u in r {
-                let mut l = label[u as usize].load(Ordering::Relaxed);
-                loop {
-                    let ll = label[l as usize].load(Ordering::Relaxed);
-                    if ll == l {
-                        break;
-                    }
-                    l = ll;
+                    });
                 }
-                label[u as usize].store(l, Ordering::Relaxed);
-            }
-        });
+            },
+            &mut stats,
+        );
+        stats.edges_scanned += m as u64;
+        // Shortcut: pointer-jump every label chain to its root.
+        par_for_ranges_stats(
+            &ranges,
+            width,
+            |r| {
+                for u in r {
+                    let mut l = label[u as usize].load(Ordering::Relaxed);
+                    loop {
+                        let ll = label[l as usize].load(Ordering::Relaxed);
+                        if ll == l {
+                            break;
+                        }
+                        l = ll;
+                    }
+                    label[u as usize].store(l, Ordering::Relaxed);
+                }
+            },
+            &mut stats,
+        );
     }
-    label.into_iter().map(|l| l.into_inner()).collect()
+    (label.into_iter().map(|l| l.into_inner()).collect(), stats)
 }
 
 /// Parallel connected components **restricted to a vertex subset**:
@@ -102,17 +130,20 @@ pub fn par_cc_with<V: GraphView>(view: &V, cfg: &ParConfig) -> Vec<u32> {
 pub fn par_cc_restricted<V: GraphView>(view: &V, verts: &[u32], cfg: &ParConfig) -> Vec<u32> {
     debug_assert!(verts.windows(2).all(|w| w[0] < w[1]), "verts must ascend");
     let k = verts.len();
-    let threads = cfg.worker_count();
-    if k <= cfg.serial_threshold || threads <= 1 {
+    // The repair volume is the subset plus its incident edges — a small
+    // dirtied component should never pay a fork/join barrier.
+    let vol = k + verts.iter().map(|&u| view.degree(u)).sum::<usize>();
+    let width = frontier::fork_width(vol, cfg.level_gate(vol), cfg.worker_count());
+    if k <= cfg.serial_threshold || width <= 1 {
         return restricted_component_labels(view, verts);
     }
-    let ranges: Vec<Range<u32>> = chunk_positions(k, sweep_grain(k, threads));
+    let ranges: Vec<Range<u32>> = chunk_positions(k, sweep_grain(k, width));
     // label[i] is a *position* into verts; positions are id-ordered, so
     // the min-position fixed point is the min-id label.
     let label: Vec<AtomicU32> = (0..k as u32).map(AtomicU32::new).collect();
     let changed = AtomicBool::new(true);
     while changed.swap(false, Ordering::Relaxed) {
-        par_for_ranges(&ranges, threads, |r| {
+        frontier::par_for_ranges(&ranges, width, |r| {
             for i in r {
                 let li = label[i as usize].load(Ordering::Relaxed);
                 view.for_each_edge(verts[i as usize], |w, _| {
@@ -130,7 +161,7 @@ pub fn par_cc_restricted<V: GraphView>(view: &V, verts: &[u32], cfg: &ParConfig)
                 });
             }
         });
-        par_for_ranges(&ranges, threads, |r| {
+        frontier::par_for_ranges(&ranges, width, |r| {
             for i in r {
                 let mut l = label[i as usize].load(Ordering::Relaxed);
                 loop {
@@ -197,10 +228,13 @@ mod tests {
     use snap_kernels::{component_count, connected_components};
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
+    // Gate 0 keeps the forked path exercised even on single-core hosts,
+    // where the Auto grain would (correctly) run everything inline.
     fn force() -> ParConfig {
         ParConfig::default()
             .with_serial_threshold(0)
             .with_threads(4)
+            .with_level_grain(crate::Grain::Edges(0))
     }
 
     #[test]
@@ -241,6 +275,26 @@ mod tests {
     fn small_graph_falls_back_to_serial() {
         let g = CsrGraph::from_edges_undirected(4, &[TimedEdge::new(1, 2, 1)]);
         assert_eq!(par_cc(&g), connected_components(&g));
+    }
+
+    #[test]
+    fn stats_count_sweeps_and_edges() {
+        let edges: Vec<TimedEdge> = (0..1999).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+        let g = CsrGraph::from_edges_undirected(2000, &edges);
+        let (labels, stats) = par_cc_stats(&g, &force());
+        assert!(labels.iter().all(|&l| l == 0));
+        // Each round is one graft + one shortcut sweep, and each graft
+        // scans every directed entry once.
+        assert!(stats.levels() >= 2 && stats.levels() % 2 == 0);
+        assert_eq!(stats.edges_scanned, (stats.levels() / 2) * 2 * 1999);
+        // Auto grain at one pinned worker: every sweep stays inline.
+        let auto = ParConfig::default()
+            .with_serial_threshold(0)
+            .with_threads(1);
+        let (l2, s2) = par_cc_stats(&g, &auto);
+        assert_eq!(l2, labels);
+        assert_eq!(s2.forked_levels, 0);
+        assert_eq!(s2.chunks_built, 0);
     }
 
     #[test]

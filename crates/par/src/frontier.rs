@@ -12,16 +12,95 @@
 //! a live hub becomes one chunk and the dynamic chunk queue absorbs the
 //! imbalance).
 //!
-//! Execution is a flat fork-join per level: `threads` scoped OS workers
-//! pull chunk indices from one atomic cursor (dynamic self-scheduling —
-//! no static partition to get wrong) and write discovered vertices into
-//! **per-worker next-frontier buffers**. No locks, no shared growing
-//! vector; the merge is a sequential buffer drain into the double-buffered
-//! current frontier, preserving each buffer's capacity across levels.
+//! # Adaptive granularity
+//!
+//! Forking a level costs real money — the scoped workers here are OS
+//! threads — so the runtime only pays when a level can cover the bill:
+//!
+//! - **Volume gating.** Each level's frontier edge volume is computed
+//!   (or supplied by the kernel, which often already tracks it) and
+//!   compared against a serial gate; a level at or below the gate runs
+//!   inline on the caller with zero spawns and zero barriers. Above the
+//!   gate, the fork width is *proportional to the volume* — one worker
+//!   per gate's worth of edges — not a fixed thread count, so a level
+//!   barely over the line forks two workers, not eight.
+//! - **Per-worker deals with stealing.** A forked level deals the chunk
+//!   queue out as contiguous per-worker *deals* (cache-line aligned, so
+//!   claim traffic on one deal never invalidates a peer's line); a worker
+//!   whose deal drains steals from its neighbors' deals round-robin.
+//!   Low-chunk-count levels therefore neither serialize on one contended
+//!   cursor nor strand work behind a slow worker.
+//! - **Allocation-free steady state.** The chunk vector, the deal
+//!   descriptors, and the per-worker next-frontier buffers persist inside
+//!   [`LevelRunner`] / [`FrontierEngine`] across levels (and across
+//!   delta-stepping buckets), so a traversal allocates each buffer once.
+//! - **Level fusion.** Consecutive serial levels are processed *in
+//!   place*: discoveries append past the live level's end of the same
+//!   buffer and a head index advances over the consumed prefix — no
+//!   buffer swap, no re-chunking, no merge. Compaction happens only on
+//!   the transition to a forked level.
+//!
+//! Every decision is counted in [`ParStats`] so granularity behavior is
+//! observable (`experiments parallel` prints the counters), and none of
+//! it affects results: claims are the same compare-exchange protocol
+//! either way, so serial, forked, and steal-heavy schedules are
+//! bit-identical (see ARCHITECTURE.md, concurrency invariant 8).
 
+use snap_core::engine::resolve_workers;
 use snap_core::GraphView;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Per-run adaptive-scheduling counters: how the runtime actually spent
+/// the traversal. Returned by the `*_stats` kernel entry points and
+/// printed by `experiments parallel`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Levels (or sweeps) run inline on the caller — no spawns.
+    pub serial_levels: u64,
+    /// Levels (or sweeps) fanned out over scoped workers.
+    pub forked_levels: u64,
+    /// Chunks built for forked levels (serial levels build none).
+    pub chunks_built: u64,
+    /// Chunks a worker claimed from another worker's deal.
+    pub steals: u64,
+    /// Frontier edge volume scanned through the edge-map path.
+    pub edges_scanned: u64,
+}
+
+impl ParStats {
+    /// Folds another run's counters into this one.
+    pub fn absorb(&mut self, other: ParStats) {
+        self.serial_levels += other.serial_levels;
+        self.forked_levels += other.forked_levels;
+        self.chunks_built += other.chunks_built;
+        self.steals += other.steals;
+        self.edges_scanned += other.edges_scanned;
+    }
+
+    /// Total levels/sweeps, serial and forked.
+    pub fn levels(&self) -> u64 {
+        self.serial_levels + self.forked_levels
+    }
+}
+
+/// Fork width for a level carrying `volume` edges under serial gate
+/// `gate`, capped at `cap` workers: 1 (run inline) when the volume is at
+/// or below the gate, else proportional to the volume — one worker per
+/// gate's worth of edges — clamped to `2..=cap`. A gate of 0 always
+/// forks; a gate of `usize::MAX` never does.
+pub fn fork_width(volume: usize, gate: usize, cap: usize) -> usize {
+    if cap <= 1 || volume == 0 || volume <= gate {
+        return 1;
+    }
+    (volume / gate.max(1)).clamp(2, cap)
+}
+
+/// Total out-degree mass of `frontier` — the level's edge volume, the
+/// quantity the serial gate compares against.
+pub fn edge_volume<V: GraphView>(view: &V, frontier: &[u32]) -> u64 {
+    frontier.iter().map(|&u| view.degree(u) as u64).sum()
+}
 
 /// A unit of frontier work (see module docs).
 enum Chunk {
@@ -31,30 +110,37 @@ enum Chunk {
     Hub { pos: usize, lo: usize, hi: usize },
 }
 
-/// Splits `frontier` into edge-budgeted chunks. Hubs (degree >= budget)
-/// are split into sub-ranges when the view supports random access to
-/// adjacency (CSR), else isolated as single-vertex chunks.
-fn build_chunks<V: GraphView>(view: &V, frontier: &[u32], budget: usize) -> Vec<Chunk> {
+/// Splits `frontier` into edge-budgeted chunks appended to `out`
+/// (cleared first — callers keep the vector across levels so the steady
+/// state reallocates nothing). Hubs (degree >= budget) are split into
+/// sub-ranges when the view supports random access to adjacency (CSR),
+/// else isolated as single-vertex chunks.
+fn build_chunks_into<V: GraphView>(
+    view: &V,
+    frontier: &[u32],
+    budget: usize,
+    out: &mut Vec<Chunk>,
+) {
     let budget = budget.max(1);
     let split_hubs = view.as_csr().is_some();
-    let mut chunks = Vec::new();
+    out.clear();
     let mut run_start = 0usize;
     let mut run_edges = 0usize;
     for (pos, &u) in frontier.iter().enumerate() {
         let d = view.degree(u);
         if d >= budget {
             if pos > run_start {
-                chunks.push(Chunk::Run(run_start..pos));
+                out.push(Chunk::Run(run_start..pos));
             }
             if split_hubs {
                 let mut lo = 0usize;
                 while lo < d {
                     let hi = (lo + budget).min(d);
-                    chunks.push(Chunk::Hub { pos, lo, hi });
+                    out.push(Chunk::Hub { pos, lo, hi });
                     lo = hi;
                 }
             } else {
-                chunks.push(Chunk::Run(pos..pos + 1));
+                out.push(Chunk::Run(pos..pos + 1));
             }
             run_start = pos + 1;
             run_edges = 0;
@@ -62,15 +148,14 @@ fn build_chunks<V: GraphView>(view: &V, frontier: &[u32], budget: usize) -> Vec<
         }
         run_edges += d;
         if run_edges >= budget {
-            chunks.push(Chunk::Run(run_start..pos + 1));
+            out.push(Chunk::Run(run_start..pos + 1));
             run_start = pos + 1;
             run_edges = 0;
         }
     }
     if run_start < frontier.len() {
-        chunks.push(Chunk::Run(run_start..frontier.len()));
+        out.push(Chunk::Run(run_start..frontier.len()));
     }
-    chunks
 }
 
 fn process_chunk<V, T, F>(view: &V, frontier: &[u32], chunk: &Chunk, visit: &F, sink: &mut Vec<T>)
@@ -97,10 +182,191 @@ where
     }
 }
 
+/// One worker's contiguous share of a chunk (or range) queue. Cache-line
+/// aligned so claim traffic on one deal never invalidates a neighbor's
+/// line — the fix for low-chunk levels serializing on a single cursor.
+#[repr(align(64))]
+struct Deal {
+    next: AtomicUsize,
+    end: usize,
+}
+
+/// Re-deals `items` queue slots contiguously over `width` workers,
+/// reusing `deals`' allocation.
+fn fill_deals(deals: &mut Vec<Deal>, items: usize, width: usize) {
+    deals.clear();
+    for w in 0..width {
+        deals.push(Deal {
+            next: AtomicUsize::new(items * w / width),
+            end: items * (w + 1) / width,
+        });
+    }
+}
+
+/// Worker `home`'s execution loop: drain the home deal, then steal from
+/// the other deals round-robin. The load pre-check keeps a drained deal's
+/// cursor from being bumped unboundedly by circling thieves; the
+/// `fetch_add` claim makes each slot execute exactly once.
+fn drain_deals(deals: &[Deal], home: usize, mut work: impl FnMut(usize), steals: &AtomicU64) {
+    let mut stolen = 0u64;
+    for k in 0..deals.len() {
+        let d = &deals[(home + k) % deals.len()];
+        loop {
+            if d.next.load(Ordering::Relaxed) >= d.end {
+                break;
+            }
+            let i = d.next.fetch_add(1, Ordering::Relaxed);
+            if i >= d.end {
+                break;
+            }
+            if k > 0 {
+                stolen += 1;
+            }
+            work(i);
+        }
+    }
+    if stolen > 0 {
+        steals.fetch_add(stolen, Ordering::Relaxed);
+    }
+}
+
+/// Persistent per-traversal scheduling state: the chunk vector, the
+/// per-worker deal descriptors, and the decision counters live here and
+/// are reused across levels — and across delta-stepping buckets — so the
+/// steady state allocates nothing. [`FrontierEngine`] embeds one;
+/// kernels that manage their own frontiers (delta-stepping) hold one
+/// directly.
+pub struct LevelRunner {
+    workers: usize,
+    chunk_edges: usize,
+    gate: usize,
+    chunks: Vec<Chunk>,
+    deals: Vec<Deal>,
+    stats: ParStats,
+}
+
+impl LevelRunner {
+    /// A runner with `threads` workers (0 adopts the installed pool via
+    /// [`resolve_workers`]), the given per-chunk edge budget, and a
+    /// per-level serial `gate` in frontier edge volume (0 = always fork,
+    /// `usize::MAX` = never fork; see [`fork_width`]).
+    pub fn new(threads: usize, chunk_edges: usize, gate: usize) -> Self {
+        Self {
+            workers: resolve_workers(threads),
+            chunk_edges: chunk_edges.max(1),
+            gate,
+            chunks: Vec::new(),
+            deals: Vec::new(),
+            stats: ParStats::default(),
+        }
+    }
+
+    /// Resolved worker count (the fork-width cap).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The per-level serial gate in frontier edge volume.
+    pub fn gate(&self) -> usize {
+        self.gate
+    }
+
+    /// Replaces the per-level serial gate.
+    pub fn set_gate(&mut self, gate: usize) {
+        self.gate = gate;
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> ParStats {
+        self.stats
+    }
+
+    /// Returns and resets the accumulated counters.
+    pub fn take_stats(&mut self) -> ParStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    fn note_serial(&mut self, volume: u64) {
+        self.stats.serial_levels += 1;
+        self.stats.edges_scanned += volume;
+    }
+
+    /// Expands every live edge out of `frontier`, inline or forked per
+    /// the volume gate; `visit(u, v, ts, sink)` appends whatever the
+    /// kernel derives from the edge to its worker's sink (`sinks[0]` on
+    /// the inline path).
+    pub fn edge_map<V, T, F>(&mut self, view: &V, frontier: &[u32], visit: F, sinks: &mut [Vec<T>])
+    where
+        V: GraphView,
+        T: Send,
+        F: Fn(u32, u32, u32, &mut Vec<T>) + Sync,
+    {
+        let volume = edge_volume(view, frontier);
+        self.edge_map_hinted(view, frontier, volume, visit, sinks);
+    }
+
+    /// Like [`LevelRunner::edge_map`] with the frontier edge volume
+    /// supplied by the caller (kernels often already track it per level,
+    /// saving the degree re-scan).
+    pub fn edge_map_hinted<V, T, F>(
+        &mut self,
+        view: &V,
+        frontier: &[u32],
+        volume: u64,
+        visit: F,
+        sinks: &mut [Vec<T>],
+    ) where
+        V: GraphView,
+        T: Send,
+        F: Fn(u32, u32, u32, &mut Vec<T>) + Sync,
+    {
+        debug_assert!(!sinks.is_empty());
+        let vol = volume.min(usize::MAX as u64) as usize;
+        let cap = self.workers.min(sinks.len());
+        let mut width = fork_width(vol, self.gate, cap);
+        if width > 1 {
+            build_chunks_into(view, frontier, self.chunk_edges, &mut self.chunks);
+            width = width.min(self.chunks.len());
+        }
+        if width <= 1 {
+            if let Some(sink) = sinks.first_mut() {
+                for &u in frontier {
+                    view.for_each_edge(u, |v, ts| visit(u, v, ts, sink));
+                }
+            }
+            self.note_serial(volume);
+            return;
+        }
+        fill_deals(&mut self.deals, self.chunks.len(), width);
+        self.stats.forked_levels += 1;
+        self.stats.chunks_built += self.chunks.len() as u64;
+        self.stats.edges_scanned += volume;
+        let steals = AtomicU64::new(0);
+        {
+            let (chunks, deals, visit, steals) = (&self.chunks, &self.deals, &visit, &steals);
+            rayon::scope(|s| {
+                for (w, sink) in sinks.iter_mut().take(width).enumerate() {
+                    s.spawn(move |_| {
+                        drain_deals(
+                            deals,
+                            w,
+                            |i| process_chunk(view, frontier, &chunks[i], visit, sink),
+                            steals,
+                        );
+                    });
+                }
+            });
+        }
+        self.stats.steals += steals.load(Ordering::Relaxed);
+    }
+}
+
 /// Expands every live edge out of `frontier`, fanning chunks out over
 /// `sinks.len()` scoped workers; `visit(u, v, ts, sink)` appends whatever
-/// the kernel derives from the edge to its worker's sink. Single-worker
-/// (or single-chunk) inputs run inline on the caller with zero spawns.
+/// the kernel derives from the edge to its worker's sink. This is the
+/// legacy ungated entry — any non-empty multi-chunk frontier forks
+/// (gate 0); kernels that want volume gating and persistent scheduling
+/// state use [`LevelRunner`] / [`FrontierEngine`] instead.
 pub fn par_edge_map<V, T, F>(
     view: &V,
     frontier: &[u32],
@@ -113,170 +379,256 @@ pub fn par_edge_map<V, T, F>(
     F: Fn(u32, u32, u32, &mut Vec<T>) + Sync,
 {
     debug_assert!(!sinks.is_empty());
-    let chunks = build_chunks(view, frontier, budget);
-    if sinks.len() <= 1 || chunks.len() <= 1 {
-        if let Some(sink) = sinks.first_mut() {
-            for c in &chunks {
-                process_chunk(view, frontier, c, &visit, sink);
-            }
-        }
-        return;
-    }
-    let cursor = AtomicUsize::new(0);
-    let (chunks, cursor, visit) = (&chunks, &cursor, &visit);
-    // Never fork wider than the chunk queue: a two-chunk frontier costs
-    // two spawns, not the full worker complement (delta-stepping settles
-    // many small frontiers per bucket, so this is a hot economy).
-    let workers = sinks.len().min(chunks.len());
-    rayon::scope(|s| {
-        for sink in sinks.iter_mut().take(workers) {
-            s.spawn(move |_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= chunks.len() {
-                    break;
-                }
-                process_chunk(view, frontier, &chunks[i], visit, sink);
-            });
-        }
-    });
+    let mut runner = LevelRunner::new(sinks.len().max(1), budget, 0);
+    runner.edge_map(view, frontier, visit, sinks);
 }
 
 /// Vertex-range grain for whole-graph sweeps (bottom-up BFS, label
 /// propagation): enough chunks for dynamic balance (8 per worker)
-/// without drowning in cursor traffic.
+/// without drowning in claim traffic.
 pub fn sweep_grain(n: usize, threads: usize) -> usize {
     (n / (threads * 8).max(1)).clamp(64, 1 << 16)
 }
 
 /// Runs `f` over contiguous sub-ranges of `ranges` (a pre-chunked vertex
-/// id space, typically from [`GraphView::vertex_chunks`]) on `threads`
-/// scoped workers with dynamic self-scheduling. Whole-graph sweeps
-/// (pointer jumping, bottom-up scans, grafting) are built on this.
-pub fn par_for_ranges<F>(ranges: &[Range<u32>], threads: usize, f: F)
+/// id space, typically from [`GraphView::vertex_chunks`]) on `width`
+/// scoped workers with per-worker deals and stealing. `width <= 1` runs
+/// inline; callers derive a volume-gated width with [`fork_width`].
+/// Whole-graph sweeps (pointer jumping, bottom-up scans, grafting) are
+/// built on this.
+pub fn par_for_ranges<F>(ranges: &[Range<u32>], width: usize, f: F)
 where
     F: Fn(Range<u32>) + Sync,
 {
-    if threads <= 1 || ranges.len() <= 1 {
+    let mut stats = ParStats::default();
+    par_for_ranges_stats(ranges, width, f, &mut stats);
+}
+
+/// Like [`par_for_ranges`], recording the sweep in `stats`.
+pub fn par_for_ranges_stats<F>(ranges: &[Range<u32>], width: usize, f: F, stats: &mut ParStats)
+where
+    F: Fn(Range<u32>) + Sync,
+{
+    if ranges.is_empty() {
+        return;
+    }
+    let width = width.min(ranges.len());
+    if width <= 1 {
         for r in ranges {
             f(r.clone());
         }
+        stats.serial_levels += 1;
         return;
     }
-    let cursor = AtomicUsize::new(0);
-    let (cursor, f) = (&cursor, &f);
-    rayon::scope(|s| {
-        for _ in 0..threads.min(ranges.len()) {
-            s.spawn(move |_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= ranges.len() {
-                    break;
-                }
-                f(ranges[i].clone());
-            });
-        }
-    });
+    let mut deals = Vec::new();
+    fill_deals(&mut deals, ranges.len(), width);
+    let steals = AtomicU64::new(0);
+    {
+        let (deals, f, steals) = (&deals, &f, &steals);
+        rayon::scope(|s| {
+            for w in 0..width {
+                s.spawn(move |_| drain_deals(deals, w, |i| f(ranges[i].clone()), steals));
+            }
+        });
+    }
+    stats.forked_levels += 1;
+    stats.chunks_built += ranges.len() as u64;
+    stats.steals += steals.load(Ordering::Relaxed);
 }
 
 /// Like [`par_for_ranges`] but each worker appends results to its own
-/// sink — the bottom-up BFS discovery loop.
+/// sink — the bottom-up BFS discovery loop. The fork width is
+/// `sinks.len()`; pass a sub-slice to narrow it.
 pub fn par_range_map<T, F>(ranges: &[Range<u32>], f: F, sinks: &mut [Vec<T>])
 where
     T: Send,
     F: Fn(Range<u32>, &mut Vec<T>) + Sync,
 {
+    let mut stats = ParStats::default();
+    par_range_map_stats(ranges, f, sinks, &mut stats);
+}
+
+/// Like [`par_range_map`], recording the sweep in `stats`.
+pub fn par_range_map_stats<T, F>(
+    ranges: &[Range<u32>],
+    f: F,
+    sinks: &mut [Vec<T>],
+    stats: &mut ParStats,
+) where
+    T: Send,
+    F: Fn(Range<u32>, &mut Vec<T>) + Sync,
+{
     debug_assert!(!sinks.is_empty());
-    if sinks.len() <= 1 || ranges.len() <= 1 {
+    if ranges.is_empty() {
+        return;
+    }
+    let width = sinks.len().min(ranges.len());
+    if width <= 1 {
         if let Some(sink) = sinks.first_mut() {
             for r in ranges {
                 f(r.clone(), sink);
             }
         }
+        stats.serial_levels += 1;
         return;
     }
-    let cursor = AtomicUsize::new(0);
-    let (cursor, f) = (&cursor, &f);
-    let workers = sinks.len().min(ranges.len());
-    rayon::scope(|s| {
-        for sink in sinks.iter_mut().take(workers) {
-            s.spawn(move |_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= ranges.len() {
-                    break;
-                }
-                f(ranges[i].clone(), sink);
-            });
-        }
-    });
+    let mut deals = Vec::new();
+    fill_deals(&mut deals, ranges.len(), width);
+    let steals = AtomicU64::new(0);
+    {
+        let (deals, f, steals) = (&deals, &f, &steals);
+        rayon::scope(|s| {
+            for (w, sink) in sinks.iter_mut().take(width).enumerate() {
+                s.spawn(move |_| drain_deals(deals, w, |i| f(ranges[i].clone(), sink), steals));
+            }
+        });
+    }
+    stats.forked_levels += 1;
+    stats.chunks_built += ranges.len() as u64;
+    stats.steals += steals.load(Ordering::Relaxed);
 }
 
 /// Double-buffered frontier state for level-synchronous traversal.
 ///
-/// The current frontier and the per-worker next-frontier buffers persist
-/// across levels, so a full BFS allocates each buffer once and then only
-/// moves vertex ids. [`FrontierEngine::advance`] is one top-down level;
+/// The current frontier, the per-worker next-frontier buffers, and the
+/// embedded [`LevelRunner`] (chunks, deals, counters) persist across
+/// levels, so a full BFS allocates each buffer once and then only moves
+/// vertex ids. [`FrontierEngine::advance`] is one top-down level —
+/// inline and *fused in place* below the volume gate, forked above it;
 /// kernels that discover the next frontier by other means (bottom-up
 /// sweeps) splice it in with [`FrontierEngine::replace_from`].
 pub struct FrontierEngine {
-    chunk_edges: usize,
+    runner: LevelRunner,
     current: Vec<u32>,
+    /// Start of the live frontier inside `current`: fused serial levels
+    /// append discoveries past the level's end and advance this index
+    /// instead of swapping buffers.
+    head: usize,
     next: Vec<Vec<u32>>,
 }
 
 impl FrontierEngine {
-    /// An empty engine with `threads` worker buffers and the given
-    /// per-chunk edge budget.
+    /// An empty engine with `threads` worker buffers (0 adopts the
+    /// installed pool via [`resolve_workers`], matching
+    /// `ParConfig::threads`) and the given per-chunk edge budget. The
+    /// level gate defaults to 0 (always fork); kernels set it from
+    /// `ParConfig::level_gate` via [`FrontierEngine::with_level_gate`].
     pub fn new(threads: usize, chunk_edges: usize) -> Self {
+        let workers = resolve_workers(threads);
         Self {
-            chunk_edges: chunk_edges.max(1),
+            runner: LevelRunner::new(workers, chunk_edges, 0),
             current: Vec::new(),
-            next: (0..threads.max(1)).map(|_| Vec::new()).collect(),
+            head: 0,
+            next: (0..workers).map(|_| Vec::new()).collect(),
         }
     }
 
-    /// Number of worker buffers (the fork width of each level).
+    /// Sets the per-level serial gate in frontier edge volume (builder
+    /// form; see [`fork_width`]).
+    pub fn with_level_gate(mut self, gate: usize) -> Self {
+        self.runner.set_gate(gate);
+        self
+    }
+
+    /// Replaces the per-level serial gate.
+    pub fn set_level_gate(&mut self, gate: usize) {
+        self.runner.set_gate(gate);
+    }
+
+    /// Number of worker buffers (the maximum fork width of a level).
     pub fn threads(&self) -> usize {
         self.next.len()
+    }
+
+    /// The adaptive-scheduling counters accumulated so far.
+    pub fn stats(&self) -> ParStats {
+        self.runner.stats()
+    }
+
+    /// Returns and resets the accumulated counters.
+    pub fn take_stats(&mut self) -> ParStats {
+        self.runner.take_stats()
     }
 
     /// Seeds the current frontier with a single vertex.
     pub fn seed(&mut self, v: u32) {
         self.current.clear();
+        self.head = 0;
         self.current.push(v);
     }
 
     /// The current frontier.
     pub fn current(&self) -> &[u32] {
-        &self.current
+        &self.current[self.head..]
     }
 
     /// Number of vertices in the current frontier.
     pub fn len(&self) -> usize {
-        self.current.len()
+        self.current.len() - self.head
     }
 
     /// True when the current frontier is empty (traversal finished).
     pub fn is_empty(&self) -> bool {
-        self.current.is_empty()
+        self.len() == 0
     }
 
     /// One top-down level: expands every edge out of the current
     /// frontier; `claim(u, v, ts)` returns `true` when it won vertex `v`,
-    /// which then joins the next frontier. Afterwards the buffers are
-    /// swapped and merged; returns the new frontier size.
+    /// which then joins the next frontier. Returns the new frontier size.
     pub fn advance<V, F>(&mut self, view: &V, claim: F) -> usize
     where
         V: GraphView,
         F: Fn(u32, u32, u32) -> bool + Sync,
     {
+        self.advance_hinted(view, None, claim)
+    }
+
+    /// Like [`FrontierEngine::advance`] with the frontier's edge volume
+    /// supplied by the caller when already known (BFS tracks it for the
+    /// direction heuristic), saving the gate's degree re-scan.
+    pub fn advance_hinted<V, F>(&mut self, view: &V, volume_hint: Option<u64>, claim: F) -> usize
+    where
+        V: GraphView,
+        F: Fn(u32, u32, u32) -> bool + Sync,
+    {
+        if self.is_empty() {
+            return 0;
+        }
+        let volume = volume_hint.unwrap_or_else(|| edge_volume(view, self.current()));
+        let vol = volume.min(usize::MAX as u64) as usize;
+        let cap = self.runner.workers().min(self.next.len());
+        if fork_width(vol, self.runner.gate(), cap) <= 1 {
+            // Fused serial level: expand in place on the caller — no
+            // spawns, no chunk build, no buffer swap. Discoveries append
+            // past `end`; the consumed prefix stays in the buffer until
+            // a forked level compacts it.
+            let end = self.current.len();
+            let mut i = self.head;
+            while i < end {
+                let u = self.current[i];
+                let cur = &mut self.current;
+                view.for_each_edge(u, |v, ts| {
+                    if claim(u, v, ts) {
+                        cur.push(v);
+                    }
+                });
+                i += 1;
+            }
+            self.head = end;
+            self.runner.note_serial(volume);
+            return self.current.len() - end;
+        }
+        self.compact();
         let Self {
+            runner,
             current,
             next,
-            chunk_edges,
+            ..
         } = self;
-        par_edge_map(
+        runner.edge_map_hinted(
             view,
             current,
-            *chunk_edges,
+            volume,
             |u, v, ts, sink: &mut Vec<u32>| {
                 if claim(u, v, ts) {
                     sink.push(v);
@@ -285,21 +637,34 @@ impl FrontierEngine {
             next,
         );
         self.swap_in_next();
-        self.current.len()
+        self.len()
     }
 
     /// Replaces the current frontier by draining `parts` (worker buffers
     /// filled outside the engine, e.g. by a bottom-up sweep).
     pub fn replace_from(&mut self, parts: &mut [Vec<u32>]) {
         self.current.clear();
+        self.head = 0;
         for p in parts {
             self.current.extend_from_slice(p);
             p.clear();
         }
     }
 
+    /// Drops the consumed prefix left behind by fused serial levels so
+    /// the chunker sees one contiguous frontier.
+    fn compact(&mut self) {
+        if self.head > 0 {
+            let len = self.current.len();
+            self.current.copy_within(self.head..len, 0);
+            self.current.truncate(len - self.head);
+            self.head = 0;
+        }
+    }
+
     fn swap_in_next(&mut self) {
         self.current.clear();
+        self.head = 0;
         for buf in &mut self.next {
             self.current.extend_from_slice(buf);
             buf.clear();
@@ -326,7 +691,8 @@ mod tests {
         // Frontier = the hub + all leaves; budget 16 forces a hub split
         // into ceil(100/16) = 7 sub-ranges and packs leaves 16 per run.
         let frontier: Vec<u32> = (0..101).collect();
-        let chunks = build_chunks(&g, &frontier, 16);
+        let mut chunks = Vec::new();
+        build_chunks_into(&g, &frontier, 16, &mut chunks);
         let hubs = chunks
             .iter()
             .filter(|c| matches!(c, Chunk::Hub { .. }))
@@ -423,5 +789,131 @@ mod tests {
             }
         });
         assert!(hits.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn zero_threads_adopts_the_installed_pool() {
+        let width = snap_util::thread_pool(3).install(|| FrontierEngine::new(0, 64).threads());
+        assert_eq!(width, 3, "threads = 0 must adopt the installed pool");
+        assert_eq!(FrontierEngine::new(5, 64).threads(), 5);
+    }
+
+    #[test]
+    fn sweep_grain_bounds() {
+        // Tiny n clamps to the floor, huge n to the ceiling.
+        assert_eq!(sweep_grain(0, 4), 64);
+        assert_eq!(sweep_grain(1 << 26, 1), 1 << 16);
+        // In between: n / (8 * threads).
+        assert_eq!(sweep_grain(6400, 4), 200);
+        // threads = 0 degrades to one giant (clamped) chunk.
+        assert_eq!(sweep_grain(100_000, 0), 1 << 16);
+    }
+
+    #[test]
+    fn fork_width_gate_boundaries() {
+        // Empty frontier: zero volume never forks, whatever the gate.
+        assert_eq!(fork_width(0, 0, 8), 1);
+        assert_eq!(fork_width(0, usize::MAX, 8), 1);
+        // Exact-budget frontier: volume == gate stays inline; one more
+        // edge forks the minimum width of two.
+        assert_eq!(fork_width(4096, 4096, 8), 1);
+        assert_eq!(fork_width(4097, 4096, 8), 2);
+        // Width is proportional to volume, capped at the worker count.
+        assert_eq!(fork_width(3 * 4096, 4096, 8), 3);
+        assert_eq!(fork_width(100 * 4096, 4096, 8), 8);
+        // Gate extremes: 0 always forks, MAX never does.
+        assert_eq!(fork_width(1, 0, 8), 2);
+        assert_eq!(fork_width(usize::MAX, usize::MAX, 8), 1);
+        // A single worker can never usefully fork.
+        assert_eq!(fork_width(usize::MAX, 0, 1), 1);
+    }
+
+    #[test]
+    fn volume_gate_singles_out_hub_levels() {
+        let g = star(600);
+        // The hub level carries exactly 600 edges; a gate of 600 keeps
+        // it inline (volume <= gate is the serial side of the boundary).
+        let claimed = snap_util::AtomicBitmap::new(601);
+        claimed.set(0);
+        let mut eng = FrontierEngine::new(4, 32).with_level_gate(600);
+        eng.seed(0);
+        assert_eq!(eng.advance(&g, |_, v, _| claimed.set(v as usize)), 600);
+        let s = eng.take_stats();
+        assert_eq!((s.serial_levels, s.forked_levels), (1, 0));
+        assert_eq!(s.edges_scanned, 600);
+        assert_eq!(s.chunks_built, 0, "serial levels never chunk");
+        // One below the volume: the same level forks.
+        let claimed = snap_util::AtomicBitmap::new(601);
+        claimed.set(0);
+        let mut eng = FrontierEngine::new(4, 32).with_level_gate(599);
+        eng.seed(0);
+        assert_eq!(eng.advance(&g, |_, v, _| claimed.set(v as usize)), 600);
+        let s = eng.take_stats();
+        assert_eq!((s.serial_levels, s.forked_levels), (0, 1));
+        assert!(s.chunks_built > 0);
+        assert_eq!(s.edges_scanned, 600);
+    }
+
+    #[test]
+    fn fused_serial_levels_share_the_buffer() {
+        // A line graph under a never-fork gate: every level is fused in
+        // place, so the whole traversal is one growing buffer with an
+        // advancing head and zero spawns.
+        let edges: Vec<TimedEdge> = (0..99).map(|i| TimedEdge::new(i, i + 1, 1)).collect();
+        let g = CsrGraph::from_edges_undirected(100, &edges);
+        let claimed = snap_util::AtomicBitmap::new(100);
+        claimed.set(0);
+        let mut eng = FrontierEngine::new(4, 32).with_level_gate(usize::MAX);
+        eng.seed(0);
+        let mut levels = 0u32;
+        while !eng.is_empty() {
+            eng.advance(&g, |_, v, _| claimed.set(v as usize));
+            levels += 1;
+        }
+        assert_eq!(levels, 100);
+        let s = eng.take_stats();
+        assert_eq!(s.serial_levels, 100);
+        assert_eq!(s.forked_levels, 0);
+        assert_eq!(s.edges_scanned, 2 * 99, "every edge scanned once per side");
+        for v in 0..100 {
+            assert!(claimed.get(v), "vertex {v} never claimed");
+        }
+    }
+
+    #[test]
+    fn fusion_compacts_before_a_forked_level() {
+        // 0 - 1, then a 299-leaf fan at 1: the first level runs fused
+        // (head advances past the consumed seed), then dropping the gate
+        // forces the fan level through the forked path, which must
+        // compact the buffer before chunking.
+        let mut edges = vec![TimedEdge::new(0, 1, 1)];
+        edges.extend((2..301).map(|v| TimedEdge::new(1, v, 1)));
+        let g = CsrGraph::from_edges_undirected(301, &edges);
+        let claimed = snap_util::AtomicBitmap::new(301);
+        claimed.set(0);
+        let mut eng = FrontierEngine::new(4, 32).with_level_gate(usize::MAX);
+        eng.seed(0);
+        assert_eq!(eng.advance(&g, |_, v, _| claimed.set(v as usize)), 1);
+        assert_eq!(eng.current(), &[1]);
+        eng.set_level_gate(0);
+        assert_eq!(eng.advance(&g, |_, v, _| claimed.set(v as usize)), 299);
+        let mut got = eng.current().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, (2..301).collect::<Vec<u32>>());
+        let s = eng.take_stats();
+        assert_eq!((s.serial_levels, s.forked_levels), (1, 1));
+    }
+
+    #[test]
+    fn drain_deals_counts_steals_deterministically() {
+        // One caller drains both deals: its home deal's five slots are
+        // owned work, the neighbor's five are steals.
+        let mut deals = Vec::new();
+        fill_deals(&mut deals, 10, 2);
+        let steals = AtomicU64::new(0);
+        let mut seen = Vec::new();
+        drain_deals(&deals, 1, |i| seen.push(i), &steals);
+        assert_eq!(seen, vec![5, 6, 7, 8, 9, 0, 1, 2, 3, 4]);
+        assert_eq!(steals.load(Ordering::Relaxed), 5);
     }
 }

@@ -8,9 +8,14 @@
 //!
 //! - [`FrontierEngine`] — double-buffered level-synchronous frontiers:
 //!   edge-budgeted chunk splitting (a power-law hub is split across
-//!   workers instead of serializing one), dynamic chunk self-scheduling
-//!   over scoped OS threads, and per-worker next-frontier buffers merged
-//!   by swap — no locks anywhere on the hot path.
+//!   workers instead of serializing one), per-worker chunk deals with
+//!   stealing over scoped OS threads, and per-worker next-frontier
+//!   buffers merged by swap — no locks anywhere on the hot path.
+//!   Scheduling is **adaptive**: each level forks only when its frontier
+//!   edge volume exceeds a serial gate ([`Grain`], with fork width
+//!   proportional to the volume), consecutive serial levels fuse in
+//!   place without buffer swaps, and every decision is counted in
+//!   [`ParStats`].
 //! - [`AtomicBitset`] — the visited/claim structure: one
 //!   compare-exchange per discovered vertex decides which thread owns
 //!   its level and parent.
@@ -34,7 +39,7 @@
 //! like every other benchmark in the workspace; a non-zero value pins
 //! the worker count explicitly.
 //!
-//! # Serial fallback
+//! # Serial fallback and adaptive granularity
 //!
 //! Each kernel falls back to its serial counterpart
 //! (`snap_kernels::serial_bfs`, `connected_components`, `dijkstra`,
@@ -43,6 +48,17 @@
 //! BFS level cannot pay for itself on a graph that fits in one core's
 //! cache. Set [`ParConfig::with_serial_threshold`] to 0 to force the
 //! parallel path (the equivalence suites do).
+//!
+//! Above the threshold, work still forks only where it pays:
+//! [`ParConfig::level_grain`] resolves to a per-level serial gate in
+//! frontier edge volume ([`ParConfig::level_gate`]), derived under
+//! [`Grain::Auto`] from the view size and the *effective* width
+//! (`min(threads, available_parallelism)`) — on a single-core host every
+//! level runs inline, because a second OS thread can only add overhead.
+//! Delta-stepping goes one step further: when the gate says no level
+//! will ever fork, [`par_sssp`] dispatches to Dijkstra outright, which
+//! dominates serial delta-stepping. Results are bit-identical on every
+//! path; [`Grain::Edges`] pins the gate for tests and tuning.
 
 #![deny(missing_docs)]
 
@@ -56,9 +72,31 @@ pub mod sssp;
 pub use bc::{par_bc, par_bc_with, BcConfig, BcSources, BcStrategy};
 pub use bfs::{par_bfs, par_bfs_stats, par_bfs_with, BfsStats};
 pub use bitset::AtomicBitset;
-pub use cc::{par_cc, par_cc_restricted, par_cc_with, par_repair};
-pub use frontier::FrontierEngine;
-pub use sssp::{par_sssp, par_sssp_with};
+pub use cc::{par_cc, par_cc_restricted, par_cc_stats, par_cc_with, par_repair};
+pub use frontier::{FrontierEngine, LevelRunner, ParStats};
+pub use sssp::{par_sssp, par_sssp_stats, par_sssp_with};
+
+/// Edge volume per worker the [`Grain::Auto`] gate asks a level to carry
+/// before forking: a scoped OS-thread spawn plus its share of the join
+/// barrier costs on the order of 10–20 µs, and edge relaxation runs at a
+/// few ns per edge, so ~8k edges is where a worker starts paying for
+/// itself with margin.
+const FORK_EDGES_PER_WORKER: usize = 8 * 1024;
+
+/// Per-level work granularity: when does a frontier level fork?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Grain {
+    /// Derive the serial gate from the view size and the effective
+    /// worker count (see [`ParConfig::level_gate`]). When the effective
+    /// width is 1 — a single worker requested, or a single hardware
+    /// core available — the gate is `usize::MAX`: forking can never
+    /// help, so no level ever does.
+    Auto,
+    /// An explicit per-level serial gate in frontier edge volume: a
+    /// level forks only when it carries *more* than this many edges.
+    /// `Edges(0)` always forks, `Edges(usize::MAX)` never does.
+    Edges(usize),
+}
 
 /// Tuning knobs shared by every parallel kernel.
 #[derive(Clone, Debug)]
@@ -77,6 +115,8 @@ pub struct ParConfig {
     /// Edge budget per frontier chunk: the work-granularity / hub-split
     /// threshold of the [`FrontierEngine`].
     pub chunk_edges: usize,
+    /// Per-level fork gate (see [`Grain`] and [`ParConfig::level_gate`]).
+    pub level_grain: Grain,
 }
 
 impl Default for ParConfig {
@@ -87,6 +127,7 @@ impl Default for ParConfig {
             alpha: 14,
             beta: 24,
             chunk_edges: 2048,
+            level_grain: Grain::Auto,
         }
     }
 }
@@ -132,6 +173,49 @@ impl ParConfig {
         self.chunk_edges = chunk_edges.max(1);
         self
     }
+
+    /// Overrides the per-level fork gate.
+    pub fn with_level_grain(mut self, grain: Grain) -> Self {
+        self.level_grain = grain;
+        self
+    }
+
+    /// Resolves the per-level serial gate in frontier edge volume for a
+    /// view of total size `work` (= n + m). [`Grain::Edges`] is returned
+    /// verbatim; [`Grain::Auto`] derives the gate from the effective
+    /// worker count `w = min(worker_count, available_parallelism)`:
+    ///
+    /// - `w <= 1` → `usize::MAX` (never fork — without a second core an
+    ///   extra OS thread is pure overhead);
+    /// - else `clamp(work / 4, 2 * chunk_edges, w * 8192)`: small views
+    ///   keep more levels inline, big views stop at one spawn-amortizing
+    ///   deal of edges per worker.
+    pub fn level_gate(&self, work: usize) -> usize {
+        match self.level_grain {
+            Grain::Edges(gate) => gate,
+            Grain::Auto => {
+                let hw = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1);
+                let w = self.worker_count().min(hw);
+                if w <= 1 {
+                    return usize::MAX;
+                }
+                let lo = 2 * self.chunk_edges;
+                let hi = (w * FORK_EDGES_PER_WORKER).max(lo);
+                (work / 4).clamp(lo, hi)
+            }
+        }
+    }
+
+    /// Volume-gated fork width for a level of `volume` edges on a view
+    /// of total size `work`: 1 (inline) at or below
+    /// [`ParConfig::level_gate`], else proportional to the volume and
+    /// capped at [`ParConfig::worker_count`]. See
+    /// [`frontier::fork_width`].
+    pub fn fork_width(&self, volume: usize, work: usize) -> usize {
+        frontier::fork_width(volume, self.level_gate(work), self.worker_count())
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +236,44 @@ mod tests {
         assert!(cfg.worker_count() >= 1);
         assert!(cfg.chunk_edges >= 1);
         assert!(cfg.alpha > 0 && cfg.beta > 0);
+        assert_eq!(cfg.level_grain, Grain::Auto);
+    }
+
+    #[test]
+    fn grain_edges_pins_the_gate() {
+        let cfg = ParConfig::default().with_level_grain(Grain::Edges(7));
+        assert_eq!(cfg.level_gate(1 << 20), 7);
+        let never = ParConfig::default().with_level_grain(Grain::Edges(usize::MAX));
+        assert_eq!(never.fork_width(usize::MAX, 1 << 20), 1);
+        let always = ParConfig::default()
+            .with_level_grain(Grain::Edges(0))
+            .with_threads(4);
+        assert_eq!(always.fork_width(10, 1 << 20), 4);
+    }
+
+    #[test]
+    fn auto_gate_never_forks_at_width_one() {
+        // One pinned worker: forking cannot help, whatever the volume.
+        let cfg = ParConfig::default().with_threads(1);
+        assert_eq!(cfg.level_gate(1 << 20), usize::MAX);
+        assert_eq!(cfg.fork_width(1 << 30, 1 << 20), 1);
+    }
+
+    #[test]
+    fn auto_gate_scales_with_view_and_width() {
+        let cfg = ParConfig::default().with_threads(4);
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let gate = cfg.level_gate(1 << 20);
+        if hw <= 1 {
+            assert_eq!(gate, usize::MAX, "no second core, never fork");
+        } else {
+            let w = 4usize.min(hw);
+            assert!(gate >= 2 * cfg.chunk_edges);
+            assert!(gate <= (w * 8 * 1024).max(2 * cfg.chunk_edges));
+            // A tiny view tempers the gate down to the chunk floor.
+            assert_eq!(cfg.level_gate(0), 2 * cfg.chunk_edges);
+        }
     }
 }

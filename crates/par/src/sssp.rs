@@ -5,19 +5,27 @@
 //! vertices bucketed by `dist / Δ`, each bucket settled to a fixed point
 //! over its light edges (weight <= Δ) before one heavy-edge pass. The
 //! parallel part is the relaxation: each bucket's frontier fans out
-//! through [`crate::frontier::par_edge_map`] — edge-budgeted chunks over
-//! worker threads — and every edge applies a CAS-min directly to the
+//! through one persistent [`LevelRunner`] — edge-budgeted chunks dealt
+//! to workers with stealing, volume-gated so the many tiny buckets a
+//! Δ-stepping run produces relax inline instead of paying a fork/join
+//! barrier each — and every edge applies a CAS-min directly to the
 //! shared atomic distance array. Workers record which vertices they
 //! improved in per-worker buffers; the (cheap, frontier-sized) bucket
 //! insertion happens sequentially after the join. A vertex improved
 //! twice in one round is pushed twice — a stale queued entry re-relaxes
 //! harmlessly, exactly as in the serial kernel.
 //!
+//! When the [`Grain::Auto`] gate resolves at or above the whole view's
+//! size, *no* level could ever fork (single effective core, or a tiny
+//! view): the kernel dispatches to serial Dijkstra outright, because
+//! without parallelism Δ-stepping's redundant relaxations are pure loss
+//! against the binary heap. Both are exact, so the answer is identical.
+//!
 //! Edge weight is `max(timestamp, 1)`, matching the serial kernel, so
 //! results are comparable bit-for-bit (both are exact).
 
-use crate::frontier::par_edge_map;
-use crate::ParConfig;
+use crate::frontier::{LevelRunner, ParStats};
+use crate::{Grain, ParConfig};
 use snap_core::GraphView;
 use snap_kernels::sssp::INF;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,18 +49,38 @@ pub fn par_sssp<V: GraphView>(view: &V, src: u32, delta: u64) -> Vec<u64> {
 }
 
 /// Parallel Δ-stepping from `src` under an explicit configuration.
-/// Falls back to the serial Dijkstra oracle below the size threshold.
+/// Falls back to the serial Dijkstra oracle below the size threshold,
+/// and dispatches to Dijkstra whenever the [`Grain::Auto`] gate says no
+/// level could ever fork (see the module docs).
 pub fn par_sssp_with<V: GraphView>(view: &V, src: u32, delta: u64, cfg: &ParConfig) -> Vec<u64> {
+    par_sssp_stats(view, src, delta, cfg).0
+}
+
+/// Like [`par_sssp_with`], also returning the runtime's scheduling
+/// counters (zeroed when the kernel dispatched to Dijkstra).
+pub fn par_sssp_stats<V: GraphView>(
+    view: &V,
+    src: u32,
+    delta: u64,
+    cfg: &ParConfig,
+) -> (Vec<u64>, ParStats) {
     let n = view.num_vertices();
     assert!((src as usize) < n, "source out of range");
-    if n + view.num_entries() <= cfg.serial_threshold {
-        return snap_kernels::dijkstra(view, src);
+    let work = n + view.num_entries();
+    if work <= cfg.serial_threshold {
+        return (snap_kernels::dijkstra(view, src), ParStats::default());
+    }
+    // Auto grain, gate >= whole view: no bucket can ever fork, so the
+    // serial heap beats serial Δ-stepping outright. Edges(..) pins the
+    // Δ-stepping path for the equivalence and scheduling tests.
+    if matches!(cfg.level_grain, Grain::Auto) && cfg.level_gate(work) >= work {
+        return (snap_kernels::dijkstra(view, src), ParStats::default());
     }
     let delta = delta.max(1);
-    let threads = cfg.worker_count();
+    let mut runner = LevelRunner::new(cfg.worker_count(), cfg.chunk_edges, cfg.level_gate(work));
+    let mut sinks: Vec<Vec<(u32, u64)>> = (0..runner.workers()).map(|_| Vec::new()).collect();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src as usize].store(0, Ordering::Relaxed);
-    let mut sinks: Vec<Vec<(u32, u64)>> = (0..threads).map(|_| Vec::new()).collect();
     let mut buckets: Vec<Vec<u32>> = vec![vec![src]];
     let mut current = 0usize;
     while current < buckets.len() {
@@ -64,7 +92,14 @@ pub fn par_sssp_with<V: GraphView>(view: &V, src: u32, delta: u64, cfg: &ParConf
                 break;
             }
             deleted.extend_from_slice(&frontier);
-            relax_frontier(view, &frontier, &dist, cfg, |w| w <= delta, &mut sinks);
+            relax_frontier(
+                view,
+                &frontier,
+                &dist,
+                &mut runner,
+                |w| w <= delta,
+                &mut sinks,
+            );
             enqueue_improved(&mut sinks, delta, &mut buckets, current);
         }
         // One heavy-edge pass over everything settled in this bucket.
@@ -75,11 +110,19 @@ pub fn par_sssp_with<V: GraphView>(view: &V, src: u32, delta: u64, cfg: &ParConf
         // to the chunker is larger than the vertex set it covers).
         deleted.sort_unstable();
         deleted.dedup();
-        relax_frontier(view, &deleted, &dist, cfg, |w| w > delta, &mut sinks);
+        relax_frontier(
+            view,
+            &deleted,
+            &dist,
+            &mut runner,
+            |w| w > delta,
+            &mut sinks,
+        );
         enqueue_improved(&mut sinks, delta, &mut buckets, current);
         current += 1;
     }
-    dist.into_iter().map(|d| d.into_inner()).collect()
+    let dist = dist.into_iter().map(|d| d.into_inner()).collect();
+    (dist, runner.take_stats())
 }
 
 #[inline]
@@ -87,21 +130,20 @@ fn weight(ts: u32) -> u64 {
     (ts as u64).max(1)
 }
 
-/// Parallel chunked relaxation of every qualifying edge out of
-/// `frontier`: CAS-min on the shared distances, improvements recorded in
-/// per-worker sinks.
+/// Chunked relaxation of every qualifying edge out of `frontier`,
+/// inline or forked per the runner's volume gate: CAS-min on the shared
+/// distances, improvements recorded in per-worker sinks.
 fn relax_frontier<V: GraphView>(
     view: &V,
     frontier: &[u32],
     dist: &[AtomicU64],
-    cfg: &ParConfig,
+    runner: &mut LevelRunner,
     qualifies: impl Fn(u64) -> bool + Sync,
     sinks: &mut [Vec<(u32, u64)>],
 ) {
-    par_edge_map(
+    runner.edge_map(
         view,
         frontier,
-        cfg.chunk_edges,
         |u, v, ts, sink: &mut Vec<(u32, u64)>| {
             let w = weight(ts);
             if !qualifies(w) {
@@ -156,10 +198,13 @@ mod tests {
     use snap_kernels::{delta_stepping, dijkstra};
     use snap_rmat::{Rmat, RmatParams, TimedEdge};
 
+    // Gate 0 pins the Δ-stepping path (and its forked levels) even on
+    // single-core hosts, where Auto would dispatch to Dijkstra.
     fn force() -> ParConfig {
         ParConfig::default()
             .with_serial_threshold(0)
             .with_threads(4)
+            .with_level_grain(Grain::Edges(0))
     }
 
     #[test]
@@ -247,9 +292,12 @@ mod tests {
             inner: &csr,
             visits: std::sync::atomic::AtomicUsize::new(0),
         };
+        // Edges(0) pins the Δ-stepping path: under Auto a width-1 gate
+        // would dispatch this straight to Dijkstra.
         let cfg = ParConfig::default()
             .with_serial_threshold(0)
-            .with_threads(1);
+            .with_threads(1)
+            .with_level_grain(Grain::Edges(0));
         let d = par_sssp_with(&view, 0, 10, &cfg);
         assert_eq!(d, dijkstra(&csr, 0));
         assert_eq!(d, vec![0, 1, 2, 52]);
@@ -258,6 +306,30 @@ mod tests {
         // {0,1,2} = 3; bucket 5 light [3] + heavy [3] = 2. A duplicated
         // heavy frontier would make this 10.
         assert_eq!(view.visits.into_inner(), 9, "heavy pass must be deduped");
+    }
+
+    #[test]
+    fn auto_gate_dispatches_small_or_serial_runs_to_dijkstra() {
+        let rm = Rmat::new(RmatParams::paper(10, 8).with_max_timestamp(100), 5);
+        let g = CsrGraph::from_edges_undirected(1 << 10, &rm.edges());
+        let oracle = dijkstra(&g, 0);
+        // One pinned worker under Auto: the gate is usize::MAX, so the
+        // kernel takes the Dijkstra dispatch — zeroed counters prove it
+        // never entered the bucket loop.
+        let auto1 = ParConfig::default()
+            .with_serial_threshold(0)
+            .with_threads(1);
+        let (d, stats) = par_sssp_stats(&g, 0, 16, &auto1);
+        assert_eq!(d, oracle);
+        assert_eq!(stats, ParStats::default());
+        // A pinned never-fork gate stays on Δ-stepping: every relaxation
+        // runs inline, counted as a serial level.
+        let never = force().with_level_grain(Grain::Edges(usize::MAX));
+        let (d, stats) = par_sssp_stats(&g, 0, 16, &never);
+        assert_eq!(d, oracle);
+        assert_eq!(stats.forked_levels, 0);
+        assert!(stats.serial_levels > 0);
+        assert!(stats.edges_scanned > 0);
     }
 
     #[test]
@@ -276,7 +348,8 @@ mod tests {
             for threads in [1usize, 2, 4] {
                 let cfg = ParConfig::default()
                     .with_serial_threshold(0)
-                    .with_threads(threads);
+                    .with_threads(threads)
+                    .with_level_grain(Grain::Edges(0));
                 assert_eq!(par_sssp_with(&g, 0, delta, &cfg), oracle);
             }
         }

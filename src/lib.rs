@@ -67,6 +67,12 @@
 //!   (default 4096) run the serial kernels — a fork-join barrier per
 //!   level cannot pay for itself on a cache-resident graph. Set it to 0
 //!   to force the parallel path.
+//! - **Adaptive granularity**: above the threshold, each frontier level
+//!   forks only when its edge volume clears a serial gate
+//!   ([`Grain`](snap_par::Grain), default `Auto` — derived from the view
+//!   size and the effective core count), with fork width proportional to
+//!   the volume; consecutive serial levels fuse in place, and
+//!   [`ParStats`](snap_par::ParStats) counts every scheduling decision.
 //! - **Direction-optimizing BFS**: top-down levels expand the frontier
 //!   through edge-budgeted chunks (hubs split across workers); once the
 //!   frontier is *growing* and carries `alpha`× more edges than remain
@@ -170,7 +176,7 @@ pub mod prelude {
     };
     pub use snap_par::{
         par_bc, par_bc_with, par_bfs, par_cc, par_cc_restricted, par_repair, par_sssp, BcConfig,
-        BcSources, BcStrategy, ParConfig,
+        BcSources, BcStrategy, Grain, ParConfig, ParStats,
     };
     pub use snap_rmat::{Rmat, RmatParams, StreamBuilder};
 }

@@ -10,7 +10,11 @@
 //!
 //! The parallel path is forced (`serial_threshold = 0`) so these graphs
 //! exercise the frontier engine, the atomic claim protocol, and the
-//! direction-optimizing switch rather than the serial fallback.
+//! direction-optimizing switch rather than the serial fallback — and the
+//! adaptive scheduler is pinned to each of its extremes
+//! (`Grain::Edges(0)` always forks, `Edges(usize::MAX)` never does, and
+//! a 1-edge chunk budget floods the steal path) to prove the schedule
+//! cannot leak into the results.
 
 use snap::kernels::bc::sample_sources;
 use snap::kernels::sssp::INF;
@@ -19,7 +23,7 @@ use snap::kernels::{
 };
 use snap::par::{
     par_bc_with, par_bfs_stats, par_bfs_with, par_cc_with, par_sssp_with, BcConfig, BcStrategy,
-    ParConfig,
+    Grain, ParConfig,
 };
 use snap::prelude::*;
 use snap::util::thread_pool;
@@ -37,6 +41,25 @@ fn thread_sweep() -> Vec<usize> {
 
 fn force() -> ParConfig {
     ParConfig::default().with_serial_threshold(0)
+}
+
+/// The adaptive scheduler pinned to each extreme. `steal-stress` makes
+/// every edge its own chunk, so forked levels have far more chunks than
+/// workers and the deal/steal path runs hot.
+fn adaptive_configs() -> Vec<(&'static str, ParConfig)> {
+    vec![
+        ("always-fork", force().with_level_grain(Grain::Edges(0))),
+        (
+            "never-fork",
+            force().with_level_grain(Grain::Edges(usize::MAX)),
+        ),
+        (
+            "steal-stress",
+            force()
+                .with_level_grain(Grain::Edges(0))
+                .with_chunk_edges(1),
+        ),
+    ]
 }
 
 struct Case {
@@ -264,6 +287,68 @@ fn par_sssp_matches_dijkstra_everywhere() {
         for &t in &thread_sweep() {
             check_sssp(&csr, &format!("{} (csr)", case.name), t);
             check_sssp(&live, &format!("{} (live)", case.name), t);
+        }
+    }
+}
+
+/// BFS, CC (undirected), and SSSP under one pinned adaptive config.
+fn check_adaptive<V: GraphView>(view: &V, cfg: &ParConfig, label: &str, t: usize, directed: bool) {
+    let serial = serial_bfs(view, 0);
+    let par = thread_pool(t).install(|| par_bfs_with(view, 0, cfg));
+    assert_eq!(par.dist, serial.dist, "{label}: BFS @ {t}t");
+    assert_valid_parents(view, 0, &par.dist, &par.parent);
+    if !directed {
+        let labels = connected_components(view);
+        let par = thread_pool(t).install(|| par_cc_with(view, cfg));
+        assert_eq!(par, labels, "{label}: CC @ {t}t");
+    }
+    let oracle = dijkstra(view, 0);
+    let par = thread_pool(t).install(|| par_sssp_with(view, 0, 16, cfg));
+    assert_eq!(par, oracle, "{label}: SSSP @ {t}t");
+}
+
+#[test]
+fn forced_adaptive_configs_match_serial_everywhere() {
+    let all = cases();
+    for (cfg_name, cfg) in adaptive_configs() {
+        // The steal-stress config spawns per-edge chunks; bound its CI
+        // cost to the two shapes that exercise stealing hardest (one
+        // giant hub level, one power-law mix).
+        let stress = cfg_name == "steal-stress";
+        for case in all
+            .iter()
+            .filter(|c| !stress || c.name == "star-und" || c.name == "rmat-und")
+        {
+            let csr = csr_of(case);
+            let live = live_of(case);
+            for &t in &thread_sweep() {
+                let label = format!("{} [{cfg_name}] (csr)", case.name);
+                check_adaptive(&csr, &cfg, &label, t, case.directed);
+                let label = format!("{} [{cfg_name}] (live)", case.name);
+                check_adaptive(&live, &cfg, &label, t, case.directed);
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_adaptive_bc_matches_serial_bitwise() {
+    // BC under the always-fork gate (the other extremes reduce to paths
+    // already covered): still bit-identical on both strategies.
+    let case = &cases()[5]; // rmat-und
+    let csr = csr_of(case);
+    let serial = betweenness_exact(&csr);
+    let serial_bits: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+    let cfg = force().with_level_grain(Grain::Edges(0));
+    for strategy in [BcStrategy::SourceParallel, BcStrategy::FrontierParallel] {
+        let bc_cfg = BcConfig::exact().with_strategy(strategy);
+        for &t in &thread_sweep() {
+            let par = thread_pool(t).install(|| par_bc_with(&csr, &bc_cfg, &cfg));
+            let par_bits: Vec<u64> = par.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(
+                par_bits, serial_bits,
+                "BC [always-fork] {strategy:?} @ {t}t"
+            );
         }
     }
 }
