@@ -33,12 +33,23 @@ use snap_kernels::bc::sample_sources;
 use snap_kernels::{bfs, temporal_bfs, LinkCutForest, TimeWindow};
 use snap_rmat::StreamBuilder;
 use snap_util::rng::XorShift64;
+use snap_util::stats::percentile_sorted;
 use snap_util::timer::mups;
 
 fn main() {
     let cfg = Config::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    // `--metrics` (or SNAP_METRICS=1) dumps the process-wide metrics
+    // registry to METRICS.json alongside the BENCH_*.json files. Only
+    // meaningful with `--features obs`; otherwise the dump is empty.
+    let dump_metrics =
+        args.iter().any(|a| a == "--metrics") || std::env::var_os("SNAP_METRICS").is_some();
+    let selected: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let what: Vec<&str> = if selected.is_empty() || selected.contains(&"all") {
         vec![
             "fig1",
             "fig2",
@@ -59,7 +70,7 @@ fn main() {
             "extensions",
         ]
     } else {
-        args.iter().map(|s| s.as_str()).collect()
+        selected
     };
     println!(
         "# snap-dynamic experiments (scale={}, n={}, threads={:?}, seed={:#x})",
@@ -97,6 +108,21 @@ fn main() {
             }
             other => eprintln!("unknown experiment: {other}"),
         }
+    }
+    if dump_metrics {
+        write_metrics_json();
+    }
+}
+
+/// Dumps the global metrics registry as JSON next to the BENCH files.
+fn write_metrics_json() {
+    if !snap_obs::ENABLED {
+        eprintln!("note: built without `--features obs` — METRICS.json will be empty");
+    }
+    let path = "METRICS.json";
+    match std::fs::write(path, snap_obs::MetricsRegistry::global().render_json()) {
+        Ok(()) => println!("\nwrote metrics registry to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
     }
 }
 
@@ -420,8 +446,7 @@ fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u128 {
             start.elapsed().as_nanos()
         })
         .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+    snap_util::stats::median(&mut samples).expect("reps >= 1")
 }
 
 /// Serial vs parallel kernels (BFS / CC / SSSP) across the thread sweep,
@@ -848,10 +873,8 @@ fn connectivity(cfg: &Config) {
             })
             .collect()
     }
-    let median_round = |samples: &mut Vec<u128>| {
-        samples.sort_unstable();
-        samples[samples.len() / 2]
-    };
+    let median_round =
+        |samples: &mut Vec<u128>| snap_util::stats::median(samples).expect("rounds >= 1");
 
     let rounds = 9usize;
     let q_index = 1024usize;
@@ -967,6 +990,21 @@ struct ServeRow {
 /// p50/p99 — the acceptance check asserts the incremental connectivity
 /// path never fell back to a full rebuild.
 fn serve_bench(cfg: &Config) {
+    // SNAP_METRICS_ADDR (e.g. 127.0.0.1:9184) serves live Prometheus
+    // text at GET /metrics for the duration of the benchmark. Requires
+    // `--features obs`; without it the bind is refused up front.
+    let _metrics_server = std::env::var("SNAP_METRICS_ADDR").ok().and_then(|addr| {
+        match snap_obs::MetricsRegistry::global().serve_http(&addr) {
+            Ok(srv) => {
+                println!("# serving live metrics at http://{}/metrics", srv.addr());
+                Some(srv)
+            }
+            Err(e) => {
+                eprintln!("cannot serve metrics on {addr}: {e}");
+                None
+            }
+        }
+    });
     let ops_per_client: usize = std::env::var("SNAP_SERVE_OPS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -1027,7 +1065,7 @@ fn serve_bench(cfg: &Config) {
         );
         let mut latencies = latencies;
         latencies.sort_unstable();
-        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        let pct = |p: f64| percentile_sorted(&latencies, p).unwrap_or(0);
         let updates = engine.updates_applied();
         rows.push(ServeRow {
             clients,

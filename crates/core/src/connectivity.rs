@@ -46,6 +46,43 @@
 use crate::view::GraphView;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Connectivity-index instrumentation, shared by every index in the
+/// process (ZST no-ops without the `obs` feature). The existing
+/// per-index `repairs`/`full_rebuilds` counters stay authoritative for
+/// the public API; these aggregate across indexes for scraping.
+struct ConnMetrics {
+    dirty_marks: snap_obs::Counter,
+    repairs: snap_obs::Counter,
+    full_rebuilds: snap_obs::Counter,
+    shield_events: snap_obs::Counter,
+}
+
+fn conn_metrics() -> &'static ConnMetrics {
+    static M: OnceLock<ConnMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = snap_obs::MetricsRegistry::global();
+        ConnMetrics {
+            dirty_marks: r.counter(
+                "snap_conn_dirty_marks_total",
+                "Components marked dirty by deletions",
+            ),
+            repairs: r.counter(
+                "snap_conn_repairs_total",
+                "Targeted component repairs (one dirty component each)",
+            ),
+            full_rebuilds: r.counter(
+                "snap_conn_full_rebuilds_total",
+                "Full index rebuilds (incremental maintenance keeps this at zero)",
+            ),
+            shield_events: r.counter(
+                "snap_conn_shield_events_total",
+                "Vertices shielded during repairs and rebuilds",
+            ),
+        }
+    })
+}
 
 /// Incrementally maintained connectivity over a dynamic graph: concurrent
 /// union-find with per-component dirty tracking and targeted repair. See
@@ -262,6 +299,7 @@ impl ConnectivityIndex {
     /// propagates bits it sees; this loop covers the set-after-hook
     /// interleaving).
     pub fn mark_component_dirty(&self, x: u32) {
+        conn_metrics().dirty_marks.inc();
         self.any_dirty.store(true, Ordering::SeqCst);
         let mut r = self.find(x);
         loop {
@@ -395,6 +433,9 @@ impl ConnectivityIndex {
         self.components
             .fetch_add(new_roots.saturating_sub(1), Ordering::AcqRel);
         self.repairs.fetch_add(1, Ordering::Relaxed);
+        let m = conn_metrics();
+        m.repairs.inc();
+        m.shield_events.add(verts.len() as u64);
     }
 
     /// Repairs every dirty component (serial relabeling). Cheap when
@@ -475,6 +516,9 @@ impl ConnectivityIndex {
         }
         self.any_dirty.store(false, Ordering::SeqCst);
         self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+        let m = conn_metrics();
+        m.full_rebuilds.inc();
+        m.shield_events.add(self.parent.len() as u64);
     }
 
     // ---- counters & epoch coupling -------------------------------------

@@ -652,6 +652,7 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
         let target = self.epoch();
         if let Some(csr) = &cache.csr {
             if cache.epoch == target {
+                snapshot_metrics().cache_hits.inc();
                 return Ok(Arc::clone(csr));
             }
         }
@@ -663,6 +664,7 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
             return Err(SnapshotRace);
         }
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        snapshot_metrics().rebuilds.inc();
         cache.epoch = target;
         cache.csr = Some(Arc::clone(&csr));
         Ok(csr)
@@ -682,15 +684,41 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
         let target = self.epoch();
         if let Some(csr) = &cache.csr {
             if cache.epoch == target {
+                snapshot_metrics().cache_hits.inc();
                 return Arc::clone(csr);
             }
         }
         let csr = Arc::new(self.graph.to_csr());
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        snapshot_metrics().rebuilds.inc();
         cache.epoch = target;
         cache.csr = Some(Arc::clone(&csr));
         csr
     }
+}
+
+/// Snapshot-cache instrumentation, shared by every [`SnapshotManager`]
+/// in the process (ZST no-ops without the `obs` feature).
+struct SnapshotMetrics {
+    cache_hits: snap_obs::Counter,
+    rebuilds: snap_obs::Counter,
+}
+
+fn snapshot_metrics() -> &'static SnapshotMetrics {
+    static M: OnceLock<SnapshotMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = snap_obs::MetricsRegistry::global();
+        SnapshotMetrics {
+            cache_hits: r.counter(
+                "snap_snapshot_cache_hits_total",
+                "Snapshot requests served from the epoch-tagged CSR cache",
+            ),
+            rebuilds: r.counter(
+                "snap_snapshot_rebuilds_total",
+                "CSR rebuilds performed by snapshot managers",
+            ),
+        }
+    })
 }
 
 #[cfg(test)]

@@ -79,7 +79,9 @@ use crate::engine::{apply_vpart_routed, resolve_workers};
 use crate::graph::DynGraph;
 use crate::view::GraphView;
 use parking_lot::{Mutex, RwLock};
+use snap_obs::{Counter, Gauge, Histogram, MetricsRegistry, Sampler, Stamp};
 use snap_rmat::Update;
+use snap_util::timer::Timer;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
@@ -263,9 +265,96 @@ impl GraphView for EpochSnapshot {
 pub type SnapshotHandle = Arc<EpochSnapshot>;
 
 enum Ingest {
-    Batch(Vec<Update>),
+    /// A batch plus its submission stamp, so publication lag (submit →
+    /// visible-to-pins) can be recorded where the epoch publishes. The
+    /// stamp is a ZST when observability is compiled out.
+    Batch(Vec<Update>, Stamp),
     Flush(SyncSender<()>),
     Stop,
+}
+
+/// The serve engine's instrumentation handles, registered once in the
+/// process-wide [`MetricsRegistry`] (engines share cells by name). All
+/// ZSTs without the `obs` feature — every recording site below
+/// compiles to nothing (ARCHITECTURE.md invariant 9).
+struct ServeMetrics {
+    queue_depth: Gauge,
+    coalesced: Histogram,
+    apply_ns: Histogram,
+    repair_ns: Histogram,
+    freeze_ns: Histogram,
+    publish_ns: Histogram,
+    publish_lag_ns: Histogram,
+    epochs: Counter,
+    updates_applied: Counter,
+    retained: Gauge,
+    pins: Counter,
+    queries: Counter,
+    query_ns: Histogram,
+    query_sampler: Sampler,
+}
+
+impl ServeMetrics {
+    /// Fraction of connectivity queries whose latency is recorded: the
+    /// query path is two array reads (~100ns), so timing every call
+    /// would measure the clock, not the engine.
+    const QUERY_SAMPLE_PERIOD: u64 = 64;
+
+    fn new() -> Self {
+        let r = MetricsRegistry::global();
+        Self {
+            queue_depth: r.gauge(
+                "snap_serve_queue_depth",
+                "Update batches submitted but not yet applied by the writer",
+            ),
+            coalesced: r.histogram(
+                "snap_serve_coalesced_batches",
+                "Batches drained per ingest cycle (coalescing width)",
+            ),
+            apply_ns: r.histogram(
+                "snap_serve_apply_ns",
+                "Per-cycle sharded update application time (ns)",
+            ),
+            repair_ns: r.histogram(
+                "snap_serve_repair_ns",
+                "Per-cycle connectivity repair + label extraction time (ns)",
+            ),
+            freeze_ns: r.histogram(
+                "snap_serve_freeze_ns",
+                "Per-cycle CSR freeze (to_csr) time (ns)",
+            ),
+            publish_ns: r.histogram(
+                "snap_serve_publish_ns",
+                "Per-cycle publication time: pointer swap + ring maintenance (ns)",
+            ),
+            publish_lag_ns: r.histogram(
+                "snap_serve_publish_lag_ns",
+                "Per-batch latency from submit() to visible-to-pins (ns)",
+            ),
+            epochs: r.counter(
+                "snap_serve_epochs_published_total",
+                "Versions published by the writer (excluding version 0)",
+            ),
+            updates_applied: r.counter(
+                "snap_serve_updates_applied_total",
+                "Updates applied by the writer, including no-ops",
+            ),
+            retained: r.gauge(
+                "snap_serve_versions_retained",
+                "Versions currently held in retention rings",
+            ),
+            pins: r.counter("snap_serve_pins_total", "Snapshot handles pinned"),
+            queries: r.counter(
+                "snap_serve_queries_total",
+                "same_component/component queries served",
+            ),
+            query_ns: r.histogram(
+                "snap_serve_query_ns",
+                "Sampled connectivity query latency (ns, 1/64 sampling)",
+            ),
+            query_sampler: Sampler::new(Self::QUERY_SAMPLE_PERIOD),
+        }
+    }
 }
 
 struct Shared<A: DynamicAdjacency> {
@@ -287,6 +376,7 @@ struct Shared<A: DynamicAdjacency> {
     shards: usize,
     coalesce: usize,
     record_history: bool,
+    metrics: ServeMetrics,
 }
 
 /// The concurrent serving engine: multi-version snapshots over a sharded
@@ -328,7 +418,10 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
             shards,
             coalesce: cfg.coalesce.max(1),
             record_history: cfg.history,
+            metrics: ServeMetrics::new(),
         });
+        // Version 0 sits in the ring already.
+        shared.metrics.retained.inc();
         let (tx, rx) = mpsc::channel();
         let writer = {
             let shared = Arc::clone(&shared);
@@ -349,6 +442,7 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
     /// fails; the handle stays valid and immutable until dropped, even
     /// if the version is later evicted from the retention ring.
     pub fn pin(&self) -> SnapshotHandle {
+        self.shared.metrics.pins.inc();
         Arc::clone(&self.shared.current.read())
     }
 
@@ -358,8 +452,9 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
     /// is FIFO). Call [`ServeEngine::flush`] for a publication barrier.
     pub fn submit(&self, batch: Vec<Update>) {
         self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.shared.metrics.queue_depth.inc();
         self.tx
-            .send(Ingest::Batch(batch))
+            .send(Ingest::Batch(batch, Stamp::now()))
             .expect("serve writer thread terminated");
     }
 
@@ -387,15 +482,23 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
     /// Panics when the engine runs with
     /// [`ServeConfig::connectivity`] `= false`.
     pub fn same_component(&self, u: u32, v: u32) -> bool {
-        self.pin()
+        let m = &self.shared.metrics;
+        m.queries.inc();
+        let sampled = m.query_sampler.tick().then(Stamp::now);
+        let res = Arc::clone(&self.shared.current.read())
             .same_component(u, v)
-            .expect("ServeConfig::connectivity is disabled")
+            .expect("ServeConfig::connectivity is disabled");
+        if let Some(t) = sampled {
+            m.query_ns.record(t.elapsed_ns());
+        }
+        res
     }
 
     /// Component label of `u` in the newest published version (see
     /// [`ServeEngine::same_component`] for the cost and panic contract).
     pub fn component(&self, u: u32) -> u32 {
-        self.pin()
+        self.shared.metrics.queries.inc();
+        Arc::clone(&self.shared.current.read())
             .component(u)
             .expect("ServeConfig::connectivity is disabled")
     }
@@ -453,6 +556,11 @@ impl<A: DynamicAdjacency + 'static> Drop for ServeEngine<A> {
         if let Some(h) = self.writer.lock().take() {
             let _ = h.join();
         }
+        // The registry outlives the engine: release this engine's ring
+        // contribution so `snap_serve_versions_retained` tracks live
+        // engines (bench sweeps construct many in sequence).
+        let remaining = self.shared.ring.lock().len();
+        self.shared.metrics.retained.sub(remaining as i64);
     }
 }
 
@@ -476,11 +584,15 @@ fn writer_loop<A: DynamicAdjacency>(shared: &Shared<A>, rx: &Receiver<Ingest>) {
                 // Receiver may have timed out / gone away; ignore.
                 let _ = ack.send(());
             }
-            Ingest::Batch(first) => {
+            Ingest::Batch(first, stamp) => {
                 let mut batches = vec![first];
+                let mut stamps = vec![stamp];
                 while batches.len() < shared.coalesce {
                     match rx.try_recv() {
-                        Ok(Ingest::Batch(b)) => batches.push(b),
+                        Ok(Ingest::Batch(b, s)) => {
+                            batches.push(b);
+                            stamps.push(s);
+                        }
                         Ok(other) => {
                             stash = Some(other);
                             break;
@@ -488,7 +600,7 @@ fn writer_loop<A: DynamicAdjacency>(shared: &Shared<A>, rx: &Receiver<Ingest>) {
                         Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
                     }
                 }
-                apply_and_publish(shared, batches);
+                apply_and_publish(shared, batches, &stamps);
             }
         }
     }
@@ -497,18 +609,29 @@ fn writer_loop<A: DynamicAdjacency>(shared: &Shared<A>, rx: &Receiver<Ingest>) {
 /// One ingest cycle: apply the coalesced batches through the sharded
 /// applier, repair the index, build the CSR + labels, publish with a
 /// single pointer swap, and retire ring overflow.
-fn apply_and_publish<A: DynamicAdjacency>(shared: &Shared<A>, batches: Vec<Vec<Update>>) {
+fn apply_and_publish<A: DynamicAdjacency>(
+    shared: &Shared<A>,
+    batches: Vec<Vec<Update>>,
+    stamps: &[Stamp],
+) {
+    let m = &shared.metrics;
+    m.coalesced.record(batches.len() as u64);
     let mut changed = false;
     let mut applied = 0u64;
-    for batch in &batches {
-        applied += batch.len() as u64;
-        changed |= apply_vpart_routed(&shared.graph, batch, shared.shards, shared.conn.as_ref());
+    {
+        let _t = Timer::scope(&m.apply_ns);
+        for batch in &batches {
+            applied += batch.len() as u64;
+            changed |=
+                apply_vpart_routed(&shared.graph, batch, shared.shards, shared.conn.as_ref());
+        }
     }
     let cycle_batches = batches.len() as u64;
     if shared.record_history {
         shared.history.lock().extend(batches);
     }
     shared.updates_applied.fetch_add(applied, Ordering::Relaxed);
+    m.updates_applied.add(applied);
 
     let prev = Arc::clone(&shared.current.read());
     let (csr, labels) = if changed {
@@ -517,11 +640,18 @@ fn apply_and_publish<A: DynamicAdjacency>(shared: &Shared<A>, batches: Vec<Vec<U
         // writer exclusively owns — targeted repairs only, never a full
         // rebuild. The CSR is built from the same quiescent state, so
         // csr/labels/epoch agree exactly.
-        let labels = shared
-            .conn
-            .as_ref()
-            .map(|c| Arc::new(c.labels(&shared.graph)));
-        (Arc::new(shared.graph.to_csr()), labels)
+        let labels = {
+            let _t = Timer::scope(&m.repair_ns);
+            shared
+                .conn
+                .as_ref()
+                .map(|c| Arc::new(c.labels(&shared.graph)))
+        };
+        let csr = {
+            let _t = Timer::scope(&m.freeze_ns);
+            Arc::new(shared.graph.to_csr())
+        };
+        (csr, labels)
     } else {
         // A no-op cycle (deletes of absent edges, deduplicated
         // re-inserts) publishes a new epoch sharing the previous
@@ -537,7 +667,14 @@ fn apply_and_publish<A: DynamicAdjacency>(shared: &Shared<A>, batches: Vec<Vec<U
     // Publication: everything above is complete before the swap, so a
     // reader pinning after it sees graph, index, CSR and labels in
     // agreement. The write lock guards only this swap.
+    let _t = Timer::scope(&m.publish_ns);
     *shared.current.write() = Arc::clone(&snap);
+    // Every batch in this cycle is now visible to pins.
+    for s in stamps {
+        m.publish_lag_ns.record(s.elapsed_ns());
+    }
+    m.epochs.inc();
+    m.queue_depth.sub(cycle_batches as i64);
     // Decrement pending only after publication so `pending_batches() ==
     // 0` implies every submitted batch is visible to new pins.
     shared
@@ -545,9 +682,11 @@ fn apply_and_publish<A: DynamicAdjacency>(shared: &Shared<A>, batches: Vec<Vec<U
         .fetch_sub(cycle_batches as usize, Ordering::AcqRel);
     let mut ring = shared.ring.lock();
     ring.push_back(snap);
+    m.retained.inc();
     while ring.len() > shared.retain {
         ring.pop_front();
         shared.retired.fetch_add(1, Ordering::Relaxed);
+        m.retained.dec();
     }
 }
 

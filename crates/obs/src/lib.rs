@@ -1,0 +1,81 @@
+//! `snap-obs`: a zero-overhead-when-off metrics layer for the serving
+//! stack.
+//!
+//! The paper's workload is *dynamic* network analysis — the interesting
+//! behavior is what the system does over time under a live update
+//! stream, so the serving stack needs to be observable while it runs:
+//! ingest-queue backpressure, epoch publication lag, repair-vs-rebuild
+//! ratios, per-phase writer latency, query percentiles, and the
+//! parallel runtime's scheduling decisions.
+//!
+//! Production kernels must not pay for any of that when nobody is
+//! looking, so the crate has two faces selected by the `enabled` cargo
+//! feature (the workspace exposes it as `--features obs`):
+//!
+//! - **on** — the root re-exports the real runtime from [`metrics`]:
+//!   sharded, cache-line-padded [`Counter`]/[`Gauge`] cells with
+//!   `Relaxed` increments merged at read, a fixed-bucket log2
+//!   [`Histogram`] with exact count/sum/max and p50/p90/p99
+//!   extraction, a [`Sampler`] to keep clock reads off sub-microsecond
+//!   paths, and a [`MetricsRegistry`] with Prometheus-text / JSON /
+//!   programmatic scraping plus an optional std-`TcpListener`
+//!   `/metrics` endpoint ([`MetricsRegistry::serve_http`]).
+//! - **off** (default) — the root re-exports the ZST mirrors from the
+//!   private `noop` module: every method is an empty inline body, so
+//!   instrumentation call sites compile to nothing — no atomics, no
+//!   clock reads, no allocation.
+//!
+//! Instrumented code is written once, unconditionally, against the
+//! re-exported names:
+//!
+//! ```
+//! use snap_obs::MetricsRegistry;
+//! use snap_util::timer::Timer;
+//!
+//! let applies = MetricsRegistry::global()
+//!     .histogram("snap_serve_apply_ns", "per-cycle apply phase");
+//! {
+//!     let _t = Timer::scope(&applies); // records on drop (or never,
+//! }                                    // when compiled out)
+//! assert_eq!(snap_obs::ENABLED, applies.snapshot().count == 1);
+//! ```
+//!
+//! The real runtime in [`metrics`] compiles (and is tested) in *both*
+//! feature states; the feature only switches which face the rest of
+//! the workspace binds to. Instrumentation must never change kernel or
+//! serving results — see invariant 9 in ARCHITECTURE.md.
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+#[cfg(not(feature = "enabled"))]
+mod noop;
+
+/// `true` when this build carries the real metrics runtime (the
+/// `enabled` feature; `--features obs` at the workspace level).
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+#[cfg(feature = "enabled")]
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsServer, Sampler, Stamp};
+#[cfg(not(feature = "enabled"))]
+pub use noop::{Counter, Gauge, Histogram, MetricsRegistry, MetricsServer, Sampler, Stamp};
+
+// The scrape data model is shared: the no-op registry returns empty
+// vectors of the same types.
+pub use metrics::{HistogramSnapshot, MetricSnapshot, MetricValue};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enabled_flag_matches_feature() {
+        assert_eq!(super::ENABLED, cfg!(feature = "enabled"));
+    }
+
+    #[test]
+    fn root_reexports_match_the_feature() {
+        // The re-exported Counter is real exactly when ENABLED.
+        let c = super::Counter::new();
+        c.inc();
+        assert_eq!(c.value(), u64::from(super::ENABLED));
+    }
+}

@@ -1,0 +1,915 @@
+//! The real metrics runtime: sharded atomic cells, log2 histograms, and
+//! the registry with its text/JSON/HTTP exposition surfaces.
+//!
+//! This module always compiles (the workspace tests exercise it in every
+//! feature state); the crate root decides whether *instrumentation call
+//! sites* bind to these types or to the no-op mirrors in `crate::noop`
+//! (private, compiled only when the `enabled` feature is off).
+//!
+//! # Memory-ordering contract
+//!
+//! Every write on the hot path is a `Relaxed` atomic RMW into a
+//! shard-private cache line. Readers merge shards with `Relaxed` loads,
+//! so a scrape observes *some* recent value of each cell, not a
+//! cross-metric consistent cut — fine for monitoring, and the reason
+//! instrumentation can never perturb kernel results (invariant 9 in
+//! ARCHITECTURE.md). Exact totals are still guaranteed once writer
+//! threads are joined: joining synchronizes-with their writes.
+
+use std::cell::Cell;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Shard count for every sharded metric. A small power of two: enough
+/// to keep an 8–16 worker serve loop off shared cache lines, small
+/// enough that merging at scrape time stays trivial.
+const SHARDS: usize = 16;
+
+/// Bucket count of the log2 histogram: one bucket per power of two
+/// covers the full `u64` range (bucket `i` holds values with highest
+/// set bit `i`).
+const BUCKETS: usize = 64;
+
+/// Round-robin assignment of thread-local shard ids.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's shard index, assigned round-robin on first use.
+#[inline]
+fn shard_id() -> usize {
+    SHARD.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+            c.set(v);
+            v
+        }
+    })
+}
+
+/// One counter cell, padded to a cache line so shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PadU64(AtomicU64);
+
+/// One gauge cell (signed: decrements may transiently win a shard).
+#[repr(align(64))]
+#[derive(Default)]
+struct PadI64(AtomicI64);
+
+/// A monotonically increasing counter, sharded per worker thread.
+///
+/// `inc`/`add` are single `Relaxed` fetch-adds into a thread-affine
+/// cache line; `value()` merges the shards.
+#[derive(Clone)]
+pub struct Counter {
+    cells: Arc<[PadU64; SHARDS]>,
+}
+
+impl Counter {
+    /// A fresh zeroed counter (standalone; registries hand out shared
+    /// clones of one instance per name).
+    pub fn new() -> Self {
+        Self {
+            cells: Arc::new(std::array::from_fn(|_| PadU64::default())),
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cells[shard_id()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The merged total across shards.
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for c in self.cells.iter() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A signed up/down gauge, sharded like [`Counter`].
+#[derive(Clone)]
+pub struct Gauge {
+    cells: Arc<[PadI64; SHARDS]>,
+}
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Self {
+        Self {
+            cells: Arc::new(std::array::from_fn(|_| PadI64::default())),
+        }
+    }
+
+    /// Adds `n` (which may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.cells[shard_id()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts 1.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// The merged value across shards.
+    pub fn value(&self) -> i64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for c in self.cells.iter() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The log2 bucket index of `v`: 0 for 0 and 1, else the position of
+/// the highest set bit (values `[2^i, 2^(i+1))` land in bucket `i`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `i`: the largest value that
+/// lands there (`2^(i+1) - 1`, saturating to `u64::MAX` at the top).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+/// One histogram shard: 64 bucket counts plus exact sum and max, padded
+/// so concurrent recorders touch disjoint cache lines.
+#[repr(align(64))]
+struct HistShard {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket log2 latency histogram with exact count/sum/max.
+///
+/// Recording is three `Relaxed` RMWs into a thread-affine shard — no
+/// allocation, no locks, no ordering on the result path. Percentiles
+/// are extracted at scrape time by walking the merged cumulative
+/// counts; the reported quantile is the *upper bound* of the bucket
+/// holding the rank, so it is exact to within a factor of 2 (count,
+/// sum, and max are exact).
+#[derive(Clone)]
+pub struct Histogram {
+    shards: Arc<[HistShard; SHARDS]>,
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Self {
+            shards: Arc::new(std::array::from_fn(|_| HistShard::default())),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let s = &self.shards[shard_id()];
+        s.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+        s.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A merged point-in-time view with percentiles extracted.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for s in self.shards.iter() {
+            for (i, c) in s.counts.iter().enumerate() {
+                counts[i] += c.load(Ordering::Relaxed);
+            }
+            // fetch_add wraps; the merge must match (sum is exact
+            // modulo 2^64, like any Prometheus counter).
+            sum = sum.wrapping_add(s.sum.load(Ordering::Relaxed));
+            max = max.max(s.max.load(Ordering::Relaxed));
+        }
+        HistogramSnapshot::from_counts(counts, sum, max)
+    }
+
+    fn reset(&self) {
+        for s in self.shards.iter() {
+            for c in s.counts.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
+            s.sum.store(0, Ordering::Relaxed);
+            s.max.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl snap_util::timer::RecordNanos for Histogram {
+    #[inline]
+    fn record_ns(&self, ns: u64) {
+        self.record(ns);
+    }
+}
+
+/// A merged, immutable view of a [`Histogram`] at scrape time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of observations (exact).
+    pub count: u64,
+    /// Sum of all observations (exact, wrapping only past `u64::MAX`).
+    pub sum: u64,
+    /// Largest observation (exact).
+    pub max: u64,
+    /// Median (upper bound of the bucket holding the p50 rank).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Non-empty prefix of buckets as `(upper_bound, cumulative_count)`
+    /// pairs — trailing all-zero buckets are trimmed.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn from_counts(counts: [u64; BUCKETS], sum: u64, max: u64) -> Self {
+        let count: u64 = counts.iter().sum();
+        let last = counts.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+        let mut buckets = Vec::with_capacity(last);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(last) {
+            cum += c;
+            buckets.push((bucket_upper(i), cum));
+        }
+        let snap = Self {
+            count,
+            sum,
+            max,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            buckets,
+        };
+        Self {
+            p50: snap.percentile(0.50),
+            p90: snap.percentile(0.90),
+            p99: snap.percentile(0.99),
+            ..snap
+        }
+    }
+
+    /// The upper bound of the bucket holding rank
+    /// [`percentile_rank`](snap_util::stats::percentile_rank)`(count, p)`
+    /// — 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = snap_util::stats::percentile_rank(self.count as usize, p) as u64;
+        for &(upper, cum) in &self.buckets {
+            if cum > rank {
+                return upper;
+            }
+        }
+        self.buckets.last().map_or(0, |&(upper, _)| upper)
+    }
+
+    /// Mean observation, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A mask-based sampler: `tick()` is true on every `1/period`-th call.
+///
+/// Use it to keep clock reads off paths too hot to time every event
+/// (e.g. ~100ns connectivity queries): only sampled events pay for
+/// `Instant::now()`. The shared call counter is `Relaxed` and sharded
+/// like everything else is *not* needed here — one fetch-add per event
+/// is the entire cost, and sampling tolerates ties.
+pub struct Sampler {
+    mask: u64,
+    ticks: AtomicU64,
+}
+
+impl Sampler {
+    /// Samples one in `period` events; `period` is rounded up to a
+    /// power of two (minimum 1 = sample everything).
+    pub fn new(period: u64) -> Self {
+        Self {
+            mask: period.next_power_of_two().max(1) - 1,
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// True when this event should be sampled.
+    #[inline]
+    pub fn tick(&self) -> bool {
+        self.ticks.fetch_add(1, Ordering::Relaxed) & self.mask == 0
+    }
+}
+
+/// A wall-clock stamp carried alongside queued work so latency can be
+/// recorded where the work completes (e.g. epoch publication lag). The
+/// no-op mirror is a ZST, so vectors of stamps cost nothing when
+/// observability is compiled out.
+#[derive(Clone, Copy, Debug)]
+pub struct Stamp(Instant);
+
+impl Stamp {
+    /// Stamps the current instant.
+    #[inline]
+    pub fn now() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since the stamp, saturating at `u64::MAX`.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// The value half of a scraped metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge level.
+    Gauge(i64),
+    /// A histogram view.
+    Histogram(HistogramSnapshot),
+}
+
+/// One scraped metric: name, help text, and current value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// The Prometheus-style metric name (e.g. `snap_serve_queue_depth`).
+    pub name: String,
+    /// One-line human description.
+    pub help: String,
+    /// The merged value at scrape time.
+    pub value: MetricValue,
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics with get-or-register semantics and
+/// dependency-free exposition (Prometheus text, JSON, programmatic
+/// snapshots, and an optional `/metrics` TCP endpoint).
+///
+/// Registration takes a lock; it happens once per metric per process
+/// (instrumented subsystems cache the returned handles), so the hot
+/// path never sees it.
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide registry every built-in subsystem registers
+    /// into.
+    pub fn global() -> &'static MetricsRegistry {
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Returns the counter registered under `name`, registering it
+    /// first if needed.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match &e.metric {
+                Metric::Counter(c) => return c.clone(),
+                _ => panic!("metric `{name}` is registered with a different type"),
+            }
+        }
+        let c = Counter::new();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Returns the gauge registered under `name`, registering it first
+    /// if needed.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match &e.metric {
+                Metric::Gauge(g) => return g.clone(),
+                _ => panic!("metric `{name}` is registered with a different type"),
+            }
+        }
+        let g = Gauge::new();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Gauge(g.clone()),
+        });
+        g
+    }
+
+    /// Returns the histogram registered under `name`, registering it
+    /// first if needed.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match &e.metric {
+                Metric::Histogram(h) => return h.clone(),
+                _ => panic!("metric `{name}` is registered with a different type"),
+            }
+        }
+        let h = Histogram::new();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Histogram(h.clone()),
+        });
+        h
+    }
+
+    /// Scrapes every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().unwrap();
+        let mut out: Vec<MetricSnapshot> = entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                value: match &e.metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.value()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.value()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Zeroes every registered metric (names and help stay registered).
+    /// For tests and between bench repetitions; concurrent writers may
+    /// land increments on either side of the reset.
+    pub fn reset(&self) {
+        let entries = self.entries.lock().unwrap();
+        for e in entries.iter() {
+            match &e.metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Renders the Prometheus text exposition format
+    /// (`# HELP`/`# TYPE` preambles, `_bucket{le=...}`/`_sum`/`_count`
+    /// series for histograms).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for m in self.snapshot() {
+            out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {} counter\n{} {}\n", m.name, m.name, v));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {} gauge\n{} {}\n", m.name, m.name, v));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {} histogram\n", m.name));
+                    for &(upper, cum) in &h.buckets {
+                        out.push_str(&format!("{}_bucket{{le=\"{}\"}} {}\n", m.name, upper, cum));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{{le=\"+Inf\"}} {}\n{}_sum {}\n{}_count {}\n",
+                        m.name, h.count, m.name, h.sum, m.name, h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a JSON array of metric objects (hand-emitted: the
+    /// workspace carries no serde).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, m) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"name\": \"{}\", \"help\": \"{}\", ",
+                json_escape(&m.name),
+                json_escape(&m.help)
+            ));
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("\"type\": \"counter\", \"value\": {v}}}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("\"type\": \"gauge\", \"value\": {v}}}"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"max\": {}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}, \"mean\": {:.1}, \"buckets\": [",
+                        h.count,
+                        h.sum,
+                        h.max,
+                        h.p50,
+                        h.p90,
+                        h.p99,
+                        h.mean()
+                    ));
+                    for (j, &(upper, cum)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("[{upper}, {cum}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Serves `GET /metrics` (Prometheus text format) on `addr` from a
+    /// background thread until the returned [`MetricsServer`] is
+    /// dropped or shut down. Use port 0 to bind an ephemeral port and
+    /// read it back via [`MetricsServer::addr`].
+    pub fn serve_http(&'static self, addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("snap-obs-http".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = handle_request(stream, self);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn handle_request(mut stream: TcpStream, reg: &MetricsRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let req = String::from_utf8_lossy(&buf[..n]);
+    let path = req.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", reg.render_text())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(resp.as_bytes())
+}
+
+/// Handle to a running `/metrics` endpoint; dropping it stops the
+/// accept loop and joins the server thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..63 {
+            assert_eq!(
+                bucket_index(bucket_upper(i)),
+                i,
+                "upper of {i} stays in {i}"
+            );
+            assert_eq!(bucket_index(bucket_upper(i) + 1), i + 1);
+        }
+        assert_eq!(bucket_upper(63), u64::MAX);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+        let g = Gauge::new();
+        g.add(10);
+        g.dec();
+        g.sub(4);
+        assert_eq!(g.value(), 5);
+    }
+
+    #[test]
+    fn histogram_snapshot_percentiles() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.max, 100);
+        // rank(100, .5) = 49 -> value 50 -> bucket [32,64) -> upper 63.
+        assert_eq!(s.p50, 63);
+        // rank .99 = 98 -> value 99 -> bucket [64,128) -> upper 127.
+        assert_eq!(s.p99, 127);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn sampler_period() {
+        let s = Sampler::new(4);
+        let hits = (0..64).filter(|_| s.tick()).count();
+        assert_eq!(hits, 16);
+        let every = Sampler::new(1);
+        assert!(every.tick() && every.tick());
+    }
+
+    #[test]
+    fn registry_get_or_register_is_shared() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total", "a counter");
+        let b = r.counter("x_total", "a counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.value(), 3);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn registry_type_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x", "as counter");
+        r.gauge("x", "as gauge");
+    }
+
+    #[test]
+    fn registry_reset_zeroes() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c_total", "c");
+        let h = r.histogram("h_ns", "h");
+        c.add(5);
+        h.record(7);
+        r.reset();
+        assert_eq!(c.value(), 0);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn render_text_format() {
+        let r = MetricsRegistry::new();
+        r.counter("b_total", "bees").add(3);
+        r.gauge("a_depth", "depth").add(-2);
+        let h = r.histogram("lat_ns", "latency");
+        h.record(1);
+        h.record(5);
+        let text = r.render_text();
+        // Sorted by name; gauge first.
+        let a = text.find("# TYPE a_depth gauge").unwrap();
+        let b = text.find("# TYPE b_total counter").unwrap();
+        assert!(a < b);
+        assert!(text.contains("a_depth -2\n"));
+        assert!(text.contains("b_total 3\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"7\"} 2\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_ns_sum 6\n"));
+        assert!(text.contains("lat_ns_count 2\n"));
+    }
+
+    #[test]
+    fn render_json_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("c_total", "say \"hi\"").inc();
+        r.histogram("h_ns", "hist").record(9);
+        let json = r.render_json();
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"say \\\"hi\\\"\""));
+        assert!(json.contains("\"type\": \"counter\", \"value\": 1"));
+        assert!(json.contains("\"p50\": 15"));
+        assert!(json.contains("\"buckets\": [[1, 0], [3, 0], [7, 0], [15, 1]]"));
+    }
+
+    #[test]
+    fn scoped_timer_records_into_histogram() {
+        let h = Histogram::new();
+        {
+            let _t = snap_util::timer::Timer::scope(&h);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 1_000_000, "recorded at least 1ms, got {}ns", s.sum);
+    }
+
+    #[test]
+    fn http_endpoint_round_trip() {
+        // The global registry is the only &'static one available.
+        let reg = MetricsRegistry::global();
+        reg.counter("http_test_total", "probe").add(7);
+        let srv = reg.serve_http("127.0.0.1:0").expect("bind");
+        let addr = srv.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK"));
+        assert!(resp.contains("http_test_total"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 404"));
+        srv.shutdown();
+    }
+}

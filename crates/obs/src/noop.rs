@@ -1,0 +1,263 @@
+//! Zero-cost mirrors of the metrics API, exported from the crate root
+//! when the `enabled` feature is off.
+//!
+//! Every type here is a ZST and every method an empty `#[inline]` body,
+//! so instrumentation call sites in the serving stack compile to
+//! nothing: no atomics, no clock reads (`Sampler::tick` returns a
+//! constant `false` and [`RecordNanos::ACTIVE`] is `false`, so guarded
+//! `Instant::now()` calls fold away), no allocation (`Vec<Stamp>` of
+//! ZSTs never touches the heap).
+
+use crate::metrics::{HistogramSnapshot, MetricSnapshot};
+use snap_util::timer::RecordNanos;
+
+/// No-op mirror of [`crate::metrics::Counter`].
+#[derive(Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Does nothing.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always 0.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op mirror of [`crate::metrics::Gauge`].
+#[derive(Clone, Copy, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Does nothing.
+    #[inline]
+    pub fn add(&self, _n: i64) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn dec(&self) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn sub(&self, _n: i64) {}
+
+    /// Always 0.
+    #[inline]
+    pub fn value(&self) -> i64 {
+        0
+    }
+}
+
+/// No-op mirror of [`crate::metrics::Histogram`].
+#[derive(Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Does nothing.
+    #[inline]
+    pub fn record(&self, _v: u64) {}
+
+    /// Always empty.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        crate::metrics::Histogram::new().snapshot()
+    }
+}
+
+impl RecordNanos for Histogram {
+    /// `false`: [`snap_util::timer::Timer::scope`] skips its clock
+    /// reads entirely.
+    const ACTIVE: bool = false;
+
+    #[inline]
+    fn record_ns(&self, _ns: u64) {}
+}
+
+/// No-op mirror of [`crate::metrics::Sampler`]: never samples, so
+/// callers guarded by `tick()` never read the clock.
+#[derive(Default)]
+pub struct Sampler;
+
+impl Sampler {
+    /// Does nothing.
+    #[inline]
+    pub fn new(_period: u64) -> Self {
+        Self
+    }
+
+    /// Always `false`.
+    #[inline]
+    pub fn tick(&self) -> bool {
+        false
+    }
+}
+
+/// No-op mirror of [`crate::metrics::Stamp`]: a ZST, so carrying one
+/// per queued batch costs nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stamp;
+
+impl Stamp {
+    /// A unit value; no clock read.
+    #[inline]
+    pub fn now() -> Self {
+        Self
+    }
+
+    /// Always 0.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op mirror of [`crate::metrics::MetricsRegistry`]: hands out ZST
+/// metrics and renders empty expositions.
+#[derive(Default)]
+pub struct MetricsRegistry;
+
+static GLOBAL: MetricsRegistry = MetricsRegistry;
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[inline]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The process-wide no-op registry.
+    #[inline]
+    pub fn global() -> &'static MetricsRegistry {
+        &GLOBAL
+    }
+
+    /// A ZST counter.
+    #[inline]
+    pub fn counter(&self, _name: &str, _help: &str) -> Counter {
+        Counter
+    }
+
+    /// A ZST gauge.
+    #[inline]
+    pub fn gauge(&self, _name: &str, _help: &str) -> Gauge {
+        Gauge
+    }
+
+    /// A ZST histogram.
+    #[inline]
+    pub fn histogram(&self, _name: &str, _help: &str) -> Histogram {
+        Histogram
+    }
+
+    /// Always empty.
+    #[inline]
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        Vec::new()
+    }
+
+    /// Does nothing.
+    #[inline]
+    pub fn reset(&self) {}
+
+    /// Always empty.
+    pub fn render_text(&self) -> String {
+        String::new()
+    }
+
+    /// An empty JSON array.
+    pub fn render_json(&self) -> String {
+        String::from("[]\n")
+    }
+
+    /// Always fails: there is nothing to serve without the `enabled`
+    /// feature.
+    pub fn serve_http(&'static self, _addr: &str) -> std::io::Result<MetricsServer> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "snap-obs compiled without the `enabled` feature",
+        ))
+    }
+}
+
+/// No-op mirror of [`crate::metrics::MetricsServer`] (never actually
+/// constructed: [`MetricsRegistry::serve_http`] always errors).
+pub struct MetricsServer;
+
+impl MetricsServer {
+    /// A placeholder loopback address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        (std::net::Ipv4Addr::LOCALHOST, 0).into()
+    }
+
+    /// Does nothing.
+    pub fn shutdown(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_types_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+        assert_eq!(std::mem::size_of::<Stamp>(), 0);
+        assert_eq!(std::mem::size_of::<Sampler>(), 0);
+    }
+
+    #[test]
+    fn noop_reads_are_empty() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c", "c");
+        c.add(5);
+        assert_eq!(c.value(), 0);
+        assert_eq!(r.gauge("g", "g").value(), 0);
+        let h = r.histogram("h", "h");
+        h.record(9);
+        assert_eq!(h.snapshot().count, 0);
+        assert!(!Sampler::new(1).tick());
+        assert_eq!(Stamp::now().elapsed_ns(), 0);
+        assert!(r.snapshot().is_empty());
+        assert!(r.render_text().is_empty());
+        assert_eq!(r.render_json(), "[]\n");
+        assert!(MetricsRegistry::global().serve_http("127.0.0.1:0").is_err());
+    }
+
+    #[test]
+    fn noop_scoped_timer_skips_the_clock() {
+        let h = Histogram;
+        let t = snap_util::timer::Timer::scope(&h);
+        assert!(!t.is_timing());
+        drop(t);
+        assert_eq!(h.snapshot().count, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Metrics correctness under concurrency (invariant 9's precondition:
+//! instrumentation is only harmless if it is also *correct*).
+//!
+//! These tests target [`snap_obs::metrics`] directly, so they run in
+//! every feature state — the real runtime always compiles; the
+//! `enabled` feature only decides what the crate root re-exports.
+
+use snap_obs::metrics::{bucket_index, Counter, Gauge, Histogram, MetricsRegistry};
+use snap_util::stats::percentile_sorted;
+use snap_util::XorShift64;
+
+/// N threads hammering one sharded counter must merge to the exact
+/// total: relaxed increments into disjoint shards lose nothing, and
+/// `join` synchronizes the final loads.
+#[test]
+fn counter_merges_exact_totals_across_threads() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let c = Counter::new();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = c.clone();
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.value(), THREADS as u64 * PER_THREAD);
+}
+
+/// Concurrent gauge ups and downs cancel exactly.
+#[test]
+fn gauge_merges_exact_totals_across_threads() {
+    const THREADS: usize = 8;
+    const PER_THREAD: i64 = 50_000;
+    let g = Gauge::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let g = g.clone();
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    // Half the threads add 2 and subtract 1 (net +1
+                    // each step), half do the mirror image (net -1).
+                    if t % 2 == 0 {
+                        g.add(2);
+                        g.dec();
+                    } else {
+                        g.sub(2);
+                        g.inc();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(g.value(), 0);
+}
+
+/// Concurrent histogram recording loses no observations: exact count,
+/// exact sum, exact max — and every bucket count matches a serial
+/// replay of the same values.
+#[test]
+fn histogram_merges_exact_under_concurrency() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = Histogram::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            s.spawn(move || {
+                let mut rng = XorShift64::new(0xC0FFEE + t);
+                for _ in 0..PER_THREAD {
+                    // Skewed like latencies: spread across many buckets.
+                    h.record(rng.next_u64() >> (rng.next_u64() % 48));
+                }
+            });
+        }
+    });
+
+    // Serial replay with the same seeds.
+    let mut values = Vec::new();
+    for t in 0..THREADS {
+        let mut rng = XorShift64::new(0xC0FFEE + t);
+        for _ in 0..PER_THREAD {
+            values.push(rng.next_u64() >> (rng.next_u64() % 48));
+        }
+    }
+
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(
+        snap.sum,
+        values.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+    );
+    assert_eq!(snap.max, values.iter().copied().max().unwrap());
+
+    let mut oracle_buckets = vec![0u64; 64];
+    for &v in &values {
+        oracle_buckets[bucket_index(v)] += 1;
+    }
+    let mut cum = 0u64;
+    for (i, &(_, got_cum)) in snap.buckets.iter().enumerate() {
+        cum += oracle_buckets[i];
+        assert_eq!(got_cum, cum, "cumulative count through bucket {i}");
+    }
+    assert_eq!(cum, snap.count, "trimmed buckets hold everything");
+}
+
+/// Percentile extraction agrees with a sorted-vector oracle: the
+/// reported quantile is the upper bound of exactly the bucket that
+/// holds the oracle's nearest-rank value, across seeds and sample
+/// sizes.
+#[test]
+fn histogram_percentiles_match_sorted_oracle() {
+    for seed in [3u64, 17, 99, 4242] {
+        for n in [10usize, 1_000, 50_000] {
+            let h = Histogram::new();
+            let mut rng = XorShift64::new(seed);
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = rng.next_u64() >> (rng.next_u64() % 56);
+                h.record(v);
+                values.push(v);
+            }
+            values.sort_unstable();
+            let snap = h.snapshot();
+            for (p, got) in [(0.5, snap.p50), (0.9, snap.p90), (0.99, snap.p99)] {
+                let oracle = percentile_sorted(&values, p).unwrap();
+                assert_eq!(
+                    bucket_index(got),
+                    bucket_index(oracle),
+                    "seed {seed} n {n} p {p}: reported {got} vs oracle {oracle}"
+                );
+                assert!(got >= oracle, "bucket upper bound bounds the rank value");
+            }
+            assert_eq!(snap.max, *values.last().unwrap());
+        }
+    }
+}
+
+/// Registry handles cloned into many threads all feed the same metric.
+#[test]
+fn registry_handles_are_shared_across_threads() {
+    let reg = MetricsRegistry::new();
+    let c = reg.counter("conc_total", "shared counter");
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            // Re-registering under the same name yields the same cells.
+            let handle = reg.counter("conc_total", "shared counter");
+            s.spawn(move || {
+                for _ in 0..10_000 {
+                    handle.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.value(), 40_000);
+}

@@ -81,6 +81,7 @@ pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsR
             serial_fallback: true,
             ..BfsStats::default()
         };
+        crate::metrics::publish(&stats.runtime);
         return (serial_bfs(view, src), stats);
     }
     let threads = cfg.worker_count();
@@ -183,6 +184,7 @@ pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsR
     };
     stats.runtime = engine.take_stats();
     stats.runtime.absorb(sweep_stats);
+    crate::metrics::publish(&stats.runtime);
     (result, stats)
 }
 

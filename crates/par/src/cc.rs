@@ -57,6 +57,7 @@ pub fn par_cc_stats<V: GraphView>(view: &V, cfg: &ParConfig) -> (Vec<u32>, ParSt
     let n = view.num_vertices();
     let m = view.num_entries();
     if n + m <= cfg.serial_threshold {
+        crate::metrics::publish(&ParStats::default());
         return (
             snap_kernels::connected_components(view),
             ParStats::default(),
@@ -114,6 +115,7 @@ pub fn par_cc_stats<V: GraphView>(view: &V, cfg: &ParConfig) -> (Vec<u32>, ParSt
             &mut stats,
         );
     }
+    crate::metrics::publish(&stats);
     (label.into_iter().map(|l| l.into_inner()).collect(), stats)
 }
 

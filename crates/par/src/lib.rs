@@ -67,6 +67,7 @@ pub mod bfs;
 pub mod bitset;
 pub mod cc;
 pub mod frontier;
+mod metrics;
 pub mod sssp;
 
 pub use bc::{par_bc, par_bc_with, BcConfig, BcSources, BcStrategy};

@@ -68,12 +68,14 @@ pub fn par_sssp_stats<V: GraphView>(
     assert!((src as usize) < n, "source out of range");
     let work = n + view.num_entries();
     if work <= cfg.serial_threshold {
+        crate::metrics::publish(&ParStats::default());
         return (snap_kernels::dijkstra(view, src), ParStats::default());
     }
     // Auto grain, gate >= whole view: no bucket can ever fork, so the
     // serial heap beats serial Δ-stepping outright. Edges(..) pins the
     // Δ-stepping path for the equivalence and scheduling tests.
     if matches!(cfg.level_grain, Grain::Auto) && cfg.level_gate(work) >= work {
+        crate::metrics::publish(&ParStats::default());
         return (snap_kernels::dijkstra(view, src), ParStats::default());
     }
     let delta = delta.max(1);
@@ -122,7 +124,9 @@ pub fn par_sssp_stats<V: GraphView>(
         current += 1;
     }
     let dist = dist.into_iter().map(|d| d.into_inner()).collect();
-    (dist, runner.take_stats())
+    let stats = runner.take_stats();
+    crate::metrics::publish(&stats);
+    (dist, stats)
 }
 
 #[inline]

@@ -36,6 +36,75 @@ impl Default for Timer {
     }
 }
 
+/// A sink scoped timers record elapsed nanoseconds into (implemented by
+/// `snap-obs` histograms, both the real and the no-op face).
+pub trait RecordNanos {
+    /// When `false`, [`Timer::scope`] skips its clock reads entirely —
+    /// the no-op metrics build sets this so instrumentation sites
+    /// compile to nothing.
+    const ACTIVE: bool = true;
+
+    /// Records one elapsed-nanoseconds observation.
+    fn record_ns(&self, ns: u64);
+}
+
+/// A guard that records the time from construction to drop into a
+/// [`RecordNanos`] sink — the one-line phase-instrumentation idiom that
+/// cannot forget to stop the clock:
+///
+/// ```
+/// use snap_util::timer::{RecordNanos, Timer};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// #[derive(Default)]
+/// struct TotalNs(AtomicU64);
+/// impl RecordNanos for TotalNs {
+///     fn record_ns(&self, ns: u64) {
+///         self.0.fetch_add(ns, Ordering::Relaxed);
+///     }
+/// }
+///
+/// let sink = TotalNs::default();
+/// {
+///     let _t = Timer::scope(&sink);
+///     // ... the phase under measurement ...
+/// } // recorded here
+/// ```
+pub struct ScopedTimer<'a, S: RecordNanos> {
+    sink: &'a S,
+    start: Option<Instant>,
+}
+
+impl<S: RecordNanos> ScopedTimer<'_, S> {
+    /// `true` when this guard read the clock and will record on drop
+    /// (i.e. the sink is active).
+    pub fn is_timing(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl<S: RecordNanos> Drop for ScopedTimer<'_, S> {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            self.sink
+                .record_ns(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+impl Timer {
+    /// Starts a scoped phase timer that records elapsed nanoseconds
+    /// into `sink` when the returned guard drops. When the sink is
+    /// inactive (`S::ACTIVE` is `false` — the compiled-out metrics
+    /// face), no clock is ever read.
+    pub fn scope<S: RecordNanos>(sink: &S) -> ScopedTimer<'_, S> {
+        ScopedTimer {
+            sink,
+            start: S::ACTIVE.then(Instant::now),
+        }
+    }
+}
+
 /// Millions of updates per second for `updates` operations over `elapsed`.
 ///
 /// Returns 0.0 for a zero duration (degenerate timing of empty work).
@@ -69,6 +138,45 @@ mod tests {
     #[test]
     fn mups_zero_duration_is_zero() {
         assert_eq!(mups(100, Duration::ZERO), 0.0);
+    }
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct SumNs(AtomicU64);
+
+    impl RecordNanos for SumNs {
+        fn record_ns(&self, ns: u64) {
+            self.0.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    struct InactiveSink;
+
+    impl RecordNanos for InactiveSink {
+        const ACTIVE: bool = false;
+        fn record_ns(&self, _ns: u64) {
+            panic!("inactive sinks must never be recorded into");
+        }
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let sink = SumNs::default();
+        {
+            let t = Timer::scope(&sink);
+            assert!(t.is_timing());
+            assert_eq!(sink.0.load(Ordering::Relaxed), 0, "not before drop");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(sink.0.load(Ordering::Relaxed) >= 1_000_000);
+    }
+
+    #[test]
+    fn scoped_timer_inactive_sink_never_records() {
+        let t = Timer::scope(&InactiveSink);
+        assert!(!t.is_timing());
+        drop(t); // must not panic: record_ns is never called
     }
 
     #[test]

@@ -52,6 +52,19 @@
 //! component with the parallel kernel. Between batches,
 //! `same_component(u, v)` costs zero traversals and zero CSR rebuilds.
 //!
+//! ## Observability
+//!
+//! The serving stack is instrumented end to end through [`obs`]
+//! (`snap-obs`): queue depth, per-phase writer timings, publication
+//! lag, query latency, repair/rebuild counters, and the parallel
+//! runtime's scheduling decisions, all scrapeable via
+//! [`MetricsRegistry::global()`](snap_obs::MetricsRegistry::global)
+//! as Prometheus text, JSON, or programmatic snapshots. Without the
+//! `obs` cargo feature every instrumentation site binds to no-op ZSTs
+//! and compiles to nothing; with it, overhead stays small because hot
+//! paths use sharded relaxed atomics and sampled clock reads. Results
+//! are bit-identical either way (invariant 9 in ARCHITECTURE.md).
+//!
 //! ## The parallel runtime
 //!
 //! `snap::par` scales the three core traversals over worker threads,
@@ -145,6 +158,7 @@
 pub use snap_arena as arena;
 pub use snap_core as core;
 pub use snap_kernels as kernels;
+pub use snap_obs as obs;
 pub use snap_par as par;
 pub use snap_rmat as rmat;
 pub use snap_treap as treap;
@@ -174,6 +188,7 @@ pub mod prelude {
         stress_exact, temporal_betweenness_approx, temporal_bfs, triangle_count,
         union_find_from_view, LinkCutForest, TimeWindow,
     };
+    pub use snap_obs::MetricsRegistry;
     pub use snap_par::{
         par_bc, par_bc_with, par_bfs, par_cc, par_cc_restricted, par_repair, par_sssp, BcConfig,
         BcSources, BcStrategy, Grain, ParConfig, ParStats,
