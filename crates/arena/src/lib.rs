@@ -41,14 +41,20 @@ struct Slab<T> {
 
 // SAFETY: the slab is plain storage; access discipline lives with callers.
 unsafe impl<T: Send> Send for Slab<T> {}
+// SAFETY: as above — shared access is mediated by the pool's cursor
+// protocol, never by &Slab methods (there are none).
 unsafe impl<T: Send> Sync for Slab<T> {}
 
 impl<T> Slab<T> {
     fn new(cap: usize) -> Self {
+        // panics: a slab whose byte size overflows isize is a
+        // misconfigured pool; allocator failure below is likewise
+        // unrecoverable for an infallible bump allocator.
         let layout = std::alloc::Layout::array::<T>(cap).expect("slab layout overflow");
         // SAFETY: layout has nonzero size (cap >= 1 and T nonzero-sized are
         // enforced by the pool constructor).
         let raw = unsafe { std::alloc::alloc(layout) } as *mut T;
+        // panics: covered by the note above — OOM aborts the build.
         let ptr = NonNull::new(raw).expect("slab allocation failed");
         Self { ptr, cap }
     }
@@ -56,6 +62,8 @@ impl<T> Slab<T> {
 
 impl<T> Drop for Slab<T> {
     fn drop(&mut self) {
+        // panics: unreachable — the identical layout was validated in
+        // `new`, or the slab would not exist.
         let layout = std::alloc::Layout::array::<T>(self.cap).expect("slab layout overflow");
         // SAFETY: allocated with the identical layout in `new`. T: Copy is
         // required by the pool, so no element drops are owed.
@@ -106,6 +114,9 @@ impl<T: Copy> SlabPool<T> {
         );
         let first = Slab::new(slab_slots);
         let bases: Box<[AtomicUsize]> = (0..MAX_SLABS).map(|_| AtomicUsize::new(0)).collect();
+        // ordering: Release — publishes slab 0's base before any cursor
+        // value can reference it, pairing with alloc's Acquire base
+        // load (invariant 1: publish-before-reference).
         bases[0].store(first.ptr.as_ptr() as usize, Ordering::Release);
         Self {
             slabs: Mutex::new(vec![first]),
@@ -134,11 +145,17 @@ impl<T: Copy> SlabPool<T> {
             self.slab_slots
         );
         loop {
+            // ordering: Acquire — a cursor referencing slab i was
+            // Release-stored after bases[i], so the base read below
+            // sees a live slab (invariant 1).
             let cur = self.cursor.load(Ordering::Acquire);
             let slab = (cur >> OFFSET_BITS) as usize;
             let offset = (cur & OFFSET_MASK) as usize;
             if offset + len <= self.slab_slots {
                 // Fast path: bump the offset, same slab.
+                // ordering: AcqRel — the successful CAS claims
+                // offset..offset+len exclusively (invariant 7); Relaxed
+                // on failure, the loop re-reads with Acquire.
                 if self
                     .cursor
                     .compare_exchange_weak(
@@ -149,12 +166,17 @@ impl<T: Copy> SlabPool<T> {
                     )
                     .is_ok()
                 {
+                    // ordering: Relaxed — footprint counter (invariant 9).
                     self.allocated.fetch_add(len, Ordering::Relaxed);
+                    // ordering: Acquire — pairs with the Release base
+                    // publication; see the cursor note above.
                     let base = self.bases[slab].load(Ordering::Acquire);
                     debug_assert_ne!(base, 0, "cursor referenced an unpublished slab");
                     // SAFETY: CAS granted us offset..offset+len of a live,
                     // published slab exclusively.
                     let p = unsafe { (base as *mut T).add(offset) };
+                    // panics: unreachable — published bases come from
+                    // NonNull slab pointers.
                     return NonNull::new(p).expect("slab base is non-null");
                 }
                 continue;
@@ -162,6 +184,7 @@ impl<T: Copy> SlabPool<T> {
             // Slow path: this slab cannot fit the request.
             let mut slabs = self.slabs.lock();
             // Re-check under the lock — another thread may have grown.
+            // ordering: Acquire — same pairing as the loop-head load.
             let cur2 = self.cursor.load(Ordering::Acquire);
             if cur2 >> OFFSET_BITS != slab as u64 {
                 continue;
@@ -171,16 +194,21 @@ impl<T: Copy> SlabPool<T> {
                 new_slab_idx < MAX_SLABS,
                 "slab pool exceeded MAX_SLABS slabs"
             );
+            // ordering: Relaxed — footprint counter (invariant 9).
             self.wasted.fetch_add(
                 self.slab_slots - ((cur2 & OFFSET_MASK) as usize).min(self.slab_slots),
                 Ordering::Relaxed,
             );
             let new = Slab::new(self.slab_slots);
+            // ordering: Release — the base must be visible before any
+            // cursor value referencing the new slab (invariant 1).
             self.bases[new_slab_idx].store(new.ptr.as_ptr() as usize, Ordering::Release);
             slabs.push(new);
             // Publish the switched cursor. A plain store is safe: fast-path
             // CAS'ers against the old value will fail their CAS (the packed
             // value changed) and re-read.
+            // ordering: Release — pairs with the Acquire cursor loads so
+            // the base store above happens-before any use of this value.
             self.cursor
                 .store((new_slab_idx as u64) << OFFSET_BITS, Ordering::Release);
         }
@@ -213,11 +241,13 @@ impl<T: Copy> SlabPool<T> {
 
     /// Total slots handed out so far.
     pub fn allocated_slots(&self) -> usize {
+        // ordering: Relaxed — footprint counter (invariant 9).
         self.allocated.load(Ordering::Relaxed)
     }
 
     /// Slots stranded at slab tails.
     pub fn wasted_slots(&self) -> usize {
+        // ordering: Relaxed — footprint counter (invariant 9).
         self.wasted.load(Ordering::Relaxed)
     }
 
@@ -241,6 +271,7 @@ impl<T: Copy> Default for SlabPool<T> {
 // SAFETY: all shared mutation is via atomics or the mutex; handed-out blocks
 // are disjoint.
 unsafe impl<T: Copy + Send> Send for SlabPool<T> {}
+// SAFETY: as above — &self allocation is the whole point of the pool.
 unsafe impl<T: Copy + Send> Sync for SlabPool<T> {}
 
 #[cfg(test)]
@@ -259,6 +290,7 @@ mod tests {
         }
         for (p, len, v) in &blocks {
             for k in 0..*len {
+                // SAFETY: reading back a block this test allocated.
                 let got = unsafe { *p.as_ptr().add(k) };
                 assert_eq!(got, *v, "block payload clobbered");
             }
@@ -296,6 +328,7 @@ mod tests {
         let pool: SlabPool<u16> = SlabPool::with_slab_slots(64);
         let src = [1u16, 2, 3, 4, 5];
         let p = pool.alloc_copy(&src);
+        // SAFETY: reading back the block just allocated from `src`.
         let got: Vec<u16> = (0..5).map(|i| unsafe { *p.as_ptr().add(i) }).collect();
         assert_eq!(got, src);
     }
@@ -323,6 +356,7 @@ mod tests {
                 let len = (id % 5) + 1;
                 let p = pool.alloc_fill(len, id as u64);
                 std::hint::black_box(&p);
+                // SAFETY: reading back this task's own block.
                 let intact = (0..len).all(|k| unsafe { *p.as_ptr().add(k) } == id as u64);
                 usize::from(intact)
             })
@@ -345,6 +379,7 @@ mod tests {
             .map(|id| {
                 let len = (id % 3) + 1;
                 let p = pool.alloc_fill(len, id as u64);
+                // SAFETY: reading back this task's own block.
                 let intact = (0..len).all(|k| unsafe { *p.as_ptr().add(k) } == id as u64);
                 usize::from(intact)
             })
@@ -408,6 +443,7 @@ mod property_tests {
                 .collect();
             for (p, len, stamp) in &blocks {
                 for k in 0..*len {
+                    // SAFETY: reading back a block this case allocated.
                     let got = unsafe { *p.as_ptr().add(k) };
                     assert_eq!(got, *stamp, "case {case}: block stamped {stamp} corrupted");
                 }

@@ -91,6 +91,7 @@ impl CompressedCsr {
             .collect();
         offsets.push(0);
         let total = par_exclusive_scan(&mut offsets);
+        // panics: unreachable — `offsets` always holds n + 1 >= 1 slots.
         *offsets.last_mut().expect("offsets non-empty") = total;
         // Pass 2: encode into the final buffer, per-vertex regions disjoint.
         let mut bytes = vec![0u8; total];

@@ -130,6 +130,14 @@ pub struct ConnectivityIndex {
     /// Epoch of the owning [`SnapshotManager`](crate::engine::SnapshotManager)
     /// this index has absorbed; `0` until the manager syncs it.
     synced_epoch: AtomicU64,
+    /// Bumped at the *start* of every routed notification
+    /// (`note_insert` / `note_delete`), before the forest op. A full
+    /// rebuild samples it before its view scan and again after its
+    /// shield-clear: movement means a routed change raced the rebuild —
+    /// its graph mutation may have been missed by the scan or its
+    /// union/mark wiped by the clear — so the rebuild must not publish
+    /// (invariant 6: the epoch gap stays sticky instead).
+    note_gen: AtomicU64,
     repairs: AtomicUsize,
     full_rebuilds: AtomicUsize,
     /// Serializes repairs and full rebuilds; clean-component queries
@@ -146,6 +154,7 @@ impl ConnectivityIndex {
             any_dirty: AtomicBool::new(false),
             components: AtomicUsize::new(n),
             synced_epoch: AtomicU64::new(0),
+            note_gen: AtomicU64::new(0),
             repairs: AtomicUsize::new(0),
             full_rebuilds: AtomicUsize::new(0),
             repair_lock: Mutex::new(()),
@@ -202,6 +211,10 @@ impl ConnectivityIndex {
         let mut cur = x;
         let mut steps = 0usize;
         loop {
+            // ordering: Acquire — a walk that reads a repair-published
+            // parent must also see every label store that preceded its
+            // publication (invariant 5: the query walk is read-only and
+            // leans on publication order, not locks).
             let p = self.parent[cur as usize].load(Ordering::Acquire);
             if p == cur {
                 break;
@@ -225,14 +238,19 @@ impl ConnectivityIndex {
     /// parents, which is why queries use the read-only walk.
     fn find_compress(&self, mut x: u32) -> u32 {
         loop {
+            // ordering: Acquire (both loads) — grandparent chasing must
+            // observe hooks published by racing unions (invariant 5).
             let p = self.parent[x as usize].load(Ordering::Acquire);
             if p == x {
                 return x;
             }
-            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            let gp = self.parent[p as usize].load(Ordering::Acquire); // ordering: see above
             if gp == p {
                 return p;
             }
+            // ordering: AcqRel on success — the split write publishes a
+            // still-valid ancestor to later walks; Relaxed on failure —
+            // the retry re-reads through the Acquire loads above.
             let _ = self.parent[x as usize].compare_exchange_weak(
                 p,
                 gp,
@@ -255,10 +273,18 @@ impl ConnectivityIndex {
                 return false;
             }
             let (lo, hi) = (ru.min(rv), ru.max(rv));
+            // ordering: AcqRel — a successful hook is the union's
+            // publication point (invariant 5: mutation-side labels only
+            // ever decrease); Relaxed on failure — the loop re-finds
+            // both roots before retrying.
             if self.parent[hi as usize]
                 .compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
+                // ordering: AcqRel — the decrement is ordered after the
+                // winning hook, pairing with the Acquire load in
+                // `component_count` so a published merge is counted
+                // exactly once.
                 self.components.fetch_sub(1, Ordering::AcqRel);
                 if self.bit_get(hi) {
                     // The absorbed component was awaiting repair; the
@@ -279,6 +305,16 @@ impl ConnectivityIndex {
         if u == v {
             return false;
         }
+        // The bump precedes the forest op: a rebuild whose scan-start
+        // read includes it also sees the caller's graph mutation (which
+        // precedes this call), so the scan absorbs the edge; a rebuild
+        // that misses it here observes the moved generation after its
+        // shield-clear — before which any wiped union/mark must have
+        // landed — and refuses to publish (invariant 6).
+        //
+        // ordering: Release — pairs with the rebuild's Acquire
+        // generation reads; see the note_gen field docs.
+        self.note_gen.fetch_add(1, Ordering::Release);
         self.union(u, v)
     }
 
@@ -290,6 +326,13 @@ impl ConnectivityIndex {
         if u == v {
             return;
         }
+        // Bump-before-mark: same contract as in `note_insert` — a
+        // rebuild either saw this deletion in the view or detects the
+        // generation movement after its shield-clear and re-shields
+        // instead of swallowing the mark below (invariant 6).
+        //
+        // ordering: Release — pairs with the rebuild's Acquire reads.
+        self.note_gen.fetch_add(1, Ordering::Release);
         self.mark_component_dirty(u);
     }
 
@@ -300,7 +343,12 @@ impl ConnectivityIndex {
     /// interleaving).
     pub fn mark_component_dirty(&self, x: u32) {
         conn_metrics().dirty_marks.inc();
-        self.any_dirty.store(true, Ordering::SeqCst);
+        // ordering: Release (downgraded from SeqCst by the PR 9 audit) —
+        // `any_dirty` is a fast-path hint only: the per-vertex dirty
+        // bits are authoritative for queries (invariant 4), so the flag
+        // needs visibility (pairs with the Acquire in `has_dirty`), not
+        // a total order against the bitmap.
+        self.any_dirty.store(true, Ordering::Release);
         let mut r = self.find(x);
         loop {
             self.bit_set(r);
@@ -320,7 +368,9 @@ impl ConnectivityIndex {
     /// True if any component is awaiting repair (may stay `true` until
     /// the next [`ConnectivityIndex::repair_all`]).
     pub fn has_dirty(&self) -> bool {
-        self.any_dirty.load(Ordering::SeqCst)
+        // ordering: Acquire — pairs with the Release stores of the hint
+        // flag; the authoritative state is the dirty bitmap.
+        self.any_dirty.load(Ordering::Acquire)
     }
 
     // ---- queries (self-repairing) --------------------------------------
@@ -340,7 +390,10 @@ impl ConnectivityIndex {
     /// Number of components, after repairing every dirty one.
     pub fn component_count<V: GraphView>(&self, view: &V) -> usize {
         self.repair_all(view);
-        self.components.load(Ordering::SeqCst)
+        // ordering: Acquire (downgraded from SeqCst by the PR 9 audit)
+        // — pairs with the AcqRel counter updates, so the count read
+        // after `repair_all` reflects every published merge and split.
+        self.components.load(Ordering::Acquire)
     }
 
     /// Canonical labels for every vertex, after repairing every dirty
@@ -410,6 +463,13 @@ impl ConnectivityIndex {
         V: GraphView,
         F: FnOnce(&V, &[u32]) -> Vec<u32>,
     {
+        // A note racing this repair is detected through the generation:
+        // one counted by this read applied its graph mutation before the
+        // relabel's view read below, so the new labels absorb it.
+        //
+        // ordering: Acquire — pairs with the note-path Release bumps;
+        // see the note_gen field docs (invariant 6).
+        let gen_at_scan = self.note_gen.load(Ordering::Acquire);
         // Shield phase: with every member bit set, any concurrent reader
         // resolving into this component sees "dirty" and waits on the
         // lock instead of consuming half-published labels.
@@ -420,18 +480,42 @@ impl ConnectivityIndex {
         debug_assert_eq!(labels.len(), verts.len(), "relabel must cover all members");
         let mut new_roots = 0usize;
         for (&v, &l) in verts.iter().zip(&labels) {
-            self.parent[v as usize].store(l, Ordering::SeqCst);
+            // ordering: Release (downgraded from SeqCst by the PR 9
+            // audit) — label publication under the shield (invariant 4):
+            // every member bit is still set, so a reader either sees the
+            // shield and re-routes into the locked repair path, or its
+            // Acquire walk synchronizes with this store.
+            self.parent[v as usize].store(l, Ordering::Release);
             if l == v {
                 new_roots += 1;
             }
         }
         // Publish: clearing the shields *after* every parent store means
-        // a reader that observes a clean bit also observes final labels.
+        // a reader that observes a clean bit also observes final labels
+        // (the AcqRel bit_unset carries the release of the stores above).
         for &v in verts {
             self.bit_unset(v);
         }
+        // The clears above may have wiped the mark of a `note_delete`
+        // that raced this repair (its deletion applied after the view
+        // read, its mark landing before the sweep). A note's generation
+        // bump precedes its mark, so the wipe is visible here: re-dirty
+        // the repaired component(s) and let the next query repair again
+        // — sticky, like a rebuild that refuses to publish (invariant 6).
+        //
+        // ordering: Acquire — closes the window opened at gen_at_scan.
+        if self.note_gen.load(Ordering::Acquire) != gen_at_scan {
+            for (&v, &l) in verts.iter().zip(&labels) {
+                if l == v {
+                    self.mark_component_dirty(v);
+                }
+            }
+        }
+        // ordering: AcqRel — split accounting published together with
+        // the labels; pairs with the Acquire in `component_count`.
         self.components
             .fetch_add(new_roots.saturating_sub(1), Ordering::AcqRel);
+        // ordering: Relaxed — statistics counter, no ordering consumed.
         self.repairs.fetch_add(1, Ordering::Relaxed);
         let m = conn_metrics();
         m.repairs.inc();
@@ -449,7 +533,10 @@ impl ConnectivityIndex {
         let _guard = self.repair_lock.lock();
         // Clear the flag before scanning: a mark racing this scan re-sets
         // it and the next repair_all picks the component up.
-        self.any_dirty.store(false, Ordering::SeqCst);
+        // ordering: Release (downgraded from SeqCst by the PR 9 audit) —
+        // hint only; point queries route through the authoritative dirty
+        // bits (invariant 4) and never consult this flag.
+        self.any_dirty.store(false, Ordering::Release);
         let mut groups: std::collections::BTreeMap<u32, Vec<u32>> =
             std::collections::BTreeMap::new();
         for v in 0..self.parent.len() as u32 {
@@ -477,48 +564,102 @@ impl ConnectivityIndex {
 
     /// Discards the forest and re-absorbs the view — the fallback when
     /// the owning manager detects out-of-band mutation (see
-    /// [`ConnectivityIndex::synced_epoch`]).
-    pub fn rebuild_from<V: GraphView>(&self, view: &V) {
+    /// [`ConnectivityIndex::synced_epoch`]). Returns `true` when the
+    /// rebuild converged (no routed notification raced the scan); on
+    /// `false` every vertex is left shielded, so queries keep repairing
+    /// from the live view until a later rebuild converges.
+    pub fn rebuild_from<V: GraphView>(&self, view: &V) -> bool {
         let _guard = self.repair_lock.lock();
-        self.rebuild_locked(view);
+        self.rebuild_locked(view)
     }
 
     /// Rebuilds from `view` only if the synced epoch is still behind
     /// `epoch` — double-checked under the repair lock, so concurrent
     /// stale queries coalesce into one rebuild — then records the epoch
-    /// as absorbed.
+    /// as absorbed. If routed updates race the rebuild faster than it
+    /// can converge, the epoch is deliberately **not** recorded: the
+    /// gap stays sticky (invariant 6) and the next query resyncs again,
+    /// which settles as soon as the writers quiesce.
     pub fn resync<V: GraphView>(&self, view: &V, epoch: u64) {
         let _guard = self.repair_lock.lock();
-        if self.synced_epoch() < epoch {
-            self.rebuild_locked(view);
+        if self.synced_epoch() < epoch && self.rebuild_locked(view) {
             self.sync_to(epoch);
         }
     }
 
-    fn rebuild_locked<V: GraphView>(&self, view: &V) {
+    /// Rebuild passes attempted before giving up on a generation-stable
+    /// scan and leaving the forest shielded instead.
+    const REBUILD_RETRIES: usize = 4;
+
+    fn rebuild_locked<V: GraphView>(&self, view: &V) -> bool {
         assert_eq!(view.num_vertices(), self.parent.len(), "vertex count moved");
-        // Shield *every* vertex first: a lock-free reader racing this
-        // rebuild re-routes into the (locked) repair path instead of
-        // observing the half-reset forest.
-        for w in &self.dirty {
-            w.store(u64::MAX, Ordering::SeqCst);
-        }
-        self.any_dirty.store(true, Ordering::SeqCst);
-        for v in 0..self.parent.len() {
-            self.parent[v].store(v as u32, Ordering::SeqCst);
-        }
-        self.components.store(self.parent.len(), Ordering::SeqCst);
-        self.absorb(view);
-        // Publish: the view fully absorbed, all debts (including any
-        // pre-rebuild dirt) are settled.
-        for w in &self.dirty {
-            w.store(0, Ordering::SeqCst);
-        }
-        self.any_dirty.store(false, Ordering::SeqCst);
-        self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
         let m = conn_metrics();
+        let mut converged = false;
+        for _attempt in 0..Self::REBUILD_RETRIES {
+            // A routed `note_insert`/`note_delete` whose generation bump
+            // lands before this read also applied its graph mutation
+            // before it (the bump is the note's last act), so the scan
+            // below observes it. One that bumps later is detected at the
+            // bottom of the pass.
+            //
+            // ordering: Acquire — pairs with the Release bumps in the
+            // note paths; see the note_gen field docs (invariant 6).
+            let gen_at_scan = self.note_gen.load(Ordering::Acquire);
+            // Shield *every* vertex first: a lock-free reader racing
+            // this rebuild re-routes into the (locked) repair path
+            // instead of observing the half-reset forest.
+            //
+            // ordering: Release on every store in this rebuild
+            // (downgraded from SeqCst by the PR 9 audit). The protocol
+            // needs no total order: a reader whose walk acquires ANY
+            // value written below synchronizes with that store and
+            // therefore also sees the shield words stored before it
+            // (invariant 4), so its bit_get re-routes into the locked
+            // repair path; a reader that saw only pre-rebuild values
+            // linearizes before the rebuild; and a mixed walk is caught
+            // by clean_root's stability re-check.
+            for w in &self.dirty {
+                w.store(u64::MAX, Ordering::Release); // ordering: see above
+            }
+            self.any_dirty.store(true, Ordering::Release); // ordering: see above
+            for v in 0..self.parent.len() {
+                self.parent[v].store(v as u32, Ordering::Release); // ordering: see above
+            }
+            // ordering: Release — rebuild publication, see the note above.
+            self.components.store(self.parent.len(), Ordering::Release);
+            self.absorb(view);
+            m.shield_events.add(self.parent.len() as u64);
+            // ordering: Acquire — closes the generation window opened
+            // above; movement means a routed note raced the scan and
+            // its graph mutation may have been missed.
+            if self.note_gen.load(Ordering::Acquire) != gen_at_scan {
+                continue;
+            }
+            // Tentatively publish: the view fully absorbed, all debts
+            // (including any pre-rebuild dirt) are settled.
+            for w in &self.dirty {
+                w.store(0, Ordering::Release); // ordering: see rebuild note
+            }
+            self.any_dirty.store(false, Ordering::Release); // ordering: see rebuild note
+
+            // Confirm nothing raced the clear itself: a note's bump
+            // precedes its forest op, so any union or dirty mark the
+            // lines above could have wiped is visible in the generation
+            // by now — if it moved, re-shield with another pass.
+            //
+            // ordering: Acquire — same pairing as the scan-start read.
+            if self.note_gen.load(Ordering::Acquire) == gen_at_scan {
+                converged = true;
+                break;
+            }
+        }
+        // Not converged: the last pass left every shield up. Queries
+        // repair their component from the live view on demand, and the
+        // caller must not mark the target epoch absorbed.
+        // ordering: Relaxed — statistics counter, no ordering consumed.
+        self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
         m.full_rebuilds.inc();
-        m.shield_events.add(self.parent.len() as u64);
+        converged
     }
 
     // ---- counters & epoch coupling -------------------------------------
@@ -526,18 +667,22 @@ impl ConnectivityIndex {
     /// Number of targeted repairs performed (each covers one dirty
     /// component). A clean query burst leaves this flat.
     pub fn repair_count(&self) -> usize {
+        // ordering: Relaxed — statistics counter, no ordering consumed.
         self.repairs.load(Ordering::Relaxed)
     }
 
     /// Number of full rebuilds ([`ConnectivityIndex::rebuild_from`]) —
     /// the quantity incremental maintenance exists to keep at zero.
     pub fn full_rebuild_count(&self) -> usize {
+        // ordering: Relaxed — statistics counter, no ordering consumed.
         self.full_rebuilds.load(Ordering::Relaxed)
     }
 
     /// Manager epoch this index has absorbed (monotone; see
     /// [`crate::engine::SnapshotManager`]).
     pub fn synced_epoch(&self) -> u64 {
+        // ordering: Acquire — pairs with the AcqRel epoch bumps so an
+        // observed epoch implies the updates it covers (invariant 6).
         self.synced_epoch.load(Ordering::Acquire)
     }
 
@@ -547,6 +692,8 @@ impl ConnectivityIndex {
     /// after a rebuild; routed per-update bumps go through
     /// [`ConnectivityIndex::sync_change`].
     pub fn sync_to(&self, epoch: u64) {
+        // ordering: AcqRel — monotone epoch publication (invariant 6:
+        // racing bumps cannot move the absorbed epoch backwards).
         self.synced_epoch.fetch_max(epoch, Ordering::AcqRel);
     }
 
@@ -559,6 +706,9 @@ impl ConnectivityIndex {
     /// gap from racing routed bumps costs at most one conservative
     /// rebuild; absorbing a real gap would serve stale answers.)
     pub fn sync_change(&self, new_epoch: u64) {
+        // ordering: AcqRel on the exact step (invariant 6: an unabsorbed
+        // gap below stays sticky); Relaxed on failure — the gap itself
+        // is the signal, no data is read through the failed exchange.
         let _ = self.synced_epoch.compare_exchange(
             new_epoch.wrapping_sub(1),
             new_epoch,
@@ -567,21 +717,33 @@ impl ConnectivityIndex {
         );
     }
 
-    // ---- dirty bitmap (SeqCst: the publication protocol leans on it) ---
+    // ---- dirty bitmap ---------------------------------------------------
+    //
+    // The shield-bit publication protocol (invariant 4). The RMWs are
+    // AcqRel and the load Acquire (downgraded from SeqCst by the PR 9
+    // audit): bit_unset is a repair's publication point — its release
+    // makes every preceding label store visible to a reader that
+    // acquires the cleared word — and bit_set's release orders the
+    // shield before the relabel that follows it. No site needs a total
+    // order across *different* words: cross-word interleavings are
+    // resolved by clean_root's stability re-check and the repair lock.
 
     #[inline]
     fn bit_set(&self, i: u32) {
-        self.dirty[i as usize >> 6].fetch_or(1 << (i & 63), Ordering::SeqCst);
+        // ordering: AcqRel — see the shield publication note above.
+        self.dirty[i as usize >> 6].fetch_or(1 << (i & 63), Ordering::AcqRel);
     }
 
     #[inline]
     fn bit_unset(&self, i: u32) {
-        self.dirty[i as usize >> 6].fetch_and(!(1u64 << (i & 63)), Ordering::SeqCst);
+        // ordering: AcqRel — see the shield publication note above.
+        self.dirty[i as usize >> 6].fetch_and(!(1u64 << (i & 63)), Ordering::AcqRel);
     }
 
     #[inline]
     fn bit_get(&self, i: u32) -> bool {
-        self.dirty[i as usize >> 6].load(Ordering::SeqCst) & (1 << (i & 63)) != 0
+        // ordering: Acquire — see the shield publication note above.
+        self.dirty[i as usize >> 6].load(Ordering::Acquire) & (1 << (i & 63)) != 0
     }
 }
 

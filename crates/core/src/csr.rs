@@ -48,7 +48,12 @@ pub struct CsrGraph {
 
 /// Raw pointer wrapper for provably disjoint parallel scatters.
 struct SendPtr<T>(*mut T);
+// SAFETY: SendPtr is only used by the CSR builders, whose cursor
+// protocol hands each slot index to exactly one task — the shared
+// pointer is never used for overlapping writes (invariant 7).
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above; concurrent &SendPtr use only performs disjoint
+// writes through it.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl CsrGraph {
@@ -78,8 +83,12 @@ impl CsrGraph {
         // power-law skew being spread over n counters).
         let degrees: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         edges.par_iter().for_each(|e| {
+            // ordering: Relaxed (both) — pure counting; the par_iter
+            // barrier publishes the totals before `into_inner` reads
+            // them (invariant 8: the join is the synchronization).
             degrees[e.u as usize].fetch_add(1, Ordering::Relaxed);
             if symmetric && e.u != e.v {
+                // ordering: Relaxed — covered by the note above.
                 degrees[e.v as usize].fetch_add(1, Ordering::Relaxed);
             }
         });
@@ -89,6 +98,7 @@ impl CsrGraph {
         // `offsets` is now exclusive prefix; the pushed 0 became `total`?
         // No: the scan wrote prefix sums in place, so the final slot holds
         // the sum of all but the last original element. Fix it explicitly.
+        // panics: unreachable — `offsets` always holds n + 1 >= 1 slots.
         *offsets.last_mut().expect("offsets non-empty") = total;
 
         // Pass 2: scatter through per-vertex atomic cursors.
@@ -106,6 +116,9 @@ impl CsrGraph {
         edges.par_iter().for_each(|e| {
             let nbrs_ptr = &nbrs_ptr;
             let ts_ptr = &ts_ptr;
+            // ordering: Relaxed — the RMW's atomicity alone grants the
+            // slot exclusively (invariant 7); the par_iter barrier
+            // publishes the written buffers.
             let i = cursors[e.u as usize].fetch_add(1, Ordering::Relaxed);
             // SAFETY: cursor grants slot i exclusively; i < offsets[u+1].
             unsafe {
@@ -113,6 +126,7 @@ impl CsrGraph {
                 *ts_ptr.0.add(i) = e.timestamp;
             }
             if symmetric && e.u != e.v {
+                // ordering: Relaxed — as for vertex u above.
                 let j = cursors[e.v as usize].fetch_add(1, Ordering::Relaxed);
                 // SAFETY: as above for vertex v.
                 unsafe {
@@ -140,6 +154,8 @@ impl CsrGraph {
     /// [`CsrGraph::try_from_dynamic`] for the non-panicking variant and
     /// [`SnapshotRace`] for the race this detects).
     pub fn from_dynamic<A: DynamicAdjacency>(adj: &A, directed: bool) -> Self {
+        // panics: documented contract (see `# Panics` above) — the
+        // bulk-synchronous discipline was violated by a racing writer.
         Self::try_from_dynamic(adj, directed).expect("adjacency mutated during snapshot")
     }
 
@@ -166,9 +182,13 @@ impl CsrGraph {
             .collect();
         offsets.push(0);
         let total = par_exclusive_scan(&mut offsets);
+        // panics: unreachable — `offsets` always holds n + 1 >= 1 slots.
         *offsets.last_mut().expect("offsets non-empty") = total;
         let mut nbrs: Vec<u32> = Vec::with_capacity(total);
         let mut ts: Vec<u32> = Vec::with_capacity(total);
+        // SAFETY: every slot in 0..total is either written through the
+        // per-vertex disjoint ranges below or the build is discarded as
+        // torn; uninitialized values are never returned to the caller.
         #[allow(clippy::uninit_vec)]
         unsafe {
             nbrs.set_len(total);
@@ -189,6 +209,8 @@ impl CsrGraph {
                 // surplus entries rather than writing past the vertex's
                 // slot range.
                 if cursor >= end {
+                    // ordering: Relaxed — monotonic torn flag joined
+                    // at the par_iter barrier (`into_inner` below).
                     torn.store(true, Ordering::Relaxed);
                     return;
                 }
@@ -201,6 +223,7 @@ impl CsrGraph {
                 cursor += 1;
             });
             if cursor != end {
+                // ordering: Relaxed — same torn flag as above.
                 torn.store(true, Ordering::Relaxed);
             }
         });

@@ -58,6 +58,10 @@ struct CellGuard<'a> {
 impl<'a> CellGuard<'a> {
     #[inline]
     fn acquire(cell: &'a Cell) -> Self {
+        // ordering: Acquire on success — entering the critical section
+        // must observe every descriptor/block write the previous holder
+        // released (invariant 1: per-vertex synchronization); Relaxed on
+        // failure — a failed CAS reads nothing it acts on.
         while cell
             .lock
             .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
@@ -79,6 +83,8 @@ impl<'a> CellGuard<'a> {
 impl Drop for CellGuard<'_> {
     #[inline]
     fn drop(&mut self) {
+        // ordering: Release — unlock publishes the critical section's
+        // writes to the next Acquire-winning holder (invariant 1).
         self.cell.lock.store(0, Ordering::Release);
     }
 }
@@ -96,6 +102,7 @@ pub struct DynArr {
 impl DynArr {
     /// Number of capacity-doubling events so far.
     pub fn resize_count(&self) -> usize {
+        // ordering: Relaxed — statistics counter, no ordering consumed.
         self.resizes.load(Ordering::Relaxed)
     }
 
@@ -131,6 +138,8 @@ impl DynArr {
         }
         list.ptr = new_ptr;
         list.cap = new_cap;
+        // ordering: Relaxed — statistics counter; the grow itself is
+        // already serialized by the caller's cell lock.
         self.resizes.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -138,6 +147,8 @@ impl DynArr {
 // SAFETY: every access to a cell's descriptor/block is serialized by that
 // cell's spinlock; the pool is internally synchronized.
 unsafe impl Send for DynArr {}
+// SAFETY: same argument as Send — shared references only reach the
+// descriptors through the per-cell spinlock.
 unsafe impl Sync for DynArr {}
 
 impl DynamicAdjacency for DynArr {
@@ -340,31 +351,43 @@ impl DynamicAdjacency for FixedDynArr {
 
     fn insert(&self, u: u32, e: AdjEntry) -> bool {
         let (lo, hi) = self.range(u);
+        // ordering: Relaxed — the fetch_add only reserves a unique slot
+        // index; the entry itself is published by the Release store
+        // below, and scanners tolerate a reserved-but-unpublished slot
+        // (they read EMPTY_SLOT and skip it).
         let i = self.lens[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
         assert!(
             lo + i < hi,
             "FixedDynArr capacity oracle violated for vertex {u} (cap {})",
             hi - lo
         );
-        // One Release store publishes the whole entry; a concurrent scanner
-        // sees either EMPTY_SLOT or the complete packed word.
+        // ordering: Release — one store publishes the whole packed entry;
+        // a concurrent scanner's Acquire load sees either EMPTY_SLOT or
+        // the complete `(nbr, ts)` word, never a torn half (invariant 1).
         self.slots[lo + i].store(pack(e), Ordering::Release);
         true
     }
 
     fn delete(&self, u: u32, v: u32) -> bool {
         let (lo, _) = self.range(u);
+        // ordering: Acquire — pairs with insert's Release publication so
+        // the scan sees complete entries up to the observed length.
         let len = (self.lens[u as usize].load(Ordering::Acquire) as usize).min(self.capacity(u));
         let mut removed = false;
         // Key-granular (see the trait contract): clear every duplicate,
         // not just the first match.
         for i in 0..len {
-            let s = self.slots[lo + i].load(Ordering::Acquire);
+            let s = self.slots[lo + i].load(Ordering::Acquire); // ordering: see len above
+                                                                // ordering: AcqRel — exactly one racing deleter wins the
+                                                                // slot (claim exclusivity, invariant 7); Relaxed on failure
+                                                                // — the loser moves on without consuming the value.
             if slot_nbr(s) == v
                 && self.slots[lo + i]
                     .compare_exchange(s, EMPTY_SLOT, Ordering::AcqRel, Ordering::Relaxed)
                     .is_ok()
             {
+                // ordering: Relaxed — tombstone counter; degree() reads
+                // are point-in-time, not synchronization.
                 self.deleted[u as usize].fetch_add(1, Ordering::Relaxed);
                 removed = true;
             }
@@ -374,20 +397,27 @@ impl DynamicAdjacency for FixedDynArr {
 
     fn contains(&self, u: u32, v: u32) -> bool {
         let (lo, _) = self.range(u);
+        // ordering: Acquire (len and slots) — pairs with insert's
+        // Release publication; unpublished slots read EMPTY_SLOT.
         let len = (self.lens[u as usize].load(Ordering::Acquire) as usize).min(self.capacity(u));
+        // ordering: Acquire — same pairing as the len load above.
         (0..len).any(|i| slot_nbr(self.slots[lo + i].load(Ordering::Acquire)) == v)
     }
 
     fn degree(&self, u: u32) -> usize {
+        // ordering: Relaxed (both) — degree is a point-in-time counter
+        // difference; no entry data is read through these loads.
         let len = (self.lens[u as usize].load(Ordering::Relaxed) as usize).min(self.capacity(u));
-        len - self.deleted[u as usize].load(Ordering::Relaxed) as usize
+        len - self.deleted[u as usize].load(Ordering::Relaxed) as usize // ordering: see above
     }
 
     fn for_each(&self, u: u32, f: &mut dyn FnMut(AdjEntry)) {
         let (lo, _) = self.range(u);
+        // ordering: Acquire (len and slots) — pairs with insert's
+        // Release publication so every yielded entry is complete.
         let len = (self.lens[u as usize].load(Ordering::Acquire) as usize).min(self.capacity(u));
         for i in 0..len {
-            let s = self.slots[lo + i].load(Ordering::Acquire);
+            let s = self.slots[lo + i].load(Ordering::Acquire); // ordering: see len above
             if slot_nbr(s) != TOMBSTONE {
                 f(AdjEntry {
                     nbr: slot_nbr(s),
@@ -399,20 +429,26 @@ impl DynamicAdjacency for FixedDynArr {
 
     fn retain(&self, u: u32, keep: &mut dyn FnMut(AdjEntry) -> bool) -> usize {
         let (lo, _) = self.range(u);
+        // ordering: Acquire (len and slots) — pairs with insert's
+        // Release publication, as in delete above.
         let len = (self.lens[u as usize].load(Ordering::Acquire) as usize).min(self.capacity(u));
         let mut removed = 0;
         for i in 0..len {
-            let s = self.slots[lo + i].load(Ordering::Acquire);
+            let s = self.slots[lo + i].load(Ordering::Acquire); // ordering: see len above
             if slot_nbr(s) == TOMBSTONE {
                 continue;
             }
+            // ordering: AcqRel — one racing clearer wins the slot
+            // (invariant 7); Relaxed on failure, the loser moves on.
             if !keep(AdjEntry {
                 nbr: slot_nbr(s),
                 ts: slot_ts(s),
             }) && self.slots[lo + i]
+                // ordering: AcqRel/Relaxed — see the clearer note above.
                 .compare_exchange(s, EMPTY_SLOT, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
+                // ordering: Relaxed — tombstone counter, as in delete.
                 self.deleted[u as usize].fetch_add(1, Ordering::Relaxed);
                 removed += 1;
             }

@@ -52,7 +52,11 @@ use std::time::Duration;
 pub fn apply_stream<A: DynamicAdjacency>(g: &DynGraph<A>, updates: &[Update]) -> bool {
     let changed = AtomicBool::new(false);
     updates.par_iter().for_each(|u| {
+        // ordering: Relaxed (load and store) — a monotonic flag joined
+        // at the scope barrier below (`into_inner`); no data is
+        // published through it (invariant 9: instrumentation-grade).
         if g.apply(u) && !changed.load(Ordering::Relaxed) {
+            // ordering: Relaxed — covered by the flag note above.
             changed.store(true, Ordering::Relaxed);
         }
     });
@@ -175,6 +179,10 @@ pub fn apply_vpart_routed<A: DynamicAdjacency>(
             s.spawn(move |_| {
                 for (idx, h) in halves {
                     if r.contains(&(h.src as usize)) && apply_half(adj, h) {
+                        // ordering: Relaxed — per-update outcome flags
+                        // joined at the scope barrier; the scope's own
+                        // synchronization publishes them (invariant 8:
+                        // scheduling never leaks into results).
                         changed[*idx as usize].store(true, Ordering::Relaxed);
                     }
                 }
@@ -183,6 +191,8 @@ pub fn apply_vpart_routed<A: DynamicAdjacency>(
     });
     let mut any = false;
     for (u, c) in updates.iter().zip(&changed) {
+        // ordering: Relaxed — read after the scope barrier above; the
+        // barrier already ordered the stores.
         if c.load(Ordering::Relaxed) {
             any = true;
             route_update_for_conn(conn, u);
@@ -439,6 +449,9 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
 
     /// Current mutation epoch.
     pub fn epoch(&self) -> u64 {
+        // ordering: Acquire — pairs with the AcqRel epoch bumps so a
+        // reader that observes epoch e also observes the mutations the
+        // bump published (invariant 1: epoch-coupled validity).
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -452,6 +465,7 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     /// Number of CSR rebuilds performed so far (the quantity the epoch
     /// cache exists to minimize).
     pub fn rebuild_count(&self) -> usize {
+        // ordering: Relaxed — statistics counter (invariant 9).
         self.rebuilds.load(Ordering::Relaxed)
     }
 
@@ -461,6 +475,9 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     /// next query pays one full rebuild — that is the detection
     /// mechanism, not a leak.
     pub fn mark_dirty(&self) {
+        // ordering: AcqRel — the bump publishes the caller's direct
+        // mutations to the next Acquire `epoch()` reader (invariants 1
+        // and 2: bumps only on change, validity coupled to the epoch).
         self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
@@ -475,6 +492,9 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     /// would hide exactly that gap (the first query is supposed to pay a
     /// conservative resync instead).
     fn note_change(&self, conn: Option<&ConnectivityIndex>) {
+        // ordering: AcqRel — same publication as `mark_dirty`; the new
+        // epoch value carries the mutation to Acquire readers
+        // (invariant 1).
         let e = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         if let Some(c) = conn {
             c.sync_change(e);
@@ -542,7 +562,10 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
         updates.par_iter().for_each(|u| {
             if self.graph.apply(u) {
                 route_update_for_conn(conn, u);
+                // ordering: Relaxed — monotonic flag joined at the
+                // par_iter barrier (`into_inner`), as in apply_stream.
                 if !any.load(Ordering::Relaxed) {
+                    // ordering: Relaxed — covered by the note above.
                     any.store(true, Ordering::Relaxed);
                 }
             }
@@ -585,6 +608,8 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     /// is re-checked under the index's repair lock, so concurrent stale
     /// queries coalesce into a single rebuild.
     fn conn_fresh(&self) -> &ConnectivityIndex {
+        // panics: documented API contract — connectivity queries
+        // require enable_connectivity() first; the message says so.
         let c = self
             .conn
             .get()
@@ -663,6 +688,8 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
             // so it represents neither `target` nor the new epoch.
             return Err(SnapshotRace);
         }
+        // ordering: Relaxed — statistics counter (invariant 9); the
+        // cache itself is published by the mutex.
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
         snapshot_metrics().rebuilds.inc();
         cache.epoch = target;
@@ -689,6 +716,7 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
             }
         }
         let csr = Arc::new(self.graph.to_csr());
+        // ordering: Relaxed — statistics counter (invariant 9).
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
         snapshot_metrics().rebuilds.inc();
         cache.epoch = target;

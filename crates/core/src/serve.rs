@@ -425,6 +425,9 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
         let (tx, rx) = mpsc::channel();
         let writer = {
             let shared = Arc::clone(&shared);
+            // panics: thread spawn fails only on OS resource
+            // exhaustion at construction time; there is no engine to
+            // return an error from yet, and the message names the cause.
             std::thread::Builder::new()
                 .name("snap-serve-writer".into())
                 .spawn(move || writer_loop(&shared, &rx))
@@ -451,8 +454,16 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
     /// including it (all earlier submissions included first — the queue
     /// is FIFO). Call [`ServeEngine::flush`] for a publication barrier.
     pub fn submit(&self, batch: Vec<Update>) {
+        // ordering: AcqRel — increments before the channel send, pairs
+        // with the writer's post-publication AcqRel fetch_sub so
+        // `pending_batches() == 0` implies full visibility
+        // (invariant 1's publication discipline).
         self.shared.pending.fetch_add(1, Ordering::AcqRel);
         self.shared.metrics.queue_depth.inc();
+        // panics: the writer thread owns `rx` for the whole engine
+        // lifetime and exits only via Drop/shutdown (which consume the
+        // engine) — a send error here means the writer itself panicked,
+        // and surfacing that panic to the submitter is intended.
         self.tx
             .send(Ingest::Batch(batch, Stamp::now()))
             .expect("serve writer thread terminated");
@@ -462,9 +473,14 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
     /// this call has been applied *and published*.
     pub fn flush(&self) {
         let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        // panics: as in `submit` — the writer outlives every `&self`
+        // call, so a send/recv failure means it panicked, and the
+        // barrier cannot be honored except by propagating that panic.
         self.tx
             .send(Ingest::Flush(ack_tx))
             .expect("serve writer thread terminated");
+        // panics: same reasoning — the ack sender is dropped unsent
+        // only if the writer unwound mid-cycle.
         ack_rx.recv().expect("serve writer dropped flush ack");
     }
 
@@ -485,6 +501,8 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
         let m = &self.shared.metrics;
         m.queries.inc();
         let sampled = m.query_sampler.tick().then(Stamp::now);
+        // panics: documented contract (see `# Panics` above) — the
+        // engine was built with connectivity disabled.
         let res = Arc::clone(&self.shared.current.read())
             .same_component(u, v)
             .expect("ServeConfig::connectivity is disabled");
@@ -498,6 +516,8 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
     /// [`ServeEngine::same_component`] for the cost and panic contract).
     pub fn component(&self, u: u32) -> u32 {
         self.shared.metrics.queries.inc();
+        // panics: documented contract (see `same_component`) — the
+        // engine was built with connectivity disabled.
         Arc::clone(&self.shared.current.read())
             .component(u)
             .expect("ServeConfig::connectivity is disabled")
@@ -505,11 +525,15 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
 
     /// Batches submitted but not yet applied by the writer.
     pub fn pending_batches(&self) -> usize {
+        // ordering: Acquire — pairs with the writer's post-publication
+        // AcqRel fetch_sub: observing 0 here means every submitted
+        // batch is visible to a subsequent pin (invariant 1).
         self.shared.pending.load(Ordering::Acquire)
     }
 
     /// Updates applied by the writer so far (including no-ops).
     pub fn updates_applied(&self) -> u64 {
+        // ordering: Relaxed — statistics counter (invariant 9).
         self.shared.updates_applied.load(Ordering::Relaxed)
     }
 
@@ -521,6 +545,7 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
     /// Versions evicted from the retention ring so far (they stay alive
     /// while pinned; this counts ring departures, not deallocations).
     pub fn retired(&self) -> u64 {
+        // ordering: Relaxed — statistics counter (invariant 9).
         self.shared.retired.load(Ordering::Relaxed)
     }
 
@@ -630,6 +655,8 @@ fn apply_and_publish<A: DynamicAdjacency>(
     if shared.record_history {
         shared.history.lock().extend(batches);
     }
+    // ordering: Relaxed — statistics counter (invariant 9); readers
+    // never infer visibility from it.
     shared.updates_applied.fetch_add(applied, Ordering::Relaxed);
     m.updates_applied.add(applied);
 
@@ -677,6 +704,9 @@ fn apply_and_publish<A: DynamicAdjacency>(
     m.queue_depth.sub(cycle_batches as i64);
     // Decrement pending only after publication so `pending_batches() ==
     // 0` implies every submitted batch is visible to new pins.
+    // ordering: AcqRel — the release half pairs with pending_batches'
+    // Acquire load; the decrement is the post-publication signal
+    // (invariant 1).
     shared
         .pending
         .fetch_sub(cycle_batches as usize, Ordering::AcqRel);
@@ -685,6 +715,8 @@ fn apply_and_publish<A: DynamicAdjacency>(
     m.retained.inc();
     while ring.len() > shared.retain {
         ring.pop_front();
+        // ordering: Relaxed — statistics counter (invariant 9); the
+        // ring itself is guarded by its mutex.
         shared.retired.fetch_add(1, Ordering::Relaxed);
         m.retained.dec();
     }

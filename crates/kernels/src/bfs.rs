@@ -82,6 +82,8 @@ fn bfs_filtered<V: GraphView>(view: &V, src: u32, pred: impl Fn(u32) -> bool + S
     assert!((src as usize) < n, "source out of range");
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    // ordering: Relaxed — pre-parallel initialization; the first
+    // level's spawn barrier publishes it (invariant 8).
     dist[src as usize].store(0, Ordering::Relaxed);
     let mut frontier = vec![src];
     let mut level = 0u32;
@@ -175,13 +177,20 @@ fn claim(
     if !pred(t) {
         return None;
     }
+    // ordering: Relaxed — cheap pre-check; the CAS below is the
+    // authoritative claim.
     if dist[w as usize].load(Ordering::Relaxed) != UNREACHED {
         return None;
     }
+    // ordering: Relaxed — the CAS's atomicity alone grants the claim
+    // (invariant 7); the level value rides in the claimed word and the
+    // level join publishes it.
     if dist[w as usize]
         .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
         .is_ok()
     {
+        // ordering: Relaxed — only the claim winner writes w's parent
+        // (invariant 7); readers consume it after the BFS completes.
         parent[w as usize].store(v, Ordering::Relaxed);
         Some(w)
     } else {

@@ -20,34 +20,49 @@ pub fn connected_components<V: GraphView>(view: &V) -> Vec<u32> {
     let n = view.num_vertices();
     let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let changed = AtomicBool::new(true);
+    // ordering: Relaxed — the swap reads between parallel phases; each
+    // phase's join barrier publishes the stores (invariant 8), and the
+    // fixed-point loop re-checks until no grafting occurs.
     while changed.swap(false, Ordering::Relaxed) {
         // Graft: hook higher-labeled roots under lower labels seen across
         // edges. Racy relaxed updates are fine — the loop re-checks until a
         // fixed point, and labels only ever decrease.
         (0..n as u32).into_par_iter().for_each(|u| {
+            // ordering: Relaxed — labels are monotone-decreasing u32s;
+            // a stale read only delays convergence, never corrupts it
+            // (the loop re-checks to a fixed point).
             let lu = label[u as usize].load(Ordering::Relaxed);
             view.for_each_edge(u, |v, _| {
+                // ordering: Relaxed — as above.
                 let lv = label[v as usize].load(Ordering::Relaxed);
                 if lv < lu {
                     // Hook u's current root downward.
                     if try_lower(&label, u, lv) {
+                        // ordering: Relaxed — progress flag read after
+                        // the phase join (see the loop head).
                         changed.store(true, Ordering::Relaxed);
                     }
                 } else if lu < lv && try_lower(&label, v, lu) {
+                    // ordering: Relaxed — as above.
                     changed.store(true, Ordering::Relaxed);
                 }
             });
         });
         // Shortcut: pointer-jump every label to its root.
         (0..n).into_par_iter().for_each(|u| {
+            // ordering: Relaxed (all) — pointer jumping over the same
+            // monotone labels; racy jumps land on a valid (possibly
+            // stale) root and the outer fixed point absorbs them.
             let mut l = label[u].load(Ordering::Relaxed);
             loop {
+                // ordering: Relaxed — see above.
                 let ll = label[l as usize].load(Ordering::Relaxed);
                 if ll == l {
                     break;
                 }
                 l = ll;
             }
+            // ordering: Relaxed — see above.
             label[u].store(l, Ordering::Relaxed);
         });
     }
@@ -57,8 +72,13 @@ pub fn connected_components<V: GraphView>(view: &V) -> Vec<u32> {
 /// Lowers `x`'s label to `to` if `to` is smaller (CAS loop). Returns true
 /// if a change was made.
 fn try_lower(label: &[AtomicU32], x: u32, to: u32) -> bool {
+    // ordering: Relaxed (load and CAS) — labels only decrease, so the
+    // CAS can only replace a value with a smaller one; no data is
+    // published through the label word itself (invariant 8: the phase
+    // join synchronizes).
     let mut cur = label[x as usize].load(Ordering::Relaxed);
     while to < cur {
+        // ordering: Relaxed — covered by the note above.
         match label[x as usize].compare_exchange_weak(cur, to, Ordering::Relaxed, Ordering::Relaxed)
         {
             Ok(_) => return true,

@@ -50,6 +50,9 @@ pub fn boruvka_msf(n: usize, edges: &[TimedEdge]) -> Msf {
         // 2. Adopt the selected edges (sequential: cheap, O(#components)).
         let mut grew = false;
         for b in &best {
+            // ordering: Relaxed — read after the selection phase's join
+            // barrier, which published the CAS-min results
+            // (invariant 8).
             let packed = b.load(Ordering::Relaxed);
             if packed == NO_CANDIDATE {
                 continue;
@@ -122,8 +125,12 @@ fn root(label: &[u32], mut v: u32) -> u32 {
 }
 
 fn atomic_min(slot: &AtomicU64, val: u64) {
+    // ordering: Relaxed (load and CAS) — monotone packed minimum; the
+    // CAS only ever lowers the value and the phase join publishes the
+    // final result (invariant 8).
     let mut cur = slot.load(Ordering::Relaxed);
     while val < cur {
+        // ordering: Relaxed — covered by the note above.
         match slot.compare_exchange_weak(cur, val, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(now) => cur = now,

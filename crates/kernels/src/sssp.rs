@@ -27,6 +27,8 @@ pub fn delta_stepping<V: GraphView>(view: &V, src: u32, delta: u64) -> Vec<u64> 
     assert!((src as usize) < n, "source out of range");
     let delta = delta.max(1);
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    // ordering: Relaxed — pre-parallel initialization; the first
+    // bucket's spawn barrier publishes it (invariant 8).
     dist[src as usize].store(0, Ordering::Relaxed);
     let mut buckets: Vec<Vec<u32>> = vec![vec![src]];
     let mut current = 0usize;
@@ -68,6 +70,8 @@ fn relax_requests<V: GraphView>(
         return frontier
             .par_iter()
             .flat_map_iter(|&v| {
+                // ordering: Relaxed — v's distance settled in an
+                // earlier phase; the bucket join published it.
                 let dv = dist[v as usize].load(Ordering::Relaxed);
                 csr.neighbors(v)
                     .iter()
@@ -80,6 +84,7 @@ fn relax_requests<V: GraphView>(
     frontier
         .par_iter()
         .flat_map_iter(|&v| {
+            // ordering: Relaxed — as in the CSR path above.
             let dv = dist[v as usize].load(Ordering::Relaxed);
             let mut out = Vec::new();
             view.for_each_edge(v, |u, w| {
@@ -111,8 +116,12 @@ fn relax_all(
     let improved: Vec<(u32, u64)> = requests
         .par_iter()
         .filter_map(|&(v, nd)| {
+            // ordering: Relaxed (load and CAS) — distance words are
+            // monotone-decreasing minima (invariant 7: the CAS is the
+            // claim); the relax pass's join publishes them.
             let mut cur = dist[v as usize].load(Ordering::Relaxed);
             while nd < cur {
+                // ordering: Relaxed — covered by the note above.
                 match dist[v as usize].compare_exchange_weak(
                     cur,
                     nd,

@@ -23,25 +23,38 @@ pub fn st_connectivity<V: GraphView>(view: &V, s: u32, t: u32) -> Option<u32> {
         return Some(0);
     }
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    // ordering: Relaxed — pre-parallel initialization; the first
+    // level's spawn barrier publishes it.
     dist[s as usize].store(0, Ordering::Relaxed);
     let found = AtomicBool::new(false);
     let mut frontier = vec![s];
     let mut level = 0u32;
+    // ordering: Relaxed — read between levels, after the level's join
+    // barrier (invariant 8); an in-level stale read is only an early
+    // -exit hint checked again next level.
     while !frontier.is_empty() && !found.load(Ordering::Relaxed) {
         level += 1;
         // Shared claim step for both read paths.
         let try_claim = |w: u32| -> Option<u32> {
+            // ordering: Relaxed — early-exit hint; the level barrier
+            // makes the final check authoritative.
             if found.load(Ordering::Relaxed) {
                 return None;
             }
+            // ordering: Relaxed — cheap pre-check; the CAS below is
+            // the authoritative claim.
             if dist[w as usize].load(Ordering::Relaxed) != UNREACHED {
                 return None;
             }
+            // ordering: Relaxed — the CAS's atomicity alone grants the
+            // claim (invariant 7); the distance value is the payload
+            // and rides in the same word.
             if dist[w as usize]
                 .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
                 if w == t {
+                    // ordering: Relaxed — hint flag, see the loop head.
                     found.store(true, Ordering::Relaxed);
                 }
                 Some(w)
@@ -73,6 +86,7 @@ pub fn st_connectivity<V: GraphView>(view: &V, s: u32, t: u32) -> Option<u32> {
         };
         frontier = next;
     }
+    // ordering: Relaxed — read after the final level's join barrier.
     let d = dist[t as usize].load(Ordering::Relaxed);
     (d != UNREACHED).then_some(d)
 }

@@ -27,6 +27,8 @@ pub fn earliest_arrival<V: GraphView>(view: &V, src: u32) -> Vec<u32> {
     let mut entries: Vec<(u32, u32, u32)> = view.collect_entries(); // (u, v, ts)
     entries.par_sort_unstable_by_key(|&(_, _, t)| t);
     let arrival: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
+    // ordering: Relaxed — pre-parallel initialization; the first
+    // bucket's spawn barrier publishes it (invariant 8).
     arrival[src as usize].store(0, Ordering::Relaxed);
     let mut i = 0;
     while i < entries.len() {
@@ -37,6 +39,9 @@ pub fn earliest_arrival<V: GraphView>(view: &V, src: u32) -> Vec<u32> {
         }
         // One bucket: all edges labelled t relax against arrivals < t.
         entries[i..j].par_iter().for_each(|&(u, v, ts)| {
+            // ordering: Relaxed — u's arrival (< t) settled in an
+            // earlier bucket whose join published it; same-bucket
+            // writes set arrival == ts, which this strict < ignores.
             if arrival[u as usize].load(Ordering::Relaxed) < ts {
                 // v can now be reached with last-edge label ts.
                 atomic_min(&arrival[v as usize], ts);
@@ -48,8 +53,11 @@ pub fn earliest_arrival<V: GraphView>(view: &V, src: u32) -> Vec<u32> {
 }
 
 fn atomic_min(slot: &AtomicU32, val: u32) {
+    // ordering: Relaxed (load and CAS) — monotone minimum; the bucket
+    // join publishes the result (invariant 8).
     let mut cur = slot.load(Ordering::Relaxed);
     while val < cur {
+        // ordering: Relaxed — covered by the note above.
         match slot.compare_exchange_weak(cur, val, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(now) => cur = now,

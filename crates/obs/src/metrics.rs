@@ -48,6 +48,8 @@ fn shard_id() -> usize {
         if v != usize::MAX {
             v
         } else {
+            // ordering: Relaxed — round-robin shard assignment; any
+            // interleaving is equally correct (invariant 9).
             let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
             c.set(v);
             v
@@ -92,16 +94,21 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — instrumentation counter; scrapes are
+        // point-in-time and never gate results (invariant 9).
         self.cells[shard_id()].0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// The merged total across shards.
     pub fn value(&self) -> u64 {
+        // ordering: Relaxed — point-in-time scrape (invariant 9).
         self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
     }
 
     fn reset(&self) {
         for c in self.cells.iter() {
+            // ordering: Relaxed — racing increments may land on either
+            // side of a reset by contract (invariant 9).
             c.0.store(0, Ordering::Relaxed);
         }
     }
@@ -130,6 +137,7 @@ impl Gauge {
     /// Adds `n` (which may be negative).
     #[inline]
     pub fn add(&self, n: i64) {
+        // ordering: Relaxed — instrumentation gauge (invariant 9).
         self.cells[shard_id()].0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -153,11 +161,13 @@ impl Gauge {
 
     /// The merged value across shards.
     pub fn value(&self) -> i64 {
+        // ordering: Relaxed — point-in-time scrape (invariant 9).
         self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
     }
 
     fn reset(&self) {
         for c in self.cells.iter() {
+            // ordering: Relaxed — as for Counter::reset (invariant 9).
             c.0.store(0, Ordering::Relaxed);
         }
     }
@@ -237,8 +247,13 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let s = &self.shards[shard_id()];
+        // ordering: Relaxed (all three) — instrumentation histogram;
+        // the bucket/sum/max triple need not be mutually consistent in
+        // a scrape (invariant 9).
         s.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — see above.
         s.sum.fetch_add(v, Ordering::Relaxed);
+        // ordering: Relaxed — see above.
         s.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -249,11 +264,14 @@ impl Histogram {
         let mut max = 0u64;
         for s in self.shards.iter() {
             for (i, c) in s.counts.iter().enumerate() {
+                // ordering: Relaxed — point-in-time scrape (invariant 9).
                 counts[i] += c.load(Ordering::Relaxed);
             }
             // fetch_add wraps; the merge must match (sum is exact
             // modulo 2^64, like any Prometheus counter).
+            // ordering: Relaxed — point-in-time scrape (invariant 9).
             sum = sum.wrapping_add(s.sum.load(Ordering::Relaxed));
+            // ordering: Relaxed — point-in-time scrape (invariant 9).
             max = max.max(s.max.load(Ordering::Relaxed));
         }
         HistogramSnapshot::from_counts(counts, sum, max)
@@ -262,9 +280,12 @@ impl Histogram {
     fn reset(&self) {
         for s in self.shards.iter() {
             for c in s.counts.iter() {
+                // ordering: Relaxed — as for Counter::reset (invariant 9).
                 c.store(0, Ordering::Relaxed);
             }
+            // ordering: Relaxed — as for Counter::reset (invariant 9).
             s.sum.store(0, Ordering::Relaxed);
+            // ordering: Relaxed — as for Counter::reset (invariant 9).
             s.max.store(0, Ordering::Relaxed);
         }
     }
@@ -381,6 +402,8 @@ impl Sampler {
     /// True when this event should be sampled.
     #[inline]
     pub fn tick(&self) -> bool {
+        // ordering: Relaxed — sampling decision only; which events get
+        // sampled never affects results (invariant 9).
         self.ticks.fetch_add(1, Ordering::Relaxed) & self.mask == 0
     }
 }
@@ -473,6 +496,8 @@ impl MetricsRegistry {
     /// # Panics
     /// If `name` is already registered as a different metric type.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
+        // panics: only if a metrics writer panicked while holding the
+        // registry lock (poisoning) — unrecoverable, propagate.
         let mut entries = self.entries.lock().unwrap();
         if let Some(e) = entries.iter().find(|e| e.name == name) {
             match &e.metric {
@@ -495,6 +520,7 @@ impl MetricsRegistry {
     /// # Panics
     /// If `name` is already registered as a different metric type.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        // panics: lock poisoning only, as in `counter`.
         let mut entries = self.entries.lock().unwrap();
         if let Some(e) = entries.iter().find(|e| e.name == name) {
             match &e.metric {
@@ -517,6 +543,7 @@ impl MetricsRegistry {
     /// # Panics
     /// If `name` is already registered as a different metric type.
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        // panics: lock poisoning only, as in `counter`.
         let mut entries = self.entries.lock().unwrap();
         if let Some(e) = entries.iter().find(|e| e.name == name) {
             match &e.metric {
@@ -535,6 +562,7 @@ impl MetricsRegistry {
 
     /// Scrapes every metric, sorted by name.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        // panics: lock poisoning only, as in `counter`.
         let entries = self.entries.lock().unwrap();
         let mut out: Vec<MetricSnapshot> = entries
             .iter()
@@ -556,6 +584,7 @@ impl MetricsRegistry {
     /// For tests and between bench repetitions; concurrent writers may
     /// land increments on either side of the reset.
     pub fn reset(&self) {
+        // panics: lock poisoning only, as in `counter`.
         let entries = self.entries.lock().unwrap();
         for e in entries.iter() {
             match &e.metric {
@@ -654,6 +683,9 @@ impl MetricsRegistry {
         let handle = std::thread::Builder::new()
             .name("snap-obs-http".into())
             .spawn(move || {
+                // ordering: Acquire — pairs with shutdown's Release
+                // store; everything before the stop request
+                // happens-before loop exit.
                 while !stop2.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _)) => {
@@ -723,6 +755,8 @@ impl MetricsServer {
     }
 
     fn stop_and_join(&mut self) {
+        // ordering: Release — pairs with the accept loop's Acquire
+        // load (see `serve_http`).
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();

@@ -372,9 +372,14 @@ fn brandes_source_into<V: GraphView>(view: &V, s: u32, sc: &mut Scratch, acc: &m
 /// path counts, whose integer values make the sum order-independent.
 #[inline]
 fn atomic_f64_add(cell: &AtomicU64, add: f64) {
+    // ordering: Relaxed (load and CAS) — a pure accumulator: the CAS
+    // guarantees atomicity of each add and the level join publishes
+    // the total (invariant 8); order of adds is immaterial because
+    // sigma values are integral.
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let new = (f64::from_bits(cur) + add).to_bits();
+        // ordering: Relaxed — covered by the note above.
         match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(now) => cur = now,
@@ -405,13 +410,21 @@ fn bc_frontier_parallel<V: GraphView>(view: &V, sources: &[u32], cfg: &ParConfig
     for (si, &s) in sources.iter().enumerate() {
         for lvl in &levels {
             for &v in lvl {
+                // ordering: Relaxed (all three) — sequential per-source
+                // reset between traversals; the next forward level's
+                // spawn barrier publishes it (invariant 8).
                 dist[v as usize].store(UNREACHED, Ordering::Relaxed);
+                // ordering: Relaxed — see above.
                 sigma[v as usize].store(0, Ordering::Relaxed);
+                // ordering: Relaxed — see above.
                 delta[v as usize].store(0, Ordering::Relaxed);
             }
         }
         levels.clear();
+        // ordering: Relaxed (both) — sequential seeding, published by
+        // the first level's spawn barrier.
         dist[s as usize].store(0, Ordering::Relaxed);
+        // ordering: Relaxed — see above.
         sigma[s as usize].store(1.0f64.to_bits(), Ordering::Relaxed);
         engine.seed(s);
         levels.push(vec![s]);
@@ -420,7 +433,12 @@ fn bc_frontier_parallel<V: GraphView>(view: &V, sources: &[u32], cfg: &ParConfig
             level += 1;
             let (dist_r, sigma_r) = (&dist, &sigma);
             let found = engine.advance(view, |u, v, _| {
+                // ordering: Relaxed — u's sigma settled on the previous
+                // level, published by that level's join.
                 let su = f64::from_bits(sigma_r[u as usize].load(Ordering::Relaxed));
+                // ordering: Relaxed — the level-stamped distance CAS is
+                // the claim word (invariant 7): winners and same-level
+                // losers both contribute sigma; the join publishes.
                 match dist_r[v as usize].compare_exchange(
                     UNREACHED,
                     level,
@@ -458,23 +476,36 @@ fn bc_frontier_parallel<V: GraphView>(view: &V, sources: &[u32], cfg: &ParConfig
             par_for_ranges(&ranges, width, |r| {
                 for i in r {
                     let v = lvl[i as usize];
+                    // ordering: Relaxed (all loads here) — dist/sigma
+                    // settled in the forward pass and deeper levels'
+                    // deltas in earlier backward iterations; each
+                    // fork-join barrier published them (invariant 8).
                     let dv = dist_r[v as usize].load(Ordering::Relaxed);
+                    // ordering: Relaxed — see above.
                     let sv = f64::from_bits(sigma_r[v as usize].load(Ordering::Relaxed));
                     let mut dsum = 0.0f64;
                     view.for_each_edge(v, |w, _| {
+                        // ordering: Relaxed — see above.
                         if dist_r[w as usize].load(Ordering::Relaxed) != dv + 1 {
                             return;
                         }
+                        // ordering: Relaxed — see above.
                         let dw = f64::from_bits(delta_r[w as usize].load(Ordering::Relaxed));
+                        // ordering: Relaxed — see above.
                         let sw = f64::from_bits(sigma_r[w as usize].load(Ordering::Relaxed));
                         dsum += sv * ((1.0 + dw) / sw);
                     });
+                    // ordering: Relaxed — v's delta is written by the
+                    // one worker owning v's position (invariant 7);
+                    // the level join publishes it.
                     delta_r[v as usize].store(dsum.to_bits(), Ordering::Relaxed);
                 }
             });
         }
         for lvl in levels.iter().skip(1) {
             for &v in lvl {
+                // ordering: Relaxed — sequential accumulation after the
+                // backward pass's final join.
                 part[v as usize] += f64::from_bits(delta[v as usize].load(Ordering::Relaxed));
             }
         }

@@ -92,6 +92,8 @@ pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsR
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     let visited = AtomicBitset::new(n);
+    // ordering: Relaxed — pre-parallel seeding; the first level's
+    // spawn barrier publishes it (invariant 8).
     dist[src as usize].store(0, Ordering::Relaxed);
     visited.set(src as usize);
 
@@ -162,7 +164,11 @@ pub fn par_bfs_stats<V: GraphView>(view: &V, src: u32, cfg: &ParConfig) -> (BfsR
             let (dist, parent, visited) = (&dist, &parent, &visited);
             engine.advance_hinted(view, Some(frontier_deg), |u, v, _| {
                 if visited.claim(v as usize) {
+                    // ordering: Relaxed (both stores) — only the claim
+                    // winner writes v's words (invariant 7); the level
+                    // join publishes them (invariant 8).
                     dist[v as usize].store(level, Ordering::Relaxed);
+                    // ordering: Relaxed — see above.
                     parent[v as usize].store(u, Ordering::Relaxed);
                     true
                 } else {
@@ -211,7 +217,11 @@ fn bottom_up_level<V: GraphView>(
                 let hit = view.find_edge(w as u32, |v, _| frontier_bits.test(v as usize));
                 if let Some((v, _)) = hit {
                     visited.set(w);
+                    // ordering: Relaxed (both) — bottom-up: w's range
+                    // owner is the only writer (invariant 7); the
+                    // level join publishes (invariant 8).
                     dist[w].store(level, Ordering::Relaxed);
+                    // ordering: Relaxed — see above.
                     parent[w].store(v, Ordering::Relaxed);
                     sink.push(w as u32);
                 }

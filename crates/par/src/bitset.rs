@@ -48,11 +48,16 @@ impl AtomicBitset {
         debug_assert!(i < self.len);
         let word = &self.words[i >> 6];
         let mask = 1u64 << (i & 63);
+        // ordering: Relaxed (load and CAS) — the CAS's atomicity alone
+        // picks one claim winner (invariant 7); claimed-vertex data is
+        // published by the level's join barrier, never through the bit
+        // (invariant 8).
         let mut cur = word.load(Ordering::Relaxed);
         loop {
             if cur & mask != 0 {
                 return false;
             }
+            // ordering: Relaxed — covered by the note above.
             match word.compare_exchange_weak(cur, cur | mask, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return true,
@@ -65,6 +70,8 @@ impl AtomicBitset {
     #[inline]
     pub fn set(&self, i: usize) {
         debug_assert!(i < self.len);
+        // ordering: Relaxed — no claim information is taken from the
+        // return; the level join publishes the mask (invariant 8).
         self.words[i >> 6].fetch_or(1u64 << (i & 63), Ordering::Relaxed);
     }
 
@@ -73,6 +80,8 @@ impl AtomicBitset {
     #[inline]
     pub fn clear(&self, i: usize) {
         debug_assert!(i < self.len);
+        // ordering: Relaxed — frontier-mask recycling between levels;
+        // the level join orders it (invariant 8).
         self.words[i >> 6].fetch_and(!(1u64 << (i & 63)), Ordering::Relaxed);
     }
 
@@ -80,6 +89,8 @@ impl AtomicBitset {
     #[inline]
     pub fn test(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
+        // ordering: Relaxed — a stale read only routes a kernel to its
+        // idempotent claim path; `claim`'s CAS is authoritative.
         self.words[i >> 6].load(Ordering::Relaxed) & (1u64 << (i & 63)) != 0
     }
 
@@ -87,6 +98,8 @@ impl AtomicBitset {
     pub fn count_ones(&self) -> usize {
         self.words
             .iter()
+            // ordering: Relaxed — called between levels, after the join
+            // that ordered the sets (invariant 8).
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
     }
@@ -99,6 +112,8 @@ impl AtomicBitset {
         debug_assert!(hi <= self.len);
         let mut i = lo;
         while i < hi {
+            // ordering: Relaxed — bottom-up scan hint; a stale word
+            // only sends extra vertices to the idempotent claim.
             let w = self.words[i >> 6].load(Ordering::Relaxed);
             let word_end = ((i >> 6) + 1) << 6;
             let end = word_end.min(hi);

@@ -71,6 +71,9 @@ pub fn par_cc_stats<V: GraphView>(view: &V, cfg: &ParConfig) -> (Vec<u32>, ParSt
     let ranges: Vec<Range<u32>> = view.vertex_chunks(sweep_grain(n, width)).collect();
     let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let changed = AtomicBool::new(true);
+    // ordering: Relaxed — read between sweeps; each sweep's join
+    // barrier publishes the stores (invariant 8) and the fixed point
+    // re-checks.
     while changed.swap(false, Ordering::Relaxed) {
         // Graft: relaxed racy hooking is convergent — the outer loop
         // re-checks until a fixed point and labels only decrease.
@@ -79,14 +82,21 @@ pub fn par_cc_stats<V: GraphView>(view: &V, cfg: &ParConfig) -> (Vec<u32>, ParSt
             width,
             |r| {
                 for u in r {
+                    // ordering: Relaxed — labels are monotone minima;
+                    // stale reads only delay the fixed point, as in
+                    // the kernels::cc sweep (invariant 8).
                     let lu = label[u as usize].load(Ordering::Relaxed);
                     view.for_each_edge(u, |v, _| {
+                        // ordering: Relaxed — as above.
                         let lv = label[v as usize].load(Ordering::Relaxed);
                         if lv < lu {
                             if try_lower(&label, u, lv) {
+                                // ordering: Relaxed — progress flag
+                                // read after the sweep join.
                                 changed.store(true, Ordering::Relaxed);
                             }
                         } else if lu < lv && try_lower(&label, v, lu) {
+                            // ordering: Relaxed — as above.
                             changed.store(true, Ordering::Relaxed);
                         }
                     });
@@ -101,14 +111,19 @@ pub fn par_cc_stats<V: GraphView>(view: &V, cfg: &ParConfig) -> (Vec<u32>, ParSt
             width,
             |r| {
                 for u in r {
+                    // ordering: Relaxed (all) — pointer jumping over
+                    // monotone labels; racy jumps land on valid roots
+                    // and the outer fixed point absorbs staleness.
                     let mut l = label[u as usize].load(Ordering::Relaxed);
                     loop {
+                        // ordering: Relaxed — see above.
                         let ll = label[l as usize].load(Ordering::Relaxed);
                         if ll == l {
                             break;
                         }
                         l = ll;
                     }
+                    // ordering: Relaxed — see above.
                     label[u as usize].store(l, Ordering::Relaxed);
                 }
             },
@@ -144,20 +159,27 @@ pub fn par_cc_restricted<V: GraphView>(view: &V, verts: &[u32], cfg: &ParConfig)
     // the min-position fixed point is the min-id label.
     let label: Vec<AtomicU32> = (0..k as u32).map(AtomicU32::new).collect();
     let changed = AtomicBool::new(true);
+    // ordering: Relaxed — same sweep-join discipline as `par_cc` above
+    // (invariant 8); every site in this restricted pass mirrors the
+    // full-graph pass.
     while changed.swap(false, Ordering::Relaxed) {
         frontier::par_for_ranges(&ranges, width, |r| {
             for i in r {
+                // ordering: Relaxed — monotone label, as in par_cc.
                 let li = label[i as usize].load(Ordering::Relaxed);
                 view.for_each_edge(verts[i as usize], |w, _| {
                     let Ok(j) = verts.binary_search(&w) else {
                         return; // edge leaves the subset
                     };
+                    // ordering: Relaxed — as above.
                     let lj = label[j].load(Ordering::Relaxed);
                     if lj < li {
                         if try_lower(&label, i, lj) {
+                            // ordering: Relaxed — progress flag.
                             changed.store(true, Ordering::Relaxed);
                         }
                     } else if li < lj && try_lower(&label, j as u32, li) {
+                        // ordering: Relaxed — progress flag.
                         changed.store(true, Ordering::Relaxed);
                     }
                 });
@@ -165,14 +187,18 @@ pub fn par_cc_restricted<V: GraphView>(view: &V, verts: &[u32], cfg: &ParConfig)
         });
         frontier::par_for_ranges(&ranges, width, |r| {
             for i in r {
+                // ordering: Relaxed (all) — pointer jumping, as in
+                // par_cc's shortcut sweep.
                 let mut l = label[i as usize].load(Ordering::Relaxed);
                 loop {
+                    // ordering: Relaxed — see above.
                     let ll = label[l as usize].load(Ordering::Relaxed);
                     if ll == l {
                         break;
                     }
                     l = ll;
                 }
+                // ordering: Relaxed — see above.
                 label[i as usize].store(l, Ordering::Relaxed);
             }
         });
@@ -211,8 +237,11 @@ fn chunk_positions(k: usize, grain: usize) -> Vec<Range<u32>> {
 
 /// CAS-lowers `x`'s label to `to` if smaller; true if changed.
 fn try_lower(label: &[AtomicU32], x: u32, to: u32) -> bool {
+    // ordering: Relaxed (load and CAS) — the CAS only lowers the
+    // monotone label; sweep joins publish results (invariant 8).
     let mut cur = label[x as usize].load(Ordering::Relaxed);
     while to < cur {
+        // ordering: Relaxed — covered by the note above.
         match label[x as usize].compare_exchange_weak(cur, to, Ordering::Relaxed, Ordering::Relaxed)
         {
             Ok(_) => return true,

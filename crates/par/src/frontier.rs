@@ -171,6 +171,8 @@ where
         }
         Chunk::Hub { pos, lo, hi } => {
             let u = frontier[pos];
+            // panics: unreachable — the chunk builder only emits Hub
+            // chunks when `view.as_csr()` returned Some.
             let csr = view.as_csr().expect("hub splitting requires a CSR view");
             for (&v, &ts) in csr.neighbors(u)[lo..hi]
                 .iter()
@@ -212,9 +214,15 @@ fn drain_deals(deals: &[Deal], home: usize, mut work: impl FnMut(usize), steals:
     for k in 0..deals.len() {
         let d = &deals[(home + k) % deals.len()];
         loop {
+            // ordering: Relaxed — pre-check hint only; the fetch_add
+            // below is the authoritative claim.
             if d.next.load(Ordering::Relaxed) >= d.end {
                 break;
             }
+            // ordering: Relaxed — the RMW's atomicity alone hands slot
+            // i to exactly one worker (invariant 7); chunk data is
+            // immutable during the level and the scope join publishes
+            // results (invariant 8: stealing never leaks into them).
             let i = d.next.fetch_add(1, Ordering::Relaxed);
             if i >= d.end {
                 break;
@@ -226,6 +234,7 @@ fn drain_deals(deals: &[Deal], home: usize, mut work: impl FnMut(usize), steals:
         }
     }
     if stolen > 0 {
+        // ordering: Relaxed — statistics counter (invariant 9).
         steals.fetch_add(stolen, Ordering::Relaxed);
     }
 }
@@ -357,6 +366,7 @@ impl LevelRunner {
                 }
             });
         }
+        // ordering: Relaxed — statistics read after the scope join.
         self.stats.steals += steals.load(Ordering::Relaxed);
     }
 }
@@ -433,6 +443,7 @@ where
     }
     stats.forked_levels += 1;
     stats.chunks_built += ranges.len() as u64;
+    // ordering: Relaxed — statistics read after the scope join.
     stats.steals += steals.load(Ordering::Relaxed);
 }
 
@@ -485,6 +496,7 @@ pub fn par_range_map_stats<T, F>(
     }
     stats.forked_levels += 1;
     stats.chunks_built += ranges.len() as u64;
+    // ordering: Relaxed — statistics read after the scope join.
     stats.steals += steals.load(Ordering::Relaxed);
 }
 
@@ -914,6 +926,7 @@ mod tests {
         let mut seen = Vec::new();
         drain_deals(&deals, 1, |i| seen.push(i), &steals);
         assert_eq!(seen, vec![5, 6, 7, 8, 9, 0, 1, 2, 3, 4]);
+        // ordering: Relaxed — single-threaded test read.
         assert_eq!(steals.load(Ordering::Relaxed), 5);
     }
 }

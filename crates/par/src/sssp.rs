@@ -82,6 +82,8 @@ pub fn par_sssp_stats<V: GraphView>(
     let mut runner = LevelRunner::new(cfg.worker_count(), cfg.chunk_edges, cfg.level_gate(work));
     let mut sinks: Vec<Vec<(u32, u64)>> = (0..runner.workers()).map(|_| Vec::new()).collect();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    // ordering: Relaxed — pre-parallel seeding; the first relax pass's
+    // spawn barrier publishes it (invariant 8).
     dist[src as usize].store(0, Ordering::Relaxed);
     let mut buckets: Vec<Vec<u32>> = vec![vec![src]];
     let mut current = 0usize;
@@ -153,10 +155,16 @@ fn relax_frontier<V: GraphView>(
             if !qualifies(w) {
                 return;
             }
+            // ordering: Relaxed — u settled in an earlier pass whose
+            // join published its distance (invariant 8).
             let du = dist[u as usize].load(Ordering::Relaxed);
             let nd = du.saturating_add(w);
+            // ordering: Relaxed (load and CAS) — monotone-decreasing
+            // distance minimum; the CAS is the claim (invariant 7) and
+            // the pass join publishes results.
             let mut cur = dist[v as usize].load(Ordering::Relaxed);
             while nd < cur {
+                // ordering: Relaxed — covered by the note above.
                 match dist[v as usize].compare_exchange_weak(
                     cur,
                     nd,
@@ -275,6 +283,7 @@ mod tests {
             self.inner.out_degree(u)
         }
         fn for_each_edge<F: FnMut(u32, u32)>(&self, u: u32, f: F) {
+            // ordering: Relaxed — test visit counter.
             self.visits.fetch_add(1, Ordering::Relaxed);
             GraphView::for_each_edge(self.inner, u, f)
         }

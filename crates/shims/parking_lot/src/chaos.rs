@@ -1,0 +1,129 @@
+//! Seeded chaos injection for the lock shim (feature `chaos`).
+//!
+//! With the feature on, every lock-acquisition path calls
+//! `point`, which decides — as a pure function of the global seed and
+//! a per-thread call counter — whether to `std::thread::yield_now()`
+//! before proceeding. Yield points perturb the OS scheduler at exactly
+//! the boundaries where the workspace's publication protocols must
+//! tolerate preemption, and the seed makes a failing schedule
+//! re-runnable: the *decision sequence* each thread sees is fixed by
+//! `(seed, thread ordinal, call index)`, so a given seed explores the
+//! same family of interleavings on every run.
+//!
+//! The seed comes from [`set_seed`] or, if never called, the
+//! `SNAP_CHAOS_SEED` environment variable (default 0). With the feature
+//! off this module still compiles — every entry point is a no-op ZST
+//! call — so test code can drive the API unconditionally.
+
+#[cfg(feature = "chaos")]
+mod imp {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// `u64::MAX` means "not yet seeded": first use falls back to the
+    /// `SNAP_CHAOS_SEED` environment variable.
+    static SEED: AtomicU64 = AtomicU64::new(u64::MAX);
+    /// Bumped by `set_seed` so live threads re-derive their stream.
+    static EPOCH: AtomicU64 = AtomicU64::new(0);
+    /// Thread ordinals decouple per-thread streams from unstable
+    /// `ThreadId`s.
+    static NEXT_ORDINAL: AtomicU64 = AtomicU64::new(0);
+    /// Total yields actually injected (tests assert chaos was live).
+    static YIELDS: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        static RNG: Cell<u64> = const { Cell::new(0) };
+        static AT_EPOCH: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    pub fn set_seed(seed: u64) {
+        SEED.store(seed, Ordering::Relaxed);
+        EPOCH.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn enabled() -> bool {
+        true
+    }
+
+    pub fn yield_count() -> u64 {
+        YIELDS.load(Ordering::Relaxed)
+    }
+
+    fn seed() -> u64 {
+        let s = SEED.load(Ordering::Relaxed);
+        if s != u64::MAX {
+            return s;
+        }
+        let s = std::env::var("SNAP_CHAOS_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        SEED.store(s, Ordering::Relaxed);
+        s
+    }
+
+    #[inline]
+    pub fn point() {
+        let ep = EPOCH.load(Ordering::Relaxed);
+        let mut st = RNG.with(Cell::get);
+        if AT_EPOCH.with(Cell::get) != ep || st == 0 {
+            let ord = NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed);
+            st = splitmix(seed() ^ splitmix(ord.wrapping_add(1)));
+            st |= 1; // never zero: zero is the "uninitialized" marker
+            AT_EPOCH.with(|c| c.set(ep));
+        }
+        st = splitmix(st);
+        RNG.with(|c| c.set(st));
+        if st & 7 == 0 {
+            YIELDS.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(feature = "chaos")]
+pub(crate) use imp::point;
+#[cfg(feature = "chaos")]
+pub use imp::{enabled, set_seed, yield_count};
+
+/// No-op when the `chaos` feature is off.
+#[cfg(not(feature = "chaos"))]
+pub fn set_seed(_seed: u64) {}
+
+/// Reports whether chaos injection is compiled in.
+#[cfg(not(feature = "chaos"))]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Total injected yields (always 0 with the feature off).
+#[cfg(not(feature = "chaos"))]
+pub fn yield_count() -> u64 {
+    0
+}
+
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn point() {}
+
+#[cfg(all(test, feature = "chaos"))]
+mod tests {
+    #[test]
+    fn seeded_streams_are_reproducible_and_yield() {
+        super::set_seed(42);
+        // Enough points that the 1-in-8 yield decision must fire.
+        let before = super::yield_count();
+        for _ in 0..4096 {
+            super::point();
+        }
+        assert!(super::yield_count() > before, "chaos never yielded");
+        assert!(super::enabled());
+    }
+}

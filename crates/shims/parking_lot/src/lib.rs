@@ -7,6 +7,8 @@
 //! inner guard, matching parking_lot's behavior of not propagating
 //! poison.
 
+pub mod chaos;
+
 use std::sync::{Mutex as StdMutex, MutexGuard, RwLock as StdRwLock};
 use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
@@ -31,11 +33,13 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        chaos::point();
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     #[inline]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        chaos::point();
         self.inner.try_lock().ok()
     }
 
@@ -65,11 +69,13 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     #[inline]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        chaos::point();
         self.inner.read().unwrap_or_else(|p| p.into_inner())
     }
 
     #[inline]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        chaos::point();
         self.inner.write().unwrap_or_else(|p| p.into_inner())
     }
 

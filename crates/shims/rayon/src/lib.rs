@@ -13,6 +13,8 @@
 //! Swapping the real rayon back in is a one-line change in the workspace
 //! manifest; no source using `rayon::prelude::*` needs to change.
 
+pub mod chaos;
+
 use std::num::NonZeroUsize;
 
 pub mod prelude {
@@ -61,7 +63,11 @@ where
     RB: Send,
 {
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = s.spawn(|| {
+            chaos::point();
+            b()
+        });
+        chaos::point();
         let ra = a();
         let rb = hb.join().expect("rayon::join task panicked");
         (ra, rb)
@@ -80,7 +86,10 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
         let inner = self.inner;
-        inner.spawn(move || f(&Scope { inner }));
+        inner.spawn(move || {
+            chaos::point();
+            f(&Scope { inner })
+        });
     }
 }
 
@@ -428,9 +437,17 @@ impl<I: Iterator> ParIter<I> {
             let mut rest = items;
             while rest.len() > chunk {
                 let tail = rest.split_off(rest.len() - chunk);
-                s.spawn(move || tail.into_iter().for_each(f));
+                s.spawn(move || {
+                    tail.into_iter().for_each(|x| {
+                        chaos::point();
+                        f(x)
+                    })
+                });
             }
-            rest.into_iter().for_each(f);
+            rest.into_iter().for_each(|x| {
+                chaos::point();
+                f(x)
+            });
         });
     }
 

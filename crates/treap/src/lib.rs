@@ -273,6 +273,9 @@ impl Treap {
                 stack.push(cur);
                 cur = self.nodes[cur as usize].left;
             }
+            // panics: unreachable — the outer loop condition admits
+            // entry only with cur != NIL (which pushes) or a non-empty
+            // stack.
             let t = stack.pop().expect("stack non-empty by loop condition");
             let n = &self.nodes[t as usize];
             out.push((n.key, n.val));
@@ -290,6 +293,8 @@ impl Treap {
                 stack.push(cur);
                 cur = self.nodes[cur as usize].left;
             }
+            // panics: unreachable — same loop-condition argument as in
+            // `entries` above.
             let t = stack.pop().expect("stack non-empty by loop condition");
             let n = &self.nodes[t as usize];
             f(n.key, n.val);

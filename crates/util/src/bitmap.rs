@@ -35,6 +35,9 @@ impl AtomicBitmap {
     pub fn set(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         let mask = 1u64 << (i & 63);
+        // ordering: Relaxed — the RMW's atomicity alone decides the
+        // claim winner (invariant 7); kernels publish claimed data via
+        // their own scope/join barriers, never through this bit.
         let prev = self.words[i >> 6].fetch_or(mask, Ordering::Relaxed);
         prev & mask == 0
     }
@@ -43,6 +46,8 @@ impl AtomicBitmap {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
+        // ordering: Relaxed — a stale read only sends a kernel to its
+        // idempotent claim path; correctness rests on `set`'s RMW.
         self.words[i >> 6].load(Ordering::Relaxed) & (1u64 << (i & 63)) != 0
     }
 
@@ -58,6 +63,8 @@ impl AtomicBitmap {
     pub fn count_ones(&self) -> usize {
         self.words
             .iter()
+            // ordering: Relaxed — called between parallel phases; the
+            // phase join already ordered the sets (invariant 8).
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
     }

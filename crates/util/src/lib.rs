@@ -33,6 +33,8 @@ pub use timer::{mups, Timer};
 /// Benchmarks sweep thread counts explicitly instead of relying on the
 /// global pool, so every figure harness funnels through this constructor.
 pub fn thread_pool(threads: usize) -> rayon::ThreadPool {
+    // panics: pool construction fails only on OS thread exhaustion;
+    // bench/test harness setup has nothing to degrade to.
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()

@@ -122,7 +122,10 @@ where
 /// A raw pointer wrapper asserting cross-thread use is safe because writes
 /// are provably disjoint (see the scatter safety comment).
 struct SendPtr<T>(*mut T);
+// SAFETY: scatter tasks write provably disjoint index ranges (see the
+// scatter safety comment at the use site); no two tasks alias.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — shared use is disjoint writes only.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Returns the boundaries of equal-key groups in a (semi-)sorted slice:

@@ -147,6 +147,7 @@ mod tests {
 
     impl RecordNanos for SumNs {
         fn record_ns(&self, ns: u64) {
+            // ordering: Relaxed — single-threaded test accumulator.
             self.0.fetch_add(ns, Ordering::Relaxed);
         }
     }
@@ -166,9 +167,11 @@ mod tests {
         {
             let t = Timer::scope(&sink);
             assert!(t.is_timing());
+            // ordering: Relaxed — single-threaded test read.
             assert_eq!(sink.0.load(Ordering::Relaxed), 0, "not before drop");
             std::thread::sleep(Duration::from_millis(2));
         }
+        // ordering: Relaxed — single-threaded test read.
         assert!(sink.0.load(Ordering::Relaxed) >= 1_000_000);
     }
 

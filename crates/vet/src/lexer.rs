@@ -1,0 +1,379 @@
+//! Line-level lexical analysis of Rust source.
+//!
+//! The build environment has no reachable crates registry, so `syn` is
+//! unavailable; instead the scanner runs a small character-state machine
+//! that is exact about the only three things the rules need:
+//!
+//! 1. which bytes are **code** vs **comment** vs **string/char literal**
+//!    (so a banned API mentioned in a doc comment never fires, and a
+//!    `SAFETY:` inside a string never satisfies a rule),
+//! 2. brace depth (so `#[cfg(test)]` / `#[test]` regions can be tracked
+//!    without a parse tree), and
+//! 3. the comment text itself (so justification markers can be found).
+//!
+//! Handled: nested `/* */` block comments, `//` line comments, string
+//! escapes, raw strings with any `#` arity, byte strings, and the
+//! char-literal vs lifetime ambiguity (`'a'` vs `'a`).
+
+/// One analyzed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line's code content: string/char-literal bodies and comments
+    /// are blanked with spaces, structural characters are preserved.
+    pub code: String,
+    /// Concatenated comment text appearing on this line (line and block
+    /// comments, including doc comments), without the delimiters.
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]` / `#[test]`
+    /// region or the file itself is a test/bench/example file.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// True when the line carries comment text but no code tokens.
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+
+    /// True when the line is only an attribute (`#[...]`), possibly with
+    /// a trailing comment.
+    pub fn is_attr_only(&self) -> bool {
+        let t = self.code.trim();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+
+    /// True when the line has neither code nor comment text.
+    pub fn is_blank(&self) -> bool {
+        self.code.trim().is_empty() && self.comment.trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment with the current nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string terminated by `"` followed by this many `#`.
+    RawStr(u32),
+    Char,
+}
+
+/// Lex a whole source file into analyzed [`Line`]s.
+///
+/// `whole_file_is_test` marks every line as test context (used for
+/// files under `tests/`, `benches/`, and `examples/`).
+pub fn lex(source: &str, whole_file_is_test: bool) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    // Stack of brace depths at which a test region opened.
+    let mut test_regions: Vec<u32> = Vec::new();
+    // Depth recorded when a test attribute was seen, waiting for its `{`.
+    let mut pending_test: Option<u32> = None;
+    let mut depth: u32 = 0;
+
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        // A line belongs to the test region if we are inside one at line
+        // start, or a test attribute is still waiting for its body.
+        let mut in_test = whole_file_is_test || !test_regions.is_empty() || pending_test.is_some();
+
+        // Attribute-based test detection must arm *before* this line's
+        // braces are processed so `#[cfg(test)] mod t {` works on one
+        // line. The prescan runs on the raw text, which is safe: an
+        // attribute line cannot start inside a string, and if we are
+        // mid block-comment the prescan is skipped.
+        if state == State::Code && is_test_attr(raw) {
+            pending_test = Some(depth);
+            in_test = true;
+        }
+
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        // Check for a raw/byte-raw string opener ending here.
+                        let opener = raw_opener_hashes(&bytes, i);
+                        if let Some(h) = opener {
+                            state = State::RawStr(h);
+                        } else {
+                            state = State::Str;
+                        }
+                        code.push('"');
+                    }
+                    '\'' => {
+                        // Lifetime vs char literal. `'\...'` and `'x'`
+                        // are literals; `'ident` (no closing quote right
+                        // after one symbol) is a lifetime.
+                        if next == Some('\\') {
+                            state = State::Char;
+                            code.push('\'');
+                        } else if bytes.get(i + 2) == Some(&'\'') && next.is_some() {
+                            // 'x' one-char literal: blank the payload.
+                            code.push('\'');
+                            code.push(' ');
+                            code.push('\'');
+                            i += 3;
+                            continue;
+                        } else {
+                            // Lifetime marker: keep as code, stay in Code.
+                            code.push('\'');
+                        }
+                    }
+                    '{' => {
+                        depth += 1;
+                        if let Some(d) = pending_test {
+                            if depth == d + 1 {
+                                test_regions.push(d);
+                                pending_test = None;
+                                in_test = true;
+                            }
+                        }
+                        code.push('{');
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if test_regions.last() == Some(&depth) {
+                            test_regions.pop();
+                        }
+                        code.push('}');
+                    }
+                    _ => code.push(c),
+                },
+                State::LineComment => {
+                    comment.push(c);
+                }
+                State::BlockComment(d) => {
+                    if c == '*' && next == Some('/') {
+                        if d == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::BlockComment(d - 1);
+                        }
+                        i += 2;
+                        code.push(' ');
+                        code.push(' ');
+                        continue;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(d + 1);
+                        comment.push(c);
+                        comment.push('*');
+                        i += 2;
+                        continue;
+                    }
+                    comment.push(c);
+                }
+                State::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = State::Code;
+                        code.push('"');
+                    }
+                    _ => code.push(' '),
+                },
+                State::RawStr(h) => {
+                    if c == '"' && closes_raw(&bytes, i, h) {
+                        state = State::Code;
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push(' ');
+                        }
+                        i += 1 + h as usize;
+                        continue;
+                    }
+                    code.push(' ');
+                }
+                State::Char => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '\'' => {
+                        state = State::Code;
+                        code.push('\'');
+                    }
+                    _ => code.push(' '),
+                },
+            }
+            i += 1;
+        }
+
+        // Line comments end with the line; strings continue (multi-line
+        // string literals) and block comments continue.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+
+        lines.push(Line {
+            code,
+            comment,
+            in_test,
+        });
+    }
+    lines
+}
+
+/// Detect `r"`, `r#"`, `br##"`, ... ending at the quote at `bytes[i]`.
+/// Returns the number of `#` characters when it is a raw-string opener.
+fn raw_opener_hashes(bytes: &[char], quote_at: usize) -> Option<u32> {
+    let mut j = quote_at;
+    let mut hashes = 0u32;
+    while j > 0 && bytes[j - 1] == '#' {
+        hashes += 1;
+        j -= 1;
+    }
+    if j == 0 {
+        return None;
+    }
+    let head = bytes[j - 1];
+    let is_r = head == 'r';
+    let is_br = head == 'r' && j >= 2 && bytes[j - 2] == 'b';
+    // Guard against identifiers ending in `r` (e.g. `var"..."` cannot
+    // occur, but `hdr#` patterns could): require the char before `r`
+    // (or `br`) to be a non-identifier character.
+    if is_r {
+        let before = if is_br {
+            j.checked_sub(3)
+        } else {
+            j.checked_sub(2)
+        };
+        let ok = match before {
+            None => true,
+            Some(k) => {
+                let b = bytes[k];
+                !(b.is_alphanumeric() || b == '_')
+            }
+        };
+        if ok {
+            return Some(hashes);
+        }
+    }
+    // `#"` without an `r` is not a raw string.
+    None
+}
+
+/// True when the `"` at `bytes[i]` is followed by `h` hash characters,
+/// closing a raw string of arity `h`.
+fn closes_raw(bytes: &[char], i: usize, h: u32) -> bool {
+    (0..h as usize).all(|d| bytes.get(i + 1 + d) == Some(&'#'))
+}
+
+/// True when the line's code view carries a test-scoping attribute.
+fn is_test_attr(code: &str) -> bool {
+    let t = code.trim();
+    if !t.starts_with("#[") {
+        return false;
+    }
+    t.contains("cfg(test)")
+        || t.contains("cfg(all(test")
+        || t.contains("cfg(any(test")
+        || t.starts_with("#[test]")
+        || t.contains("#[bench]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_split_from_code() {
+        let l = lex("let x = 1; // ordering: note", false);
+        assert!(l[0].code.contains("let x = 1;"));
+        assert!(!l[0].code.contains("ordering"));
+        assert!(l[0].comment.contains("ordering: note"));
+    }
+
+    #[test]
+    fn string_bodies_are_blanked() {
+        let l = lex("let s = \"unsafe // SAFETY: fake\";", false);
+        assert!(!l[0].code.contains("unsafe"));
+        assert!(l[0].comment.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"Ordering::SeqCst \"quoted\" body\"#; let y = 2;";
+        let l = lex(src, false);
+        assert!(!l[0].code.contains("Ordering"));
+        assert!(l[0].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let z = 3;";
+        let l = lex(src, false);
+        assert!(l[0].code.contains("let z = 3;"));
+        assert!(l[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans() {
+        let src = "/* SAFETY: spans\nlines */ unsafe {}";
+        let l = lex(src, false);
+        assert!(l[0].comment.contains("SAFETY"));
+        assert!(l[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'y';";
+        let l = lex(src, false);
+        assert!(l[0].code.contains("fn f<'a>"));
+        // the 'y' payload is blanked but the quotes survive
+        assert!(l[0].code.contains("' '"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = "let q = '\\''; let post = 7;";
+        let l = lex(src, false);
+        assert!(l[0].code.contains("let post = 7;"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let l = lex(src, false);
+        assert!(!l[0].in_test);
+        assert!(l[1].in_test); // the attribute line itself
+        assert!(l[2].in_test);
+        assert!(l[3].in_test);
+        assert!(l[4].in_test);
+        assert!(!l[5].in_test);
+    }
+
+    #[test]
+    fn test_fn_region_tracking() {
+        let src = "#[test]\nfn t() {\n    body();\n}\nfn lib() {}\n";
+        let l = lex(src, false);
+        assert!(l[2].in_test);
+        assert!(!l[4].in_test);
+    }
+}

@@ -1,0 +1,122 @@
+//! `snap-vet` CLI: the CI gate.
+//!
+//! ```text
+//! cargo run -p snap-vet -- --workspace            # scan per vet.toml
+//! cargo run -p snap-vet -- --workspace --verbose  # also list allowances
+//! cargo run -p snap-vet -- --list-rules
+//! ```
+//!
+//! Exit code 0 when clean, 1 on any violation, 2 on configuration
+//! errors (missing/invalid `vet.toml`).
+
+use snap_vet::registry::Registry;
+use snap_vet::rules::RULE_IDS;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut verbose = false;
+    let mut workspace = false;
+    for a in &args {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--verbose" | "-v" => verbose = true,
+            "--list-rules" => {
+                for r in RULE_IDS {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "snap-vet: workspace static analysis\n\
+                     usage: snap-vet --workspace [--verbose]\n\
+                     rules: {}\n\
+                     exceptions live in vet.toml at the workspace root",
+                    RULE_IDS.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("snap-vet: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("snap-vet: nothing to do; pass --workspace (try --help)");
+        return ExitCode::from(2);
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("snap-vet: cannot read current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match snap_vet::find_root(&cwd) {
+        Some(r) => r,
+        None => {
+            eprintln!("snap-vet: no vet.toml found from {} upward", cwd.display());
+            return ExitCode::from(2);
+        }
+    };
+    let reg_text = match std::fs::read_to_string(root.join("vet.toml")) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("snap-vet: cannot read vet.toml: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let reg = match Registry::parse(&reg_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("snap-vet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for a in &reg.allows {
+        if !RULE_IDS.contains(&a.rule.as_str()) {
+            eprintln!(
+                "snap-vet: vet.toml [[allow]] names unknown rule `{}` (known: {})",
+                a.rule,
+                RULE_IDS.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = match snap_vet::scan_workspace(&root, &reg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("snap-vet: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if verbose {
+        for f in &report.allowed {
+            println!("allowed  {}:{}: [{}]", f.path, f.line, f.rule);
+        }
+    }
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.msg);
+    }
+    println!(
+        "snap-vet: {} files, {} lines; {} ordering sites on {} lines, {} unsafe lines, {} panic-capable lines; {} allowed exception(s); {} violation(s)",
+        report.files,
+        report.lines,
+        report.stats.ordering_sites,
+        report.stats.ordering_lines,
+        report.stats.unsafe_lines,
+        report.stats.panic_lines,
+        report.allowed.len(),
+        report.findings.len()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

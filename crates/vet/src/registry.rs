@@ -1,0 +1,289 @@
+//! The invariant registry: `vet.toml` at the workspace root.
+//!
+//! Exceptions to vet rules live here — explicit, reviewed, and diffable
+//! — never hardcoded in the scanner. The file is parsed by a minimal
+//! hand-rolled TOML-subset reader (tables, arrays-of-tables, string /
+//! integer / string-array values) because the build environment has no
+//! reachable crates registry.
+//!
+//! Schema:
+//!
+//! ```toml
+//! [scan]
+//! roots = ["crates", "src", "tests", "examples"]   # scanned dirs
+//! skip  = ["crates/shims"]                          # path prefixes
+//!
+//! [rules.no-thread-sleep]       # per-rule path exemptions
+//! skip = ["crates/bench"]
+//!
+//! [[allow]]                     # site-level exception
+//! rule = "no-thread-sleep"
+//! path = "crates/obs/src/metrics.rs"
+//! max = 1                       # optional occurrence cap
+//! reason = "why this is sound"  # required — shows up in reports
+//! ```
+
+use std::collections::HashMap;
+
+/// One `[[allow]]` entry: a reviewed exception for a rule at a path.
+#[derive(Debug, Clone, Default)]
+pub struct Allow {
+    /// Rule id the exception applies to.
+    pub rule: String,
+    /// Workspace-relative path (forward slashes) the exception covers.
+    pub path: String,
+    /// Maximum number of occurrences covered; `None` = unlimited.
+    pub max: Option<usize>,
+    /// Human justification; required so exceptions stay auditable.
+    pub reason: String,
+}
+
+/// Parsed registry configuration.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    /// Directories scanned for `.rs` files, workspace-relative.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from every rule (vendored code).
+    pub skip: Vec<String>,
+    /// Per-rule path-prefix exemptions: rule id -> prefixes.
+    pub rule_skip: HashMap<String, Vec<String>>,
+    /// Site-level exceptions.
+    pub allows: Vec<Allow>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            roots: vec![
+                "crates".into(),
+                "src".into(),
+                "tests".into(),
+                "examples".into(),
+            ],
+            skip: Vec::new(),
+            rule_skip: HashMap::new(),
+            allows: Vec::new(),
+        }
+    }
+}
+
+impl Registry {
+    /// Parse registry text; returns an error string naming the offending
+    /// line for anything outside the supported subset.
+    pub fn parse(text: &str) -> Result<Registry, String> {
+        let mut reg = Registry {
+            roots: Vec::new(),
+            ..Registry::default()
+        };
+        let mut section = Section::None;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                match header.trim() {
+                    "allow" => {
+                        reg.allows.push(Allow::default());
+                        section = Section::Allow;
+                    }
+                    other => return Err(format!("vet.toml:{}: unknown table [[{other}]]", ln + 1)),
+                }
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let h = header.trim();
+                if h == "scan" {
+                    section = Section::Scan;
+                } else if let Some(rule) = h.strip_prefix("rules.") {
+                    section = Section::Rule(rule.trim().to_string());
+                } else {
+                    return Err(format!("vet.toml:{}: unknown table [{h}]", ln + 1));
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("vet.toml:{}: expected `key = value`", ln + 1))?;
+            let key = key.trim();
+            let value = value.trim();
+            match (&section, key) {
+                (Section::Scan, "roots") => reg.roots = parse_string_array(value, ln)?,
+                (Section::Scan, "skip") => reg.skip = parse_string_array(value, ln)?,
+                (Section::Rule(rule), "skip") => {
+                    reg.rule_skip
+                        .insert(rule.clone(), parse_string_array(value, ln)?);
+                }
+                (Section::Allow, k) => {
+                    // panics: unreachable — entering Section::Allow
+                    // always pushes an entry first.
+                    let entry = reg
+                        .allows
+                        .last_mut()
+                        .expect("Section::Allow implies a pushed entry");
+                    match k {
+                        "rule" => entry.rule = parse_string(value, ln)?,
+                        "path" => entry.path = parse_string(value, ln)?,
+                        "reason" => entry.reason = parse_string(value, ln)?,
+                        "max" => {
+                            entry.max = Some(value.parse::<usize>().map_err(|_| {
+                                format!("vet.toml:{}: `max` must be an integer", ln + 1)
+                            })?)
+                        }
+                        other => {
+                            return Err(format!(
+                                "vet.toml:{}: unknown [[allow]] key `{other}`",
+                                ln + 1
+                            ))
+                        }
+                    }
+                }
+                (_, k) => {
+                    return Err(format!(
+                        "vet.toml:{}: key `{k}` outside a supported table",
+                        ln + 1
+                    ))
+                }
+            }
+        }
+        if reg.roots.is_empty() {
+            reg.roots = Registry::default().roots;
+        }
+        for (i, a) in reg.allows.iter().enumerate() {
+            if a.rule.is_empty() || a.path.is_empty() {
+                return Err(format!(
+                    "vet.toml: [[allow]] entry {} needs rule and path",
+                    i + 1
+                ));
+            }
+            if a.reason.is_empty() {
+                return Err(format!(
+                    "vet.toml: [[allow]] for `{}` at `{}` needs a reason",
+                    a.rule, a.path
+                ));
+            }
+        }
+        Ok(reg)
+    }
+
+    /// True when `path` (workspace-relative, forward slashes) is excluded
+    /// from all scanning.
+    pub fn path_skipped(&self, path: &str) -> bool {
+        self.skip.iter().any(|p| path_has_prefix(path, p))
+    }
+
+    /// True when `rule` is exempted at `path` via `[rules.<id>] skip`.
+    pub fn rule_skipped(&self, rule: &str, path: &str) -> bool {
+        self.rule_skip
+            .get(rule)
+            .map(|v| v.iter().any(|p| path_has_prefix(path, p)))
+            .unwrap_or(false)
+    }
+
+    /// Allow entries matching a rule+path.
+    pub fn allows_for(&self, rule: &str, path: &str) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == rule && path_has_prefix(path, &a.path))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Section {
+    None,
+    Scan,
+    Rule(String),
+    Allow,
+}
+
+/// Prefix match on path components: `crates/shims` covers
+/// `crates/shims/rayon/src/lib.rs` but not `crates/shimsx`.
+fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    let prefix = prefix.trim_end_matches('/');
+    path == prefix || path.starts_with(&format!("{prefix}/"))
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // A `#` outside quotes starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, ln: usize) -> Result<String, String> {
+    let v = value.trim();
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("vet.toml:{}: expected a quoted string", ln + 1))
+}
+
+fn parse_string_array(value: &str, ln: usize) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("vet.toml:{}: expected an array of strings", ln + 1))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let p = part.trim();
+        if p.is_empty() {
+            continue;
+        }
+        out.push(parse_string(p, ln)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# registry
+[scan]
+roots = ["crates", "src"]
+skip = ["crates/shims"]  # vendored
+
+[rules.no-thread-sleep]
+skip = ["crates/bench"]
+
+[[allow]]
+rule = "no-thread-sleep"
+path = "crates/obs/src/metrics.rs"
+max = 1
+reason = "shutdown poll"
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let r = Registry::parse(SAMPLE).unwrap();
+        assert_eq!(r.roots, vec!["crates", "src"]);
+        assert!(r.path_skipped("crates/shims/rayon/src/lib.rs"));
+        assert!(!r.path_skipped("crates/shimsx/src/lib.rs"));
+        assert!(r.rule_skipped("no-thread-sleep", "crates/bench/src/bin/experiments.rs"));
+        assert!(!r.rule_skipped("no-thread-sleep", "crates/core/src/serve.rs"));
+        let a = r
+            .allows_for("no-thread-sleep", "crates/obs/src/metrics.rs")
+            .unwrap();
+        assert_eq!(a.max, Some(1));
+        assert_eq!(a.reason, "shutdown poll");
+    }
+
+    #[test]
+    fn reason_is_required() {
+        let bad = "[[allow]]\nrule = \"x\"\npath = \"y\"\n";
+        assert!(Registry::parse(bad).is_err());
+    }
+
+    #[test]
+    fn unknown_tables_are_rejected() {
+        assert!(Registry::parse("[mystery]\nx = 1\n").is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Chaos-schedule sweep over the workspace's concurrency protocols.
+//!
+//! With the `chaos` feature on (`cargo test --features chaos`), the
+//! vendored rayon/parking_lot shims inject seeded yield points at every
+//! lock acquisition and fork/join boundary — the exact places where the
+//! publication protocols documented in ARCHITECTURE.md must tolerate
+//! preemption. Each test here sweeps [`SEEDS`] seeds, and under every
+//! schedule the quiesced state must be **bit-identical** to a
+//! bulk-synchronous oracle, with zero panics or deadlocks along the way.
+//!
+//! Three protocols are swept, one per test:
+//!
+//! 1. **Shield-bit repair** (invariant 4): deletion-heavy batches race
+//!    `same_component` queries whose targeted repairs must never expose
+//!    a half-relabeled forest.
+//! 2. **ServeEngine publish** (invariant 1): every version a reader
+//!    pins corresponds to one prefix of the submission order.
+//! 3. **Epoch resync** (invariant 6): out-of-band mutation plus
+//!    `mark_dirty` leaves a sticky epoch gap that the next query must
+//!    absorb with a conservative full resync — never serve stale.
+//!
+//! The suite also runs (and must pass) without the feature: the chaos
+//! entry points compile to no-ops, so this doubles as a plain stress
+//! test in the default build.
+
+mod common;
+
+use common::rng_for;
+use snap::prelude::*;
+use snap_kernels::cc::union_find_components;
+
+const SUITE: u64 = 0xC4A05;
+const SEEDS: u64 = 16;
+const N: u32 = 512;
+
+/// Seeds both shims' chaos streams (no-ops when the feature is off).
+fn set_chaos_seed(seed: u64) {
+    rayon::chaos::set_seed(seed);
+    parking_lot::chaos::set_seed(seed);
+}
+
+/// Duplicate-free workload: `inserts` builds the graph, `deletes`
+/// removes ~60% of it. Returns `(inserts, deletes, oracle labels)`.
+fn workload(case: u64) -> (Vec<Update>, Vec<Update>, Vec<u32>) {
+    let mut rng = rng_for(SUITE, 1, case);
+    let mut pool: Vec<(u32, u32)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while pool.len() < 1200 {
+        let u = rng.next_bounded(N as u64) as u32;
+        let v = rng.next_bounded(N as u64) as u32;
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            pool.push(key);
+        }
+    }
+    let inserts: Vec<Update> = pool
+        .iter()
+        .map(|&(u, v)| Update::insert(TimedEdge::new(u, v, 1 + (u + v) % 90)))
+        .collect();
+    let mut deletes = Vec::new();
+    let mut surviving = Vec::new();
+    for &(u, v) in &pool {
+        if rng.next_bounded(10) < 6 {
+            deletes.push(Update::delete(TimedEdge::new(u, v, 0)));
+        } else {
+            surviving.push((u, v));
+        }
+    }
+    let want = union_find_components(N as usize, surviving.iter().copied());
+    (inserts, deletes, want)
+}
+
+/// Protocol 1 — shield-bit repair (invariant 4). Two writers stream
+/// disjoint (hence commuting) delete batches while readers hammer
+/// `same_component`, whose targeted repairs race the writers. Racing
+/// answers are not oracle-checkable (they land between batches), but
+/// they must come back without panics; at quiescence the labels must be
+/// bit-identical to the union-find oracle over surviving edges.
+#[test]
+fn shield_repair_matches_oracle_across_seeds() {
+    for seed in 0..SEEDS {
+        set_chaos_seed(seed);
+        let (inserts, deletes, want) = workload(seed);
+        let hints = CapacityHints::new(inserts.len() * 2);
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(N as usize, &hints);
+        let mgr = SnapshotManager::new(g);
+        mgr.enable_connectivity();
+        assert!(mgr.apply_batch(&inserts));
+        let mid = deletes.len() / 2;
+        let mgr = &mgr;
+        std::thread::scope(|s| {
+            for half in [&deletes[..mid], &deletes[mid..]] {
+                s.spawn(move || {
+                    for chunk in half.chunks(32) {
+                        mgr.apply_batch(chunk);
+                    }
+                });
+            }
+            for r in 0..2u64 {
+                s.spawn(move || {
+                    let mut rng = rng_for(SUITE, 2 + r, seed);
+                    for _ in 0..300 {
+                        let u = rng.next_bounded(N as u64) as u32;
+                        let v = rng.next_bounded(N as u64) as u32;
+                        let _ = mgr.same_component(u, v);
+                    }
+                });
+            }
+        });
+        // Query through the manager first: racing writers can leave a
+        // sticky epoch gap (invariant 6) that `conn_fresh` absorbs here.
+        assert_eq!(
+            mgr.component_count(),
+            snap::kernels::component_count(&want),
+            "seed {seed}: component count"
+        );
+        let idx = mgr.connectivity().expect("enabled above");
+        assert_eq!(idx.labels(mgr.live()), want, "seed {seed}: final labels");
+    }
+}
+
+/// Protocol 2 — ServeEngine publish (invariant 1). A producer streams
+/// mixed batches while readers pin versions and probe them; every
+/// pinned version's published labels must equal the serial kernel run
+/// on a bulk-synchronous replay of exactly `handle.batches()` batches
+/// in submission order — never a torn mix.
+#[test]
+fn serve_publish_matches_oracle_across_seeds() {
+    const SCALE: u32 = 8;
+    const BATCHES: usize = 6;
+    let n = 1usize << SCALE;
+    let edges = Rmat::new(RmatParams::paper(SCALE, 8), 321).edges();
+    let base = StreamBuilder::new(&edges, 7).construction_shuffled();
+    for seed in 0..SEEDS {
+        set_chaos_seed(seed);
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(n, &CapacityHints::new(base.len() * 3));
+        for u in &base {
+            g.apply(u);
+        }
+        let engine = ServeEngine::new(
+            g,
+            ServeConfig::default()
+                .with_shards(2)
+                .with_coalesce(2)
+                .with_retain(3)
+                .with_history(true),
+        );
+        let engine = &engine;
+        let edges = &edges;
+        // (handle, probes) samples pinned while the producer publishes.
+        let samples = std::thread::scope(|scope| {
+            let producer = scope.spawn(move || {
+                for i in 0..BATCHES {
+                    let batch =
+                        StreamBuilder::new(edges, 1000 + seed * 100 + i as u64).mixed(64, 0.7);
+                    engine.submit(batch);
+                }
+            });
+            let readers: Vec<_> = (0..2u64)
+                .map(|r| {
+                    scope.spawn(move || {
+                        let mut rng = rng_for(SUITE, 10 + r, seed);
+                        let mut out = Vec::new();
+                        for _ in 0..3 {
+                            let handle = engine.pin();
+                            let probes: Vec<(u32, u32, bool)> = (0..24)
+                                .map(|_| {
+                                    let u = rng.next_bounded(n as u64) as u32;
+                                    let v = rng.next_bounded(n as u64) as u32;
+                                    (u, v, handle.same_component(u, v).expect("conn on"))
+                                })
+                                .collect();
+                            out.push((handle, probes));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            producer.join().expect("producer must not panic");
+            let mut samples = Vec::new();
+            for r in readers {
+                samples.extend(r.join().expect("reader must not panic"));
+            }
+            samples
+        });
+        engine.flush();
+        let final_handle = engine.pin();
+        assert_eq!(
+            final_handle.batches(),
+            BATCHES as u64,
+            "seed {seed}: flush is a publication barrier"
+        );
+        let history = engine.history();
+        for (k, (handle, probes)) in samples.iter().enumerate() {
+            // Bulk-synchronous replay of the pinned prefix.
+            let g: DynGraph<HybridAdj> =
+                DynGraph::undirected(n, &CapacityHints::new(base.len() * 3));
+            for u in &base {
+                g.apply(u);
+            }
+            for batch in &history[..handle.batches() as usize] {
+                for u in batch {
+                    g.apply(u);
+                }
+            }
+            let oracle = connected_components(&g.to_csr());
+            let published = handle.component_labels().expect("conn on");
+            assert_eq!(***published, oracle, "seed {seed} sample {k}: labels");
+            for &(u, v, ans) in probes {
+                assert_eq!(
+                    ans,
+                    oracle[u as usize] == oracle[v as usize],
+                    "seed {seed} sample {k}: probe ({u}, {v})"
+                );
+            }
+        }
+    }
+}
+
+/// Protocol 3 — sticky out-of-band epochs (invariant 6). A writer
+/// mutates `live()` directly (bypassing update routing) and calls
+/// `mark_dirty`, while readers query through the manager; whatever
+/// interleaving the chaos schedule produces, the quiesced index must
+/// have resynced — stale answers post-quiescence are a protocol hole,
+/// and the forced full rebuild must be observable.
+#[test]
+fn epoch_resync_matches_oracle_across_seeds() {
+    for seed in 0..SEEDS {
+        set_chaos_seed(seed);
+        let (inserts, deletes, want) = workload(100 + seed);
+        let hints = CapacityHints::new(inserts.len() * 2);
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(N as usize, &hints);
+        let mgr = SnapshotManager::new(g);
+        mgr.enable_connectivity();
+        assert!(mgr.apply_batch(&inserts));
+        let mgr = &mgr;
+        let deletes = &deletes;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for chunk in deletes.chunks(64) {
+                    for u in chunk {
+                        mgr.live().apply(u);
+                    }
+                    mgr.mark_dirty();
+                }
+            });
+            for r in 0..2u64 {
+                s.spawn(move || {
+                    let mut rng = rng_for(SUITE, 20 + r, seed);
+                    for _ in 0..150 {
+                        let u = rng.next_bounded(N as u64) as u32;
+                        let v = rng.next_bounded(N as u64) as u32;
+                        let _ = mgr.same_component(u, v);
+                    }
+                });
+            }
+        });
+        // The first post-quiescence query absorbs the final epoch gap.
+        assert_eq!(
+            mgr.component_count(),
+            snap::kernels::component_count(&want),
+            "seed {seed}: component count after resync"
+        );
+        let idx = mgr.connectivity().expect("enabled above");
+        assert_eq!(idx.labels(mgr.live()), want, "seed {seed}: final labels");
+        assert!(
+            idx.full_rebuild_count() >= 1,
+            "seed {seed}: the out-of-band gap must have forced a resync"
+        );
+    }
+}
+
+/// When the feature is compiled in, the sweep above must actually have
+/// been chaotic: the shims' yield counters prove injection was live.
+#[test]
+fn chaos_injection_is_live_when_enabled() {
+    if !rayon::chaos::enabled() {
+        assert!(!parking_lot::chaos::enabled(), "features move together");
+        return;
+    }
+    set_chaos_seed(7);
+    let (inserts, _, _) = workload(999);
+    let hints = CapacityHints::new(inserts.len() * 2);
+    let g: DynGraph<HybridAdj> = DynGraph::undirected(N as usize, &hints);
+    let mgr = SnapshotManager::new(g);
+    mgr.enable_connectivity();
+    mgr.apply_batch(&inserts);
+    assert!(
+        rayon::chaos::yield_count() + parking_lot::chaos::yield_count() > 0,
+        "chaos compiled in but no yields injected"
+    );
+}
