@@ -12,7 +12,9 @@
 //! `parallel` additionally persists machine-readable medians to
 //! `BENCH_parallel.json` (kernel, mode, scale, threads, median ns),
 //! `connectivity` to `BENCH_connectivity.json` (incremental index vs
-//! recompute-per-query vs snapshot-per-query), `bc` to
+//! recompute-per-query vs snapshot-per-query), `indexes` to
+//! `BENCH_indexes.json` (incremental distance and triangle indexes vs
+//! recompute-per-query), `bc` to
 //! `BENCH_bc.json` (serial vs parallel betweenness, exact and sampled),
 //! and `serve` to `BENCH_serving.json` (mixed update+query traffic
 //! against the concurrent [`ServeEngine`]: update throughput plus query
@@ -64,6 +66,7 @@ fn main() {
             "fig11",
             "parallel",
             "connectivity",
+            "indexes",
             "bc",
             "serve",
             "ablations",
@@ -94,6 +97,7 @@ fn main() {
             "fig11" => fig11(&cfg),
             "parallel" => parallel(&cfg),
             "connectivity" => connectivity(&cfg),
+            "indexes" => indexes_bench(&cfg),
             "bc" => bc_bench(&cfg),
             "serve" => serve_bench(&cfg),
             "ablations" => {
@@ -964,6 +968,174 @@ fn write_connectivity_json(scale: u32, rows: &[ConnRow]) {
     }
     out.push_str("]\n");
     let path = "BENCH_connectivity.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote {} rows to {path}", rows.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// One persisted measurement of the `indexes` experiment.
+struct IndexRow {
+    index: &'static str,
+    method: &'static str,
+    queries: usize,
+    median_ns: u128,
+}
+
+/// Incremental index serving: the `DistanceIndex` and
+/// `TriangleIndex` against recompute-per-query baselines (a full BFS
+/// from the source, and a full triangle count, per query) after a mixed
+/// insert/delete stream that exercises the incremental maintenance
+/// path. The acceptance check asserts neither index ever fell back to a
+/// full rebuild. Persists medians to `BENCH_indexes.json`.
+fn indexes_bench(cfg: &Config) {
+    use snap_kernels::{bfs, triangle_count};
+
+    let scale = cfg.scale.min(16);
+    let edges = build_edges(scale, cfg.edge_factor, cfg.seed ^ 31);
+    let n = 1usize << scale;
+    let hints = CapacityHints::new(edges.len() * 2);
+    let mgr = SnapshotManager::new(DynGraph::<HybridAdj>::undirected(n, &hints));
+    mgr.apply_batch(&construction_stream(&edges, cfg.seed));
+    let sources: Vec<u32> = (0..4).map(|i| (i * n / 4) as u32).collect();
+    mgr.enable_distances(&sources);
+    mgr.enable_triangles();
+
+    // Mixed serving stream: the indexes must absorb it incrementally
+    // (insert wavefronts / dirty-marks / deltas), never by recompute.
+    let mut rng = XorShift64::new(cfg.seed ^ 0x1D);
+    let mut live: Vec<(u32, u32)> = edges.iter().map(|e| (e.u, e.v)).collect();
+    for _ in 0..9 {
+        let batch: Vec<snap_rmat::Update> = (0..256)
+            .map(|_| {
+                if rng.next_bounded(10) < 3 && !live.is_empty() {
+                    let i = rng.next_bounded(live.len() as u64) as usize;
+                    let (u, v) = live.swap_remove(i);
+                    snap_rmat::Update::delete(snap_rmat::TimedEdge::new(u, v, 0))
+                } else {
+                    let u = rng.next_bounded(n as u64) as u32;
+                    let v = rng.next_bounded(n as u64) as u32;
+                    live.push((u, v));
+                    snap_rmat::Update::insert(snap_rmat::TimedEdge::new(u, v, 1))
+                }
+            })
+            .collect();
+        mgr.apply_batch(&batch);
+        // Interleaved probes repair dirtied rows lazily, as a server
+        // would between batches.
+        std::hint::black_box(mgr.hop_distance(sources[0], (n - 1) as u32));
+        std::hint::black_box(mgr.triangle_count());
+    }
+
+    let mut rows = Vec::new();
+    let burst: Vec<(u32, u32)> = (0..100_000)
+        .map(|_| {
+            (
+                sources[rng.next_bounded(sources.len() as u64) as usize],
+                rng.next_bounded(n as u64) as u32,
+            )
+        })
+        .collect();
+
+    // --- Distance: indexed point queries vs a BFS per query ----------
+    let total = median_ns(5, || {
+        burst
+            .iter()
+            .filter(|&&(s, v)| mgr.hop_distance(s, v).is_some())
+            .count()
+    });
+    rows.push(IndexRow {
+        index: "distance",
+        method: "index",
+        queries: burst.len(),
+        median_ns: total / burst.len() as u128,
+    });
+    let probes = &burst[..4];
+    let total = median_ns(3, || {
+        probes
+            .iter()
+            .filter(|&&(s, v)| bfs(mgr.live(), s).dist[v as usize] != u32::MAX)
+            .count()
+    });
+    rows.push(IndexRow {
+        index: "distance",
+        method: "recompute_per_query",
+        queries: probes.len(),
+        median_ns: total / probes.len() as u128,
+    });
+
+    // --- Triangles: indexed global count vs a full count per query ---
+    let total = median_ns(5, || {
+        (0..burst.len()).map(|_| mgr.triangle_count()).sum::<u64>()
+    });
+    rows.push(IndexRow {
+        index: "triangle",
+        method: "index",
+        queries: burst.len(),
+        median_ns: total / burst.len() as u128,
+    });
+    let total = median_ns(3, || {
+        (0..3).map(|_| triangle_count(mgr.live())).sum::<u64>()
+    });
+    rows.push(IndexRow {
+        index: "triangle",
+        method: "recompute_per_query",
+        queries: 3,
+        median_ns: total / 3,
+    });
+
+    let dist_idx = mgr.distance_index().expect("enabled above");
+    let tri_idx = mgr.triangle_index().expect("enabled above");
+    assert_eq!(
+        dist_idx.full_rebuild_count(),
+        0,
+        "distance stayed incremental"
+    );
+    assert_eq!(
+        tri_idx.full_rebuild_count(),
+        0,
+        "triangles stayed incremental"
+    );
+
+    let mut t = Table::new(&["index", "method", "queries", "median (ns)", "speedup"]);
+    for r in &rows {
+        let recompute = rows
+            .iter()
+            .find(|s| s.index == r.index && s.method == "recompute_per_query")
+            .map(|s| s.median_ns)
+            .unwrap_or(r.median_ns);
+        t.row(vec![
+            r.index.into(),
+            r.method.into(),
+            r.queries.to_string(),
+            r.median_ns.to_string(),
+            f3(recompute as f64 / r.median_ns.max(1) as f64),
+        ]);
+    }
+    t.print(&format!(
+        "Incremental indexes: indexed queries vs recompute-per-query (scale {scale}, {} targeted distance repairs, {} triangle deltas, 0 full rebuilds)",
+        dist_idx.repair_count(),
+        tri_idx.delta_count()
+    ));
+    write_indexes_json(scale, &rows);
+}
+
+/// Persists the `indexes` rows as JSON (hand-emitted; no serde).
+fn write_indexes_json(scale: u32, rows: &[IndexRow]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"index\": \"{}\", \"method\": \"{}\", \"scale\": {}, \"queries\": {}, \"median_ns\": {}}}{}\n",
+            r.index,
+            r.method,
+            scale,
+            r.queries,
+            r.median_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    let path = "BENCH_indexes.json";
     match std::fs::write(path, &out) {
         Ok(()) => println!("\nwrote {} rows to {path}", rows.len()),
         Err(e) => eprintln!("failed to write {path}: {e}"),

@@ -1,0 +1,1220 @@
+//! Incremental hop-distance serving: exact BFS distances from pinned
+//! sources, maintained through edge insertions and deletions.
+//!
+//! The paper's dynamic-analysis thesis is that answers should be
+//! *maintained* through the update stream, not recomputed per query.
+//! [`crate::connectivity::ConnectivityIndex`] does that for
+//! reachability; this module does it for the next query up the ladder —
+//! *how far is `v` from source `s` right now?* — without paying a BFS
+//! per query or per batch:
+//!
+//! - **Insertions relax a bounded wavefront.** An inserted edge
+//!   `(u, v)` can only *shorten* distances, and only for vertices whose
+//!   new best path runs through it. [`DistanceIndex::note_insert`]
+//!   compares the stored endpoint distances and, when one side improves,
+//!   pushes the improvement outward with CAS-min claims over the live
+//!   view — vertices whose distance does not improve are never touched,
+//!   so the wavefront is bounded by the size of the improved region.
+//! - **Deletions dirty the severed shortest-path subtree, not the
+//!   index.** Each maintained distance carries its *certificate*: the
+//!   parent edge of a shortest-path tree, packed into the same atomic
+//!   word. Deleting an edge can only invalidate vertices whose
+//!   certificate chain used it, and the chain's first casualty is an
+//!   endpoint whose packed parent **is** the other endpoint.
+//!   [`DistanceIndex::note_delete`] therefore marks just those seed
+//!   vertices and flags the source dirty; every clean source keeps
+//!   serving lock-free.
+//! - **Repair is targeted.** The first query touching a dirty source
+//!   collects the seeds, closes them over the stored parent tree (every
+//!   possibly-stale vertex is a descendant of a seed), folds the intact
+//!   frontier into per-vertex external seed distances, and runs a
+//!   *restricted* BFS over just the affected set —
+//!   [`restricted_hop_distances`] serially here, or `snap-par`'s
+//!   frontier-engine drop-in through
+//!   [`DistanceIndex::repair_source_with`].
+//!
+//! Distances are canonical (the unique BFS fixpoint), so they are
+//! bit-comparable with `serial_bfs` / `par_bfs` on the same view at
+//! quiescence. Parents are one valid certificate among possibly many
+//! and are *not* canonical across schedules.
+//!
+//! # Concurrency contract
+//!
+//! Mutation notes (`note_insert` / `note_delete`) take `&self` and are
+//! thread-safe. Queries are safe concurrently with each other,
+//! including the repairs they trigger: repairs serialize on an internal
+//! lock, a dirty source's flag shields its whole row until the new
+//! distances are fully published, and clean answers are double-read for
+//! stability. Queries racing *mutations* follow the workspace's
+//! bulk-synchronous discipline (apply the batch, then query); see
+//! [`crate::engine::SnapshotManager`] for the epoch bookkeeping that
+//! detects out-of-band mutation and falls back to a full rebuild.
+
+use crate::view::GraphView;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Distance value for unreached vertices (mirrors the kernels' BFS
+/// convention).
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Distance-index instrumentation, shared by every index in the process
+/// (ZST no-ops without the `obs` feature). The per-index
+/// `repairs`/`full_rebuilds` counters stay authoritative for the public
+/// API; these aggregate across indexes for scraping.
+struct DistMetrics {
+    dirty_marks: snap_obs::Counter,
+    repairs: snap_obs::Counter,
+    full_rebuilds: snap_obs::Counter,
+    shield_events: snap_obs::Counter,
+}
+
+fn dist_metrics() -> &'static DistMetrics {
+    static M: OnceLock<DistMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = snap_obs::MetricsRegistry::global();
+        DistMetrics {
+            dirty_marks: r.counter(
+                "snap_dist_dirty_marks_total",
+                "Shortest-path-tree vertices seed-marked by deletions",
+            ),
+            repairs: r.counter(
+                "snap_dist_repairs_total",
+                "Targeted distance repairs (one dirty source each)",
+            ),
+            full_rebuilds: r.counter(
+                "snap_dist_full_rebuilds_total",
+                "Full distance rebuilds (incremental maintenance keeps this at zero)",
+            ),
+            shield_events: r.counter(
+                "snap_dist_shield_events_total",
+                "Vertices relabeled under a source shield during repairs and rebuilds",
+            ),
+        }
+    })
+}
+
+/// Packs a `(distance, parent)` certificate into one atomic word:
+/// distance in the high 32 bits, parent in the low. Unreached is all
+/// ones, so the numeric CAS-min order is exactly "shorter distance
+/// first". Keeping both halves in one word is what makes the
+/// certificate *atomic*: a reader can never observe a new distance with
+/// a stale parent or vice versa.
+#[inline]
+fn pack(dist: u32, parent: u32) -> u64 {
+    ((dist as u64) << 32) | parent as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// Incrementally maintained exact hop distances from `k` pinned sources
+/// over a dynamic graph. See the [module docs](self) for the design and
+/// the concurrency contract.
+///
+/// # Examples
+///
+/// ```
+/// use snap_core::adjacency::CapacityHints;
+/// use snap_core::{DistanceIndex, DynGraph, HybridAdj};
+/// use snap_rmat::TimedEdge;
+///
+/// let g: DynGraph<HybridAdj> = DynGraph::undirected(6, &CapacityHints::new(16));
+/// for (u, v) in [(0, 1), (1, 2), (2, 3)] {
+///     g.insert_edge(TimedEdge::new(u, v, 1));
+/// }
+/// let idx = DistanceIndex::from_view(&g, &[0]);
+/// assert_eq!(idx.distance(&g, 0, 3), Some(3));
+/// assert_eq!(idx.distance(&g, 0, 5), None, "isolated vertex");
+///
+/// // An insertion relaxes a bounded wavefront — no recompute.
+/// g.insert_edge(TimedEdge::new(0, 3, 5));
+/// idx.note_insert(&g, 0, 3);
+/// assert_eq!(idx.distance(&g, 0, 3), Some(1));
+/// assert_eq!(idx.distance(&g, 0, 2), Some(2), "improvement propagates");
+///
+/// // A deletion dirty-marks the severed subtree; the next query
+/// // triggers a targeted repair over the live view.
+/// g.delete_edge(0, 3);
+/// idx.note_delete(0, 3);
+/// assert_eq!(idx.distance(&g, 0, 3), Some(3));
+/// assert_eq!(idx.repair_count(), 1);
+/// assert_eq!(idx.full_rebuild_count(), 0);
+/// ```
+pub struct DistanceIndex {
+    /// The pinned sources, in construction order; row `si` of `state`
+    /// serves `sources[si]`.
+    sources: Vec<u32>,
+    n: usize,
+    /// `state[si * n + v]` holds `v`'s packed `(distance, parent)`
+    /// certificate for source `si` (see [`pack`]). The source's own
+    /// entry is `pack(0, source)`; unreached entries are all ones.
+    state: Vec<AtomicU64>,
+    /// Per-(source, vertex) seed bits: a set bit records that the
+    /// vertex's certificate edge died and a repair must re-seed from
+    /// it. Layout: `seeds[si * seed_words + (v >> 6)]`, bit `v & 63`.
+    seeds: Vec<AtomicU64>,
+    /// Per-source shield flag: set by the first seed mark, cleared only
+    /// when a repair fully publishes the source's new distances.
+    /// Queries on a flagged source re-route into the repair path.
+    src_dirty: Vec<AtomicBool>,
+    /// Fast path for [`DistanceIndex::has_dirty`]; the per-source flags
+    /// are authoritative.
+    any_dirty: AtomicBool,
+    /// Epoch of the owning [`SnapshotManager`](crate::engine::SnapshotManager)
+    /// this index has absorbed; `0` until the manager syncs it.
+    synced_epoch: AtomicU64,
+    /// Bumped at the *start* of every routed notification, before any
+    /// state op — same contract as the connectivity index's generation:
+    /// a repair or rebuild that observes movement across its scan must
+    /// not publish as clean (invariant 6: the debt stays sticky).
+    note_gen: AtomicU64,
+    repairs: AtomicUsize,
+    full_rebuilds: AtomicUsize,
+    /// Serializes repairs and full rebuilds; clean-source queries never
+    /// take it.
+    repair_lock: Mutex<()>,
+}
+
+impl DistanceIndex {
+    /// An index over `n` isolated vertices with the given pinned
+    /// sources (each source at distance 0 from itself). Sources must be
+    /// in range and duplicate-free.
+    pub fn new(n: usize, sources: &[u32]) -> Self {
+        assert!(
+            sources.iter().all(|&s| (s as usize) < n),
+            "source out of range"
+        );
+        let mut dedup = sources.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sources.len(), "duplicate source");
+        let k = sources.len();
+        let state: Vec<AtomicU64> = (0..k * n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        for (si, &s) in sources.iter().enumerate() {
+            // ordering: Relaxed — single-threaded construction; the
+            // caller publishes the index itself.
+            state[si * n + s as usize].store(pack(0, s), Ordering::Relaxed);
+        }
+        Self {
+            sources: sources.to_vec(),
+            n,
+            state,
+            seeds: (0..k * n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            src_dirty: (0..k).map(|_| AtomicBool::new(false)).collect(),
+            any_dirty: AtomicBool::new(false),
+            synced_epoch: AtomicU64::new(0),
+            note_gen: AtomicU64::new(0),
+            repairs: AtomicUsize::new(0),
+            full_rebuilds: AtomicUsize::new(0),
+            repair_lock: Mutex::new(()),
+        }
+    }
+
+    /// Builds the index from a view: one full BFS per source (the
+    /// initial build is not counted as a rebuild).
+    pub fn from_view<V: GraphView>(view: &V, sources: &[u32]) -> Self {
+        let idx = Self::new(view.num_vertices(), sources);
+        for si in 0..idx.sources.len() {
+            idx.bfs_row(view, si);
+        }
+        idx
+    }
+
+    /// The pinned sources, in construction order.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Number of indexed vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the index covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Row slot of a pinned source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` was not pinned at construction — distance
+    /// queries for unpinned sources have no maintained row to serve
+    /// from.
+    fn slot(&self, source: u32) -> usize {
+        // panics: documented API contract — the message names the fix.
+        self.sources
+            .iter()
+            .position(|&s| s == source)
+            .expect("source not pinned; pass it to DistanceIndex::new/from_view")
+    }
+
+    #[inline]
+    fn load(&self, si: usize, v: u32) -> (u32, u32) {
+        // ordering: Acquire — a read that observes a repair-published
+        // certificate must also observe every store that preceded its
+        // publication (invariant 4: shield publication; the packed word
+        // keeps the certificate internally consistent).
+        unpack(self.state[si * self.n + v as usize].load(Ordering::Acquire))
+    }
+
+    // ---- update notifications ------------------------------------------
+
+    /// Records an edge insertion by relaxing a bounded wavefront from
+    /// whichever endpoint improved, per source, over the live `view`
+    /// (which must already contain the edge). Self-loops are distance
+    /// no-ops.
+    pub fn note_insert<V: GraphView>(&self, view: &V, u: u32, v: u32) {
+        if u == v || self.sources.is_empty() {
+            return;
+        }
+        // Bump-before-relax: a repair or rebuild that misses this
+        // relaxation in its scan observes the moved generation and
+        // refuses to publish as clean (invariant 6).
+        //
+        // ordering: Release — pairs with the repair/rebuild Acquire
+        // generation reads; see the note_gen field docs.
+        self.note_gen.fetch_add(1, Ordering::Release);
+        for si in 0..self.sources.len() {
+            self.relax_from_edge(view, si, u, v);
+        }
+    }
+
+    /// Records an edge deletion. Per source, the only vertices whose
+    /// stored certificate the deletion can invalidate directly are the
+    /// endpoints whose packed parent *is* the other endpoint; each such
+    /// endpoint is seed-marked and the source flagged dirty (its
+    /// descendants are closed over at repair time). Self-loops are
+    /// ignored. The caller must have already removed the edge from the
+    /// graph.
+    pub fn note_delete(&self, u: u32, v: u32) {
+        if u == v || self.sources.is_empty() {
+            return;
+        }
+        // Bump-before-mark: same stickiness contract as `note_insert`.
+        //
+        // ordering: Release — pairs with the repair/rebuild Acquire
+        // generation reads (invariant 6).
+        self.note_gen.fetch_add(1, Ordering::Release);
+        for si in 0..self.sources.len() {
+            let (_, pu) = self.load(si, u);
+            let (_, pv) = self.load(si, v);
+            if pv == u {
+                self.mark_seed(si, v);
+            }
+            if pu == v {
+                self.mark_seed(si, u);
+            }
+        }
+    }
+
+    /// Seed-marks `(si, v)` and raises the source shield.
+    fn mark_seed(&self, si: usize, v: u32) {
+        dist_metrics().dirty_marks.inc();
+        let words = self.n.div_ceil(64);
+        // ordering: AcqRel — the seed bit must be visible to a repair
+        // that acquired the flag below (invariant 3: deletions dirty
+        // only the severed subtree).
+        self.seeds[si * words + (v as usize >> 6)].fetch_or(1 << (v & 63), Ordering::AcqRel);
+        // ordering: Release — the flag is the query shield; it is
+        // published after the seed bit so a repair entering through the
+        // flag finds its seed (invariant 4). Pairs with the Acquire
+        // loads in the query loop and `repair_slot_with`.
+        self.src_dirty[si].store(true, Ordering::Release);
+        // ordering: Release — fast-path hint only; the per-source flags
+        // are authoritative (pairs with the Acquire in `has_dirty`).
+        self.any_dirty.store(true, Ordering::Release);
+    }
+
+    /// Chaotic CAS-min relaxation outward from an inserted edge: claim
+    /// the better certificate for whichever endpoint improves, then
+    /// push the improvement through the live view until no vertex
+    /// improves further. Concurrent wavefronts compose: distances only
+    /// decrease, and whichever thread lowers a vertex re-scans its
+    /// neighborhood with the value it wrote.
+    fn relax_from_edge<V: GraphView>(&self, view: &V, si: usize, u: u32, v: u32) {
+        let mut queue = std::collections::VecDeque::new();
+        let (du, _) = self.load(si, u);
+        let (dv, _) = self.load(si, v);
+        if du != UNREACHED && du.saturating_add(1) < dv && self.try_improve(si, v, du + 1, u) {
+            queue.push_back(v);
+        }
+        if dv != UNREACHED && dv.saturating_add(1) < du && self.try_improve(si, u, dv + 1, v) {
+            queue.push_back(u);
+        }
+        while let Some(x) = queue.pop_front() {
+            let (dx, _) = self.load(si, x);
+            if dx == UNREACHED {
+                continue;
+            }
+            view.for_each_edge(x, |w, _| {
+                if w != x && self.try_improve(si, w, dx + 1, x) {
+                    queue.push_back(w);
+                }
+            });
+        }
+    }
+
+    /// CAS-min claim of a shorter certificate for `(si, v)`. Returns
+    /// `true` if this call lowered the stored distance.
+    fn try_improve(&self, si: usize, v: u32, nd: u32, np: u32) -> bool {
+        let slot = &self.state[si * self.n + v as usize];
+        let cand = pack(nd, np);
+        loop {
+            // ordering: Acquire — the claim must compare against the
+            // freshest published certificate (invariant 5).
+            let cur = slot.load(Ordering::Acquire);
+            if nd >= unpack(cur).0 {
+                return false;
+            }
+            // ordering: AcqRel on success — the winning claim is the
+            // relaxation's publication point; Relaxed on failure — the
+            // loop re-reads through the Acquire load above.
+            match slot.compare_exchange_weak(cur, cand, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(_) => continue,
+            }
+        }
+    }
+
+    // ---- queries (self-repairing) --------------------------------------
+
+    /// Exact hop distance from pinned `source` to `v` (`None` when
+    /// unreachable), repairing the source's row first if a deletion
+    /// left it dirty. Panics if `source` was not pinned (see
+    /// [`DistanceIndex::sources`]).
+    pub fn distance<V: GraphView>(&self, view: &V, source: u32, v: u32) -> Option<u32> {
+        let si = self.slot(source);
+        loop {
+            if self.slot_dirty(si) {
+                self.repair_slot_with(view, si, restricted_hop_distances);
+                continue;
+            }
+            let (a, _) = self.load(si, v);
+            if self.slot_dirty(si) {
+                continue; // a repair raced the read; retry
+            }
+            // Double-read stability (invariant 5): observing the shield
+            // clear synchronizes with the repair's publication, so the
+            // re-read below sees final certificates; returning only a
+            // value the re-read confirms excludes a half-published mix.
+            let (b, _) = self.load(si, v);
+            if a == b {
+                return (a != UNREACHED).then_some(a);
+            }
+        }
+    }
+
+    /// The full distance row for pinned `source` ([`UNREACHED`] for
+    /// unreachable vertices), after repairing it if dirty —
+    /// bit-comparable with `serial_bfs(view, source).dist` at
+    /// quiescence.
+    pub fn distances<V: GraphView>(&self, view: &V, source: u32) -> Vec<u32> {
+        let si = self.slot(source);
+        loop {
+            if self.slot_dirty(si) {
+                self.repair_slot_with(view, si, restricted_hop_distances);
+                continue;
+            }
+            let a: Vec<u32> = (0..self.n as u32).map(|v| self.load(si, v).0).collect();
+            if self.slot_dirty(si) {
+                continue;
+            }
+            // Same double-read stability as `distance`, row-wide.
+            let b: Vec<u32> = (0..self.n as u32).map(|v| self.load(si, v).0).collect();
+            if a == b {
+                return a;
+            }
+        }
+    }
+
+    /// True if `source`'s row has pending deletion debt to repair.
+    pub fn is_source_dirty(&self, source: u32) -> bool {
+        self.slot_dirty(self.slot(source))
+    }
+
+    /// True if any source is awaiting repair.
+    pub fn has_dirty(&self) -> bool {
+        // ordering: Acquire — pairs with the Release stores of the
+        // hint flag; the per-source flags are authoritative.
+        self.any_dirty.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn slot_dirty(&self, si: usize) -> bool {
+        // ordering: Acquire — pairs with `mark_seed`'s Release (the
+        // shield raise) and the repair's Release clear (the publication
+        // point), so a clean observation implies final certificates
+        // (invariant 4).
+        self.src_dirty[si].load(Ordering::Acquire)
+    }
+
+    // ---- repair --------------------------------------------------------
+
+    /// Targeted repair of `source`'s row with the built-in serial
+    /// restricted BFS. Returns `true` if a repair actually ran (`false`
+    /// when the row was already clean). `snap-par` callers use
+    /// [`DistanceIndex::repair_source_with`] with the parallel
+    /// frontier kernel.
+    pub fn repair_source<V: GraphView>(&self, view: &V, source: u32) -> bool {
+        self.repair_source_with(view, source, restricted_hop_distances)
+    }
+
+    /// Targeted repair of `source`'s row using `relabel` to recompute
+    /// distances over the affected set: `relabel(view, verts, ext)`
+    /// receives the affected vertices (ascending) and, aligned with
+    /// them, the best distance each can claim through its *unaffected*
+    /// neighbors ([`UNREACHED`] when it has none), and must return the
+    /// restricted-BFS fixpoint (see [`restricted_hop_distances`] for
+    /// the exact contract). Certificate parents are recomputed by the
+    /// index from the returned distances. Repairs serialize on the
+    /// internal lock, so concurrent queries on the same dirty source
+    /// coalesce into one repair.
+    pub fn repair_source_with<V, F>(&self, view: &V, source: u32, relabel: F) -> bool
+    where
+        V: GraphView,
+        F: FnOnce(&V, &[u32], &[u32]) -> Vec<u32>,
+    {
+        self.repair_slot_with(view, self.slot(source), relabel)
+    }
+
+    fn repair_slot_with<V, F>(&self, view: &V, si: usize, relabel: F) -> bool
+    where
+        V: GraphView,
+        F: FnOnce(&V, &[u32], &[u32]) -> Vec<u32>,
+    {
+        let _guard = self.repair_lock.lock();
+        if !self.slot_dirty(si) {
+            // A racing query already repaired this source.
+            return false;
+        }
+        // A note racing this repair is detected through the generation:
+        // one counted by this read applied its state ops before our
+        // scan could miss them consistently — movement after the scan
+        // means the published row may be stale, so the shield stays up.
+        //
+        // ordering: Acquire — pairs with the note-path Release bumps
+        // (invariant 6).
+        let gen_at_scan = self.note_gen.load(Ordering::Acquire);
+        let n = self.n;
+        let source = self.sources[si];
+        let words = n.div_ceil(64);
+        // Collect the seeds (vertices whose certificate edge died).
+        let mut seed_list: Vec<u32> = Vec::new();
+        for w in 0..words {
+            // ordering: Acquire — pairs with `mark_seed`'s AcqRel set;
+            // every bit set before the flag we entered through is
+            // visible here.
+            let bits = self.seeds[si * words + w].load(Ordering::Acquire);
+            let mut b = bits;
+            while b != 0 {
+                let i = b.trailing_zeros() as usize;
+                let v = (w << 6) + i;
+                if v < n {
+                    seed_list.push(v as u32);
+                }
+                b &= b - 1;
+            }
+        }
+        if seed_list.is_empty() {
+            // Flag without seeds: nothing to recompute; clear the
+            // shield under the generation check below.
+            self.finish_repair_locked(si, Some(gen_at_scan), 0);
+            return true;
+        }
+        // Close the seeds over the stored parent tree: every vertex
+        // whose certificate chain passes through a dead edge is a
+        // descendant of a seed (parents are published atomically with
+        // their distances, so contaminated relaxations are descendants
+        // too). Everything else holds an intact chain of live edges and
+        // is exact (invariant 3: the repair is targeted).
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n as u32 {
+            let (_, p) = self.load(si, v);
+            if p != UNREACHED && p != v {
+                children[p as usize].push(v);
+            }
+        }
+        let mut affected = vec![false; n];
+        let mut stack = seed_list.clone();
+        for &s in &seed_list {
+            affected[s as usize] = true;
+        }
+        while let Some(x) = stack.pop() {
+            for &c in &children[x as usize] {
+                if !affected[c as usize] {
+                    affected[c as usize] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        let verts: Vec<u32> = (0..n as u32).filter(|&v| affected[v as usize]).collect();
+        // External seed distances: the best claim each affected vertex
+        // has through the intact frontier (plus the source's own zero,
+        // in case a conservative re-shield swept it into the set).
+        let ext: Vec<u32> = verts
+            .iter()
+            .map(|&a| {
+                if a == source {
+                    return 0;
+                }
+                let mut best = UNREACHED;
+                view.for_each_edge(a, |w, _| {
+                    if w != a && !affected[w as usize] {
+                        let (dw, _) = self.load(si, w);
+                        if dw != UNREACHED && dw.saturating_add(1) < best {
+                            best = dw + 1;
+                        }
+                    }
+                });
+                best
+            })
+            .collect();
+        let dists = relabel(view, &verts, &ext);
+        debug_assert_eq!(dists.len(), verts.len(), "relabel must cover all members");
+        // Position lookup for in-set neighbors during parent recompute.
+        let mut pos = vec![u32::MAX; n];
+        for (i, &a) in verts.iter().enumerate() {
+            pos[a as usize] = i as u32;
+        }
+        let mut racy = false;
+        for (i, &a) in verts.iter().enumerate() {
+            let d = dists[i];
+            if d == UNREACHED {
+                // ordering: Release — certificate publication under the
+                // source shield (invariant 4): the flag is still set, so
+                // a reader either re-routes through the repair path or
+                // its Acquire double-read confirms the final value.
+                self.state[si * n + a as usize].store(u64::MAX, Ordering::Release);
+                continue;
+            }
+            let mut parent = if d == 0 { a } else { UNREACHED };
+            if d > 0 {
+                view.for_each_edge(a, |w, _| {
+                    if w == a || w >= parent {
+                        return;
+                    }
+                    let dw = if affected[w as usize] {
+                        dists[pos[w as usize] as usize]
+                    } else {
+                        self.load(si, w).0
+                    };
+                    if dw != UNREACHED && dw + 1 == d {
+                        parent = w;
+                    }
+                });
+            }
+            if parent == UNREACHED {
+                // A finite distance with no certificate edge means the
+                // view moved between the relabel and this pass (a racing
+                // writer deleted the edge that justified `d`; its note
+                // is routed after the graph mutation, so the generation
+                // recheck below may not have seen it yet). Publish
+                // nothing for this vertex and force the conservative
+                // re-shield: the next query recomputes the whole row
+                // from the settled view (invariant 6: sticky, never
+                // wrong).
+                racy = true;
+                continue;
+            }
+            // ordering: Release — certificate publication under the
+            // source shield; see the store above (invariant 4).
+            self.state[si * n + a as usize].store(pack(d, parent), Ordering::Release);
+        }
+        self.finish_repair_locked(si, if racy { None } else { Some(gen_at_scan) }, verts.len());
+        true
+    }
+
+    /// Clears the seed row and, if no note raced the repair, drops the
+    /// source shield; otherwise re-shields the whole row so the next
+    /// query recomputes it from scratch (sticky, invariant 6). Caller
+    /// holds the repair lock; `gen_at_scan` is `None` when the repair
+    /// already observed the view moving under it and the re-shield is
+    /// mandatory regardless of the generation.
+    fn finish_repair_locked(&self, si: usize, gen_at_scan: Option<u64>, relabeled: usize) {
+        let words = self.n.div_ceil(64);
+        for w in 0..words {
+            // ordering: Release — the seed clear precedes the flag
+            // clear below; a reader entering through a raised flag
+            // never misses a bit that is still owed (invariant 4).
+            self.seeds[si * words + w].store(0, Ordering::Release);
+        }
+        // ordering: Acquire — closes the window opened at gen_at_scan;
+        // movement means a note raced the scan or the publication
+        // (invariant 6).
+        if gen_at_scan != Some(self.note_gen.load(Ordering::Acquire)) {
+            for w in 0..words {
+                // ordering: Release — conservative re-shield: every
+                // vertex becomes a seed, so the next repair recomputes
+                // the full row (invariant 6: sticky, never stale).
+                self.seeds[si * words + w].store(u64::MAX, Ordering::Release);
+            }
+            // ordering: Release — hint flag, see `mark_seed`.
+            self.any_dirty.store(true, Ordering::Release);
+            // src_dirty stays raised: the row is still owed.
+        } else {
+            // ordering: Release — the repair's publication point: a
+            // reader that acquires the cleared flag also sees every
+            // certificate stored above (invariant 4).
+            self.src_dirty[si].store(false, Ordering::Release);
+        }
+        // ordering: Relaxed — statistics counter, no ordering consumed.
+        self.repairs.fetch_add(1, Ordering::Relaxed);
+        let m = dist_metrics();
+        m.repairs.inc();
+        m.shield_events.add(relabeled as u64);
+    }
+
+    /// Repairs every dirty source (serial restricted BFS per source).
+    /// Cheap when nothing is dirty.
+    pub fn repair_all<V: GraphView>(&self, view: &V) {
+        if !self.has_dirty() {
+            return;
+        }
+        // ordering: Release — hint reset; a mark racing this loop
+        // re-raises it, and the per-source flags below are
+        // authoritative either way.
+        self.any_dirty.store(false, Ordering::Release);
+        for si in 0..self.sources.len() {
+            if self.slot_dirty(si) {
+                self.repair_slot_with(view, si, restricted_hop_distances);
+            }
+        }
+    }
+
+    // ---- full rebuild & epoch coupling ---------------------------------
+
+    /// Discards every row and recomputes all sources from the view —
+    /// the fallback when the owning manager detects out-of-band
+    /// mutation. Returns `true` when the rebuild converged (no routed
+    /// notification raced the scan); on `false` every source is left
+    /// shielded with a full seed row, so queries recompute from the
+    /// live view on demand until a later pass converges.
+    pub fn rebuild_from<V: GraphView>(&self, view: &V) -> bool {
+        let _guard = self.repair_lock.lock();
+        self.rebuild_locked(view)
+    }
+
+    /// Rebuilds from `view` only if the synced epoch is still behind
+    /// `epoch` — double-checked under the repair lock, so concurrent
+    /// stale queries coalesce into one rebuild — then records the epoch
+    /// as absorbed. A rebuild raced by routed updates deliberately does
+    /// **not** record the epoch: the gap stays sticky (invariant 6) and
+    /// the next query resyncs again, settling once writers quiesce.
+    pub fn resync<V: GraphView>(&self, view: &V, epoch: u64) {
+        let _guard = self.repair_lock.lock();
+        if self.synced_epoch() < epoch && self.rebuild_locked(view) {
+            self.sync_to(epoch);
+        }
+    }
+
+    /// Rebuild passes attempted before giving up on a generation-stable
+    /// scan and leaving every source shielded instead.
+    const REBUILD_RETRIES: usize = 4;
+
+    fn rebuild_locked<V: GraphView>(&self, view: &V) -> bool {
+        assert_eq!(view.num_vertices(), self.n, "vertex count moved");
+        let m = dist_metrics();
+        let words = self.n.div_ceil(64);
+        let mut converged = false;
+        for _attempt in 0..Self::REBUILD_RETRIES {
+            // ordering: Acquire — a note counted by this read applied
+            // its mutation before it; one that bumps later is detected
+            // at the bottom of the pass (invariant 6).
+            let gen_at_scan = self.note_gen.load(Ordering::Acquire);
+            for si in 0..self.sources.len() {
+                // ordering: Release — raise every shield before
+                // touching the rows, so lock-free readers re-route into
+                // the (locked) repair path instead of observing the
+                // half-reset state (invariant 4).
+                self.src_dirty[si].store(true, Ordering::Release);
+            }
+            // ordering: Release — hint flag, see `mark_seed`.
+            self.any_dirty.store(true, Ordering::Release);
+            for si in 0..self.sources.len() {
+                self.bfs_row(view, si);
+            }
+            m.shield_events.add((self.sources.len() * self.n) as u64);
+            // ordering: Acquire — closes the generation window; a moved
+            // generation means the scan may have missed a racing note's
+            // mutation (invariant 6).
+            if self.note_gen.load(Ordering::Acquire) != gen_at_scan {
+                continue;
+            }
+            for w in 0..self.sources.len() * words {
+                // ordering: Release — the view fully absorbed; all seed
+                // debt is settled (invariant 4 publication order: bits
+                // before flags).
+                self.seeds[w].store(0, Ordering::Release);
+            }
+            for si in 0..self.sources.len() {
+                // ordering: Release — per-source publication point,
+                // paired with the query loop's Acquire (invariant 4).
+                self.src_dirty[si].store(false, Ordering::Release);
+            }
+            // ordering: Release — hint flag, see `mark_seed`.
+            self.any_dirty.store(false, Ordering::Release);
+            // Confirm nothing raced the clears themselves.
+            //
+            // ordering: Acquire — same pairing as the scan-start read.
+            if self.note_gen.load(Ordering::Acquire) == gen_at_scan {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            // The last pass left every shield up; give queries full
+            // seed rows so their repairs recompute whole rows from the
+            // live view on demand.
+            for w in 0..self.sources.len() * words {
+                // ordering: Release — conservative re-seed under the
+                // still-raised shields (invariant 6: sticky).
+                self.seeds[w].store(u64::MAX, Ordering::Release);
+            }
+        }
+        // ordering: Relaxed — statistics counter, no ordering consumed.
+        self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+        m.full_rebuilds.inc();
+        converged
+    }
+
+    /// Serial BFS recompute of one source row (stores are
+    /// Release-published; callers raise the shield first when readers
+    /// may race).
+    fn bfs_row<V: GraphView>(&self, view: &V, si: usize) {
+        let n = self.n;
+        let base = si * n;
+        for v in 0..n {
+            // ordering: Release — row reset under the caller's shield
+            // (invariant 4); construction has no concurrent readers.
+            self.state[base + v].store(u64::MAX, Ordering::Release);
+        }
+        let src = self.sources[si];
+        // ordering: Release — see the row reset above.
+        self.state[base + src as usize].store(pack(0, src), Ordering::Release);
+        let mut dist = vec![UNREACHED; n];
+        dist[src as usize] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(src);
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[x as usize];
+            view.for_each_edge(x, |w, _| {
+                if dist[w as usize] == UNREACHED {
+                    dist[w as usize] = dx + 1;
+                    // ordering: Release — see the row reset above.
+                    self.state[base + w as usize].store(pack(dx + 1, x), Ordering::Release);
+                    queue.push_back(w);
+                }
+            });
+        }
+    }
+
+    // ---- counters & epoch coupling -------------------------------------
+
+    /// Number of targeted repairs performed (each covers one dirty
+    /// source). A clean query burst leaves this flat.
+    pub fn repair_count(&self) -> usize {
+        // ordering: Relaxed — statistics counter, no ordering consumed.
+        self.repairs.load(Ordering::Relaxed)
+    }
+
+    /// Number of full rebuilds ([`DistanceIndex::rebuild_from`]) — the
+    /// quantity incremental maintenance exists to keep at zero.
+    pub fn full_rebuild_count(&self) -> usize {
+        // ordering: Relaxed — statistics counter, no ordering consumed.
+        self.full_rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Manager epoch this index has absorbed (monotone; see
+    /// [`crate::engine::SnapshotManager`]).
+    pub fn synced_epoch(&self) -> u64 {
+        // ordering: Acquire — pairs with the AcqRel epoch bumps so an
+        // observed epoch implies the updates it covers (invariant 6).
+        self.synced_epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances the absorbed epoch (monotone max). Use only when the
+    /// index provably reflects everything up to `epoch` — at build time
+    /// and after a rebuild; routed per-update bumps go through
+    /// [`DistanceIndex::sync_change`].
+    pub fn sync_to(&self, epoch: u64) {
+        // ordering: AcqRel — monotone epoch publication (invariant 6:
+        // racing bumps cannot move the absorbed epoch backwards).
+        self.synced_epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Absorbs exactly one routed epoch bump: steps the synced epoch
+    /// from `new_epoch - 1` to `new_epoch`, and *only* that step, so an
+    /// out-of-band gap below stays sticky (see
+    /// [`crate::connectivity::ConnectivityIndex::sync_change`] — same
+    /// contract).
+    pub fn sync_change(&self, new_epoch: u64) {
+        // ordering: AcqRel on the exact step (invariant 6: an
+        // unabsorbed gap below stays sticky); Relaxed on failure — the
+        // gap itself is the signal, no data is read through the failed
+        // exchange.
+        let _ = self.synced_epoch.compare_exchange(
+            new_epoch.wrapping_sub(1),
+            new_epoch,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Serial restricted multi-seed BFS: the fixpoint of
+///
+/// `d[i] = min(ext[i], min over in-set neighbors j of d[j] + 1)`
+///
+/// over `verts` (ascending) with external seed distances `ext`
+/// ([`UNREACHED`] = no claim from outside the set). Edges leaving
+/// `verts` are ignored — the caller folds the intact frontier into
+/// `ext`. This is the built-in relabeler for
+/// [`DistanceIndex::repair_source`]; `snap-par` supplies a parallel
+/// drop-in with the same contract, and `snap-kernels` an independent
+/// heap-based oracle for the differential suites.
+pub fn restricted_hop_distances<V: GraphView>(view: &V, verts: &[u32], ext: &[u32]) -> Vec<u32> {
+    assert_eq!(verts.len(), ext.len(), "one seed distance per member");
+    debug_assert!(
+        verts.windows(2).all(|w| w[0] < w[1]),
+        "verts must be ascending"
+    );
+    // Dial's bucket queue: unit weights advance one bucket at a time,
+    // and finite distances are bounded by max(ext) + |verts|.
+    let mut dist = ext.to_vec();
+    let mut buckets: Vec<Vec<u32>> = Vec::new();
+    for (i, &d) in dist.iter().enumerate() {
+        if d != UNREACHED {
+            if buckets.len() <= d as usize {
+                buckets.resize(d as usize + 1, Vec::new());
+            }
+            buckets[d as usize].push(i as u32);
+        }
+    }
+    let mut cur = 0usize;
+    while cur < buckets.len() {
+        while let Some(i) = buckets[cur].pop() {
+            if (dist[i as usize] as usize) < cur {
+                continue; // superseded entry
+            }
+            let nd = cur as u32 + 1;
+            view.for_each_edge(verts[i as usize], |w, _| {
+                if let Ok(j) = verts.binary_search(&w) {
+                    if nd < dist[j] {
+                        dist[j] = nd;
+                        if buckets.len() <= nd as usize {
+                            buckets.resize(nd as usize + 1, Vec::new());
+                        }
+                        buckets[nd as usize].push(j as u32);
+                    }
+                }
+            });
+        }
+        cur += 1;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::CapacityHints;
+    use crate::dynarr::DynArr;
+    use crate::graph::DynGraph;
+    use crate::hybrid::HybridAdj;
+    use snap_rmat::TimedEdge;
+
+    fn graph<A: crate::adjacency::DynamicAdjacency>(n: usize, edges: &[(u32, u32)]) -> DynGraph<A> {
+        let g = DynGraph::undirected(n, &CapacityHints::new(edges.len() * 2 + 8));
+        for &(u, v) in edges {
+            g.insert_edge(TimedEdge::new(u, v, 1));
+        }
+        g
+    }
+
+    /// Serial BFS oracle row (no kernels dependency from core).
+    fn bfs_oracle<V: GraphView>(view: &V, src: u32) -> Vec<u32> {
+        let n = view.num_vertices();
+        let mut dist = vec![UNREACHED; n];
+        dist[src as usize] = 0;
+        let mut q = std::collections::VecDeque::new();
+        q.push_back(src);
+        while let Some(x) = q.pop_front() {
+            let dx = dist[x as usize];
+            view.for_each_edge(x, |w, _| {
+                if dist[w as usize] == UNREACHED {
+                    dist[w as usize] = dx + 1;
+                    q.push_back(w);
+                }
+            });
+        }
+        dist
+    }
+
+    #[test]
+    fn from_view_matches_bfs_per_source() {
+        let g: DynGraph<HybridAdj> = graph(10, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)]);
+        let idx = DistanceIndex::from_view(&g, &[0, 5]);
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+        assert_eq!(idx.distances(&g, 5), bfs_oracle(&g, 5));
+        assert_eq!(idx.distance(&g, 0, 3), Some(3));
+        assert_eq!(idx.distance(&g, 0, 7), None, "other component");
+        assert_eq!(idx.distance(&g, 5, 7), Some(2));
+        assert_eq!(idx.full_rebuild_count(), 0, "initial build is free");
+    }
+
+    #[test]
+    fn insert_wavefront_improves_exactly_the_shortened_region() {
+        let g: DynGraph<DynArr> = graph(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let idx = DistanceIndex::from_view(&g, &[0]);
+        assert_eq!(idx.distance(&g, 0, 5), Some(5));
+        g.insert_edge(TimedEdge::new(0, 4, 9));
+        idx.note_insert(&g, 0, 4);
+        assert_eq!(idx.distance(&g, 0, 4), Some(1));
+        assert_eq!(idx.distance(&g, 0, 5), Some(2));
+        assert_eq!(idx.distance(&g, 0, 3), Some(2), "improves via 4 too");
+        assert_eq!(idx.distance(&g, 0, 1), Some(1), "untouched prefix");
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+        assert_eq!(idx.repair_count(), 0, "insertions never need repair");
+    }
+
+    #[test]
+    fn insert_reaching_new_vertices_extends_the_row() {
+        let g: DynGraph<DynArr> = graph(6, &[(0, 1), (3, 4)]);
+        let idx = DistanceIndex::from_view(&g, &[0]);
+        assert_eq!(idx.distance(&g, 0, 3), None);
+        g.insert_edge(TimedEdge::new(1, 3, 2));
+        idx.note_insert(&g, 1, 3);
+        assert_eq!(idx.distance(&g, 0, 3), Some(2));
+        assert_eq!(idx.distance(&g, 0, 4), Some(3), "reaches the tail");
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+    }
+
+    #[test]
+    fn self_loops_are_distance_noops() {
+        let g: DynGraph<DynArr> = graph(4, &[(0, 1), (2, 2)]);
+        let idx = DistanceIndex::from_view(&g, &[0]);
+        idx.note_insert(&g, 1, 1);
+        idx.note_delete(2, 2);
+        assert!(!idx.has_dirty(), "self-loops never dirty a source");
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+        assert_eq!(idx.repair_count(), 0);
+    }
+
+    #[test]
+    fn deletion_dirties_only_sources_whose_tree_used_the_edge() {
+        // Path 0-1-2-3 and a separate pair 5-6: deleting (5, 6) cannot
+        // touch source 0's tree.
+        let g: DynGraph<HybridAdj> = graph(8, &[(0, 1), (1, 2), (2, 3), (5, 6)]);
+        let idx = DistanceIndex::from_view(&g, &[0, 5]);
+        g.delete_edge(5, 6);
+        idx.note_delete(5, 6);
+        assert!(!idx.is_source_dirty(0), "source 0's tree is intact");
+        assert!(idx.is_source_dirty(5));
+        assert_eq!(idx.distance(&g, 5, 6), None);
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+        assert_eq!(idx.repair_count(), 1, "only source 5 repaired");
+    }
+
+    #[test]
+    fn deletion_with_detour_repairs_to_the_longer_path() {
+        // 0-1-2 chain plus chord 0-3-2: deleting (1, 2) reroutes 2
+        // through the detour at distance 2.
+        let g: DynGraph<DynArr> = graph(5, &[(0, 1), (1, 2), (0, 3), (3, 2)]);
+        let idx = DistanceIndex::from_view(&g, &[0]);
+        assert_eq!(idx.distance(&g, 0, 2), Some(2));
+        g.delete_edge(1, 2);
+        idx.note_delete(1, 2);
+        assert_eq!(idx.distance(&g, 0, 2), Some(2), "via the detour");
+        assert_eq!(idx.distance(&g, 0, 1), Some(1), "kept certificate");
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+        assert!(idx.repair_count() >= 1);
+        assert_eq!(idx.full_rebuild_count(), 0);
+    }
+
+    #[test]
+    fn deletion_disconnecting_a_subtree_marks_it_unreached() {
+        let g: DynGraph<DynArr> = graph(6, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let idx = DistanceIndex::from_view(&g, &[0]);
+        g.delete_edge(1, 2);
+        idx.note_delete(1, 2);
+        assert_eq!(idx.distance(&g, 0, 2), None);
+        assert_eq!(idx.distance(&g, 0, 4), None, "whole subtree cut off");
+        assert_eq!(idx.distance(&g, 0, 1), Some(1));
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+    }
+
+    #[test]
+    fn deletion_of_non_tree_edge_is_repaired_cheaply() {
+        // Triangle 0-1-2: one of the two unit paths to 2 survives
+        // whichever edge was the certificate.
+        let g: DynGraph<DynArr> = graph(3, &[(0, 1), (1, 2), (0, 2)]);
+        let idx = DistanceIndex::from_view(&g, &[0]);
+        g.delete_edge(0, 2);
+        idx.note_delete(0, 2);
+        assert_eq!(idx.distance(&g, 0, 2), Some(2), "via 1 now");
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+    }
+
+    #[test]
+    fn clean_query_burst_triggers_no_repairs() {
+        let g: DynGraph<DynArr> = graph(16, &[(0, 1), (1, 2), (4, 5)]);
+        let idx = DistanceIndex::from_view(&g, &[0, 4]);
+        for _ in 0..64 {
+            assert_eq!(idx.distance(&g, 0, 2), Some(2));
+            assert_eq!(idx.distance(&g, 4, 5), Some(1));
+            assert_eq!(idx.distance(&g, 0, 4), None);
+        }
+        assert_eq!(idx.repair_count(), 0);
+        assert_eq!(idx.full_rebuild_count(), 0);
+    }
+
+    #[test]
+    fn mixed_stream_tracks_the_oracle() {
+        let n = 64usize;
+        let g: DynGraph<HybridAdj> = graph(n, &[]);
+        let idx = DistanceIndex::from_view(&g, &[0, 17]);
+        let mut rng = snap_util::rng::XorShift64::new(0xD157);
+        let mut live: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for step in 0..400u32 {
+            let u = rng.next_bounded(n as u64) as u32;
+            let v = rng.next_bounded(n as u64) as u32;
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if live.contains(&key) {
+                live.remove(&key);
+                g.delete_edge(key.0, key.1);
+                idx.note_delete(key.0, key.1);
+            } else {
+                live.insert(key);
+                g.insert_edge(TimedEdge::new(key.0, key.1, 1 + step % 90));
+                idx.note_insert(&g, key.0, key.1);
+            }
+            if step % 37 == 0 {
+                assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0), "step {step}");
+                assert_eq!(idx.distances(&g, 17), bfs_oracle(&g, 17), "step {step}");
+            }
+        }
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+        assert_eq!(idx.distances(&g, 17), bfs_oracle(&g, 17));
+        assert_eq!(idx.full_rebuild_count(), 0, "never recomputed from scratch");
+    }
+
+    #[test]
+    fn repair_with_external_relabeler_sees_the_affected_set() {
+        let g: DynGraph<DynArr> = graph(5, &[(0, 1), (1, 2), (2, 3)]);
+        let idx = DistanceIndex::from_view(&g, &[0]);
+        g.delete_edge(1, 2);
+        idx.note_delete(1, 2);
+        // Stand-in for the parallel relabeler: same contract; the
+        // affected set is the severed subtree {2, 3} with no external
+        // claims left.
+        let ran = idx.repair_source_with(&g, 0, |view, verts, ext| {
+            assert_eq!(verts, &[2, 3]);
+            assert_eq!(ext, &[UNREACHED, UNREACHED]);
+            restricted_hop_distances(view, verts, ext)
+        });
+        assert!(ran);
+        assert!(!idx.is_source_dirty(0));
+        assert_eq!(idx.distance(&g, 0, 3), None);
+        assert!(!idx.repair_source(&g, 0), "already clean");
+    }
+
+    #[test]
+    fn rebuild_from_resets_and_counts() {
+        let g: DynGraph<DynArr> = graph(4, &[(0, 1)]);
+        let idx = DistanceIndex::from_view(&g, &[0]);
+        // Out-of-band mutation the index never saw:
+        g.insert_edge(TimedEdge::new(1, 2, 1));
+        assert!(idx.rebuild_from(&g));
+        assert_eq!(idx.distance(&g, 0, 2), Some(2));
+        assert_eq!(idx.full_rebuild_count(), 1);
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+    }
+
+    #[test]
+    fn restricted_distances_match_oracle_on_closed_sets() {
+        let g: DynGraph<HybridAdj> = graph(10, &[(2, 4), (4, 6), (6, 8), (3, 5)]);
+        // Whole component with the root seeded at zero = its BFS row.
+        let got =
+            restricted_hop_distances(&g, &[2, 4, 6, 8], &[0, UNREACHED, UNREACHED, UNREACHED]);
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        // External claims compete with in-set relaxation.
+        let got = restricted_hop_distances(&g, &[4, 6, 8], &[1, UNREACHED, 2]);
+        assert_eq!(got, vec![1, 2, 2]);
+        // No seeds: nothing is reachable.
+        let got = restricted_hop_distances(&g, &[3, 5], &[UNREACHED, UNREACHED]);
+        assert_eq!(got, vec![UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn concurrent_insert_wavefronts_converge() {
+        use rayon::prelude::*;
+        let n = 1024usize;
+        let g: DynGraph<HybridAdj> = graph(n, &[]);
+        // Build the whole path first (graph mutations), then race all
+        // the index notifications: CAS-min wavefronts must converge to
+        // the BFS fixpoint whatever the interleaving.
+        for i in 0..n as u32 - 1 {
+            g.insert_edge(TimedEdge::new(i, i + 1, 1));
+        }
+        let idx = DistanceIndex::new(n, &[0]);
+        (0..n as u32 - 1).into_par_iter().for_each(|i| {
+            idx.note_insert(&g, i, i + 1);
+        });
+        assert_eq!(idx.distances(&g, 0), bfs_oracle(&g, 0));
+        assert_eq!(idx.repair_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_queries_with_repair_agree() {
+        use rayon::prelude::*;
+        // Two chains joined by a bridge; cut the bridge, then query
+        // from many threads: every post-quiescence answer must see the
+        // split, and the repairs coalesce.
+        let n = 256usize;
+        let mut edges: Vec<(u32, u32)> = (0..127).map(|i| (i, i + 1)).collect();
+        edges.extend((128..255).map(|i| (i, i + 1)));
+        edges.push((0, 128)); // the bridge
+        let g: DynGraph<DynArr> = graph(n, &edges);
+        let idx = DistanceIndex::from_view(&g, &[0]);
+        assert_eq!(idx.distance(&g, 0, 255), Some(128));
+        g.delete_edge(0, 128);
+        idx.note_delete(0, 128);
+        (0..64u32).into_par_iter().for_each(|q| {
+            assert_eq!(idx.distance(&g, 0, 128 + (q % 128)), None, "cut off");
+            assert_eq!(idx.distance(&g, 0, q % 128), Some(q % 128));
+        });
+        assert_eq!(idx.repair_count(), 1, "queries coalesce into one repair");
+        assert_eq!(idx.full_rebuild_count(), 0);
+    }
+
+    #[test]
+    fn empty_and_sourceless_indexes() {
+        let g: DynGraph<DynArr> = graph(0, &[]);
+        let idx = DistanceIndex::from_view(&g, &[]);
+        assert!(idx.is_empty());
+        assert!(!idx.has_dirty());
+        let g: DynGraph<DynArr> = graph(4, &[(0, 1)]);
+        let idx = DistanceIndex::from_view(&g, &[]);
+        idx.note_insert(&g, 1, 2);
+        idx.note_delete(0, 1);
+        assert!(!idx.has_dirty(), "no sources, no debt");
+        assert_eq!(idx.sources(), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source not pinned")]
+    fn unpinned_source_panics() {
+        let g: DynGraph<DynArr> = graph(4, &[(0, 1)]);
+        let idx = DistanceIndex::from_view(&g, &[0]);
+        idx.distance(&g, 3, 0);
+    }
+}

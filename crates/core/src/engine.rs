@@ -32,7 +32,10 @@
 use crate::adjacency::{AdjEntry, DynamicAdjacency};
 use crate::connectivity::ConnectivityIndex;
 use crate::csr::{CsrGraph, SnapshotRace};
+use crate::distindex::DistanceIndex;
 use crate::graph::DynGraph;
+use crate::triindex::TriangleIndex;
+use crate::view::GraphView;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use snap_rmat::{TimedEdge, Update, UpdateKind};
@@ -167,6 +170,111 @@ pub fn apply_vpart_routed<A: DynamicAdjacency>(
     workers: usize,
     conn: Option<&ConnectivityIndex>,
 ) -> bool {
+    apply_vpart_indexed(
+        g,
+        updates,
+        workers,
+        IndexRoutes {
+            conn,
+            ..IndexRoutes::default()
+        },
+    )
+}
+
+/// Borrowed bundle of every incremental index attached to a graph — the
+/// generalization of the single `conn` argument of
+/// [`apply_vpart_routed`] to the whole index family
+/// ([`ConnectivityIndex`], [`DistanceIndex`], [`TriangleIndex`]). All
+/// slots are optional; an empty bundle routes nothing.
+#[derive(Clone, Copy, Default)]
+pub struct IndexRoutes<'a> {
+    /// Incremental connectivity (union on insert, dirty on delete).
+    pub conn: Option<&'a ConnectivityIndex>,
+    /// Incremental hop distances (wavefront on insert, seed-mark on
+    /// delete).
+    pub dist: Option<&'a DistanceIndex>,
+    /// Incremental triangle counts (delta per effective update).
+    pub tri: Option<&'a TriangleIndex>,
+}
+
+impl<'a> IndexRoutes<'a> {
+    /// True when no index is attached.
+    pub fn is_empty(&self) -> bool {
+        self.conn.is_none() && self.dist.is_none() && self.tri.is_none()
+    }
+
+    /// True when some attached index consumes the *view* while routing
+    /// (distance wavefronts, triangle delete checks) — those notes must
+    /// run after the batch's barrier, in stream order, against settled
+    /// graph state; connectivity-only routing tolerates the in-parallel
+    /// fast path.
+    pub fn needs_settled_view(&self) -> bool {
+        self.dist.is_some() || self.tri.is_some()
+    }
+
+    /// Routes one confirmed change into every attached index. `view`
+    /// must already reflect the update (mutate first, then route — the
+    /// same contract as each index's `note_*` methods).
+    pub fn route<V: GraphView>(&self, view: &V, upd: &Update) {
+        let (u, v) = (upd.edge.u, upd.edge.v);
+        match upd.kind {
+            UpdateKind::Insert => {
+                if let Some(c) = self.conn {
+                    c.note_insert(u, v);
+                }
+                if let Some(d) = self.dist {
+                    d.note_insert(view, u, v);
+                }
+                if let Some(t) = self.tri {
+                    t.note_insert(u, v);
+                }
+            }
+            UpdateKind::Delete => {
+                if let Some(c) = self.conn {
+                    c.note_delete(u, v);
+                }
+                if let Some(d) = self.dist {
+                    d.note_delete(u, v);
+                }
+                if let Some(t) = self.tri {
+                    t.note_delete(view, u, v);
+                }
+            }
+        }
+    }
+
+    /// Steps every attached index's synced epoch by exactly one (the
+    /// sticky-gap contract of `sync_change` on each index).
+    pub fn sync_change(&self, new_epoch: u64) {
+        if let Some(c) = self.conn {
+            c.sync_change(new_epoch);
+        }
+        if let Some(d) = self.dist {
+            d.sync_change(new_epoch);
+        }
+        if let Some(t) = self.tri {
+            t.sync_change(new_epoch);
+        }
+    }
+}
+
+/// [`apply_vpart`] with per-update change tracking and routing into the
+/// full index family: after the parallel phase's barrier, confirmed
+/// changes are fed to every index in [`IndexRoutes`] **in stream
+/// order** against the settled graph — so no-op updates never touch an
+/// index, and view-consuming notes (distance wavefronts, triangle
+/// delete checks) observe exactly the state their deltas describe.
+/// An update deleted later in the same batch may relax a distance
+/// certificate through an edge the final view no longer has; the
+/// later-routed delete note sees that certificate and dirty-marks it,
+/// so stream-order routing keeps the indexes exact at quiescence.
+/// Returns whether any update changed the graph.
+pub fn apply_vpart_indexed<A: DynamicAdjacency>(
+    g: &DynGraph<A>,
+    updates: &[Update],
+    workers: usize,
+    routes: IndexRoutes<'_>,
+) -> bool {
     let n = g.num_vertices();
     let halves = expand_half_updates_indexed(updates, g.is_directed());
     let ranges = partition_ranges(n, resolve_workers(workers));
@@ -195,7 +303,7 @@ pub fn apply_vpart_routed<A: DynamicAdjacency>(
         // barrier already ordered the stores.
         if c.load(Ordering::Relaxed) {
             any = true;
-            route_update_for_conn(conn, u);
+            routes.route(g, u);
         }
     }
     any
@@ -381,6 +489,16 @@ pub fn semi_sort_bound(updates: &[Update], n: usize, directed: bool) -> Duration
 /// back to one full rebuild (counted on
 /// [`ConnectivityIndex::full_rebuild_count`]).
 ///
+/// The same contract extends to the rest of the incremental index
+/// family: [`SnapshotManager::enable_distances`] attaches a
+/// [`DistanceIndex`] (exact hop distances from pinned sources, served
+/// by [`SnapshotManager::hop_distance`]) and
+/// [`SnapshotManager::enable_triangles`] a [`TriangleIndex`]
+/// (per-vertex triangle counts and clustering, served by
+/// [`SnapshotManager::triangle_count`] and friends) — every routed
+/// update maintains all attached indexes, epochs stay in lockstep, and
+/// out-of-band gaps trigger the same sticky resync per index.
+///
 /// # Examples
 ///
 /// ```
@@ -413,6 +531,12 @@ pub struct SnapshotManager<A: DynamicAdjacency> {
     /// Lazily attached connectivity index (see
     /// [`SnapshotManager::enable_connectivity`]).
     conn: OnceLock<ConnectivityIndex>,
+    /// Lazily attached hop-distance index (see
+    /// [`SnapshotManager::enable_distances`]).
+    dist: OnceLock<DistanceIndex>,
+    /// Lazily attached triangle index (see
+    /// [`SnapshotManager::enable_triangles`]).
+    tri: OnceLock<TriangleIndex>,
 }
 
 struct SnapshotCache {
@@ -433,6 +557,21 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
             }),
             rebuilds: AtomicUsize::new(0),
             conn: OnceLock::new(),
+            dist: OnceLock::new(),
+            tri: OnceLock::new(),
+        }
+    }
+
+    /// The index bundle as attached *right now* — captured once at the
+    /// start of every mutation, so an index attached mid-mutation is
+    /// deliberately not routed into (its stamped epoch stays behind and
+    /// the first query resyncs conservatively; see
+    /// [`SnapshotManager::note_change`]).
+    fn routes(&self) -> IndexRoutes<'_> {
+        IndexRoutes {
+            conn: self.conn.get(),
+            dist: self.dist.get(),
+            tri: self.tri.get(),
         }
     }
 
@@ -482,36 +621,32 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     }
 
     /// Bumps the epoch for a change routed through the manager, keeping
-    /// the connectivity index's synced epoch in lockstep. The index
-    /// steps by exactly one epoch ([`ConnectivityIndex::sync_change`]),
-    /// so an out-of-band `mark_dirty` gap below this bump stays sticky
-    /// and still triggers the next query's resync instead of being
-    /// fast-forwarded over. `conn` must be the reference captured at the
-    /// *start* of the mutation: if the index was attached mid-mutation,
+    /// every attached index's synced epoch in lockstep. Each index
+    /// steps by exactly one epoch (the `sync_change` contract), so an
+    /// out-of-band `mark_dirty` gap below this bump stays sticky and
+    /// still triggers the next query's resync instead of being
+    /// fast-forwarded over. `routes` must be the bundle captured at the
+    /// *start* of the mutation: if an index was attached mid-mutation,
     /// the change was not routed into it, and stepping its epoch anyway
     /// would hide exactly that gap (the first query is supposed to pay a
     /// conservative resync instead).
-    fn note_change(&self, conn: Option<&ConnectivityIndex>) {
+    fn note_change(&self, routes: IndexRoutes<'_>) {
         // ordering: AcqRel — same publication as `mark_dirty`; the new
         // epoch value carries the mutation to Acquire readers
         // (invariant 1).
         let e = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        if let Some(c) = conn {
-            c.sync_change(e);
-        }
+        routes.sync_change(e);
     }
 
     /// Inserts a timestamped edge, bumping the epoch only if an entry
     /// was actually stored (a deduplicated re-insert leaves the cached
     /// snapshot valid). Thread-safe.
     pub fn insert_edge(&self, e: TimedEdge) -> bool {
-        let conn = self.conn.get();
+        let routes = self.routes();
         let r = self.graph.insert_edge(e);
         if r {
-            if let Some(c) = conn {
-                c.note_insert(e.u, e.v);
-            }
-            self.note_change(conn);
+            routes.route(&self.graph, &Update::insert(e));
+            self.note_change(routes);
         }
         r
     }
@@ -520,13 +655,11 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     /// entry was actually removed (deleting an absent edge leaves the
     /// cached snapshot valid). Thread-safe.
     pub fn delete_edge(&self, u: u32, v: u32) -> bool {
-        let conn = self.conn.get();
+        let routes = self.routes();
         let r = self.graph.delete_edge(u, v);
         if r {
-            if let Some(c) = conn {
-                c.note_delete(u, v);
-            }
-            self.note_change(conn);
+            routes.route(&self.graph, &Update::delete(TimedEdge::new(u, v, 0)));
+            self.note_change(routes);
         }
         r
     }
@@ -534,11 +667,11 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     /// Applies a single structural update, bumping the epoch only if it
     /// changed the graph. Thread-safe.
     pub fn apply(&self, upd: &Update) -> bool {
-        let conn = self.conn.get();
+        let routes = self.routes();
         let r = self.graph.apply(upd);
         if r {
-            route_update_for_conn(conn, upd);
-            self.note_change(conn);
+            routes.route(&self.graph, upd);
+            self.note_change(routes);
         }
         r
     }
@@ -553,26 +686,55 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
         if updates.is_empty() {
             return false;
         }
-        // Same parallel loop as [`apply_stream`], with each confirmed
-        // change also routed into the connectivity index captured once
-        // at batch start (`route_update_for_conn` is a no-op when none
-        // is attached).
-        let conn = self.conn.get();
-        let any = AtomicBool::new(false);
-        updates.par_iter().for_each(|u| {
-            if self.graph.apply(u) {
-                route_update_for_conn(conn, u);
-                // ordering: Relaxed — monotonic flag joined at the
-                // par_iter barrier (`into_inner`), as in apply_stream.
-                if !any.load(Ordering::Relaxed) {
-                    // ordering: Relaxed — covered by the note above.
-                    any.store(true, Ordering::Relaxed);
+        let routes = self.routes();
+        let changed = if routes.needs_settled_view() {
+            // View-consuming indexes (distances, triangles) need their
+            // notes to run against settled graph state, in stream
+            // order: record per-update outcomes in the parallel phase,
+            // then route confirmed changes after the barrier — the same
+            // two-phase shape as [`apply_vpart_indexed`].
+            let flags: Vec<AtomicBool> = updates.iter().map(|_| AtomicBool::new(false)).collect();
+            updates.par_iter().zip(&flags).for_each(|(u, f)| {
+                if self.graph.apply(u) {
+                    // ordering: Relaxed — per-update outcome flags
+                    // joined at the par_iter barrier; the barrier's own
+                    // synchronization publishes them (invariant 8).
+                    f.store(true, Ordering::Relaxed);
+                }
+            });
+            let mut any = false;
+            for (u, f) in updates.iter().zip(&flags) {
+                // ordering: Relaxed — read after the barrier above; the
+                // barrier already ordered the stores.
+                if f.load(Ordering::Relaxed) {
+                    any = true;
+                    routes.route(&self.graph, u);
                 }
             }
-        });
-        let changed = any.into_inner();
+            any
+        } else {
+            // Connectivity-only fast path: the same parallel loop as
+            // [`apply_stream`], with each confirmed change routed
+            // in-place (union-find notes tolerate in-flight batch
+            // state; `route_update_for_conn` is a no-op when no index
+            // is attached).
+            let conn = routes.conn;
+            let any = AtomicBool::new(false);
+            updates.par_iter().for_each(|u| {
+                if self.graph.apply(u) {
+                    route_update_for_conn(conn, u);
+                    // ordering: Relaxed — monotonic flag joined at the
+                    // par_iter barrier (`into_inner`), as in apply_stream.
+                    if !any.load(Ordering::Relaxed) {
+                        // ordering: Relaxed — covered by the note above.
+                        any.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+            any.into_inner()
+        };
         if changed {
-            self.note_change(conn);
+            self.note_change(routes);
         }
         changed
     }
@@ -637,6 +799,120 @@ impl<A: DynamicAdjacency> SnapshotManager<A> {
     /// Number of connected components, repairing any dirty ones first.
     pub fn component_count(&self) -> usize {
         self.conn_fresh().component_count(&self.graph)
+    }
+
+    /// Attaches (or returns) the incremental [`DistanceIndex`] over the
+    /// given pinned sources, building it from the current live graph on
+    /// first call. From then on, updates routed through the manager
+    /// maintain it; query through [`SnapshotManager::hop_distance`].
+    /// `sources` is honored only by the attaching call — later calls
+    /// return the existing index whatever they pass.
+    pub fn enable_distances(&self, sources: &[u32]) -> &DistanceIndex {
+        self.dist.get_or_init(|| {
+            // Same pre-scan epoch stamp as `enable_connectivity`: an
+            // update racing this init bumps the epoch but is not routed
+            // (the index is not attached yet), so the first query
+            // resyncs conservatively instead of serving a stale row.
+            let epoch_before = self.epoch();
+            let idx = DistanceIndex::from_view(&self.graph, sources);
+            idx.sync_to(epoch_before);
+            idx
+        })
+    }
+
+    /// Attaches (or returns) the incremental [`TriangleIndex`],
+    /// building it from the current live graph on first call. From then
+    /// on, updates routed through the manager maintain it; query
+    /// through [`SnapshotManager::triangle_count`] and friends.
+    pub fn enable_triangles(&self) -> &TriangleIndex {
+        self.tri.get_or_init(|| {
+            // Pre-scan epoch stamp; see `enable_distances`.
+            let epoch_before = self.epoch();
+            let idx = TriangleIndex::from_view(&self.graph);
+            idx.sync_to(epoch_before);
+            idx
+        })
+    }
+
+    /// The attached distance index, if
+    /// [`SnapshotManager::enable_distances`] has run — exposed so
+    /// callers can repair with a custom relabeler (e.g. the parallel
+    /// restricted BFS in `snap-par`) or read its counters.
+    pub fn distance_index(&self) -> Option<&DistanceIndex> {
+        self.dist.get()
+    }
+
+    /// The attached triangle index, if
+    /// [`SnapshotManager::enable_triangles`] has run.
+    pub fn triangle_index(&self) -> Option<&TriangleIndex> {
+        self.tri.get()
+    }
+
+    /// The distance index, resynchronized if out-of-band mutation left
+    /// it behind the manager's epoch (same coalescing as `conn_fresh`).
+    fn dist_fresh(&self) -> &DistanceIndex {
+        // panics: documented API contract — distance queries require
+        // enable_distances() first; the message says so.
+        let d = self
+            .dist
+            .get()
+            .expect("distance queries need enable_distances() first");
+        let e = self.epoch();
+        if d.synced_epoch() < e {
+            d.resync(&self.graph, e);
+        }
+        d
+    }
+
+    /// The triangle index, resynchronized if out-of-band mutation left
+    /// it behind the manager's epoch (same coalescing as `conn_fresh`).
+    fn tri_fresh(&self) -> &TriangleIndex {
+        // panics: documented API contract — triangle queries require
+        // enable_triangles() first; the message says so.
+        let t = self
+            .tri
+            .get()
+            .expect("triangle queries need enable_triangles() first");
+        let e = self.epoch();
+        if t.synced_epoch() < e {
+            t.resync(&self.graph, e);
+        }
+        t
+    }
+
+    /// Exact hop distance from pinned `source` to `v` (`None` when
+    /// unreachable) — no traversal, no snapshot, unless a deletion left
+    /// the source's row dirty (targeted repair) or the index is stale
+    /// (full rebuild). Panics if `source` was not pinned by
+    /// [`SnapshotManager::enable_distances`].
+    pub fn hop_distance(&self, source: u32, v: u32) -> Option<u32> {
+        self.dist_fresh().distance(&self.graph, source, v)
+    }
+
+    /// The full distance row from pinned `source`
+    /// ([`crate::distindex::UNREACHED`] for unreachable vertices); same
+    /// cost profile as [`SnapshotManager::hop_distance`].
+    pub fn hop_distances(&self, source: u32) -> Vec<u32> {
+        self.dist_fresh().distances(&self.graph, source)
+    }
+
+    /// Triangles incident to `u`, from the delta-maintained index — no
+    /// recount unless the index is stale (full rebuild).
+    pub fn triangles_of(&self, u: u32) -> u64 {
+        self.tri_fresh().triangles_of(u)
+    }
+
+    /// Total distinct triangles; same cost profile as
+    /// [`SnapshotManager::triangles_of`].
+    pub fn triangle_count(&self) -> u64 {
+        self.tri_fresh().triangle_count()
+    }
+
+    /// Average clustering coefficient, from the maintained counters —
+    /// bit-identical to `snap_kernels::average_clustering` on the live
+    /// view at quiescence.
+    pub fn average_clustering(&self) -> f64 {
+        self.tri_fresh().average_clustering()
     }
 
     /// The CSR snapshot of the current state. Returns the cached build
@@ -1200,6 +1476,154 @@ mod tests {
         }
         assert_eq!(conn.labels(&g), expect);
         assert_eq!(conn.repair_count(), 1, "no-op deletes never add repairs");
+    }
+
+    #[test]
+    fn manager_serves_distances_without_rebuilds() {
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(64, &CapacityHints::new(256));
+        let mgr = SnapshotManager::new(g);
+        let path: Vec<Update> = (0..31u32)
+            .map(|i| Update::insert(TimedEdge::new(i, i + 1, 1)))
+            .collect();
+        mgr.apply_batch(&path);
+        let idx = mgr.enable_distances(&[0]);
+        assert_eq!(idx.full_rebuild_count(), 0);
+        for _ in 0..64 {
+            assert_eq!(mgr.hop_distance(0, 31), Some(31));
+            assert_eq!(mgr.hop_distance(0, 40), None);
+        }
+        assert_eq!(mgr.rebuild_count(), 0, "no CSR was ever built");
+        let idx = mgr.distance_index().unwrap();
+        assert_eq!(idx.repair_count(), 0);
+        // A routed insert shortens the path with no repair ...
+        mgr.insert_edge(TimedEdge::new(0, 30, 2));
+        assert_eq!(mgr.hop_distance(0, 31), Some(2));
+        assert_eq!(idx.repair_count(), 0, "insertions never need repair");
+        // ... and a routed delete dirties + repairs on the next query.
+        mgr.delete_edge(0, 30);
+        assert_eq!(mgr.hop_distance(0, 31), Some(31));
+        assert_eq!(idx.repair_count(), 1);
+        assert_eq!(idx.full_rebuild_count(), 0);
+        assert_eq!(mgr.rebuild_count(), 0, "still no CSR");
+    }
+
+    #[test]
+    fn manager_serves_triangles_without_recounts() {
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(8, &CapacityHints::new(64));
+        let mgr = SnapshotManager::new(g);
+        let tri: Vec<Update> = [(0, 1), (1, 2), (2, 0), (0, 3)]
+            .iter()
+            .map(|&(u, v)| Update::insert(TimedEdge::new(u, v, 1)))
+            .collect();
+        mgr.apply_batch(&tri);
+        mgr.enable_triangles();
+        assert_eq!(mgr.triangle_count(), 1);
+        assert_eq!(mgr.triangles_of(0), 1);
+        // Routed single updates apply deltas, never recounts.
+        mgr.insert_edge(TimedEdge::new(1, 3, 2));
+        assert_eq!(mgr.triangle_count(), 2);
+        mgr.delete_edge(0, 1);
+        assert_eq!(mgr.triangle_count(), 0);
+        let idx = mgr.triangle_index().unwrap();
+        assert_eq!(idx.full_rebuild_count(), 0);
+        assert!(idx.delta_count() >= 2);
+        assert_eq!(mgr.rebuild_count(), 0, "no CSR was ever built");
+    }
+
+    #[test]
+    fn out_of_band_mutation_resyncs_distance_and_triangle_indexes() {
+        let g: DynGraph<DynArr> = DynGraph::undirected(8, &CapacityHints::new(32));
+        let mgr = SnapshotManager::new(g);
+        mgr.apply_batch(&[
+            Update::insert(TimedEdge::new(0, 1, 1)),
+            Update::insert(TimedEdge::new(1, 2, 1)),
+        ]);
+        mgr.enable_distances(&[0]);
+        mgr.enable_triangles();
+        assert_eq!(mgr.hop_distance(0, 2), Some(2));
+        assert_eq!(mgr.triangle_count(), 0);
+        // Mutate behind the manager's back: both indexes must detect
+        // the gap on their next query and pay exactly one rebuild.
+        mgr.live().insert_edge(TimedEdge::new(2, 0, 5));
+        mgr.mark_dirty();
+        assert_eq!(mgr.hop_distance(0, 2), Some(1));
+        assert_eq!(mgr.triangle_count(), 1);
+        assert_eq!(mgr.distance_index().unwrap().full_rebuild_count(), 1);
+        assert_eq!(mgr.triangle_index().unwrap().full_rebuild_count(), 1);
+        // Paid once, not per query.
+        assert_eq!(mgr.hop_distance(0, 2), Some(1));
+        assert_eq!(mgr.triangle_count(), 1);
+        assert_eq!(mgr.distance_index().unwrap().full_rebuild_count(), 1);
+        assert_eq!(mgr.triangle_index().unwrap().full_rebuild_count(), 1);
+        // Routed updates resume incremental maintenance afterwards.
+        mgr.insert_edge(TimedEdge::new(2, 3, 6));
+        assert_eq!(mgr.hop_distance(0, 3), Some(2));
+        assert_eq!(mgr.distance_index().unwrap().full_rebuild_count(), 1);
+    }
+
+    #[test]
+    fn batched_updates_route_into_all_indexes_in_stream_order() {
+        // A batch that inserts an edge and deletes it again: the settled
+        // view no longer has it, and stream-order routing must leave
+        // every index exact (the insert's stale distance certificate is
+        // caught by the later-routed delete note).
+        let g: DynGraph<DynArr> = DynGraph::undirected(8, &CapacityHints::new(64));
+        let mgr = SnapshotManager::new(g);
+        mgr.apply_batch(&[
+            Update::insert(TimedEdge::new(0, 1, 1)),
+            Update::insert(TimedEdge::new(1, 2, 1)),
+            Update::insert(TimedEdge::new(2, 3, 1)),
+        ]);
+        mgr.enable_distances(&[0]);
+        mgr.enable_triangles();
+        mgr.enable_connectivity();
+        let churn = vec![
+            Update::insert(TimedEdge::new(0, 3, 2)), // shortcut ...
+            Update::insert(TimedEdge::new(1, 3, 2)), // ... and a triangle 1-2-3
+            Update::delete(TimedEdge::new(0, 3, 0)), // shortcut gone again
+        ];
+        assert!(mgr.apply_batch(&churn));
+        assert_eq!(mgr.hop_distance(0, 3), Some(2), "via 1-3 now");
+        assert_eq!(mgr.triangle_count(), 1, "triangle 1-2-3 stands");
+        assert!(mgr.same_component(0, 3));
+        assert_eq!(mgr.distance_index().unwrap().full_rebuild_count(), 0);
+        assert_eq!(mgr.triangle_index().unwrap().full_rebuild_count(), 0);
+    }
+
+    #[test]
+    fn vpart_indexed_routes_the_whole_family() {
+        let n = 64usize;
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(n, &CapacityHints::new(256));
+        let conn = ConnectivityIndex::from_view(&g);
+        let dist = DistanceIndex::from_view(&g, &[0]);
+        let tri = TriangleIndex::from_view(&g);
+        let routes = IndexRoutes {
+            conn: Some(&conn),
+            dist: Some(&dist),
+            tri: Some(&tri),
+        };
+        assert!(!routes.is_empty());
+        assert!(routes.needs_settled_view());
+        let mut batch: Vec<Update> = (0..31u32)
+            .map(|i| Update::insert(TimedEdge::new(i, i + 1, 1)))
+            .collect();
+        batch.push(Update::insert(TimedEdge::new(0, 2, 1))); // triangle 0-1-2
+        assert!(apply_vpart_indexed(&g, &batch, 4, routes));
+        assert!(conn.same_component(&g, 0, 31));
+        assert_eq!(dist.distance(&g, 0, 31), Some(30), "0-2 shortcut");
+        assert_eq!(tri.triangle_count(), 1);
+        // Delete the shortcut: distance must repair back, triangle dies.
+        let del = vec![Update::delete(TimedEdge::new(0, 2, 0))];
+        assert!(apply_vpart_indexed(&g, &del, 4, routes));
+        assert_eq!(dist.distance(&g, 0, 31), Some(31));
+        assert_eq!(tri.triangle_count(), 0);
+        assert!(conn.same_component(&g, 0, 2), "still connected via 1");
+        // A no-op batch routes nothing.
+        let noop = vec![Update::delete(TimedEdge::new(40, 41, 0))];
+        assert!(!apply_vpart_indexed(&g, &noop, 4, routes));
+        assert_eq!(dist.full_rebuild_count(), 0);
+        assert_eq!(tri.full_rebuild_count(), 0);
+        assert_eq!(conn.full_rebuild_count(), 0);
     }
 
     #[test]

@@ -34,7 +34,11 @@
 //! [`connectivity::ConnectivityIndex`] is a concurrent union-find
 //! maintained incrementally on every insert, with deletion-dirtied
 //! components repaired on demand — `same_component(u, v)` between
-//! batches costs neither a traversal nor a snapshot.
+//! batches costs neither a traversal nor a snapshot. The same
+//! dirty-mark + lazy-targeted-repair pattern generalizes into an index
+//! family: [`distindex::DistanceIndex`] (exact hop distances from
+//! pinned sources) and [`triindex::TriangleIndex`] (per-vertex triangle
+//! counts and clustering, delta-maintained).
 //!
 //! Under *concurrent* ingest — writers that never quiesce — the
 //! [`serve::ServeEngine`] generalizes all three: a sharded single-queue
@@ -62,6 +66,7 @@ pub mod adjacency;
 pub mod compressed;
 pub mod connectivity;
 pub mod csr;
+pub mod distindex;
 pub mod dynarr;
 pub mod engine;
 pub mod graph;
@@ -70,18 +75,21 @@ pub mod reorder;
 pub mod serve;
 pub mod slices;
 pub mod treapadj;
+pub mod triindex;
 pub mod view;
 pub mod vlabels;
 
 pub use adjacency::{AdjEntry, CapacityHints, DynamicAdjacency, TOMBSTONE};
 pub use connectivity::ConnectivityIndex;
 pub use csr::{CsrGraph, SnapshotRace};
+pub use distindex::{restricted_hop_distances, DistanceIndex};
 pub use dynarr::{DynArr, FixedDynArr};
 pub use engine::SnapshotManager;
 pub use graph::DynGraph;
 pub use hybrid::HybridAdj;
 pub use serve::{EpochSnapshot, ServeConfig, ServeEngine, SnapshotHandle};
 pub use treapadj::TreapAdj;
+pub use triindex::TriangleIndex;
 pub use view::{GraphView, VertexChunks};
 pub use vlabels::VertexLabels;
 

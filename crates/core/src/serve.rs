@@ -75,8 +75,10 @@
 use crate::adjacency::{AdjEntry, DynamicAdjacency};
 use crate::connectivity::ConnectivityIndex;
 use crate::csr::CsrGraph;
-use crate::engine::{apply_vpart_routed, resolve_workers};
+use crate::distindex::DistanceIndex;
+use crate::engine::{apply_vpart_indexed, resolve_workers, IndexRoutes};
 use crate::graph::DynGraph;
+use crate::triindex::TriangleIndex;
 use crate::view::GraphView;
 use parking_lot::{Mutex, RwLock};
 use snap_obs::{Counter, Gauge, Histogram, MetricsRegistry, Sampler, Stamp};
@@ -114,6 +116,17 @@ pub struct ServeConfig {
     /// version's prefix against a bulk-synchronous oracle. Off by
     /// default (unbounded memory under sustained ingest).
     pub history: bool,
+    /// Pinned sources for an incremental [`DistanceIndex`] maintained
+    /// by the writer (empty = no distance index). Queries go through
+    /// [`ServeEngine::hop_distance`] against the live graph: exact
+    /// after a [`ServeEngine::flush`], transient while racing the
+    /// writer.
+    pub distance_sources: Vec<u32>,
+    /// Maintain an incremental [`TriangleIndex`] (per-vertex triangle
+    /// counts + clustering), queried through
+    /// [`ServeEngine::triangle_count`] and friends with the same
+    /// exact-at-quiescence contract as distances.
+    pub triangles: bool,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +137,8 @@ impl Default for ServeConfig {
             connectivity: true,
             coalesce: 16,
             history: false,
+            distance_sources: Vec::new(),
+            triangles: false,
         }
     }
 }
@@ -156,6 +171,19 @@ impl ServeConfig {
     /// Enables applied-batch recording for oracle-replay testing.
     pub fn with_history(mut self, on: bool) -> Self {
         self.history = on;
+        self
+    }
+
+    /// Pins hop-distance sources (non-empty enables the distance
+    /// index).
+    pub fn with_distance_sources(mut self, sources: &[u32]) -> Self {
+        self.distance_sources = sources.to_vec();
+        self
+    }
+
+    /// Enables or disables the triangle index.
+    pub fn with_triangles(mut self, on: bool) -> Self {
+        self.triangles = on;
         self
     }
 }
@@ -363,6 +391,8 @@ struct Shared<A: DynamicAdjacency> {
     /// CSR builds race-free without a graph-wide lock.
     graph: DynGraph<A>,
     conn: Option<ConnectivityIndex>,
+    dist: Option<DistanceIndex>,
+    tri: Option<TriangleIndex>,
     /// The publication pointer. The write lock is held only for the
     /// pointer swap (never during a build), so readers pin in O(1).
     current: RwLock<Arc<EpochSnapshot>>,
@@ -397,6 +427,9 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
         let conn = cfg
             .connectivity
             .then(|| ConnectivityIndex::from_view(&graph));
+        let dist = (!cfg.distance_sources.is_empty())
+            .then(|| DistanceIndex::from_view(&graph, &cfg.distance_sources));
+        let tri = cfg.triangles.then(|| TriangleIndex::from_view(&graph));
         let csr = Arc::new(graph.to_csr());
         let labels = conn.as_ref().map(|c| Arc::new(c.labels(&graph)));
         let v0 = Arc::new(EpochSnapshot {
@@ -408,6 +441,8 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
         let shared = Arc::new(Shared {
             graph,
             conn,
+            dist,
+            tri,
             current: RwLock::new(Arc::clone(&v0)),
             ring: Mutex::new(VecDeque::from([v0])),
             history: Mutex::new(Vec::new()),
@@ -562,6 +597,92 @@ impl<A: DynamicAdjacency + 'static> ServeEngine<A> {
         self.shared.conn.as_ref().map(|c| c.repair_count())
     }
 
+    /// Hop distance from a pinned `source` to `v` in the live graph
+    /// (`None` = unreachable), answered by the incremental
+    /// [`DistanceIndex`] — no traversal, no snapshot. Exact after a
+    /// [`ServeEngine::flush`]; while racing the writer the value is
+    /// transient (it reflects some recently applied prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ServeConfig::distance_sources`] is empty or `source`
+    /// is not one of the pinned sources.
+    pub fn hop_distance(&self, source: u32, v: u32) -> Option<u32> {
+        self.shared.metrics.queries.inc();
+        self.shared
+            .dist
+            .as_ref()
+            // panics: documented contract — the engine was built
+            // without distance sources.
+            .expect("ServeConfig::distance_sources is empty")
+            .distance(&self.shared.graph, source, v)
+    }
+
+    /// Triangles incident to `u` in the live graph, delta-maintained by
+    /// the incremental [`TriangleIndex`] (same exact-after-flush,
+    /// transient-while-racing contract as [`ServeEngine::hop_distance`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ServeConfig::triangles`] is disabled.
+    pub fn triangles_of(&self, u: u32) -> u64 {
+        self.shared.metrics.queries.inc();
+        // panics: documented contract — the engine was built without
+        // the triangle index.
+        self.tri_index().triangles_of(u)
+    }
+
+    /// Global triangle count in the live graph (see
+    /// [`ServeEngine::triangles_of`] for the freshness and panic
+    /// contract).
+    pub fn triangle_count(&self) -> u64 {
+        self.shared.metrics.queries.inc();
+        self.tri_index().triangle_count()
+    }
+
+    /// Average local clustering coefficient of the live graph (see
+    /// [`ServeEngine::triangles_of`] for the freshness and panic
+    /// contract).
+    pub fn average_clustering(&self) -> f64 {
+        self.shared.metrics.queries.inc();
+        self.tri_index().average_clustering()
+    }
+
+    fn tri_index(&self) -> &TriangleIndex {
+        self.shared
+            .tri
+            .as_ref()
+            // panics: documented contract — the engine was built with
+            // triangles disabled.
+            .expect("ServeConfig::triangles is disabled")
+    }
+
+    /// Targeted distance repairs performed (writer-side or
+    /// query-triggered), or `None` without the index.
+    pub fn dist_repair_count(&self) -> Option<usize> {
+        self.shared.dist.as_ref().map(|d| d.repair_count())
+    }
+
+    /// Full distance rebuilds performed, or `None` without the index.
+    /// Zero on the serving path: deletions dirty-mark and repairs stay
+    /// targeted.
+    pub fn dist_full_rebuild_count(&self) -> Option<usize> {
+        self.shared.dist.as_ref().map(|d| d.full_rebuild_count())
+    }
+
+    /// Triangle deltas absorbed incrementally, or `None` without the
+    /// index.
+    pub fn tri_delta_count(&self) -> Option<usize> {
+        self.shared.tri.as_ref().map(|t| t.delta_count())
+    }
+
+    /// Full triangle recounts performed, or `None` without the index.
+    /// Zero on the serving path: every update is an O(min-degree)
+    /// delta.
+    pub fn tri_full_rebuild_count(&self) -> Option<usize> {
+        self.shared.tri.as_ref().map(|t| t.full_rebuild_count())
+    }
+
     /// Applied batches in application (= submission) order. Empty unless
     /// [`ServeConfig::history`] is on. The first
     /// [`EpochSnapshot::batches`] entries replay any published version.
@@ -645,10 +766,14 @@ fn apply_and_publish<A: DynamicAdjacency>(
     let mut applied = 0u64;
     {
         let _t = Timer::scope(&m.apply_ns);
+        let routes = IndexRoutes {
+            conn: shared.conn.as_ref(),
+            dist: shared.dist.as_ref(),
+            tri: shared.tri.as_ref(),
+        };
         for batch in &batches {
             applied += batch.len() as u64;
-            changed |=
-                apply_vpart_routed(&shared.graph, batch, shared.shards, shared.conn.as_ref());
+            changed |= apply_vpart_indexed(&shared.graph, batch, shared.shards, routes);
         }
     }
     let cycle_batches = batches.len() as u64;
@@ -669,6 +794,12 @@ fn apply_and_publish<A: DynamicAdjacency>(
         // csr/labels/epoch agree exactly.
         let labels = {
             let _t = Timer::scope(&m.repair_ns);
+            // Distance repairs ride the same writer-side repair phase:
+            // queries between cycles then read clean rows lock-free
+            // instead of paying the targeted repair themselves.
+            if let Some(d) = shared.dist.as_ref() {
+                d.repair_all(&shared.graph);
+            }
             shared
                 .conn
                 .as_ref()
@@ -829,6 +960,97 @@ mod tests {
         assert!(v.component_labels().is_none());
         assert_eq!(v.same_component(0, 1), None);
         assert_eq!(e.full_rebuild_count(), None);
+        assert_eq!(e.dist_repair_count(), None);
+        assert_eq!(e.tri_delta_count(), None);
+    }
+
+    #[test]
+    fn flushed_distances_are_exact_and_never_rebuild() {
+        let e = engine(
+            16,
+            ServeConfig::default()
+                .with_distance_sources(&[0])
+                .with_coalesce(1),
+        );
+        e.submit((0..7u32).map(|i| ins(i, i + 1, 1)).collect());
+        e.flush();
+        assert_eq!(e.hop_distance(0, 7), Some(7));
+        // A shortcut relaxes incrementally...
+        e.submit(vec![ins(0, 6, 2)]);
+        e.flush();
+        assert_eq!(e.hop_distance(0, 7), Some(2));
+        // ...and deleting it dirty-marks; the writer's repair phase
+        // cleans the row before this query reads it.
+        e.submit(vec![del(0, 6)]);
+        e.flush();
+        assert_eq!(e.hop_distance(0, 7), Some(7));
+        assert_eq!(e.hop_distance(0, 15), None, "isolate is unreachable");
+        assert_eq!(e.dist_full_rebuild_count(), Some(0));
+        assert!(e.dist_repair_count().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn flushed_triangles_are_exact_and_never_recount() {
+        let e = engine(
+            8,
+            ServeConfig::default().with_triangles(true).with_coalesce(1),
+        );
+        e.submit(vec![ins(0, 1, 1), ins(1, 2, 2), ins(0, 2, 3)]);
+        e.flush();
+        assert_eq!(e.triangle_count(), 1);
+        assert_eq!(e.triangles_of(0), 1);
+        e.submit(vec![ins(1, 3, 4), ins(2, 3, 5)]);
+        e.flush();
+        assert_eq!(e.triangle_count(), 2);
+        // A triangle vertex: C(1) = 2·2/(3·2), C(0) = 1, C(3) = 1,
+        // isolates contribute 0 — matches the kernels-side summation.
+        let expected = (1.0 + (2.0 * 2.0) / (3.0 * 2.0) * 2.0 + 1.0) / 8.0;
+        assert!((e.average_clustering() - expected).abs() < 1e-12);
+        e.submit(vec![del(1, 2)]);
+        e.flush();
+        assert_eq!(e.triangle_count(), 0);
+        assert_eq!(e.tri_full_rebuild_count(), Some(0));
+        assert!(e.tri_delta_count().unwrap_or(0) >= 6);
+    }
+
+    #[test]
+    fn index_family_stays_incremental_under_a_sustained_stream() {
+        let e = engine(
+            32,
+            ServeConfig::default()
+                .with_distance_sources(&[0, 5])
+                .with_triangles(true)
+                .with_shards(2),
+        );
+        // Ring + chords, then tear some chords back out.
+        for i in 0..32u32 {
+            e.submit(vec![ins(i, (i + 1) % 32, i)]);
+        }
+        for i in 0..16u32 {
+            e.submit(vec![ins(i, (i + 2) % 32, 100 + i)]);
+        }
+        for i in 0..8u32 {
+            e.submit(vec![del(i, (i + 2) % 32)]);
+        }
+        e.flush();
+        // Quiesced: bulk-synchronous oracle over the final pinned CSR.
+        let v = e.pin();
+        let oracle = crate::distindex::restricted_hop_distances(
+            &*v,
+            &(0..32u32).collect::<Vec<_>>(),
+            &(0..32)
+                .map(|i| if i == 0 { 0 } else { u32::MAX })
+                .collect::<Vec<_>>(),
+        );
+        for u in 0..32u32 {
+            let got = e.hop_distance(0, u);
+            let want = (oracle[u as usize] != u32::MAX).then_some(oracle[u as usize]);
+            assert_eq!(got, want, "hop_distance(0, {u})");
+        }
+        let tri_oracle = TriangleIndex::from_view(&*v);
+        assert_eq!(e.triangle_count(), tri_oracle.triangle_count());
+        assert_eq!(e.dist_full_rebuild_count(), Some(0));
+        assert_eq!(e.tri_full_rebuild_count(), Some(0));
     }
 
     #[test]

@@ -11,22 +11,47 @@ use rayon::prelude::*;
 use snap_core::GraphView;
 
 /// Per-vertex sorted, dedup'd, self-loop-free neighbor lists — the shape
-/// intersection counting wants.
+/// intersection counting wants. Duplicate stored entries (a live
+/// multi-representation view, or a CSR built from a duplicated edge
+/// list) collapse to one neighbor, matching the key-granular delete
+/// contract: an edge key is either present or absent, however many
+/// times its representation was stored.
 fn sorted_neighborhoods<V: GraphView>(view: &V) -> Vec<Vec<u32>> {
-    (0..view.num_vertices() as u32)
+    let n = view.num_vertices();
+    let mut ns: Vec<Vec<u32>> = (0..n as u32)
         .into_par_iter()
         .map(|u| {
-            let mut ns: Vec<u32> = Vec::with_capacity(view.degree(u));
+            let mut out: Vec<u32> = Vec::with_capacity(view.degree(u));
             view.for_each_edge(u, |v, _| {
                 if v != u {
-                    ns.push(v);
+                    out.push(v);
                 }
             });
-            ns.sort_unstable();
-            ns.dedup();
-            ns
+            out
         })
-        .collect()
+        .collect();
+    // A triangle is a property of the underlying undirected
+    // simplification. Directed views expose only out-arcs, so their raw
+    // neighborhoods are asymmetric (`u` may list `v` while `v` omits
+    // `u`) and the wedge/triangle double-counting identities below
+    // silently truncate; mirror every arc first so `w ∈ N(u)` iff
+    // `u ∈ N(w)`.
+    if view.is_directed() {
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, out) in ns.iter().enumerate() {
+            for &v in out {
+                rev[v as usize].push(u as u32);
+            }
+        }
+        for (out, back) in ns.iter_mut().zip(rev) {
+            out.extend(back);
+        }
+    }
+    ns.par_iter_mut().for_each(|l| {
+        l.sort_unstable();
+        l.dedup();
+    });
+    ns
 }
 
 /// Size of the sorted-list intersection.
@@ -153,6 +178,73 @@ mod tests {
     fn duplicates_and_self_loops_ignored() {
         let g = undirected(3, &[(0, 1), (0, 1), (1, 2), (2, 0), (1, 1)]);
         assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn directed_view_counts_underlying_undirected_triangles() {
+        use snap_core::adjacency::CapacityHints;
+        use snap_core::{DynArr, DynGraph};
+        // A directed 3-cycle stores each edge once, in one direction:
+        // the raw out-neighborhoods are asymmetric, but the underlying
+        // undirected graph is a single triangle.
+        let g: DynGraph<DynArr> = DynGraph::directed(3, &CapacityHints::new(8));
+        for (u, v) in [(0, 1), (1, 2), (2, 0)] {
+            g.insert_edge(TimedEdge::new(u, v, 1));
+        }
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(triangles_per_vertex(&g), vec![1, 1, 1]);
+        assert_eq!(local_clustering(&g), vec![1.0, 1.0, 1.0]);
+        // Anti-parallel arcs are one undirected edge, not two.
+        g.insert_edge(TimedEdge::new(1, 0, 2));
+        assert_eq!(triangle_count(&g), 1);
+        // The directed view and its undirected CSR simplification agree.
+        let csr = undirected(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(triangles_per_vertex(&g), triangles_per_vertex(&csr));
+        assert_eq!(average_clustering(&g), average_clustering(&csr));
+    }
+
+    #[test]
+    fn live_multi_rep_matches_csr_simplification() {
+        use snap_core::adjacency::CapacityHints;
+        use snap_core::{DynArr, DynGraph};
+        // DynArr keeps duplicate representations of the same key until a
+        // key-granular delete removes them all; triangle counts must see
+        // the simple graph either way.
+        let g: DynGraph<DynArr> = DynGraph::undirected(4, &CapacityHints::new(32));
+        for (u, v, t) in [
+            (0, 1, 1),
+            (0, 1, 7), // duplicate representation
+            (1, 2, 1),
+            (2, 0, 1),
+            (2, 0, 9), // duplicate representation
+            (0, 3, 1),
+            (1, 1, 3), // self-loop
+            (3, 3, 4), // self-loop
+        ] {
+            g.insert_edge(TimedEdge::new(u, v, t));
+        }
+        let csr = undirected(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        assert_eq!(triangles_per_vertex(&g), triangles_per_vertex(&csr));
+        assert_eq!(local_clustering(&g), local_clustering(&csr));
+        assert_eq!(average_clustering(&g), average_clustering(&csr));
+        // Key-granular delete drops *all* representations of (0, 1):
+        // the triangle is gone from the live view in one call.
+        g.delete_edge(0, 1);
+        assert_eq!(triangle_count(&g), 0);
+        assert!(!g.is_directed());
+    }
+
+    #[test]
+    fn self_loops_never_make_wedges() {
+        // A lone self-loop on an otherwise degree-1 vertex must not
+        // promote it to degree >= 2 (which would fabricate a wedge
+        // denominator), and an all-self-loop graph has no triangles.
+        let g = undirected(2, &[(0, 1), (0, 0), (1, 1)]);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(local_clustering(&g), vec![0.0, 0.0]);
+        let loops = undirected(3, &[(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(triangles_per_vertex(&loops), vec![0, 0, 0]);
+        assert_eq!(average_clustering(&loops), 0.0);
     }
 
     #[test]

@@ -59,10 +59,10 @@ pub mod subgraph;
 pub mod temporal_reach;
 
 pub use bc::{betweenness_approx, betweenness_exact, temporal_betweenness_approx};
-pub use bfs::{bfs, serial_bfs, temporal_bfs, BfsResult, UNREACHED};
+pub use bfs::{bfs, restricted_bfs_distances, serial_bfs, temporal_bfs, BfsResult, UNREACHED};
 pub use cc::{component_count, connected_components, union_find_from_view};
 pub use closeness::{closeness_approx, closeness_exact, harmonic_exact};
-pub use cluster::{average_clustering, local_clustering, triangle_count};
+pub use cluster::{average_clustering, local_clustering, triangle_count, triangles_per_vertex};
 pub use diameter::{double_sweep_lower_bound, exact_diameter};
 pub use lcf::LinkCutForest;
 pub use msf::{boruvka_msf, boruvka_msf_view, kruskal_msf, Msf};

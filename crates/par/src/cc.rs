@@ -227,7 +227,7 @@ pub fn par_repair<V: GraphView>(
 }
 
 /// Contiguous position ranges `0..k` of at most `grain` each.
-fn chunk_positions(k: usize, grain: usize) -> Vec<Range<u32>> {
+pub(crate) fn chunk_positions(k: usize, grain: usize) -> Vec<Range<u32>> {
     let grain = grain.max(1);
     (0..k)
         .step_by(grain)
@@ -236,7 +236,7 @@ fn chunk_positions(k: usize, grain: usize) -> Vec<Range<u32>> {
 }
 
 /// CAS-lowers `x`'s label to `to` if smaller; true if changed.
-fn try_lower(label: &[AtomicU32], x: u32, to: u32) -> bool {
+pub(crate) fn try_lower(label: &[AtomicU32], x: u32, to: u32) -> bool {
     // ordering: Relaxed (load and CAS) — the CAS only lowers the
     // monotone label; sweep joins publish results (invariant 8).
     let mut cur = label[x as usize].load(Ordering::Relaxed);

@@ -52,6 +52,19 @@
 //! component with the parallel kernel. Between batches,
 //! `same_component(u, v)` costs zero traversals and zero CSR rebuilds.
 //!
+//! The same dirty-mark + lazy-targeted-repair discipline extends to an
+//! index family: [`DistanceIndex`]
+//! ([`SnapshotManager::enable_distances`]) serves exact hop distances
+//! from pinned sources — insertions relax a bounded wavefront,
+//! deletions dirty only the vertices whose shortest-path-tree edge
+//! died, and repairs re-level just the affected region (serial, or
+//! `snap::par::par_dist_repair` in parallel) — and [`TriangleIndex`]
+//! ([`SnapshotManager::enable_triangles`]) keeps per-vertex triangle
+//! counts and the clustering coefficient current by O(min-degree)
+//! deltas, never recounting. Both also attach to the concurrent
+//! [`ServeEngine`] via [`ServeConfig::with_distance_sources`] and
+//! [`ServeConfig::with_triangles`].
+//!
 //! ## Observability
 //!
 //! The serving stack is instrumented end to end through [`obs`]
@@ -167,8 +180,8 @@ pub use snap_util as util;
 // Lift the read abstraction to the facade root: it is the vocabulary
 // every kernel call site speaks.
 pub use snap_core::{
-    ConnectivityIndex, CsrGraph, DynGraph, EpochSnapshot, GraphView, ServeConfig, ServeEngine,
-    SnapshotHandle, SnapshotManager, SnapshotRace,
+    ConnectivityIndex, CsrGraph, DistanceIndex, DynGraph, EpochSnapshot, GraphView, ServeConfig,
+    ServeEngine, SnapshotHandle, SnapshotManager, SnapshotRace, TriangleIndex,
 };
 
 /// One-stop imports for applications.
@@ -176,9 +189,9 @@ pub mod prelude {
     pub use snap_core::adjacency::{AdjEntry, CapacityHints, DynamicAdjacency};
     pub use snap_core::engine;
     pub use snap_core::{
-        ConnectivityIndex, CsrGraph, DynArr, DynGraph, EpochSnapshot, FixedDynArr, GraphView,
-        HybridAdj, ServeConfig, ServeEngine, SnapshotHandle, SnapshotManager, SnapshotRace,
-        TimedEdge, TreapAdj, Update, UpdateKind,
+        ConnectivityIndex, CsrGraph, DistanceIndex, DynArr, DynGraph, EpochSnapshot, FixedDynArr,
+        GraphView, HybridAdj, ServeConfig, ServeEngine, SnapshotHandle, SnapshotManager,
+        SnapshotRace, TimedEdge, TreapAdj, TriangleIndex, Update, UpdateKind,
     };
     pub use snap_kernels::{
         average_clustering, betweenness_approx, betweenness_exact, bfs, boruvka_msf,
@@ -190,8 +203,8 @@ pub mod prelude {
     };
     pub use snap_obs::MetricsRegistry;
     pub use snap_par::{
-        par_bc, par_bc_with, par_bfs, par_cc, par_cc_restricted, par_repair, par_sssp, BcConfig,
-        BcSources, BcStrategy, Grain, ParConfig, ParStats,
+        par_bc, par_bc_with, par_bfs, par_cc, par_cc_restricted, par_dist_repair, par_repair,
+        par_restricted_bfs, par_sssp, BcConfig, BcSources, BcStrategy, Grain, ParConfig, ParStats,
     };
     pub use snap_rmat::{Rmat, RmatParams, StreamBuilder};
 }

@@ -8,7 +8,7 @@
 //! schedule the quiesced state must be **bit-identical** to a
 //! bulk-synchronous oracle, with zero panics or deadlocks along the way.
 //!
-//! Three protocols are swept, one per test:
+//! Five protocols are swept, one per test:
 //!
 //! 1. **Shield-bit repair** (invariant 4): deletion-heavy batches race
 //!    `same_component` queries whose targeted repairs must never expose
@@ -18,6 +18,12 @@
 //! 3. **Epoch resync** (invariant 6): out-of-band mutation plus
 //!    `mark_dirty` leaves a sticky epoch gap that the next query must
 //!    absorb with a conservative full resync — never serve stale.
+//! 4. **Distance repair** (invariant 4, per-source shields): deletion
+//!    batches dirty-mark shortest-path trees while `hop_distance`
+//!    queries trigger the targeted repairs mid-race.
+//! 5. **Triangle deltas** (invariant 3, packed CAS counters): racing
+//!    writers apply O(min-degree) deltas while readers sample counts;
+//!    the quiesced counts must match the kernels recount to the bit.
 //!
 //! The suite also runs (and must pass) without the feature: the chaos
 //! entry points compile to no-ops, so this doubles as a plain stress
@@ -28,6 +34,7 @@ mod common;
 use common::rng_for;
 use snap::prelude::*;
 use snap_kernels::cc::union_find_components;
+use snap_kernels::serial_bfs;
 
 const SUITE: u64 = 0xC4A05;
 const SEEDS: u64 = 16;
@@ -40,8 +47,8 @@ fn set_chaos_seed(seed: u64) {
 }
 
 /// Duplicate-free workload: `inserts` builds the graph, `deletes`
-/// removes ~60% of it. Returns `(inserts, deletes, oracle labels)`.
-fn workload(case: u64) -> (Vec<Update>, Vec<Update>, Vec<u32>) {
+/// removes ~60% of it. Returns `(inserts, deletes, surviving keys)`.
+fn workload_edges(case: u64) -> (Vec<Update>, Vec<Update>, Vec<(u32, u32)>) {
     let mut rng = rng_for(SUITE, 1, case);
     let mut pool: Vec<(u32, u32)> = Vec::new();
     let mut seen = std::collections::HashSet::new();
@@ -66,8 +73,25 @@ fn workload(case: u64) -> (Vec<Update>, Vec<Update>, Vec<u32>) {
             surviving.push((u, v));
         }
     }
+    (inserts, deletes, surviving)
+}
+
+/// [`workload_edges`] with the union-find oracle labels precomputed.
+fn workload(case: u64) -> (Vec<Update>, Vec<Update>, Vec<u32>) {
+    let (inserts, deletes, surviving) = workload_edges(case);
     let want = union_find_components(N as usize, surviving.iter().copied());
     (inserts, deletes, want)
+}
+
+/// Bulk-synchronous replay of the surviving edge set, for oracles that
+/// need a settled view rather than component labels.
+fn surviving_view(surviving: &[(u32, u32)]) -> DynGraph<HybridAdj> {
+    let g: DynGraph<HybridAdj> =
+        DynGraph::undirected(N as usize, &CapacityHints::new(surviving.len() * 2));
+    for &(u, v) in surviving {
+        g.apply(&Update::insert(TimedEdge::new(u, v, 1 + (u + v) % 90)));
+    }
+    g
 }
 
 /// Protocol 1 — shield-bit repair (invariant 4). Two writers stream
@@ -266,6 +290,130 @@ fn epoch_resync_matches_oracle_across_seeds() {
         assert!(
             idx.full_rebuild_count() >= 1,
             "seed {seed}: the out-of-band gap must have forced a resync"
+        );
+    }
+}
+
+/// Protocol 4 — DistanceIndex targeted repair under fire. Two writers
+/// stream disjoint delete batches (dirty-marking shortest-path trees)
+/// while readers hammer `hop_distance`, whose lazy targeted repairs
+/// race the writers under the chaos schedule. Racing answers merely
+/// must not panic; at quiescence every pinned source's row must be
+/// bit-identical to a fresh serial BFS on the bulk-synchronous replay,
+/// with zero full recomputes along the way.
+#[test]
+fn distance_repair_matches_oracle_across_seeds() {
+    const SOURCES: [u32; 4] = [0, 17, 255, 511];
+    for seed in 0..SEEDS {
+        set_chaos_seed(seed);
+        let (inserts, deletes, surviving) = workload_edges(200 + seed);
+        let hints = CapacityHints::new(inserts.len() * 2);
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(N as usize, &hints);
+        let mgr = SnapshotManager::new(g);
+        mgr.enable_distances(&SOURCES);
+        assert!(mgr.apply_batch(&inserts));
+        let mid = deletes.len() / 2;
+        let mgr = &mgr;
+        std::thread::scope(|s| {
+            for half in [&deletes[..mid], &deletes[mid..]] {
+                s.spawn(move || {
+                    for chunk in half.chunks(32) {
+                        mgr.apply_batch(chunk);
+                    }
+                });
+            }
+            for r in 0..2u64 {
+                s.spawn(move || {
+                    let mut rng = rng_for(SUITE, 30 + r, seed);
+                    for _ in 0..300 {
+                        let src = SOURCES[rng.next_bounded(SOURCES.len() as u64) as usize];
+                        let v = rng.next_bounded(N as u64) as u32;
+                        let _ = mgr.hop_distance(src, v);
+                    }
+                });
+            }
+        });
+        let oracle_view = surviving_view(&surviving);
+        for &src in &SOURCES {
+            assert_eq!(
+                mgr.hop_distances(src),
+                serial_bfs(&oracle_view, src).dist,
+                "seed {seed}: source {src} row after quiescence"
+            );
+        }
+        let idx = mgr.distance_index().expect("enabled above");
+        assert_eq!(
+            idx.full_rebuild_count(),
+            0,
+            "seed {seed}: repairs must stay targeted"
+        );
+    }
+}
+
+/// Protocol 5 — TriangleIndex delta application under fire. Two
+/// writers stream disjoint delete batches whose O(min-degree) deltas
+/// land on packed per-vertex CAS counters, while readers sample
+/// `triangles_of` / `triangle_count` mid-race. At quiescence the
+/// per-vertex counts, the global count, and the clustering coefficient
+/// must all match the kernels recount on the bulk-synchronous replay —
+/// to the bit — with zero recounts on the incremental path.
+#[test]
+fn triangle_deltas_match_oracle_across_seeds() {
+    for seed in 0..SEEDS {
+        set_chaos_seed(seed);
+        let (inserts, deletes, surviving) = workload_edges(300 + seed);
+        let hints = CapacityHints::new(inserts.len() * 2);
+        let g: DynGraph<HybridAdj> = DynGraph::undirected(N as usize, &hints);
+        let mgr = SnapshotManager::new(g);
+        mgr.enable_triangles();
+        assert!(mgr.apply_batch(&inserts));
+        let mid = deletes.len() / 2;
+        let mgr = &mgr;
+        std::thread::scope(|s| {
+            for half in [&deletes[..mid], &deletes[mid..]] {
+                s.spawn(move || {
+                    for chunk in half.chunks(32) {
+                        mgr.apply_batch(chunk);
+                    }
+                });
+            }
+            for r in 0..2u64 {
+                s.spawn(move || {
+                    let mut rng = rng_for(SUITE, 40 + r, seed);
+                    for _ in 0..300 {
+                        let v = rng.next_bounded(N as u64) as u32;
+                        let _ = mgr.triangles_of(v);
+                        if v.is_multiple_of(16) {
+                            let _ = mgr.triangle_count();
+                        }
+                    }
+                });
+            }
+        });
+        let oracle_view = surviving_view(&surviving);
+        let per = snap_kernels::triangles_per_vertex(&oracle_view);
+        for (u, &want) in per.iter().enumerate() {
+            assert_eq!(
+                mgr.triangles_of(u as u32),
+                want,
+                "seed {seed}: vertex {u} after quiescence"
+            );
+        }
+        assert_eq!(
+            mgr.triangle_count(),
+            per.iter().sum::<u64>() / 3,
+            "seed {seed}: global count"
+        );
+        assert_eq!(
+            mgr.average_clustering().to_bits(),
+            average_clustering(&oracle_view).to_bits(),
+            "seed {seed}: clustering to the bit"
+        );
+        let idx = mgr.triangle_index().expect("enabled above");
+        assert_eq!(
+            idx.full_rebuild_count(),
+            0,
+            "seed {seed}: deltas must do all the work"
         );
     }
 }

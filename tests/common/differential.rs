@@ -1,0 +1,349 @@
+//! Reusable differential-testing harness for incremental indexes.
+//!
+//! The pattern every dynamic-index suite shares: generate a **seeded
+//! R-MAT update stream** (mixed inserts and deletes at a configurable
+//! delete ratio, duplicate-free at any instant — an edge is never
+//! inserted twice while live nor deleted while absent, but deleted
+//! edges may be re-inserted later), drive it through an update
+//! strategy (`stream` / `vpart` / `epart`) at a given thread count,
+//! route every update into the maintained index in stream order, and
+//! assert — mid-stream and at the end — that the index's state is
+//! **bit-identical** to a from-scratch oracle computed on the settled
+//! view, with the incremental path never once falling back to a full
+//! rebuild.
+//!
+//! A suite instantiates the harness by picking a [`DifferentialPair`]
+//! ([`ConnPair`], [`DistPair`], [`TriPair`]) and calling
+//! [`run_differential`] over [`STRATEGIES`] × thread counts.
+
+use snap::prelude::*;
+use snap::util::thread_pool;
+use snap_kernels::serial_bfs;
+
+use super::rng_for;
+
+/// A generated differential workload: mixed batches plus the edge set
+/// that survives them (for external oracles).
+pub struct Workload {
+    /// Vertex count.
+    pub n: u32,
+    /// Update batches, applied in order.
+    pub batches: Vec<Vec<Update>>,
+    /// Undirected keys live after the whole stream, ascending.
+    pub surviving: Vec<(u32, u32)>,
+}
+
+impl Workload {
+    /// Total updates across all batches.
+    pub fn len(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+}
+
+/// Builds a seeded R-MAT mixed update stream over `n = 2^scale`
+/// vertices: the R-MAT edge pool (deduplicated to undirected keys,
+/// self-loops kept) is drained by inserts while roughly `delete_pct`%
+/// of operations delete a random live edge; once the pool runs dry,
+/// inserts resurrect previously deleted edges, so tombstone reuse and
+/// re-insert-after-delete are always exercised. Deterministic in
+/// `(suite, case)`.
+pub fn rmat_workload(
+    suite: u64,
+    case: u64,
+    scale: u32,
+    edge_factor: usize,
+    delete_pct: u64,
+    batch_size: usize,
+) -> Workload {
+    let n = 1u32 << scale;
+    let mut rng = rng_for(suite, 0xD1FF, case);
+    let rm = Rmat::new(
+        RmatParams::paper(scale, edge_factor),
+        rng.next_bounded(u64::MAX >> 1),
+    );
+    let mut seen = std::collections::HashSet::new();
+    let mut pool: Vec<(u32, u32)> = Vec::new();
+    for e in rm.edges() {
+        let key = (e.u.min(e.v), e.u.max(e.v));
+        if seen.insert(key) {
+            pool.push(key);
+        }
+    }
+    let total_ops = pool.len() * 2;
+    let mut pool = pool.into_iter();
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    let mut dead: Vec<(u32, u32)> = Vec::new();
+    let mut batches = Vec::new();
+    let mut batch = Vec::with_capacity(batch_size);
+    // Updates within one batch are applied in parallel, so a batch must
+    // be a set of *independent* updates: never touch the same edge key
+    // twice in one batch (re-insert-after-delete still happens — in a
+    // later batch).
+    let mut touched: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    for _ in 0..total_ops {
+        let deleting = rng.next_bounded(100) < delete_pct && !live.is_empty();
+        let op = if deleting {
+            // Find a live edge this batch has not touched yet.
+            (0..8)
+                .map(|_| rng.next_bounded(live.len() as u64) as usize)
+                .find(|&i| !touched.contains(&live[i]))
+                .map(|i| (live.swap_remove(i), true))
+        } else {
+            None
+        };
+        let op = op.or_else(|| {
+            // Fresh pool edges first (never live, so never touched);
+            // then resurrect a deleted edge untouched this batch.
+            pool.next()
+                .or_else(|| {
+                    (0..8)
+                        .map(|_| rng.next_bounded(dead.len().max(1) as u64) as usize)
+                        .find(|&i| i < dead.len() && !touched.contains(&dead[i]))
+                        .map(|i| dead.swap_remove(i))
+                })
+                .map(|key| (key, false))
+        });
+        let Some(((u, v), is_delete)) = op else {
+            continue;
+        };
+        touched.insert((u, v));
+        if is_delete {
+            dead.push((u, v));
+            batch.push(Update::delete(TimedEdge::new(u, v, 0)));
+        } else {
+            live.push((u, v));
+            batch.push(Update::insert(TimedEdge::new(u, v, 1 + (u + v) % 90)));
+        }
+        if batch.len() == batch_size {
+            batches.push(std::mem::take(&mut batch));
+            touched.clear();
+        }
+    }
+    if !batch.is_empty() {
+        batches.push(batch);
+    }
+    live.sort_unstable();
+    Workload {
+        n,
+        batches,
+        surviving: live,
+    }
+}
+
+/// How a batch reaches the graph before its updates are routed into
+/// the maintained index (always in stream order, over the settled
+/// view).
+#[derive(Clone, Copy, Debug)]
+pub enum Strategy {
+    /// One update at a time; the index is routed after each apply.
+    Stream,
+    /// Vertex-partitioned parallel apply, then post-batch routing.
+    Vpart,
+    /// Edge-partitioned parallel apply, then post-batch routing.
+    Epart,
+}
+
+/// Every strategy the harness drives.
+pub const STRATEGIES: [Strategy; 3] = [Strategy::Stream, Strategy::Vpart, Strategy::Epart];
+
+/// An {incremental index, from-scratch oracle} pair under differential
+/// test. `state` may trigger the index's own lazy targeted repairs —
+/// that is the path under test; `oracle` must recompute from the view
+/// alone.
+pub trait DifferentialPair {
+    /// Bit-comparable extracted state.
+    type State: PartialEq + std::fmt::Debug;
+    /// Routes one settled update into the maintained index.
+    fn route<V: GraphView>(&self, view: &V, upd: &Update);
+    /// Extracts the maintained state (lazy repairs allowed).
+    fn state<V: GraphView>(&self, view: &V) -> Self::State;
+    /// Recomputes the same state from scratch off the view.
+    fn oracle<V: GraphView>(&self, view: &V) -> Self::State;
+    /// Full-rebuild counter; the harness asserts it stays zero.
+    fn full_rebuilds(&self) -> usize;
+}
+
+/// Drives `w` through `strategy` at `threads` workers, differentially
+/// checking the pair built by `make` against its oracle mid-stream and
+/// at the end, and asserting the incremental path never fully rebuilt.
+pub fn run_differential<A, P, F>(w: &Workload, strategy: Strategy, threads: usize, make: F)
+where
+    A: DynamicAdjacency,
+    P: DifferentialPair,
+    F: FnOnce(&DynGraph<A>) -> P,
+{
+    let what = format!("{strategy:?} @ {threads} threads");
+    let hints = CapacityHints::new(w.len() * 2);
+    let g: DynGraph<A> = DynGraph::undirected(w.n as usize, &hints);
+    let pair = make(&g);
+    let pool = thread_pool(threads);
+    let last = w.batches.len() - 1;
+    for (bi, batch) in w.batches.iter().enumerate() {
+        match strategy {
+            Strategy::Stream => {
+                for u in batch {
+                    g.apply(u);
+                    pair.route(&g, u);
+                }
+            }
+            Strategy::Vpart => {
+                pool.install(|| engine::apply_vpart(&g, batch, threads));
+                for u in batch {
+                    pair.route(&g, u);
+                }
+            }
+            Strategy::Epart => {
+                pool.install(|| engine::apply_epart(&g, batch, threads));
+                for u in batch {
+                    pair.route(&g, u);
+                }
+            }
+        }
+        // Differential checks are the expensive part: probe a few
+        // quiescent points mid-stream, always including the end.
+        if bi == last || bi % 5 == 4 {
+            assert_eq!(
+                pair.state(&g),
+                pair.oracle(&g),
+                "{what}: diverged after batch {bi}"
+            );
+        }
+    }
+    assert_eq!(
+        pair.full_rebuilds(),
+        0,
+        "{what}: the incremental path must never fully rebuild"
+    );
+}
+
+/// [`ConnectivityIndex`] vs the union-find oracle on the live view.
+pub struct ConnPair {
+    idx: ConnectivityIndex,
+}
+
+impl ConnPair {
+    /// Builds the index from the (typically empty) starting view.
+    pub fn new<V: GraphView>(view: &V) -> Self {
+        Self {
+            idx: ConnectivityIndex::from_view(view),
+        }
+    }
+}
+
+impl DifferentialPair for ConnPair {
+    type State = Vec<u32>;
+
+    fn route<V: GraphView>(&self, _view: &V, upd: &Update) {
+        match upd.kind {
+            UpdateKind::Insert => {
+                self.idx.note_insert(upd.edge.u, upd.edge.v);
+            }
+            UpdateKind::Delete => self.idx.note_delete(upd.edge.u, upd.edge.v),
+        }
+    }
+
+    fn state<V: GraphView>(&self, view: &V) -> Vec<u32> {
+        self.idx.labels(view)
+    }
+
+    fn oracle<V: GraphView>(&self, view: &V) -> Vec<u32> {
+        union_find_from_view(view)
+    }
+
+    fn full_rebuilds(&self) -> usize {
+        self.idx.full_rebuild_count()
+    }
+}
+
+/// [`DistanceIndex`] vs a fresh serial BFS per pinned source.
+pub struct DistPair {
+    idx: DistanceIndex,
+    sources: Vec<u32>,
+}
+
+impl DistPair {
+    /// Pins `sources` over the starting view.
+    pub fn new<V: GraphView>(view: &V, sources: &[u32]) -> Self {
+        Self {
+            idx: DistanceIndex::from_view(view, sources),
+            sources: sources.to_vec(),
+        }
+    }
+}
+
+impl DifferentialPair for DistPair {
+    type State = Vec<Vec<u32>>;
+
+    fn route<V: GraphView>(&self, view: &V, upd: &Update) {
+        match upd.kind {
+            UpdateKind::Insert => self.idx.note_insert(view, upd.edge.u, upd.edge.v),
+            UpdateKind::Delete => self.idx.note_delete(upd.edge.u, upd.edge.v),
+        }
+    }
+
+    fn state<V: GraphView>(&self, view: &V) -> Vec<Vec<u32>> {
+        self.sources
+            .iter()
+            .map(|&s| self.idx.distances(view, s))
+            .collect()
+    }
+
+    fn oracle<V: GraphView>(&self, view: &V) -> Vec<Vec<u32>> {
+        self.sources
+            .iter()
+            .map(|&s| serial_bfs(view, s).dist)
+            .collect()
+    }
+
+    fn full_rebuilds(&self) -> usize {
+        self.idx.full_rebuild_count()
+    }
+}
+
+/// [`TriangleIndex`] vs the kernels-side recount (per-vertex counts,
+/// global count, and the clustering coefficient to the bit).
+pub struct TriPair {
+    idx: TriangleIndex,
+}
+
+impl TriPair {
+    /// Builds the index from the starting view.
+    pub fn new<V: GraphView>(view: &V) -> Self {
+        Self {
+            idx: TriangleIndex::from_view(view),
+        }
+    }
+}
+
+impl DifferentialPair for TriPair {
+    type State = (Vec<u64>, u64, u64);
+
+    fn route<V: GraphView>(&self, view: &V, upd: &Update) {
+        match upd.kind {
+            UpdateKind::Insert => {
+                self.idx.note_insert(upd.edge.u, upd.edge.v);
+            }
+            UpdateKind::Delete => {
+                self.idx.note_delete(view, upd.edge.u, upd.edge.v);
+            }
+        }
+    }
+
+    fn state<V: GraphView>(&self, _view: &V) -> (Vec<u64>, u64, u64) {
+        (
+            self.idx.per_vertex(),
+            self.idx.triangle_count(),
+            self.idx.average_clustering().to_bits(),
+        )
+    }
+
+    fn oracle<V: GraphView>(&self, view: &V) -> (Vec<u64>, u64, u64) {
+        let per = snap_kernels::triangles_per_vertex(view);
+        let total = per.iter().sum::<u64>() / 3;
+        (per, total, average_clustering(view).to_bits())
+    }
+
+    fn full_rebuilds(&self) -> usize {
+        self.idx.full_rebuild_count()
+    }
+}

@@ -9,6 +9,8 @@
 //! graph and documents its private generator.)
 #![allow(dead_code)] // each test binary uses a subset of these helpers
 
+pub mod differential;
+
 use snap::prelude::TimedEdge;
 use snap::util::rng::XorShift64;
 

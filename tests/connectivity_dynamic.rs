@@ -1,24 +1,20 @@
 //! Deletion-heavy dynamic connectivity: every engine strategy, every
-//! read path, one oracle.
+//! read path, one oracle — driven by the reusable differential harness
+//! (`common::differential`).
 //!
-//! A duplicate-free update stream (insert phase, then a deletion-heavy
-//! delete phase) is applied through all four update-application
-//! strategies (`stream` / `vpart` / `epart` / `batched`) at 1/2/8
-//! worker threads. Whatever the interleaving, the surviving edge set is
-//! fixed, so the canonical component labels from
-//!
-//! - the serial kernel (`connected_components`) on the live view,
-//! - the parallel kernel (`par_cc`, forced parallel),
-//! - a [`ConnectivityIndex`] built from the final view,
-//! - the incremental [`ConnectivityIndex`] maintained update-by-update
-//!   through [`SnapshotManager`] (targeted repairs, serial and
-//!   parallel), and
-//! - the sequential union-find oracle on the surviving edges
-//!
-//! must all be bit-identical.
+//! A seeded R-MAT mixed update stream (40% deletes, re-inserts after
+//! deletion) is applied through `stream` / `vpart` / `epart` at 1/2/8
+//! worker threads, with the incrementally maintained
+//! [`ConnectivityIndex`] differentially checked against the union-find
+//! oracle mid-stream and at the end — zero full rebuilds allowed. A
+//! second test cross-checks every read path (serial kernel, forced
+//! parallel kernel, view oracle, from-scratch index, and the
+//! [`SnapshotManager`]-maintained index with serial and parallel
+//! targeted repairs) on the surviving edge set.
 
 mod common;
 
+use common::differential::{rmat_workload, run_differential, ConnPair, Strategy};
 use common::rng_for;
 use snap::prelude::*;
 use snap::util::thread_pool;
@@ -26,54 +22,24 @@ use snap_kernels::cc::union_find_components;
 
 const SUITE: u64 = 0xD15C0;
 
-/// A duplicate-free workload: `inserts` builds the graph, `deletes`
-/// removes ~60% of it (deletion-heavy), including some self-loops.
-/// Returns `(inserts, deletes, surviving undirected pairs)`.
-fn workload(case: u64) -> (Vec<Update>, Vec<Update>, Vec<(u32, u32)>) {
-    let n = 512u32;
-    let mut rng = rng_for(SUITE, 1, case);
-    let mut pool: Vec<(u32, u32)> = Vec::new();
-    let mut seen = std::collections::HashSet::new();
-    while pool.len() < 1500 {
-        let u = rng.next_bounded(n as u64) as u32;
-        let v = rng.next_bounded(n as u64) as u32;
-        let key = (u.min(v), u.max(v));
-        if seen.insert(key) {
-            pool.push(key);
-        }
-    }
-    // A handful of explicit self-loops: stored once, deleted once, and
-    // never relevant to component structure.
-    for s in 0..8u32 {
-        let v = s * 17 % n;
-        if seen.insert((v, v)) {
-            pool.push((v, v));
-        }
-    }
-    let inserts: Vec<Update> = pool
-        .iter()
-        .map(|&(u, v)| Update::insert(TimedEdge::new(u, v, 1 + (u + v) % 90)))
-        .collect();
-    let mut deletes = Vec::new();
-    let mut surviving = Vec::new();
-    for &(u, v) in &pool {
-        if rng.next_bounded(10) < 6 {
-            deletes.push(Update::delete(TimedEdge::new(u, v, 0)));
-        } else {
-            surviving.push((u, v));
-        }
-    }
-    (inserts, deletes, surviving)
-}
-
-fn oracle(surviving: &[(u32, u32)]) -> Vec<u32> {
-    union_find_components(512, surviving.iter().copied())
-}
-
 fn forced(threads: usize) -> ParConfig {
     ParConfig::default()
         .with_serial_threshold(0)
         .with_threads(threads)
+}
+
+#[test]
+fn index_tracks_the_oracle_across_strategies_and_threads() {
+    for case in 0..2 {
+        let w = rmat_workload(SUITE, case, 9, 3, 40, 256);
+        for threads in [1usize, 2, 8] {
+            // One adjacency representation per strategy keeps the
+            // original suite's representation coverage.
+            run_differential::<DynArr, _, _>(&w, Strategy::Stream, threads, ConnPair::new);
+            run_differential::<HybridAdj, _, _>(&w, Strategy::Vpart, threads, ConnPair::new);
+            run_differential::<TreapAdj, _, _>(&w, Strategy::Epart, threads, ConnPair::new);
+        }
+    }
 }
 
 /// Asserts every read path over the final live graph against the oracle.
@@ -97,59 +63,22 @@ fn check_all_paths<A: DynamicAdjacency>(g: &DynGraph<A>, want: &[u32], what: &st
 }
 
 #[test]
-fn all_strategies_agree_with_the_oracle_after_mixed_streams() {
-    for case in 0..2 {
-        let (inserts, deletes, surviving) = workload(case);
-        let want = oracle(&surviving);
-        let hints = CapacityHints::new(inserts.len() * 2);
-        for &threads in &[1usize, 2, 8] {
-            let pool = thread_pool(threads);
-            // stream
-            let g: DynGraph<DynArr> = DynGraph::undirected(512, &hints);
-            pool.install(|| {
-                assert!(engine::apply_stream(&g, &inserts));
-                assert!(engine::apply_stream(&g, &deletes));
-            });
-            check_all_paths(&g, &want, "stream");
-            // vpart
-            let g: DynGraph<DynArr> = DynGraph::undirected(512, &hints);
-            pool.install(|| {
-                engine::apply_vpart(&g, &inserts, threads);
-                engine::apply_vpart(&g, &deletes, threads);
-            });
-            check_all_paths(&g, &want, "vpart");
-            // epart
-            let g: DynGraph<HybridAdj> = DynGraph::undirected(512, &hints);
-            pool.install(|| {
-                engine::apply_epart(&g, &inserts, threads);
-                engine::apply_epart(&g, &deletes, threads);
-            });
-            check_all_paths(&g, &want, "epart");
-            // batched
-            let g: DynGraph<TreapAdj> = DynGraph::undirected(512, &hints);
-            pool.install(|| {
-                engine::apply_batched(&g, &inserts);
-                engine::apply_batched(&g, &deletes);
-            });
-            check_all_paths(&g, &want, "batched");
-        }
-    }
-}
-
-#[test]
 fn incremental_index_tracks_mixed_batches_without_rebuilds() {
     for case in 0..3 {
-        let (inserts, deletes, surviving) = workload(10 + case);
-        let want = oracle(&surviving);
+        let w = rmat_workload(SUITE, 10 + case, 9, 3, 60, 256);
+        let n = w.n as usize;
+        let want = union_find_components(n, w.surviving.iter().copied());
         for &threads in &[1usize, 2, 8] {
-            let hints = CapacityHints::new(inserts.len() * 2);
-            let g: DynGraph<HybridAdj> = DynGraph::undirected(512, &hints);
+            let hints = CapacityHints::new(w.len() * 2);
+            let g: DynGraph<HybridAdj> = DynGraph::undirected(n, &hints);
             let mgr = SnapshotManager::new(g);
             mgr.enable_connectivity();
             thread_pool(threads).install(|| {
-                assert!(mgr.apply_batch(&inserts));
-                assert!(mgr.apply_batch(&deletes));
+                for batch in &w.batches {
+                    mgr.apply_batch(batch);
+                }
             });
+            check_all_paths(mgr.live(), &want, "final view");
             let idx = mgr.connectivity().unwrap();
             // The deletion-heavy phase left dirty components; queries
             // repair them on demand — spot-check pairs first, through
@@ -157,8 +86,8 @@ fn incremental_index_tracks_mixed_batches_without_rebuilds() {
             par_repair(idx, mgr.live(), 0, &forced(threads));
             let mut rng = rng_for(SUITE, 2, case * 10 + threads as u64);
             for _ in 0..200 {
-                let u = rng.next_bounded(512) as u32;
-                let v = rng.next_bounded(512) as u32;
+                let u = rng.next_bounded(n as u64) as u32;
+                let v = rng.next_bounded(n as u64) as u32;
                 assert_eq!(
                     mgr.same_component(u, v),
                     want[u as usize] == want[v as usize],
